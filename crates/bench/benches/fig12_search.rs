@@ -1,0 +1,46 @@
+//! Fig. 12 — hybrid-search time versus enumeration output budget.
+//!
+//! The paper shows search time rising exponentially with the number of
+//! branches given to the enumeration stage while the found expectation only
+//! improves slightly past 4–5. This bench measures the time side on the
+//! 40-exit profile; the companion binary `exp_fig12` reports the
+//! expectation side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use einet_core::search::hybrid_search;
+use einet_core::{expectation, ExitPlan, TimeDistribution};
+use einet_profile::EtProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn fixture() -> (EtProfile, Vec<f32>) {
+    let mut rng = SmallRng::seed_from_u64(12);
+    let conv: Vec<f64> = (0..40).map(|_| rng.gen_range(0.5..2.0)).collect();
+    let branch: Vec<f64> = (0..40).map(|_| rng.gen_range(0.1..0.5)).collect();
+    let et = EtProfile::new(conv, branch).expect("fixture profile valid");
+    let confs: Vec<f32> = (0..40)
+        .map(|i| 0.3 + 0.6 * (i as f32 / 39.0) + rng.gen_range(-0.05..0.05))
+        .collect();
+    (et, confs)
+}
+
+fn bench_budgets(c: &mut Criterion) {
+    let (et, confs) = fixture();
+    let dist = TimeDistribution::Uniform;
+    let base = ExitPlan::empty(40);
+    let free: Vec<usize> = (0..40).collect();
+    let mut g = c.benchmark_group("fig12/hybrid_by_enum_budget");
+    g.sample_size(10);
+    for m in 0..=4_usize {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let eval = |p: &ExitPlan| expectation(&et, &dist, p, &confs);
+            b.iter(|| black_box(hybrid_search(&base, &free, m, &eval)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_budgets);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 4 — per-block execution time of the 40-block MSDNet.
+//!
+//! The paper's observation (which justifies average-based ET-profiles) is
+//! that per-sample execution time within a block varies very little. This
+//! bench measures representative shallow/middle/deep blocks; the companion
+//! binary `exp_fig4` reports the full per-sample spread statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use einet_models::{zoo, BranchSpec};
+use einet_tensor::{Layer, Mode, Tensor};
+
+fn bench_blocks(c: &mut Criterion) {
+    let mut net = zoo::msdnet40([3, 16, 16], 10, &BranchSpec::paper_default(), 4);
+    let x = Tensor::zeros(&[1, 3, 16, 16]);
+    // Precompute the inputs reaching each probed block.
+    let probe = [0_usize, 13, 26, 39];
+    let mut inputs = Vec::new();
+    let mut cur = x;
+    for (i, block) in net.blocks_mut().iter_mut().enumerate() {
+        if probe.contains(&i) {
+            inputs.push((i, cur.clone()));
+        }
+        cur = block.conv_part.forward(&cur, Mode::Eval);
+    }
+    let mut g = c.benchmark_group("fig4/block_forward");
+    for (i, input) in inputs {
+        g.bench_with_input(BenchmarkId::from_parameter(i), &i, |b, &i| {
+            b.iter(|| {
+                let block = &mut net.blocks_mut()[i];
+                let y = block.conv_part.forward(black_box(&input), Mode::Eval);
+                black_box(block.branch.forward(&y, Mode::Eval))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocks);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table I — Search Engine implementation gap.
+//!
+//! The paper contrasts a Python implementation of the accuracy-expectation
+//! and hybrid-search algorithms against an optimized C one (~100×). Here the
+//! contrast is the deliberately naive, allocation-heavy reference
+//! implementation versus the optimized kernel, on the paper's largest model
+//! size (40 exits).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use einet_core::search::hybrid_search;
+use einet_core::{expectation, expectation_reference, ExitPlan, TimeDistribution};
+use einet_profile::EtProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn fixture() -> (EtProfile, Vec<f32>, ExitPlan) {
+    let mut rng = SmallRng::seed_from_u64(40);
+    let conv: Vec<f64> = (0..40).map(|_| rng.gen_range(0.5..2.0)).collect();
+    let branch: Vec<f64> = (0..40).map(|_| rng.gen_range(0.1..0.5)).collect();
+    let et = EtProfile::new(conv, branch).expect("fixture profile valid");
+    let confs: Vec<f32> = (0..40)
+        .map(|i| 0.3 + 0.6 * (i as f32 / 39.0) + rng.gen_range(-0.05..0.05))
+        .collect();
+    let plan = ExitPlan::uniform_skip(40, 8);
+    (et, confs, plan)
+}
+
+fn bench_expectation(c: &mut Criterion) {
+    let (et, confs, plan) = fixture();
+    let dist = TimeDistribution::Uniform;
+    let mut g = c.benchmark_group("table1/accuracy_expectation");
+    g.bench_function("optimized", |b| {
+        b.iter(|| black_box(expectation(&et, &dist, black_box(&plan), &confs)))
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| black_box(expectation_reference(&et, &dist, black_box(&plan), &confs)))
+    });
+    g.finish();
+}
+
+fn bench_hybrid_search(c: &mut Criterion) {
+    let (et, confs, _) = fixture();
+    let dist = TimeDistribution::Uniform;
+    let base = ExitPlan::empty(40);
+    let free: Vec<usize> = (0..40).collect();
+    let mut g = c.benchmark_group("table1/hybrid_search");
+    g.sample_size(20);
+    g.bench_function("optimized", |b| {
+        let eval = |p: &ExitPlan| expectation(&et, &dist, p, &confs);
+        b.iter(|| black_box(hybrid_search(&base, &free, 2, &eval)))
+    });
+    g.bench_function("reference", |b| {
+        let eval = |p: &ExitPlan| expectation_reference(&et, &dist, p, &confs);
+        b.iter(|| black_box(hybrid_search(&base, &free, 2, &eval)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_expectation, bench_hybrid_search);
+criterion_main!(benches);

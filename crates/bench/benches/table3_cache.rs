@@ -1,0 +1,53 @@
+//! Table III — Activation-Cache speedup versus predictor size.
+//!
+//! One elastic-inference round feeds the CS-Predictor an input vector with
+//! one more confidence than the last round. The naive path recomputes the
+//! full input-layer product; the Activation Cache adds a single weight
+//! column. This bench measures a whole 40-round inference trajectory under
+//! both paths for several hidden sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use einet_predictor::{ActivationCache, CsPredictor};
+
+const EXITS: usize = 40;
+
+fn trajectory() -> Vec<f32> {
+    (0..EXITS)
+        .map(|i| 0.3 + 0.6 * (i as f32 / (EXITS - 1) as f32))
+        .collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let confs = trajectory();
+    let mut g = c.benchmark_group("table3/predictor_inference");
+    for hidden in [128_usize, 256, 512, 1024] {
+        let p = CsPredictor::new(EXITS, hidden, 3);
+        g.bench_with_input(BenchmarkId::new("naive", hidden), &p, |b, p| {
+            b.iter(|| {
+                let mut input = vec![0.0_f32; EXITS];
+                let mut out = Vec::new();
+                for (i, &cv) in confs.iter().enumerate() {
+                    input[i] = cv;
+                    out = p.infer(black_box(&input));
+                }
+                black_box(out)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("activation_cache", hidden), &p, |b, p| {
+            b.iter(|| {
+                let mut cache = ActivationCache::new(p);
+                let mut out = Vec::new();
+                for (i, &cv) in confs.iter().enumerate() {
+                    out = cache.update(p, i, black_box(cv));
+                }
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

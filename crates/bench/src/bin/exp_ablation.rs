@@ -1,0 +1,7 @@
+//! Runs the ablation studies (predictor contribution, search budget,
+//! replanning-overhead sensitivity). Accepts `--quick` / `--full`.
+fn main() {
+    let scale = einet_bench::Scale::from_env();
+    einet_bench::experiments::ablation_components(&scale).finish("ablation_components");
+    einet_bench::experiments::ablation_replan_overhead(&scale).finish("ablation_overhead");
+}

@@ -1,0 +1,34 @@
+//! Runs every experiment in sequence, regenerating all tables and figures.
+//! Accepts `--quick` / `--full` or `EINET_SCALE`.
+use einet_bench::experiments as exp;
+
+fn main() {
+    let scale = einet_bench::Scale::from_env();
+    let t0 = std::time::Instant::now();
+    let runs: Vec<(&str, fn(&einet_bench::Scale) -> einet_bench::report::Report)> = vec![
+        ("fig4", exp::fig4_block_times),
+        ("table1", exp::table1_implementation_gap),
+        ("fig8", exp::fig8_static_plans),
+        ("table2", exp::table2_static_optimal),
+        ("fig9", exp::fig9_dynamic_plans),
+        ("fig10", exp::fig10_common_nns),
+        ("fig11", exp::fig11_expectation_vs_truth),
+        ("fig12", exp::fig12_enum_budget),
+        ("fig13", exp::fig13_distributions),
+        ("table3", exp::table3_activation_cache),
+        ("fig14a", exp::fig14a_model_structures),
+        ("fig14b", exp::fig14b_branch_structures),
+        ("ablation_components", exp::ablation_components),
+        ("ablation_overhead", exp::ablation_replan_overhead),
+        ("transformer", exp::transformer_exits),
+    ];
+    for (name, f) in runs {
+        eprintln!(
+            "=== {name} ({:.0}s elapsed) ===",
+            t0.elapsed().as_secs_f64()
+        );
+        f(&scale).finish(name);
+        println!();
+    }
+    eprintln!("all experiments done in {:.0}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig10 of the paper (see DESIGN.md's experiment index).
+//! Accepts `--quick` / `--full` or `EINET_SCALE`.
+fn main() {
+    let scale = einet_bench::Scale::from_env();
+    einet_bench::experiments::fig10_common_nns(&scale).finish("fig10");
+}

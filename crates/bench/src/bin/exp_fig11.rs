@@ -1,0 +1,6 @@
+//! Regenerates fig11 of the paper (see DESIGN.md's experiment index).
+//! Accepts `--quick` / `--full` or `EINET_SCALE`.
+fn main() {
+    let scale = einet_bench::Scale::from_env();
+    einet_bench::experiments::fig11_expectation_vs_truth(&scale).finish("fig11");
+}

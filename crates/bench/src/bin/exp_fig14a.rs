@@ -1,0 +1,6 @@
+//! Regenerates fig14a of the paper (see DESIGN.md's experiment index).
+//! Accepts `--quick` / `--full` or `EINET_SCALE`.
+fn main() {
+    let scale = einet_bench::Scale::from_env();
+    einet_bench::experiments::fig14a_model_structures(&scale).finish("fig14a");
+}

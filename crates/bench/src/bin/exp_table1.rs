@@ -1,0 +1,6 @@
+//! Regenerates table1 of the paper (see DESIGN.md's experiment index).
+//! Accepts `--quick` / `--full` or `EINET_SCALE`.
+fn main() {
+    let scale = einet_bench::Scale::from_env();
+    einet_bench::experiments::table1_implementation_gap(&scale).finish("table1");
+}

@@ -1,0 +1,6 @@
+//! Runs the multi-exit Transformer extension experiment (Discussion section
+//! of the paper). Accepts `--quick` / `--full`.
+fn main() {
+    let scale = einet_bench::Scale::from_env();
+    einet_bench::experiments::transformer_exits(&scale).finish("transformer");
+}

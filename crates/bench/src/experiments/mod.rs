@@ -1,0 +1,22 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every function returns a [`crate::report::Report`] that the matching
+//! `exp_*` binary prints and writes under `results/`. See DESIGN.md for the
+//! experiment-to-paper map.
+
+mod ablation;
+mod accuracy;
+mod engine;
+mod structure;
+mod transformer;
+
+pub use ablation::{ablation_components, ablation_replan_overhead};
+pub use accuracy::{
+    fig10_common_nns, fig8_static_plans, fig9_dynamic_plans, table2_static_optimal,
+};
+pub use engine::{
+    fig11_expectation_vs_truth, fig12_enum_budget, fig13_distributions, fig4_block_times,
+    table1_implementation_gap, table3_activation_cache,
+};
+pub use structure::{fig14a_model_structures, fig14b_branch_structures};
+pub use transformer::transformer_exits;

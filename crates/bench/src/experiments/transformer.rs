@@ -1,0 +1,62 @@
+//! The Discussion-section extension: elastic inference on a multi-exit
+//! Transformer (sequence classification).
+
+use einet_core::eval::{overall_accuracy, EvalConfig};
+use einet_core::{AllExitsPlanner, ClassicPlanner, EinetPlanner, SearchEngine, TimeDistribution};
+use einet_data::{Dataset, SynthSequences};
+use einet_models::{zoo, BranchSpec, OptimizerKind, TrainConfig};
+
+use crate::configs::Scale;
+use crate::pipeline::prepare_with_config;
+use crate::report::{pct, Report};
+
+/// Multi-exit Transformer: per-exit accuracy plus elastic-inference accuracy
+/// of EINet vs the classic and no-skip baselines.
+pub fn transformer_exits(scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "Extension — multi-exit Transformer on synthetic sequences (Discussion section)",
+    );
+    let dist = TimeDistribution::Uniform;
+    let spec = BranchSpec::paper_default();
+    for blocks in [4_usize, 8] {
+        let key = format!("transformer{blocks}-sequences");
+        // Transformers train far better under Adam than the CNN SGD default.
+        let train_cfg = TrainConfig {
+            epochs: scale.epochs + 6,
+            lr: 2e-3,
+            clip_norm: Some(5.0),
+            optimizer: OptimizerKind::Adam,
+            ..TrainConfig::default()
+        };
+        let art = prepare_with_config(&key, scale, &spec, &train_cfg, || {
+            let ds: Box<dyn Dataset> =
+                Box::new(SynthSequences::generate(scale.train_n, scale.test_n, 0x5e9));
+            let net = zoo::transformer(ds.input_shape(), ds.num_classes(), blocks, 24, &spec, 7);
+            (net, ds)
+        });
+        let tables = art.tables();
+        let cfg = EvalConfig {
+            trials: scale.trials,
+            seed: 16,
+        };
+        let acc = art.exit_accuracy();
+        report.row(
+            &format!("transformer-{blocks}blk exits"),
+            &[
+                ("first", pct(f64::from(acc[0]))),
+                ("last", pct(f64::from(*acc.last().unwrap()))),
+            ],
+        );
+        let mut classic = ClassicPlanner;
+        let mut all = AllExitsPlanner;
+        let mut einet = EinetPlanner::new(&art.predictor, art.prior(), SearchEngine::default());
+        let c = overall_accuracy(&art.et, &dist, &tables, &mut classic, &cfg);
+        let a = overall_accuracy(&art.et, &dist, &tables, &mut all, &cfg);
+        let e = overall_accuracy(&art.et, &dist, &tables, &mut einet, &cfg);
+        report.row(
+            &format!("transformer-{blocks}blk elastic"),
+            &[("classic", pct(c)), ("me-nn", pct(a)), ("einet", pct(e))],
+        );
+    }
+    report
+}

@@ -1,0 +1,18 @@
+//! # einet-bench
+//!
+//! The experiment harness of the EINet reproduction. Each table and figure
+//! of the paper's evaluation has a binary that regenerates it (see
+//! DESIGN.md's per-experiment index); this library provides the shared
+//! train → profile → predictor → evaluate pipeline with on-disk artifact
+//! caching, plus the scale knobs and report formatting the binaries share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+pub use configs::{DatasetKind, Scale};
+pub use pipeline::{prepare, Artifacts};

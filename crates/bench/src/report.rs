@@ -1,0 +1,174 @@
+//! Report formatting shared by the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple fixed-width text table accumulated row by row and written both
+/// to stdout and to `results/<name>.txt`.
+#[derive(Debug, Default)]
+pub struct Report {
+    title: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Appends one line.
+    pub fn line(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    /// Appends a formatted row of labelled values.
+    pub fn row(&mut self, label: &str, values: &[(&str, String)]) {
+        let mut s = format!("{label:<28}");
+        for (k, v) in values {
+            let _ = write!(s, " {k}={v}");
+        }
+        self.lines.push(s);
+    }
+
+    /// Renders the full report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        for l in &self.lines {
+            let _ = writeln!(out, "{l}");
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `results/<name>.txt`.
+    pub fn finish(&self, name: &str) {
+        let text = self.render();
+        print!("{text}");
+        let dir = crate::pipeline::results_dir();
+        if let Err(e) = fs::write(dir.join(format!("{name}.txt")), &text) {
+            eprintln!("[report] could not write results file: {e}");
+        }
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `p`-quantile (0..=1) of a slice via nearest-rank on a sorted copy.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "quantile p out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Writes `path` atomically-ish (write then rename is overkill here; plain
+/// write with a clear error).
+pub fn write_text(path: &Path, text: &str) {
+    if let Err(e) = fs::write(path, text) {
+        eprintln!("[report] write {} failed: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+
+    #[test]
+    fn report_renders_title_and_rows() {
+        let mut r = Report::new("T");
+        r.line("hello");
+        r.row("label", &[("k", "v".to_string())]);
+        let text = r.render();
+        assert!(text.contains("# T"));
+        assert!(text.contains("hello"));
+        assert!(text.contains("k=v"));
+    }
+}
+
+/// Renders a horizontal ASCII bar for a value in `[0, 1]`, `width` cells
+/// wide — used by experiment reports to make trends legible in plain text.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn bar(value: f64, width: usize) -> String {
+    assert!(width > 0, "bar width must be positive");
+    let v = value.clamp(0.0, 1.0);
+    let filled = (v * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod bar_tests {
+    use super::bar;
+
+    #[test]
+    fn bar_scales_with_value() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####.....");
+    }
+
+    #[test]
+    fn bar_clamps_out_of_range() {
+        assert_eq!(bar(2.0, 4), "####");
+        assert_eq!(bar(-1.0, 4), "....");
+    }
+}

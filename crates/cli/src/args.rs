@@ -1,0 +1,179 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: one subcommand plus `--key value` options and
+/// bare `--flag`s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    subcommand: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument parsing or lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// `--key` appeared at the end with no value and is not a known flag.
+    MissingValue(String),
+    /// A required option was not supplied.
+    Required(String),
+    /// A value failed to parse into the requested type.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Offending raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(k) => write!(f, "option --{k} is missing its value"),
+            ArgsError::Required(k) => write!(f, "required option --{k} was not given"),
+            ArgsError::BadValue { key, value } => {
+                write!(f, "option --{key} has invalid value {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl ParsedArgs {
+    /// Parses raw arguments (without the program name). `known_flags` lists
+    /// the bare options that take no value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingValue`] when a non-flag `--key` has no
+    /// following value.
+    pub fn parse(args: &[String], known_flags: &[&str]) -> Result<Self, ArgsError> {
+        let mut parsed = ParsedArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if known_flags.contains(&key) {
+                    parsed.flags.push(key.to_string());
+                    i += 1;
+                } else if i + 1 < args.len() {
+                    parsed.options.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    return Err(ArgsError::MissingValue(key.to_string()));
+                }
+            } else {
+                if parsed.subcommand.is_none() {
+                    parsed.subcommand = Some(a.clone());
+                } else {
+                    // Extra positionals are treated as flags (forgiving).
+                    parsed.flags.push(a.clone());
+                }
+                i += 1;
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The subcommand, if any.
+    pub fn subcommand(&self) -> Option<&str> {
+        self.subcommand.as_deref()
+    }
+
+    /// Raw string value of an option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Value of an option, or a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Required option value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Required`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str, ArgsError> {
+        self.get(key).ok_or_else(|| ArgsError::Required(key.into()))
+    }
+
+    /// Typed option value with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] when present but unparsable.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::BadValue {
+                key: key.into(),
+                value: raw.into(),
+            }),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let p = ParsedArgs::parse(
+            &v(&["train", "--model", "msdnet21", "--quick", "--epochs", "7"]),
+            &["quick", "full"],
+        )
+        .unwrap();
+        assert_eq!(p.subcommand(), Some("train"));
+        assert_eq!(p.get("model"), Some("msdnet21"));
+        assert!(p.has_flag("quick"));
+        assert_eq!(p.get_parsed_or("epochs", 0usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let p = ParsedArgs::parse(&v(&["eval"]), &[]).unwrap();
+        assert_eq!(p.get_or("planner", "einet"), "einet");
+        assert!(matches!(p.require("model"), Err(ArgsError::Required(_))));
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let e = ParsedArgs::parse(&v(&["plan", "--m"]), &[]).unwrap_err();
+        assert!(matches!(e, ArgsError::MissingValue(k) if k == "m"));
+    }
+
+    #[test]
+    fn bad_typed_value_is_error() {
+        let p = ParsedArgs::parse(&v(&["x", "--n", "abc"]), &[]).unwrap();
+        assert!(matches!(
+            p.get_parsed_or("n", 1usize),
+            Err(ArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn no_subcommand_is_none() {
+        let p = ParsedArgs::parse(&v(&["--quick"]), &["quick"]).unwrap();
+        assert_eq!(p.subcommand(), None);
+        assert!(p.has_flag("quick"));
+    }
+}

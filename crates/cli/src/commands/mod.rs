@@ -1,0 +1,104 @@
+//! Subcommand implementations.
+
+pub mod demo;
+pub mod eval;
+pub mod experiments;
+pub mod plan;
+pub mod train;
+
+use std::error::Error;
+use std::path::{Path, PathBuf};
+
+use einet_bench::DatasetKind;
+use einet_core::TimeDistribution;
+use einet_models::ModelKind;
+
+/// The boxed-error result every subcommand returns.
+pub type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Parses a model name.
+pub(crate) fn parse_model(name: &str) -> Result<ModelKind, String> {
+    ModelKind::all()
+        .into_iter()
+        .find(|m| m.id() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown model {name:?} (expected one of: {})",
+                ModelKind::all().map(|m| m.id()).join(", ")
+            )
+        })
+}
+
+/// Parses a dataset name.
+pub(crate) fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
+    DatasetKind::all()
+        .into_iter()
+        .find(|d| d.id() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset {name:?} (expected one of: {})",
+                DatasetKind::all().map(|d| d.id()).join(", ")
+            )
+        })
+}
+
+/// Parses a kill-time distribution name.
+pub(crate) fn parse_dist(name: &str) -> Result<TimeDistribution, String> {
+    match name {
+        "uniform" => Ok(TimeDistribution::Uniform),
+        "gauss0.5" => Ok(TimeDistribution::gaussian(0.5)),
+        "gauss1.0" | "gauss1" => Ok(TimeDistribution::gaussian(1.0)),
+        other => Err(format!(
+            "unknown distribution {other:?} (expected uniform, gauss0.5 or gauss1.0)"
+        )),
+    }
+}
+
+/// Standard artifact paths inside a `--dir`.
+pub(crate) struct ArtifactPaths {
+    pub et: PathBuf,
+    pub cs: PathBuf,
+    pub ckpt: PathBuf,
+    pub meta: PathBuf,
+}
+
+impl ArtifactPaths {
+    pub(crate) fn in_dir(dir: &Path) -> Self {
+        ArtifactPaths {
+            et: dir.join("model.et"),
+            cs: dir.join("model.cs"),
+            ckpt: dir.join("model.ckpt"),
+            meta: dir.join("model.meta"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_and_dataset_parsing() {
+        assert_eq!(parse_model("msdnet21").unwrap(), ModelKind::MsdNet21);
+        assert!(parse_model("resnet-9000").is_err());
+        assert_eq!(parse_dataset("digits").unwrap(), DatasetKind::Digits);
+        assert!(parse_dataset("imagenet").is_err());
+    }
+
+    #[test]
+    fn dist_parsing() {
+        assert_eq!(parse_dist("uniform").unwrap(), TimeDistribution::Uniform);
+        assert!(matches!(
+            parse_dist("gauss0.5").unwrap(),
+            TimeDistribution::Gaussian { .. }
+        ));
+        assert!(parse_dist("poisson").is_err());
+    }
+
+    #[test]
+    fn artifact_paths_are_rooted() {
+        let p = ArtifactPaths::in_dir(Path::new("/tmp/x"));
+        assert!(p.et.starts_with("/tmp/x"));
+        assert!(p.ckpt.ends_with("model.ckpt"));
+    }
+}

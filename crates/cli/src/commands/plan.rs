@@ -1,0 +1,102 @@
+//! `einet plan` — search a near-optimal exit plan on trained profiles.
+
+use std::path::PathBuf;
+
+use einet_core::{expectation, ExitPlan, SearchEngine};
+use einet_profile::{CsProfile, EtProfile};
+
+use crate::args::ParsedArgs;
+use crate::commands::{parse_dist, ArtifactPaths, CmdResult};
+
+/// Runs the subcommand.
+pub fn run(args: &ParsedArgs) -> CmdResult {
+    let dir = PathBuf::from(args.require("dir")?);
+    let paths = ArtifactPaths::in_dir(&dir);
+    let et = EtProfile::load(&paths.et)?;
+    let cs = CsProfile::load(&paths.cs)?;
+    let dist = parse_dist(args.get_or("dist", "uniform"))?;
+    let m: usize = args.get_parsed_or("m", 4)?;
+    let confs = cs.exit_mean_confidence();
+    let n = et.num_exits();
+
+    let engine = SearchEngine::new(m);
+    let t0 = std::time::Instant::now();
+    let (plan, score) = engine.search(&et, &dist, &confs, 0, None);
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let full = ExitPlan::full(n);
+    let full_score = expectation(&et, &dist, &full, &confs);
+    println!(
+        "profiles: {} exits, horizon {:.2} ms, distribution {}",
+        n,
+        et.total_ms(),
+        dist.id()
+    );
+    println!("searched plan (m={m}, {elapsed_ms:.3} ms):");
+    println!("  plan        {plan}");
+    println!("  executes    {} of {} branches", plan.count_executed(), n);
+    println!(
+        "  expectation {:.4} (run-everything plan: {:.4})",
+        score, full_score
+    );
+    println!(
+        "  plan time   {:.2} ms of {:.2} ms horizon",
+        et.plan_time_ms(&plan.to_bools()),
+        et.total_ms()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_runs_on_saved_profiles() {
+        let dir = std::env::temp_dir().join("einet-cli-plan-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = ArtifactPaths::in_dir(&dir);
+        EtProfile::new(vec![1.0; 5], vec![0.4; 5])
+            .unwrap()
+            .save(&paths.et)
+            .unwrap();
+        CsProfile::new(
+            vec![vec![0.3, 0.4, 0.6, 0.8, 0.9]; 4],
+            vec![vec![0; 5]; 4],
+            vec![0; 4],
+            5,
+        )
+        .save(&paths.cs)
+        .unwrap();
+        let args = ParsedArgs::parse(
+            &[
+                "plan".to_string(),
+                "--dir".to_string(),
+                dir.to_str().unwrap().to_string(),
+                "--m".to_string(),
+                "5".to_string(),
+            ],
+            &[],
+        )
+        .unwrap();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn bad_dist_is_an_error() {
+        let dir = std::env::temp_dir().join("einet-cli-plan-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = ParsedArgs::parse(
+            &[
+                "plan".to_string(),
+                "--dir".to_string(),
+                dir.to_str().unwrap().to_string(),
+                "--dist".to_string(),
+                "weibull".to_string(),
+            ],
+            &[],
+        )
+        .unwrap();
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! `einet train` — train a multi-exit model and persist checkpoint +
+//! profiles.
+
+use std::fs;
+use std::path::PathBuf;
+
+use einet_models::{save_params, train_multi_exit, BranchSpec, TrainConfig};
+use einet_profile::{CsProfile, EdgePlatform, EtProfile};
+
+use crate::args::ParsedArgs;
+use crate::commands::{parse_dataset, parse_model, ArtifactPaths, CmdResult};
+
+/// Runs the subcommand.
+pub fn run(args: &ParsedArgs) -> CmdResult {
+    let model = parse_model(args.require("model")?)?;
+    let dataset = parse_dataset(args.require("dataset")?)?;
+    let epochs: usize = args.get_parsed_or("epochs", 14)?;
+    let train_n: usize = args.get_parsed_or("train-n", 400)?;
+    let test_n: usize = args.get_parsed_or("test-n", 200)?;
+    let out_dir = PathBuf::from(args.get_or("out-dir", "einet-out"));
+    fs::create_dir_all(&out_dir)?;
+
+    let scale = einet_bench::Scale {
+        train_n,
+        test_n,
+        ..einet_bench::Scale::quick()
+    };
+    let ds = dataset.generate(&scale);
+    let spec = BranchSpec::paper_default();
+    let mut net = model.build(ds.input_shape(), ds.num_classes(), &spec, 0xA11CE);
+    println!(
+        "training {} ({} exits) on {} ({} train / {} test) for {epochs} epochs...",
+        model,
+        net.num_exits(),
+        dataset,
+        ds.train().len(),
+        ds.test().len()
+    );
+    let t0 = std::time::Instant::now();
+    let report = train_multi_exit(
+        &mut net,
+        ds.train(),
+        &TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
+    );
+    println!(
+        "trained in {:.1}s, loss {:.3} -> {:.3}",
+        t0.elapsed().as_secs_f64(),
+        report.epoch_losses.first().unwrap_or(&0.0),
+        report.epoch_losses.last().unwrap_or(&0.0)
+    );
+
+    let et = EtProfile::from_cost_model(&net, EdgePlatform::JetsonClass);
+    let cs = CsProfile::generate(&mut net, ds.test());
+    println!(
+        "test exit accuracies: {}",
+        cs.exit_accuracy()
+            .iter()
+            .map(|a| format!("{:.1}%", a * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    let paths = ArtifactPaths::in_dir(&out_dir);
+    save_params(&mut net, &paths.ckpt)?;
+    et.save(&paths.et)?;
+    cs.save(&paths.cs)?;
+    fs::write(
+        &paths.meta,
+        format!(
+            "model {}\ndataset {}\nepochs {epochs}\n",
+            model.id(),
+            dataset.id()
+        ),
+    )?;
+    println!("wrote {}", out_dir.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_tiny_model_end_to_end() {
+        let dir = std::env::temp_dir().join("einet-cli-train-test");
+        let _ = fs::remove_dir_all(&dir);
+        let args = ParsedArgs::parse(
+            &[
+                "train",
+                "--model",
+                "b-alexnet",
+                "--dataset",
+                "digits",
+                "--epochs",
+                "1",
+                "--train-n",
+                "30",
+                "--test-n",
+                "10",
+                "--out-dir",
+                dir.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+            &[],
+        )
+        .unwrap();
+        run(&args).unwrap();
+        let paths = ArtifactPaths::in_dir(&dir);
+        assert!(paths.ckpt.exists());
+        assert!(paths.et.exists());
+        assert!(paths.cs.exists());
+        assert!(paths.meta.exists());
+        // Profiles parse back.
+        assert_eq!(EtProfile::load(&paths.et).unwrap().num_exits(), 3);
+        assert_eq!(CsProfile::load(&paths.cs).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn rejects_unknown_model() {
+        let args = ParsedArgs::parse(
+            &[
+                "train".into(),
+                "--model".into(),
+                "nope".into(),
+                "--dataset".into(),
+                "digits".into(),
+            ],
+            &[],
+        )
+        .unwrap();
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! # einet-cli
+//!
+//! The `einet` command-line tool: train a multi-exit model, profile it,
+//! search exit plans, compare planners under unpredictable exits, and run a
+//! live preemption demo — without writing any Rust.
+//!
+//! ```text
+//! einet train   --model msdnet21 --dataset objects --out-dir einet-out
+//! einet eval    --dir einet-out [--dist uniform|gauss0.5|gauss1.0] [--trials 5]
+//! einet plan    --dir einet-out [--m 4] [--dist ...]
+//! einet demo    [--preemptions 6]
+//! einet experiments <fig8|table2|...|all> [--quick|--full]
+//! ```
+//!
+//! Commands are implemented as library functions (`run`), so they are
+//! testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+pub mod commands;
+
+pub use args::{ArgsError, ParsedArgs};
+
+/// Entry point shared by the binary and the tests: parses `argv[1..]` and
+/// dispatches. Returns the process exit code.
+pub fn run(raw_args: &[String]) -> i32 {
+    let parsed = match ParsedArgs::parse(raw_args, &["quick", "full", "help"]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if parsed.has_flag("help") || parsed.subcommand().is_none() {
+        print!("{}", usage());
+        return if parsed.has_flag("help") { 0 } else { 2 };
+    }
+    let result = match parsed.subcommand().expect("checked above") {
+        "train" => commands::train::run(&parsed),
+        "eval" => commands::eval::run(&parsed),
+        "plan" => commands::plan::run(&parsed),
+        "demo" => commands::demo::run(&parsed),
+        "experiments" => commands::experiments::run(&parsed),
+        other => {
+            eprintln!("error: unknown subcommand {other:?}\n");
+            print!("{}", usage());
+            return 2;
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+einet — elastic DNN inference with unpredictable exit (EINet, ICDCS 2023)
+
+USAGE:
+    einet <COMMAND> [OPTIONS]
+
+COMMANDS:
+    train        train a multi-exit model and write checkpoint + profiles
+                   --model <b-alexnet|flex-vgg16|vgg16-fine|resnet-fine|msdnet21|msdnet40>
+                   --dataset <digits|objects|objects100>
+                   [--epochs N] [--train-n N] [--test-n N] [--out-dir DIR]
+    eval         compare planners on trained profiles
+                   --dir DIR [--dist uniform|gauss0.5|gauss1.0] [--trials N]
+    plan         search a near-optimal exit plan on trained profiles
+                   --dir DIR [--m N] [--dist ...]
+    demo         live preemption demo (threads, real forward passes)
+                   [--preemptions N]
+    experiments  regenerate the paper's tables/figures
+                   <fig4|table1|fig8|table2|fig9|fig10|fig11|fig12|fig13|table3|fig14a|fig14b|ablation|transformer|all>
+                   [--quick|--full]
+
+GLOBAL:
+    --help       show this text
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage_and_fails() {
+        assert_eq!(run(&v(&[])), 2);
+    }
+
+    #[test]
+    fn help_flag_succeeds() {
+        assert_eq!(run(&v(&["--help"])), 0);
+    }
+
+    #[test]
+    fn unknown_subcommand_fails() {
+        assert_eq!(run(&v(&["frobnicate"])), 2);
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for cmd in ["train", "eval", "plan", "demo", "experiments"] {
+            assert!(u.contains(cmd), "usage missing {cmd}");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! The `einet` binary: thin wrapper around [`einet_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(einet_cli::run(&args));
+}

@@ -1,0 +1,287 @@
+//! The accuracy-expectation algorithm (Algorithm 1, Eq. 5).
+
+use einet_profile::EtProfile;
+
+use crate::plan::ExitPlan;
+use crate::time_dist::TimeDistribution;
+
+/// Scores exit plans by the expected quality of the result held at the
+/// (random) kill time.
+///
+/// The inference timeline of a plan alternates conv parts (always run) and
+/// executed branches; between two outputs the task holds the older result,
+/// whose confidence stands in for its accuracy. The expectation is
+///
+/// ```text
+/// E = Σᵢ Cᵢ · P(kill ∈ intervalᵢ)
+/// ```
+///
+/// with `C = 0` before the first output (a kill then yields *no result*) and
+/// the final output's confidence covering the remainder of the horizon. The
+/// horizon `T` is the full-plan execution time, matching the evaluation's
+/// kill-time draw.
+///
+/// # Example
+///
+/// ```
+/// use einet_core::{AccuracyExpectation, ExitPlan, TimeDistribution};
+/// use einet_profile::EtProfile;
+///
+/// let et = EtProfile::new(vec![1.0, 1.0], vec![1.0, 1.0])?;
+/// let dist = TimeDistribution::Uniform;
+/// let scorer = AccuracyExpectation::new(&et, &dist);
+/// let e = scorer.evaluate(&ExitPlan::full(2), &[0.5, 1.0]);
+/// // Output 0 at t=2 covers [2,3); output 1 at t=4 covers nothing further.
+/// assert!((e - (0.5 * 0.5 + 0.0)).abs() < 1e-9);
+/// # Ok::<(), einet_profile::ProfileIoError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyExpectation<'a> {
+    et: &'a EtProfile,
+    dist: &'a TimeDistribution,
+}
+
+impl<'a> AccuracyExpectation<'a> {
+    /// Creates a scorer over a profile and kill-time distribution.
+    pub fn new(et: &'a EtProfile, dist: &'a TimeDistribution) -> Self {
+        AccuracyExpectation { et, dist }
+    }
+
+    /// Evaluates a plan given the (actual or predicted) confidence at every
+    /// exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidences.len()` differs from the profile's exit count
+    /// or the plan length mismatches.
+    pub fn evaluate(&self, plan: &ExitPlan, confidences: &[f32]) -> f64 {
+        expectation(self.et, self.dist, plan, confidences)
+    }
+
+    /// The profile this scorer reads.
+    pub fn profile(&self) -> &EtProfile {
+        self.et
+    }
+
+    /// The kill-time distribution this scorer assumes.
+    pub fn distribution(&self) -> &TimeDistribution {
+        self.dist
+    }
+}
+
+/// The optimized accuracy-expectation kernel: one pass over the exits, no
+/// allocation. This is the "C implementation" of Table I.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn expectation(
+    et: &EtProfile,
+    dist: &TimeDistribution,
+    plan: &ExitPlan,
+    confidences: &[f32],
+) -> f64 {
+    let n = et.num_exits();
+    assert_eq!(plan.len(), n, "plan/profile length mismatch");
+    assert_eq!(confidences.len(), n, "confidence/profile length mismatch");
+    let horizon = et.total_ms();
+    let conv = et.conv_ms();
+    let branch = et.branch_ms();
+    let mut t = 0.0_f64;
+    let mut t_last = 0.0_f64;
+    let mut c_last = 0.0_f64;
+    let mut e = 0.0_f64;
+    for i in 0..n {
+        t += conv[i];
+        if plan.get(i) {
+            t += branch[i];
+            if c_last > 0.0 {
+                e += c_last * dist.mass_between(t_last, t, horizon);
+            }
+            c_last = f64::from(confidences[i]);
+            t_last = t;
+        }
+    }
+    if c_last > 0.0 {
+        e += c_last * dist.mass_between(t_last, horizon, horizon);
+    }
+    e
+}
+
+/// A deliberately naive reference implementation of Algorithm 1 that builds
+/// the full interval list with heap allocations and per-interval closures —
+/// the "Python implementation" of Table I. Semantically identical to
+/// [`expectation`]; used to reproduce the naive-vs-optimized gap and as a
+/// differential-testing oracle.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn expectation_reference(
+    et: &EtProfile,
+    dist: &TimeDistribution,
+    plan: &ExitPlan,
+    confidences: &[f32],
+) -> f64 {
+    #[derive(Debug, Clone)]
+    struct Interval {
+        start: f64,
+        end: f64,
+        confidence: f64,
+    }
+    let n = et.num_exits();
+    assert_eq!(plan.len(), n, "plan/profile length mismatch");
+    assert_eq!(confidences.len(), n, "confidence/profile length mismatch");
+    let horizon = et.total_ms();
+    // Build the event timeline as owned vectors (naively).
+    let mut events: Vec<(f64, f64)> = Vec::new(); // (output time, confidence)
+    let mut t = 0.0;
+    for i in 0..n {
+        t += et.conv_ms()[i];
+        if plan.to_bools()[i] {
+            t += et.branch_ms()[i];
+            events.push((t, f64::from(confidences[i])));
+        }
+    }
+    let mut intervals: Vec<Interval> = Vec::new();
+    let mut t_last = 0.0;
+    let mut c_last = 0.0;
+    for (time, conf) in events {
+        intervals.push(Interval {
+            start: t_last,
+            end: time,
+            confidence: c_last,
+        });
+        t_last = time;
+        c_last = conf;
+    }
+    intervals.push(Interval {
+        start: t_last,
+        end: horizon,
+        confidence: c_last,
+    });
+    intervals
+        .iter()
+        .map(|iv| {
+            let weight: Box<dyn Fn() -> f64> =
+                Box::new(|| dist.mass_between(iv.start, iv.end, horizon));
+            iv.confidence * weight()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn et3() -> EtProfile {
+        EtProfile::new(vec![1.0, 1.0, 1.0], vec![0.5, 0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn empty_plan_scores_zero() {
+        let et = et3();
+        let dist = TimeDistribution::Uniform;
+        let e = expectation(&et, &dist, &ExitPlan::empty(3), &[0.9, 0.9, 0.9]);
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn closed_form_single_exit() {
+        // conv=1,1,1 branch=.5,.5,.5 => horizon=4.5.
+        // Plan executes only exit 0: output at t=1.5 with confidence 0.8,
+        // held until 4.5 => E = 0.8 * 3/4.5.
+        let et = et3();
+        let dist = TimeDistribution::Uniform;
+        let plan = ExitPlan::from_indices(3, &[0]);
+        let e = expectation(&et, &dist, &plan, &[0.8, 0.0, 0.0]);
+        assert!((e - 0.8 * (3.0 / 4.5)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn deeper_single_exit_covers_less_mass() {
+        let et = et3();
+        let dist = TimeDistribution::Uniform;
+        let shallow = expectation(&et, &dist, &ExitPlan::from_indices(3, &[0]), &[0.8; 3]);
+        let deep = expectation(&et, &dist, &ExitPlan::from_indices(3, &[2]), &[0.8; 3]);
+        assert!(shallow > deep);
+    }
+
+    #[test]
+    fn higher_confidence_scores_higher() {
+        let et = et3();
+        let dist = TimeDistribution::Uniform;
+        let plan = ExitPlan::full(3);
+        let low = expectation(&et, &dist, &plan, &[0.2, 0.3, 0.4]);
+        let high = expectation(&et, &dist, &plan, &[0.6, 0.7, 0.8]);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn expectation_bounded_by_max_confidence() {
+        let et = et3();
+        let dist = TimeDistribution::Uniform;
+        let plan = ExitPlan::full(3);
+        let confs = [0.3_f32, 0.9, 0.7];
+        let e = expectation(&et, &dist, &plan, &confs);
+        assert!(e <= 0.9 + 1e-12);
+        assert!(e >= 0.0);
+    }
+
+    #[test]
+    fn reference_matches_optimized() {
+        let et = EtProfile::new(
+            vec![0.8, 1.3, 0.4, 2.0, 0.9],
+            vec![0.2, 0.3, 0.1, 0.5, 0.25],
+        )
+        .unwrap();
+        let confs = [0.31_f32, 0.52, 0.48, 0.77, 0.93];
+        for dist in [
+            TimeDistribution::Uniform,
+            TimeDistribution::gaussian(0.5),
+            TimeDistribution::piecewise(vec![1.0, 4.0, 2.0]),
+        ] {
+            for bits in 0..32_u64 {
+                let mut plan = ExitPlan::empty(5);
+                for i in 0..5 {
+                    plan.set(i, (bits >> i) & 1 == 1);
+                }
+                let fast = expectation(&et, &dist, &plan, &confs);
+                let slow = expectation_reference(&et, &dist, &plan, &confs);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "plan {plan} dist {dist:?}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skipping_a_weak_branch_can_win() {
+        // A slow, low-confidence middle branch: skipping it lets the strong
+        // final output arrive sooner — the core insight of the paper
+        // (executing all branches is not always optimal).
+        let et = EtProfile::new(vec![1.0, 1.0, 1.0], vec![0.2, 5.0, 0.2]).unwrap();
+        let dist = TimeDistribution::Uniform;
+        let confs = [0.5_f32, 0.52, 0.95];
+        let all = expectation(&et, &dist, &ExitPlan::full(3), &confs);
+        let skip_mid = expectation(&et, &dist, &ExitPlan::from_indices(3, &[0, 2]), &confs);
+        assert!(
+            skip_mid > all,
+            "skipping should win: skip={skip_mid} all={all}"
+        );
+    }
+
+    #[test]
+    fn scorer_wrapper_delegates() {
+        let et = et3();
+        let dist = TimeDistribution::Uniform;
+        let scorer = AccuracyExpectation::new(&et, &dist);
+        let plan = ExitPlan::full(3);
+        let confs = [0.4_f32, 0.6, 0.8];
+        assert_eq!(
+            scorer.evaluate(&plan, &confs),
+            expectation(&et, &dist, &plan, &confs)
+        );
+    }
+}

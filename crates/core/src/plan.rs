@@ -1,0 +1,335 @@
+//! Exit plans.
+
+use std::fmt;
+
+/// A plan over the exits of a multi-exit network: bit `i` set means
+/// *execute branch `i`*, clear means *skip it* (the backbone always runs).
+///
+/// Plans are value types backed by a single `u64` word — the paper's largest
+/// model has 40 exits, and tiny plans are what lets the search engine
+/// evaluate hundreds of thousands of candidates per millisecond.
+///
+/// # Example
+///
+/// ```
+/// use einet_core::ExitPlan;
+///
+/// let mut plan = ExitPlan::empty(5);
+/// plan.set(1, true);
+/// plan.set(4, true);
+/// assert_eq!(plan.count_executed(), 2);
+/// assert_eq!(plan.to_string(), "01001");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExitPlan {
+    bits: u64,
+    len: usize,
+}
+
+impl ExitPlan {
+    /// The maximum number of exits a plan can describe.
+    pub const MAX_EXITS: usize = 64;
+
+    /// A plan that skips every branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds [`ExitPlan::MAX_EXITS`].
+    pub fn empty(len: usize) -> Self {
+        assert!(
+            len > 0 && len <= Self::MAX_EXITS,
+            "plan length must be in 1..={}",
+            Self::MAX_EXITS
+        );
+        ExitPlan { bits: 0, len }
+    }
+
+    /// A plan that executes every branch (the "100% output" baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ExitPlan::empty`].
+    pub fn full(len: usize) -> Self {
+        let mut p = Self::empty(len);
+        p.bits = if len == 64 {
+            u64::MAX
+        } else {
+            (1_u64 << len) - 1
+        };
+        p
+    }
+
+    /// A plan executing only the deepest exit (the classic single-exit
+    /// behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ExitPlan::empty`].
+    pub fn last_only(len: usize) -> Self {
+        let mut p = Self::empty(len);
+        p.set(len - 1, true);
+        p
+    }
+
+    /// Builds a plan from booleans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or longer than [`ExitPlan::MAX_EXITS`].
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut p = Self::empty(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            p.set(i, b);
+        }
+        p
+    }
+
+    /// Builds a plan of length `len` executing exactly the given exits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_indices(len: usize, executed: &[usize]) -> Self {
+        let mut p = Self::empty(len);
+        for &i in executed {
+            p.set(i, true);
+        }
+        p
+    }
+
+    /// The static plan that executes an evenly-spaced `percent` fraction of
+    /// the branches, always including the deepest exit (the paper's
+    /// 25%/50%/100% static baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < percent <= 1`.
+    pub fn static_percent(len: usize, percent: f64) -> Self {
+        assert!(
+            percent > 0.0 && percent <= 1.0,
+            "percent must be in (0, 1], got {percent}"
+        );
+        let count = ((len as f64 * percent).round() as usize).clamp(1, len);
+        let mut p = Self::empty(len);
+        // Evenly spaced from the deep end so the final exit is always kept.
+        for k in 0..count {
+            let pos = len - 1 - (k as f64 * len as f64 / count as f64).round() as usize;
+            p.set(pos.min(len - 1), true);
+        }
+        p
+    }
+
+    /// The plan that skips `k` exits spread uniformly over the depth and
+    /// executes the rest (the Fig. 11 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len`.
+    pub fn uniform_skip(len: usize, k: usize) -> Self {
+        assert!(k < len, "cannot skip all {len} exits");
+        let mut p = Self::full(len);
+        if k == 0 {
+            return p;
+        }
+        for j in 0..k {
+            // Spread skipped exits across the shallow-to-deep range, never
+            // skipping the deepest exit.
+            let pos = ((j as f64 + 0.5) * (len - 1) as f64 / k as f64) as usize;
+            p.set(pos.min(len - 2), false);
+        }
+        p
+    }
+
+    /// Number of exits the plan covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan covers zero exits (never true for a constructed
+    /// plan).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether branch `i` is executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "exit {i} out of range for {} exits", self.len);
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Sets whether branch `i` is executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, execute: bool) {
+        assert!(i < self.len, "exit {i} out of range for {} exits", self.len);
+        if execute {
+            self.bits |= 1 << i;
+        } else {
+            self.bits &= !(1 << i);
+        }
+    }
+
+    /// Returns a copy with bit `i` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn with(&self, i: usize, execute: bool) -> Self {
+        let mut p = *self;
+        p.set(i, execute);
+        p
+    }
+
+    /// Number of executed branches.
+    pub fn count_executed(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Iterates over the indices of executed branches, shallow to deep.
+    pub fn iter_executed(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// The plan as a boolean vector.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Keeps bits `0..prefix` from `history` and bits `prefix..` from
+    /// `self` — used when replanning must not rewrite the past.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or `prefix > len`.
+    #[must_use]
+    pub fn with_frozen_prefix(&self, history: &ExitPlan, prefix: usize) -> Self {
+        assert_eq!(self.len, history.len, "plan length mismatch");
+        assert!(prefix <= self.len, "prefix out of range");
+        if prefix == 0 {
+            return *self;
+        }
+        let mask = if prefix == 64 {
+            u64::MAX
+        } else {
+            (1_u64 << prefix) - 1
+        };
+        ExitPlan {
+            bits: (history.bits & mask) | (self.bits & !mask),
+            len: self.len,
+        }
+    }
+
+    /// The raw bit word (for hashing / compact storage).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+}
+
+impl fmt::Display for ExitPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = ExitPlan::empty(5);
+        assert_eq!(e.count_executed(), 0);
+        let f = ExitPlan::full(5);
+        assert_eq!(f.count_executed(), 5);
+        assert!(f.get(0) && f.get(4));
+    }
+
+    #[test]
+    fn full_64_exits() {
+        let f = ExitPlan::full(64);
+        assert_eq!(f.count_executed(), 64);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut p = ExitPlan::empty(8);
+        p.set(3, true);
+        assert!(p.get(3));
+        assert!(!p.get(2));
+        p.set(3, false);
+        assert_eq!(p.count_executed(), 0);
+    }
+
+    #[test]
+    fn static_percent_includes_last_exit() {
+        for len in [3, 5, 14, 21, 40] {
+            for pct in [0.25, 0.5, 1.0] {
+                let p = ExitPlan::static_percent(len, pct);
+                assert!(p.get(len - 1), "len={len} pct={pct} must keep deepest exit");
+                let expected = ((len as f64 * pct).round() as usize).clamp(1, len);
+                assert!(
+                    p.count_executed() <= expected,
+                    "len={len} pct={pct}: {} executed",
+                    p.count_executed()
+                );
+                assert!(p.count_executed() >= 1);
+            }
+        }
+        assert_eq!(ExitPlan::static_percent(4, 1.0), ExitPlan::full(4));
+    }
+
+    #[test]
+    fn uniform_skip_counts() {
+        let p = ExitPlan::uniform_skip(40, 0);
+        assert_eq!(p.count_executed(), 40);
+        let p = ExitPlan::uniform_skip(40, 10);
+        assert!(p.count_executed() >= 30 && p.count_executed() < 40);
+        // Deepest exit never skipped.
+        assert!(p.get(39));
+    }
+
+    #[test]
+    fn frozen_prefix_merges() {
+        let history = ExitPlan::from_bools(&[true, false, true, false]);
+        let candidate = ExitPlan::from_bools(&[false, true, false, true]);
+        let merged = candidate.with_frozen_prefix(&history, 2);
+        assert_eq!(merged.to_bools(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn display_is_bitstring() {
+        let p = ExitPlan::from_indices(4, &[0, 3]);
+        assert_eq!(p.to_string(), "1001");
+    }
+
+    #[test]
+    fn iter_executed_in_order() {
+        let p = ExitPlan::from_indices(6, &[5, 0, 2]);
+        let v: Vec<usize> = p.iter_executed().collect();
+        assert_eq!(v, vec![0, 2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        ExitPlan::empty(3).get(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan length")]
+    fn rejects_over_64() {
+        ExitPlan::empty(65);
+    }
+}

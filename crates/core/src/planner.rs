@@ -1,0 +1,477 @@
+//! Exit planners: EINet and every baseline of the evaluation (Section VI-A).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use einet_predictor::CsPredictor;
+use einet_profile::EtProfile;
+
+use crate::plan::ExitPlan;
+use crate::search::{random_search, SearchEngine};
+use crate::time_dist::TimeDistribution;
+
+/// The information available to a planner when it (re)plans: the profile,
+/// the assumed kill-time distribution, and the confidences produced so far.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext<'a> {
+    /// ET-profile of the model on the current platform.
+    pub et: &'a EtProfile,
+    /// Assumed kill-time distribution.
+    pub dist: &'a TimeDistribution,
+    /// Per-exit actual confidence for executed exits, `None` otherwise.
+    pub executed: &'a [Option<f32>],
+    /// The branches actually executed so far.
+    pub history: &'a ExitPlan,
+    /// Index of the first exit whose conv part has not completed yet; bits
+    /// below this are immutable history.
+    pub next_exit: usize,
+}
+
+impl PlanContext<'_> {
+    /// Number of exits.
+    pub fn num_exits(&self) -> usize {
+        self.et.num_exits()
+    }
+
+    /// The latest executed confidence, if any output exists yet.
+    pub fn latest_confidence(&self) -> Option<f32> {
+        self.executed[..self.next_exit.min(self.executed.len())]
+            .iter()
+            .rev()
+            .find_map(|c| *c)
+    }
+}
+
+/// A planner's answer: a (possibly updated) plan, or an instruction to stop
+/// inference and commit the current result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerDecision {
+    /// Continue with this plan (past bits are ignored/frozen by the
+    /// runtime).
+    Plan(ExitPlan),
+    /// Commit the last output and end inference (confidence-threshold
+    /// baselines).
+    Stop,
+}
+
+/// A sample-wise exit planner. The runtime calls [`Planner::plan`] once
+/// before inference and again after every executed branch.
+pub trait Planner {
+    /// A short display name for reports.
+    fn name(&self) -> String;
+
+    /// Produces the plan for the remaining exits (or stops).
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> PlannerDecision;
+
+    /// Called before each new sample; stateful planners reset here.
+    fn reset(&mut self) {}
+}
+
+/// A fixed plan, chosen offline: the paper's *static* baselines (25%, 50%,
+/// 100% of branches, and the enumerated offline-optimal plan of Table II).
+#[derive(Debug, Clone)]
+pub struct StaticPlanner {
+    plan: ExitPlan,
+    name: String,
+}
+
+impl StaticPlanner {
+    /// Wraps a fixed plan.
+    pub fn new(plan: ExitPlan, name: impl Into<String>) -> Self {
+        StaticPlanner {
+            plan,
+            name: name.into(),
+        }
+    }
+
+    /// The evenly-spaced static plan executing `percent` of branches.
+    pub fn percent(num_exits: usize, percent: f64) -> Self {
+        StaticPlanner {
+            plan: ExitPlan::static_percent(num_exits, percent),
+            name: format!("static-{}%", (percent * 100.0).round() as u32),
+        }
+    }
+
+    /// The plan this planner always returns.
+    pub fn plan_ref(&self) -> &ExitPlan {
+        &self.plan
+    }
+}
+
+impl Planner for StaticPlanner {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn plan(&mut self, _ctx: &PlanContext<'_>) -> PlannerDecision {
+        PlannerDecision::Plan(self.plan)
+    }
+}
+
+/// Executes every branch — the plain multi-exit network without a planner
+/// ("ME-NNs" / the 100% static plan).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllExitsPlanner;
+
+impl Planner for AllExitsPlanner {
+    fn name(&self) -> String {
+        "me-nn-all-exits".to_string()
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> PlannerDecision {
+        PlannerDecision::Plan(ExitPlan::full(ctx.num_exits()))
+    }
+}
+
+/// The classic single-exit model: only the final classifier runs, so a kill
+/// before completion yields *no result* (Fig. 1's "previous methods").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassicPlanner;
+
+impl Planner for ClassicPlanner {
+    fn name(&self) -> String {
+        "classic-single-exit".to_string()
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> PlannerDecision {
+        PlannerDecision::Plan(ExitPlan::last_only(ctx.num_exits()))
+    }
+}
+
+/// Confidence-threshold early exit (BranchyNet-style dynamic baseline):
+/// execute every branch in depth order and stop as soon as one is confident
+/// enough.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfidenceThresholdPlanner {
+    threshold: f32,
+}
+
+impl ConfidenceThresholdPlanner {
+    /// Creates the planner with an exit threshold in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is out of range.
+    pub fn new(threshold: f32) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        ConfidenceThresholdPlanner { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+}
+
+impl Planner for ConfidenceThresholdPlanner {
+    fn name(&self) -> String {
+        format!("conf-threshold-{:.2}", self.threshold)
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> PlannerDecision {
+        if ctx.latest_confidence().is_some_and(|c| c >= self.threshold) {
+            PlannerDecision::Stop
+        } else {
+            PlannerDecision::Plan(ExitPlan::full(ctx.num_exits()))
+        }
+    }
+}
+
+/// EINet: CS-Predictor completes the confidence list (Eq. 1), the Search
+/// Engine finds a near-optimal plan for the remaining exits, and the plan is
+/// refreshed after every output (Section V).
+///
+/// Before the first output exists there is nothing to feed the CS-Predictor
+/// (its training pieces all start from an executed prefix — Fig. 5), so the
+/// *initial* plan is searched over the profile's mean per-exit confidences;
+/// from the first output onward the sample-specific predictions take over.
+#[derive(Debug)]
+pub struct EinetPlanner<'a> {
+    predictor: &'a CsPredictor,
+    prior: Vec<f32>,
+    engine: SearchEngine,
+}
+
+impl<'a> EinetPlanner<'a> {
+    /// Creates the planner from a trained predictor, the profile's mean
+    /// confidence per exit (e.g. `CsProfile::exit_mean_confidence`), and a
+    /// search engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior.len()` differs from the predictor width.
+    pub fn new(predictor: &'a CsPredictor, prior: Vec<f32>, engine: SearchEngine) -> Self {
+        assert_eq!(
+            prior.len(),
+            predictor.num_exits(),
+            "prior/predictor width mismatch"
+        );
+        EinetPlanner {
+            predictor,
+            prior,
+            engine,
+        }
+    }
+
+    /// The search engine in use.
+    pub fn engine(&self) -> SearchEngine {
+        self.engine
+    }
+}
+
+impl Planner for EinetPlanner<'_> {
+    fn name(&self) -> String {
+        format!("einet-hybrid-m{}", self.engine.enum_outputs())
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> PlannerDecision {
+        let no_output_yet = ctx.executed.iter().all(|c| c.is_none());
+        let confidences = if no_output_yet {
+            self.prior.clone()
+        } else {
+            self.predictor.predict_masked(ctx.executed)
+        };
+        let (plan, _) = self.engine.search(
+            ctx.et,
+            ctx.dist,
+            &confidences,
+            ctx.next_exit,
+            Some(ctx.history),
+        );
+        PlannerDecision::Plan(plan)
+    }
+}
+
+/// Ablation planner: the Search Engine runs on the profile's *mean* exit
+/// confidences for every sample and every replanning round — i.e. EINet with
+/// the CS-Predictor removed. The gap between this and [`EinetPlanner`]
+/// isolates the value of sample-wise confidence prediction.
+#[derive(Debug, Clone)]
+pub struct ProfilePriorPlanner {
+    prior: Vec<f32>,
+    engine: SearchEngine,
+}
+
+impl ProfilePriorPlanner {
+    /// Creates the planner from mean per-exit confidences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior` is empty.
+    pub fn new(prior: Vec<f32>, engine: SearchEngine) -> Self {
+        assert!(!prior.is_empty(), "prior must not be empty");
+        ProfilePriorPlanner { prior, engine }
+    }
+}
+
+impl Planner for ProfilePriorPlanner {
+    fn name(&self) -> String {
+        format!("prior-only-m{}", self.engine.enum_outputs())
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> PlannerDecision {
+        // Known actual confidences still replace the prior for past exits —
+        // only the *future* is unpersonalised.
+        let confidences: Vec<f32> = self
+            .prior
+            .iter()
+            .zip(ctx.executed.iter())
+            .map(|(&p, e)| e.unwrap_or(p))
+            .collect();
+        let (plan, _) = self.engine.search(
+            ctx.et,
+            ctx.dist,
+            &confidences,
+            ctx.next_exit,
+            Some(ctx.history),
+        );
+        PlannerDecision::Plan(plan)
+    }
+}
+
+/// EINet with the Search Engine replaced by random plan sampling — the
+/// "EINet with random search" dynamic baseline of Fig. 9/13.
+#[derive(Debug)]
+pub struct RandomSearchPlanner<'a> {
+    predictor: &'a CsPredictor,
+    prior: Vec<f32>,
+    tries: usize,
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl<'a> RandomSearchPlanner<'a> {
+    /// Creates the planner; `tries` random plans are scored per planning
+    /// round (the paper samples 10,000). `prior` plays the same role as in
+    /// [`EinetPlanner::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tries` is zero or `prior` width mismatches.
+    pub fn new(predictor: &'a CsPredictor, prior: Vec<f32>, tries: usize, seed: u64) -> Self {
+        assert!(tries > 0, "need at least one random try");
+        assert_eq!(
+            prior.len(),
+            predictor.num_exits(),
+            "prior/predictor width mismatch"
+        );
+        RandomSearchPlanner {
+            predictor,
+            prior,
+            tries,
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Planner for RandomSearchPlanner<'_> {
+    fn name(&self) -> String {
+        format!("einet-random-{}", self.tries)
+    }
+
+    fn plan(&mut self, ctx: &PlanContext<'_>) -> PlannerDecision {
+        let confidences = if ctx.executed.iter().all(|c| c.is_none()) {
+            self.prior.clone()
+        } else {
+            self.predictor.predict_masked(ctx.executed)
+        };
+        let n = ctx.num_exits();
+        let mut base = ExitPlan::empty(n);
+        for i in 0..ctx.next_exit {
+            base.set(i, ctx.history.get(i));
+        }
+        let free: Vec<usize> = (ctx.next_exit..n).collect();
+        let eval =
+            |p: &ExitPlan| crate::expectation::expectation(ctx.et, ctx.dist, p, &confidences);
+        let (plan, _) = random_search(&base, &free, self.tries, &eval, &mut self.rng);
+        PlannerDecision::Plan(plan)
+    }
+
+    fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_fixture<'a>(
+        et: &'a EtProfile,
+        dist: &'a TimeDistribution,
+        executed: &'a [Option<f32>],
+        history: &'a ExitPlan,
+        next_exit: usize,
+    ) -> PlanContext<'a> {
+        PlanContext {
+            et,
+            dist,
+            executed,
+            history,
+            next_exit,
+        }
+    }
+
+    fn et4() -> EtProfile {
+        EtProfile::new(vec![1.0; 4], vec![0.5; 4]).unwrap()
+    }
+
+    #[test]
+    fn static_planner_is_constant() {
+        let et = et4();
+        let dist = TimeDistribution::Uniform;
+        let executed = [None; 4];
+        let history = ExitPlan::empty(4);
+        let mut p = StaticPlanner::percent(4, 0.5);
+        let ctx = ctx_fixture(&et, &dist, &executed, &history, 0);
+        let d1 = p.plan(&ctx);
+        let d2 = p.plan(&ctx);
+        assert_eq!(d1, d2);
+        assert!(p.name().contains("50"));
+    }
+
+    #[test]
+    fn classic_plans_last_only() {
+        let et = et4();
+        let dist = TimeDistribution::Uniform;
+        let executed = [None; 4];
+        let history = ExitPlan::empty(4);
+        let mut p = ClassicPlanner;
+        match p.plan(&ctx_fixture(&et, &dist, &executed, &history, 0)) {
+            PlannerDecision::Plan(plan) => {
+                assert_eq!(plan.count_executed(), 1);
+                assert!(plan.get(3));
+            }
+            PlannerDecision::Stop => panic!("classic never stops"),
+        }
+    }
+
+    #[test]
+    fn threshold_planner_stops_when_confident() {
+        let et = et4();
+        let dist = TimeDistribution::Uniform;
+        let history = ExitPlan::from_indices(4, &[0]);
+        let mut p = ConfidenceThresholdPlanner::new(0.8);
+        let low = [Some(0.5_f32), None, None, None];
+        match p.plan(&ctx_fixture(&et, &dist, &low, &history, 1)) {
+            PlannerDecision::Plan(plan) => assert_eq!(plan, ExitPlan::full(4)),
+            PlannerDecision::Stop => panic!("should continue below threshold"),
+        }
+        let high = [Some(0.9_f32), None, None, None];
+        assert_eq!(
+            p.plan(&ctx_fixture(&et, &dist, &high, &history, 1)),
+            PlannerDecision::Stop
+        );
+    }
+
+    #[test]
+    fn einet_planner_returns_valid_plan() {
+        let et = et4();
+        let dist = TimeDistribution::Uniform;
+        let predictor = CsPredictor::new(4, 16, 3);
+        let mut planner = EinetPlanner::new(&predictor, vec![0.5; 4], SearchEngine::default());
+        let executed = [Some(0.5_f32), None, None, None];
+        let history = ExitPlan::from_indices(4, &[0]);
+        match planner.plan(&ctx_fixture(&et, &dist, &executed, &history, 1)) {
+            PlannerDecision::Plan(plan) => {
+                assert_eq!(plan.len(), 4);
+            }
+            PlannerDecision::Stop => panic!("einet never stops voluntarily"),
+        }
+    }
+
+    #[test]
+    fn random_planner_is_deterministic_after_reset() {
+        let et = et4();
+        let dist = TimeDistribution::Uniform;
+        let predictor = CsPredictor::new(4, 16, 3);
+        let mut planner = RandomSearchPlanner::new(&predictor, vec![0.5; 4], 20, 7);
+        let executed = [None; 4];
+        let history = ExitPlan::empty(4);
+        let ctx = ctx_fixture(&et, &dist, &executed, &history, 0);
+        let d1 = planner.plan(&ctx);
+        planner.reset();
+        let d2 = planner.plan(&ctx);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn latest_confidence_finds_most_recent() {
+        let et = et4();
+        let dist = TimeDistribution::Uniform;
+        let executed = [Some(0.3_f32), None, Some(0.7), None];
+        let history = ExitPlan::from_indices(4, &[0, 2]);
+        let ctx = ctx_fixture(&et, &dist, &executed, &history, 3);
+        assert_eq!(ctx.latest_confidence(), Some(0.7));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_rejects_zero() {
+        ConfidenceThresholdPlanner::new(0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The elastic-inference runtime (Section V).
+//!
+//! A simulated-clock executor: conv parts always advance the clock, branches
+//! only when the current plan executes them, and an unpredictable kill time
+//! cuts the timeline. This mirrors the paper's evaluation methodology, which
+//! draws a random inference deadline per sample and scores the last result
+//! produced before it.
+//!
+//! Because profiling already captured each exit's prediction and confidence
+//! for every test sample ([`SampleTable`]), the simulation never re-runs the
+//! network — only the *planner* (CS-Predictor + Search Engine) runs live,
+//! exactly the component under evaluation.
+
+use einet_profile::{CsProfile, EtProfile};
+
+use crate::plan::ExitPlan;
+use crate::planner::{PlanContext, Planner, PlannerDecision};
+use crate::time_dist::TimeDistribution;
+
+/// Everything the simulator needs about one test sample: the confidence and
+/// prediction every exit *would* produce, plus the label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleTable {
+    /// Confidence score at each exit.
+    pub confidences: Vec<f32>,
+    /// Predicted class at each exit.
+    pub predictions: Vec<u16>,
+    /// Ground-truth label.
+    pub label: u16,
+}
+
+impl SampleTable {
+    /// Extracts sample `i` from a CS-profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn from_profile(profile: &CsProfile, i: usize) -> Self {
+        SampleTable {
+            confidences: profile.confidences(i).to_vec(),
+            predictions: profile.predictions(i).to_vec(),
+            label: profile.label(i),
+        }
+    }
+
+    /// Number of exits.
+    pub fn num_exits(&self) -> usize {
+        self.confidences.len()
+    }
+}
+
+/// The result at one exit as recorded by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmittedOutput {
+    /// Which exit produced the result.
+    pub exit: usize,
+    /// The predicted class.
+    pub predicted: u16,
+    /// The confidence score.
+    pub confidence: f32,
+}
+
+/// The outcome of one elastic run against one kill time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticOutcome {
+    /// The most recent output available when the run ended, if any — the
+    /// elastic-inference guarantee is that this is what the application
+    /// receives instead of nothing.
+    pub last: Option<EmittedOutput>,
+    /// Whether that output matches the label (`false` when there is none).
+    pub correct: bool,
+    /// Total outputs produced before the end.
+    pub outputs: usize,
+    /// Whether inference ran to completion before the kill.
+    pub finished: bool,
+    /// The kill time used, in milliseconds.
+    pub kill_ms: f64,
+}
+
+/// Simulated-clock elastic executor binding a profile and a kill-time
+/// distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticRuntime<'a> {
+    et: &'a EtProfile,
+    dist: &'a TimeDistribution,
+    replan_overhead_ms: f64,
+}
+
+impl<'a> ElasticRuntime<'a> {
+    /// Creates a runtime with zero replanning overhead (the paper's C search
+    /// engine costs ~0.13 ms, negligible against block times; see Table I).
+    pub fn new(et: &'a EtProfile, dist: &'a TimeDistribution) -> Self {
+        ElasticRuntime {
+            et,
+            dist,
+            replan_overhead_ms: 0.0,
+        }
+    }
+
+    /// Charges `ms` of clock time at every replanning step, for studying
+    /// planner-overhead sensitivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative.
+    #[must_use]
+    pub fn with_replan_overhead(mut self, ms: f64) -> Self {
+        assert!(ms >= 0.0, "overhead must be non-negative");
+        self.replan_overhead_ms = ms;
+        self
+    }
+
+    /// The profile horizon: the kill time is drawn from `[0, horizon]`.
+    pub fn horizon_ms(&self) -> f64 {
+        self.et.total_ms()
+    }
+
+    /// The profile driving this runtime.
+    pub fn profile(&self) -> &EtProfile {
+        self.et
+    }
+
+    /// The kill-time distribution.
+    pub fn distribution(&self) -> &TimeDistribution {
+        self.dist
+    }
+
+    /// Runs one sample against one kill time under `planner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's exit count differs from the profile's.
+    pub fn run_sample(
+        &self,
+        table: &SampleTable,
+        planner: &mut dyn Planner,
+        kill_ms: f64,
+    ) -> ElasticOutcome {
+        let n = self.et.num_exits();
+        assert_eq!(table.num_exits(), n, "sample/profile exit count mismatch");
+        planner.reset();
+        let conv = self.et.conv_ms();
+        let branch = self.et.branch_ms();
+        let mut executed: Vec<Option<f32>> = vec![None; n];
+        let mut history = ExitPlan::empty(n);
+        let mut t = 0.0_f64;
+        let mut last: Option<EmittedOutput> = None;
+        let mut outputs = 0usize;
+        let outcome = |last: Option<EmittedOutput>, outputs: usize, finished: bool| {
+            let correct = last.map_or(false, |o| o.predicted == table.label);
+            ElasticOutcome {
+                last,
+                correct,
+                outputs,
+                finished,
+                kill_ms,
+            }
+        };
+        let mut plan = {
+            let ctx = PlanContext {
+                et: self.et,
+                dist: self.dist,
+                executed: &executed,
+                history: &history,
+                next_exit: 0,
+            };
+            match planner.plan(&ctx) {
+                PlannerDecision::Plan(p) => {
+                    assert_eq!(p.len(), n, "planner returned wrong plan length");
+                    p
+                }
+                PlannerDecision::Stop => return outcome(None, 0, true),
+            }
+        };
+        for i in 0..n {
+            t += conv[i];
+            if t > kill_ms {
+                return outcome(last, outputs, false);
+            }
+            if !plan.get(i) {
+                continue;
+            }
+            t += branch[i];
+            if t > kill_ms {
+                // Killed mid-branch: its result never materialises.
+                return outcome(last, outputs, false);
+            }
+            executed[i] = Some(table.confidences[i]);
+            history.set(i, true);
+            outputs += 1;
+            last = Some(EmittedOutput {
+                exit: i,
+                predicted: table.predictions[i],
+                confidence: table.confidences[i],
+            });
+            if i + 1 == n {
+                break;
+            }
+            t += self.replan_overhead_ms;
+            if t > kill_ms {
+                return outcome(last, outputs, false);
+            }
+            let ctx = PlanContext {
+                et: self.et,
+                dist: self.dist,
+                executed: &executed,
+                history: &history,
+                next_exit: i + 1,
+            };
+            match planner.plan(&ctx) {
+                PlannerDecision::Plan(p) => {
+                    assert_eq!(p.len(), n, "planner returned wrong plan length");
+                    plan = p.with_frozen_prefix(&history, i + 1);
+                }
+                PlannerDecision::Stop => return outcome(last, outputs, true),
+            }
+        }
+        outcome(last, outputs, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::StaticPlanner;
+
+    fn table() -> SampleTable {
+        SampleTable {
+            confidences: vec![0.4, 0.6, 0.9],
+            predictions: vec![2, 7, 7],
+            label: 7,
+        }
+    }
+
+    fn et() -> EtProfile {
+        EtProfile::new(vec![1.0, 1.0, 1.0], vec![0.5, 0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn full_plan_emits_every_output() {
+        let et = et();
+        let dist = TimeDistribution::Uniform;
+        let rt = ElasticRuntime::new(&et, &dist);
+        let mut planner = StaticPlanner::new(ExitPlan::full(3), "all");
+        let out = rt.run_sample(&table(), &mut planner, 100.0);
+        assert!(out.finished);
+        assert_eq!(out.outputs, 3);
+        assert!(out.correct);
+        assert_eq!(out.last.unwrap().exit, 2);
+    }
+
+    #[test]
+    fn kill_before_first_output_yields_nothing() {
+        let et = et();
+        let dist = TimeDistribution::Uniform;
+        let rt = ElasticRuntime::new(&et, &dist);
+        let mut planner = StaticPlanner::new(ExitPlan::full(3), "all");
+        // First output needs conv(1.0) + branch(0.5).
+        let out = rt.run_sample(&table(), &mut planner, 1.2);
+        assert!(out.last.is_none());
+        assert!(!out.correct);
+        assert_eq!(out.outputs, 0);
+    }
+
+    #[test]
+    fn kill_mid_branch_keeps_previous_output() {
+        let et = et();
+        let dist = TimeDistribution::Uniform;
+        let rt = ElasticRuntime::new(&et, &dist);
+        let mut planner = StaticPlanner::new(ExitPlan::full(3), "all");
+        // Exit 0 completes at 1.5; exit 1 would complete at 3.0.
+        let out = rt.run_sample(&table(), &mut planner, 2.9);
+        let last = out.last.unwrap();
+        assert_eq!(last.exit, 0);
+        assert_eq!(last.predicted, 2);
+        assert!(!out.correct, "exit 0 predicts the wrong class");
+    }
+
+    #[test]
+    fn skipping_branches_reaches_deep_exit_sooner() {
+        let et = et();
+        let dist = TimeDistribution::Uniform;
+        let rt = ElasticRuntime::new(&et, &dist);
+        // With all branches, exit 2 completes at 4.5; last-only completes
+        // it at 3.5.
+        let mut all = StaticPlanner::new(ExitPlan::full(3), "all");
+        let mut last_only = StaticPlanner::new(ExitPlan::last_only(3), "classic");
+        let kill = 4.0;
+        let out_all = rt.run_sample(&table(), &mut all, kill);
+        let out_last = rt.run_sample(&table(), &mut last_only, kill);
+        assert_eq!(out_all.last.unwrap().exit, 1);
+        assert_eq!(out_last.last.unwrap().exit, 2);
+        assert!(out_last.correct);
+    }
+
+    #[test]
+    fn replan_overhead_delays_outputs() {
+        let et = et();
+        let dist = TimeDistribution::Uniform;
+        let rt = ElasticRuntime::new(&et, &dist).with_replan_overhead(10.0);
+        let mut planner = StaticPlanner::new(ExitPlan::full(3), "all");
+        // First output at 1.5 still fine; the replanning after it costs 10,
+        // so the second output never lands before kill=5.
+        let out = rt.run_sample(&table(), &mut planner, 5.0);
+        assert_eq!(out.outputs, 1);
+    }
+
+    #[test]
+    fn zero_kill_time_produces_no_result() {
+        let et = et();
+        let dist = TimeDistribution::Uniform;
+        let rt = ElasticRuntime::new(&et, &dist);
+        let mut planner = StaticPlanner::new(ExitPlan::full(3), "all");
+        let out = rt.run_sample(&table(), &mut planner, 0.0);
+        assert!(out.last.is_none());
+        assert!(!out.finished);
+    }
+
+    #[test]
+    fn horizon_is_total_profile_time() {
+        let et = et();
+        let dist = TimeDistribution::Uniform;
+        let rt = ElasticRuntime::new(&et, &dist);
+        assert_eq!(rt.horizon_ms(), 4.5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Random plan search (the "Random" baseline of Fig. 13 and the
+//! random-search EINet variant of Fig. 9).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::plan::ExitPlan;
+
+/// Evaluates `tries` uniformly random settings of the `free` positions on
+/// top of `base` and returns the best plan found (the base itself is always
+/// a candidate).
+///
+/// The paper's Random baseline samples 10,000 plans; it scores comparably to
+/// hybrid search but takes ~20× longer (Section VI-C3).
+///
+/// # Panics
+///
+/// Panics if any free index is out of range.
+pub fn random_search(
+    base: &ExitPlan,
+    free: &[usize],
+    tries: usize,
+    eval: &dyn Fn(&ExitPlan) -> f64,
+    rng: &mut SmallRng,
+) -> (ExitPlan, f64) {
+    for &i in free {
+        assert!(i < base.len(), "free index {i} out of range");
+    }
+    let mut best_plan = *base;
+    let mut best_score = eval(base);
+    for _ in 0..tries {
+        let mut plan = *base;
+        for &i in free {
+            plan.set(i, rng.gen_bool(0.5));
+        }
+        let score = eval(&plan);
+        if score > best_score {
+            best_score = score;
+            best_plan = plan;
+        }
+    }
+    (best_plan, best_score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_optimum_on_tiny_space() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let eval = |p: &ExitPlan| p.iter_executed().map(|i| [1.0, -1.0, 2.0][i]).sum::<f64>();
+        let base = ExitPlan::empty(3);
+        let (plan, score) = random_search(&base, &[0, 1, 2], 200, &eval, &mut rng);
+        assert_eq!(plan, ExitPlan::from_indices(3, &[0, 2]));
+        assert!((score - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_worse_than_base() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let eval = |p: &ExitPlan| -(p.count_executed() as f64);
+        let base = ExitPlan::empty(8);
+        let (_, score) = random_search(&base, &(0..8).collect::<Vec<_>>(), 50, &eval, &mut rng);
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn more_tries_never_hurt() {
+        let eval = |p: &ExitPlan| {
+            p.iter_executed()
+                .map(|i| ((i * 7919) % 13) as f64 - 6.0)
+                .sum::<f64>()
+        };
+        let base = ExitPlan::empty(12);
+        let free: Vec<usize> = (0..12).collect();
+        let mut r1 = SmallRng::seed_from_u64(3);
+        let mut r2 = SmallRng::seed_from_u64(3);
+        let (_, few) = random_search(&base, &free, 10, &eval, &mut r1);
+        let (_, many) = random_search(&base, &free, 1000, &eval, &mut r2);
+        assert!(many >= few);
+    }
+
+    #[test]
+    fn respects_frozen_bits() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let base = ExitPlan::from_indices(4, &[0]);
+        let eval = |_: &ExitPlan| 0.0;
+        let (plan, _) = random_search(&base, &[2, 3], 20, &eval, &mut rng);
+        assert!(plan.get(0), "non-free base bit must persist");
+        assert!(!plan.get(1), "non-free clear bit must stay clear");
+    }
+}

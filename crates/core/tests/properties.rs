@@ -1,0 +1,195 @@
+//! Property-based tests for the planner core: expectation, search, plans,
+//! and time distributions.
+
+use einet_core::search::{enumerate_best, greedy_augment, hybrid_search, random_search};
+use einet_core::{expectation, expectation_reference, ExitPlan, TimeDistribution};
+use einet_profile::EtProfile;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const N: usize = 6;
+
+fn arb_profile() -> impl Strategy<Value = EtProfile> {
+    (
+        proptest::collection::vec(0.1_f64..3.0, N),
+        proptest::collection::vec(0.05_f64..1.0, N),
+    )
+        .prop_map(|(c, b)| EtProfile::new(c, b).expect("strategy emits valid times"))
+}
+
+fn arb_confs() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.01_f32..1.0, N)
+}
+
+fn arb_plan() -> impl Strategy<Value = ExitPlan> {
+    (0u64..(1 << N)).prop_map(|bits| {
+        let mut p = ExitPlan::empty(N);
+        for i in 0..N {
+            p.set(i, (bits >> i) & 1 == 1);
+        }
+        p
+    })
+}
+
+fn arb_dist() -> impl Strategy<Value = TimeDistribution> {
+    prop_oneof![
+        Just(TimeDistribution::Uniform),
+        (0.2_f64..2.0).prop_map(TimeDistribution::gaussian),
+        proptest::collection::vec(0.0_f64..5.0, 1..6).prop_filter_map("nonzero", |w| {
+            if w.iter().sum::<f64>() > 0.0 {
+                Some(TimeDistribution::piecewise(w))
+            } else {
+                None
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The optimized expectation kernel and the naive reference always agree.
+    #[test]
+    fn expectation_matches_reference(et in arb_profile(), confs in arb_confs(),
+                                     plan in arb_plan(), dist in arb_dist()) {
+        let fast = expectation(&et, &dist, &plan, &confs);
+        let slow = expectation_reference(&et, &dist, &plan, &confs);
+        prop_assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+
+    /// Expectation is bounded by [0, max confidence].
+    #[test]
+    fn expectation_bounds(et in arb_profile(), confs in arb_confs(),
+                          plan in arb_plan(), dist in arb_dist()) {
+        let e = expectation(&et, &dist, &plan, &confs);
+        let max_c = confs.iter().cloned().fold(0.0_f32, f32::max) as f64;
+        prop_assert!(e >= -1e-12);
+        prop_assert!(e <= max_c + 1e-9);
+    }
+
+    /// Expectation is monotone in confidences: raising every confidence
+    /// cannot lower the expectation.
+    #[test]
+    fn expectation_monotone_in_confidence(et in arb_profile(), confs in arb_confs(),
+                                          plan in arb_plan()) {
+        let dist = TimeDistribution::Uniform;
+        let raised: Vec<f32> = confs.iter().map(|c| (c + 0.1).min(1.0)).collect();
+        let lo = expectation(&et, &dist, &plan, &confs);
+        let hi = expectation(&et, &dist, &plan, &raised);
+        prop_assert!(hi >= lo - 1e-9);
+    }
+
+    /// Hybrid search with a full enumeration budget equals brute force.
+    #[test]
+    fn full_budget_hybrid_is_optimal(et in arb_profile(), confs in arb_confs(), dist in arb_dist()) {
+        let free: Vec<usize> = (0..N).collect();
+        let eval = |p: &ExitPlan| expectation(&et, &dist, p, &confs);
+        let (_, found) = hybrid_search(&ExitPlan::empty(N), &free, N, &eval);
+        let mut best = f64::NEG_INFINITY;
+        for bits in 0..(1u64 << N) {
+            let mut p = ExitPlan::empty(N);
+            for i in 0..N {
+                p.set(i, (bits >> i) & 1 == 1);
+            }
+            best = best.max(eval(&p));
+        }
+        prop_assert!((found - best).abs() < 1e-9, "hybrid {found} vs brute {best}");
+    }
+
+    /// Every searcher improves on (or matches) its starting point, and the
+    /// brute-force optimum bounds them all. (Hybrid and pure greedy follow
+    /// different trajectories, so neither dominates the other point-wise —
+    /// Fig. 12/13 compare them statistically.)
+    #[test]
+    fn search_dominance(et in arb_profile(), confs in arb_confs(), dist in arb_dist(),
+                        m in 0usize..=N) {
+        let free: Vec<usize> = (0..N).collect();
+        let eval = |p: &ExitPlan| expectation(&et, &dist, p, &confs);
+        let empty = ExitPlan::empty(N);
+        let empty_score = eval(&empty);
+        let (_, greedy) = greedy_augment(&empty, empty_score, &free, &eval);
+        let (_, hybrid) = hybrid_search(&empty, &free, m, &eval);
+        let (_, best) = hybrid_search(&empty, &free, N, &eval); // exhaustive
+        prop_assert!(greedy >= empty_score - 1e-12);
+        prop_assert!(hybrid >= empty_score - 1e-12);
+        prop_assert!(greedy <= best + 1e-9);
+        prop_assert!(hybrid <= best + 1e-9);
+    }
+
+    /// Enumeration with a larger budget never finds a worse plan.
+    #[test]
+    fn enumeration_budget_monotone(et in arb_profile(), confs in arb_confs()) {
+        let dist = TimeDistribution::Uniform;
+        let free: Vec<usize> = (0..N).collect();
+        let eval = |p: &ExitPlan| expectation(&et, &dist, p, &confs);
+        let mut last = f64::NEG_INFINITY;
+        for m in 0..=N {
+            let (_, score) = enumerate_best(&ExitPlan::empty(N), &free, m, &eval);
+            prop_assert!(score >= last - 1e-12);
+            last = score;
+        }
+    }
+
+    /// Random search result is bounded by the true optimum and at least the
+    /// base score.
+    #[test]
+    fn random_search_bounds(et in arb_profile(), confs in arb_confs(), seed in 0u64..1000) {
+        let dist = TimeDistribution::Uniform;
+        let free: Vec<usize> = (0..N).collect();
+        let eval = |p: &ExitPlan| expectation(&et, &dist, p, &confs);
+        let base = ExitPlan::empty(N);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (_, found) = random_search(&base, &free, 64, &eval, &mut rng);
+        let (_, best) = hybrid_search(&base, &free, N, &eval);
+        prop_assert!(found >= eval(&base) - 1e-12);
+        prop_assert!(found <= best + 1e-9);
+    }
+
+    /// Interval masses of any distribution sum to one over a partition.
+    #[test]
+    fn distribution_masses_partition(dist in arb_dist(),
+                                     cuts in proptest::collection::vec(0.0_f64..1.0, 1..8)) {
+        let horizon = 11.0;
+        let mut points: Vec<f64> = cuts.into_iter().map(|c| c * horizon).collect();
+        points.push(0.0);
+        points.push(horizon);
+        points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let total: f64 = points
+            .windows(2)
+            .map(|w| dist.mass_between(w[0], w[1], horizon))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    /// Samples always land inside [0, horizon].
+    #[test]
+    fn distribution_samples_in_range(dist in arb_dist(), seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let t = dist.sample(9.0, &mut rng);
+            prop_assert!((0.0..=9.0).contains(&t));
+        }
+    }
+
+    /// with_frozen_prefix keeps exactly the history below the cut and the
+    /// candidate above it.
+    #[test]
+    fn frozen_prefix_law(a in arb_plan(), b in arb_plan(), prefix in 0usize..=N) {
+        let merged = a.with_frozen_prefix(&b, prefix);
+        for i in 0..N {
+            if i < prefix {
+                prop_assert_eq!(merged.get(i), b.get(i));
+            } else {
+                prop_assert_eq!(merged.get(i), a.get(i));
+            }
+        }
+    }
+
+    /// Plan bit operations are consistent with the executed count.
+    #[test]
+    fn plan_count_consistency(plan in arb_plan()) {
+        prop_assert_eq!(plan.count_executed(), plan.iter_executed().count());
+        prop_assert_eq!(plan.to_bools().iter().filter(|&&b| b).count(), plan.count_executed());
+    }
+}

@@ -1,0 +1,170 @@
+//! Dataset containers.
+
+use einet_tensor::Tensor;
+
+/// An in-memory labelled image set with a fixed `[n, c, h, w]` layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageSet {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl ImageSet {
+    /// Wraps images and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not 4-D, the label count does not match the
+    /// batch dimension, or any label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.shape().len(), 4, "images must be [n,c,h,w]");
+        assert_eq!(images.shape()[0], labels.len(), "label count mismatch");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        ImageSet {
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The full image tensor (`[n, c, h, w]`).
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels, aligned with the batch dimension.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The per-sample shape `[c, h, w]`.
+    pub fn image_shape(&self) -> [usize; 3] {
+        let s = self.images.shape();
+        [s[1], s[2], s[3]]
+    }
+
+    /// Extracts samples `lo..hi` as a `(images, labels)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> (Tensor, Vec<usize>) {
+        (
+            self.images.batch_slice(lo, hi),
+            self.labels[lo..hi].to_vec(),
+        )
+    }
+
+    /// Extracts the samples at `indices` (useful for shuffled batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let per = self.images.per_item();
+        let src = self.images.as_slice();
+        let mut data = Vec::with_capacity(indices.len() * per);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "gather index out of range");
+            data.extend_from_slice(&src[i * per..(i + 1) * per]);
+            labels.push(self.labels[i]);
+        }
+        let mut shape = self.images.shape().to_vec();
+        shape[0] = indices.len();
+        (
+            Tensor::new(&shape, data).expect("gather shape consistent"),
+            labels,
+        )
+    }
+}
+
+/// A dataset with a train/test split, mirroring the paper's usage: the train
+/// split trains multi-exit networks, the test split generates profiles and
+/// drives the elastic-inference evaluation.
+pub trait Dataset {
+    /// Short identifier used in reports (e.g. `"synth-digits"`).
+    fn name(&self) -> &str;
+
+    /// The number of classes.
+    fn num_classes(&self) -> usize;
+
+    /// The per-sample shape `[c, h, w]`.
+    fn input_shape(&self) -> [usize; 3];
+
+    /// The training split.
+    fn train(&self) -> &ImageSet;
+
+    /// The held-out split.
+    fn test(&self) -> &ImageSet;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ImageSet {
+        let images = Tensor::new(&[3, 1, 2, 2], (0..12).map(|v| v as f32).collect()).unwrap();
+        ImageSet::new(images, vec![0, 1, 0], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let s = tiny();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.num_classes(), 2);
+        assert_eq!(s.image_shape(), [1, 2, 2]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn slice_returns_aligned_pairs() {
+        let s = tiny();
+        let (imgs, labels) = s.slice(1, 3);
+        assert_eq!(imgs.shape(), &[2, 1, 2, 2]);
+        assert_eq!(labels, vec![1, 0]);
+        assert_eq!(imgs.as_slice()[0], 4.0);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let s = tiny();
+        let (imgs, labels) = s.gather(&[2, 0]);
+        assert_eq!(labels, vec![0, 0]);
+        assert_eq!(imgs.as_slice()[0], 8.0);
+        assert_eq!(imgs.as_slice()[4], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let images = Tensor::zeros(&[1, 1, 2, 2]);
+        ImageSet::new(images, vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn rejects_mismatched_labels() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        ImageSet::new(images, vec![0], 2);
+    }
+}

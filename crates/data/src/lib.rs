@@ -1,0 +1,46 @@
+//! # einet-data
+//!
+//! Seeded synthetic image-classification datasets for the EINet reproduction.
+//!
+//! The paper evaluates on MNIST, CIFAR-10 and CIFAR-100. Those corpora are
+//! not available in this environment, so this crate provides procedurally
+//! generated stand-ins with the properties the evaluation actually depends
+//! on:
+//!
+//! * classification accuracy **increases with network depth** but does not
+//!   saturate at the first exit (controlled by noise, random shifts, and
+//!   shared structure between class prototypes),
+//! * samples of the same class vary enough that per-sample confidence
+//!   trajectories differ (what the CS-Predictor learns from),
+//! * everything is **deterministic given a seed**, so experiments reproduce
+//!   bit-for-bit.
+//!
+//! Three dataset families mirror the paper's three corpora:
+//!
+//! | Paper | Here | Shape | Classes |
+//! |---|---|---|---|
+//! | MNIST | [`SynthDigits`] | 1×16×16 | 10 |
+//! | CIFAR-10 | [`SynthObjects`] | 3×16×16 | 10 |
+//! | CIFAR-100 | [`SynthObjects100`] | 3×16×16 | 100 |
+//!
+//! # Example
+//!
+//! ```
+//! use einet_data::{Dataset, SynthDigits};
+//!
+//! let ds = SynthDigits::generate(128, 32, 42);
+//! assert_eq!(ds.num_classes(), 10);
+//! assert_eq!(ds.train().len(), 128);
+//! assert_eq!(ds.input_shape(), [1, 16, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod sampler;
+mod synth;
+
+pub use dataset::{Dataset, ImageSet};
+pub use sampler::BatchIter;
+pub use synth::{SynthDigits, SynthObjects, SynthObjects100, SynthSequences, SynthSpec};

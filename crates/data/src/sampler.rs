@@ -1,0 +1,141 @@
+//! Shuffled mini-batch iteration.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use einet_tensor::Tensor;
+
+use crate::dataset::ImageSet;
+
+/// Iterates over an [`ImageSet`] in shuffled mini-batches.
+///
+/// The shuffle order is deterministic given the seed; the final batch may be
+/// smaller than `batch_size`.
+///
+/// # Example
+///
+/// ```
+/// use einet_data::{BatchIter, Dataset, SynthDigits};
+///
+/// let ds = SynthDigits::generate(10, 2, 1);
+/// let batches: Vec<_> = BatchIter::new(ds.train(), 4, 9).collect();
+/// assert_eq!(batches.len(), 3); // 4 + 4 + 2
+/// assert_eq!(batches[0].0.shape()[0], 4);
+/// ```
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    set: &'a ImageSet,
+    order: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a shuffled batch iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(set: &'a ImageSet, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..set.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        BatchIter {
+            set,
+            order,
+            cursor: 0,
+            batch_size,
+        }
+    }
+
+    /// Creates an iterator that preserves the original sample order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn sequential(set: &'a ImageSet, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchIter {
+            set,
+            order: (0..set.len()).collect(),
+            cursor: 0,
+            batch_size,
+        }
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let hi = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..hi];
+        self.cursor = hi;
+        Some(self.set.gather(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einet_tensor::Tensor;
+
+    fn set(n: usize) -> ImageSet {
+        let images = Tensor::new(&[n, 1, 1, 1], (0..n).map(|v| v as f32).collect()).unwrap();
+        ImageSet::new(images, (0..n).map(|i| i % 2).collect(), 2)
+    }
+
+    #[test]
+    fn covers_every_sample_once() {
+        let s = set(10);
+        let mut seen = vec![false; 10];
+        for (imgs, _) in BatchIter::new(&s, 3, 5) {
+            for &v in imgs.as_slice() {
+                let i = v as usize;
+                assert!(!seen[i], "sample {i} repeated");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = set(8);
+        let a: Vec<f32> = BatchIter::new(&s, 8, 3).next().unwrap().0.into_vec();
+        let b: Vec<f32> = BatchIter::new(&s, 8, 3).next().unwrap().0.into_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = set(16);
+        let a: Vec<f32> = BatchIter::new(&s, 16, 1).next().unwrap().0.into_vec();
+        let b: Vec<f32> = BatchIter::new(&s, 16, 2).next().unwrap().0.into_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sequential_preserves_order() {
+        let s = set(5);
+        let batches: Vec<_> = BatchIter::sequential(&s, 2).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.as_slice(), &[0.0, 1.0]);
+        assert_eq!(batches[2].0.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn labels_stay_aligned() {
+        let s = set(6);
+        for (imgs, labels) in BatchIter::new(&s, 4, 7) {
+            for (v, &l) in imgs.as_slice().iter().zip(labels.iter()) {
+                assert_eq!((*v as usize) % 2, l);
+            }
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Procedural dataset generation.
+//!
+//! Each class is defined by a smooth random *prototype* image built from a
+//! shared low-frequency basis (so classes are correlated, like natural image
+//! categories). A sample is its class prototype after a random circular
+//! shift, contrast jitter, and additive white noise. The shift forces
+//! translation-robust features (deep layers win), the shared basis makes
+//! shallow linear separation hard, and the noise level controls the accuracy
+//! ceiling.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use einet_tensor::Tensor;
+
+use crate::dataset::{Dataset, ImageSet};
+
+/// Generation parameters for a synthetic dataset family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSpec {
+    /// Channels per image.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Std-dev of additive white noise.
+    pub noise: f32,
+    /// Maximum circular shift in pixels (each axis, both directions).
+    pub max_shift: usize,
+    /// Number of shared low-frequency basis patterns.
+    pub basis: usize,
+    /// Mixing weight of the shared component (0 = fully distinct classes,
+    /// 1 = identical classes). Higher values make the task harder.
+    pub shared_weight: f32,
+}
+
+impl SynthSpec {
+    /// The MNIST-like family: grayscale, well-separated, light noise.
+    pub fn digits() -> Self {
+        SynthSpec {
+            channels: 1,
+            height: 16,
+            width: 16,
+            classes: 10,
+            noise: 0.55,
+            max_shift: 3,
+            basis: 6,
+            shared_weight: 0.45,
+        }
+    }
+
+    /// The CIFAR-10-like family: RGB, moderate overlap and noise.
+    pub fn objects() -> Self {
+        SynthSpec {
+            channels: 3,
+            height: 16,
+            width: 16,
+            classes: 10,
+            noise: 0.7,
+            max_shift: 3,
+            basis: 8,
+            shared_weight: 0.5,
+        }
+    }
+
+    /// The CIFAR-100-like family: RGB with 100 heavily-overlapping classes.
+    pub fn objects100() -> Self {
+        SynthSpec {
+            channels: 3,
+            height: 16,
+            width: 16,
+            classes: 100,
+            noise: 0.5,
+            max_shift: 3,
+            basis: 10,
+            shared_weight: 0.45,
+        }
+    }
+}
+
+/// Smooths a field with repeated 3×3 box blurs (wrap-around edges).
+fn blur(field: &mut [f32], h: usize, w: usize, passes: usize) {
+    let mut tmp = vec![0.0_f32; h * w];
+    for _ in 0..passes {
+        for y in 0..h {
+            for x in 0..w {
+                let mut s = 0.0;
+                for dy in [-1_isize, 0, 1] {
+                    for dx in [-1_isize, 0, 1] {
+                        let yy = (y as isize + dy).rem_euclid(h as isize) as usize;
+                        let xx = (x as isize + dx).rem_euclid(w as isize) as usize;
+                        s += field[yy * w + xx];
+                    }
+                }
+                tmp[y * w + x] = s / 9.0;
+            }
+        }
+        field.copy_from_slice(&tmp);
+    }
+}
+
+/// Normalizes a field to zero mean and unit max-abs.
+fn normalize(field: &mut [f32]) {
+    let mean: f32 = field.iter().sum::<f32>() / field.len() as f32;
+    for v in field.iter_mut() {
+        *v -= mean;
+    }
+    let max = field.iter().fold(0.0_f32, |m, v| m.max(v.abs())).max(1e-6);
+    for v in field.iter_mut() {
+        *v /= max;
+    }
+}
+
+fn random_smooth_field(h: usize, w: usize, rng: &mut SmallRng) -> Vec<f32> {
+    let mut field: Vec<f32> = (0..h * w).map(|_| rng.gen_range(-1.0_f32..1.0)).collect();
+    blur(&mut field, h, w, 2);
+    normalize(&mut field);
+    field
+}
+
+/// Builds per-class prototypes: shared basis mixed with a class-specific
+/// field, per channel.
+fn prototypes(spec: &SynthSpec, rng: &mut SmallRng) -> Vec<Vec<f32>> {
+    let (h, w, c) = (spec.height, spec.width, spec.channels);
+    let basis: Vec<Vec<f32>> = (0..spec.basis)
+        .map(|_| random_smooth_field(h, w, rng))
+        .collect();
+    (0..spec.classes)
+        .map(|_| {
+            let mut proto = vec![0.0_f32; c * h * w];
+            for ch in 0..c {
+                // Shared component: a random mixture of the basis fields.
+                let mut shared = vec![0.0_f32; h * w];
+                for b in &basis {
+                    let coef = rng.gen_range(-1.0_f32..1.0);
+                    for (s, &v) in shared.iter_mut().zip(b.iter()) {
+                        *s += coef * v;
+                    }
+                }
+                normalize(&mut shared);
+                let own = random_smooth_field(h, w, rng);
+                let sw = spec.shared_weight;
+                for i in 0..h * w {
+                    proto[ch * h * w + i] = sw * shared[i] + (1.0 - sw) * own[i];
+                }
+            }
+            proto
+        })
+        .collect()
+}
+
+/// Generates `n` samples from the prototypes.
+fn sample_set(spec: &SynthSpec, protos: &[Vec<f32>], n: usize, rng: &mut SmallRng) -> ImageSet {
+    let (h, w, c) = (spec.height, spec.width, spec.channels);
+    let per = c * h * w;
+    let mut data = Vec::with_capacity(n * per);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % spec.classes;
+        labels.push(label);
+        let proto = &protos[label];
+        let dy = rng.gen_range(-(spec.max_shift as isize)..=spec.max_shift as isize);
+        let dx = rng.gen_range(-(spec.max_shift as isize)..=spec.max_shift as isize);
+        let contrast = rng.gen_range(0.8_f32..1.2);
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let sy = (y as isize + dy).rem_euclid(h as isize) as usize;
+                    let sx = (x as isize + dx).rem_euclid(w as isize) as usize;
+                    let base = proto[ch * h * w + sy * w + sx] * contrast;
+                    let noise = rng.gen_range(-1.0_f32..1.0) * spec.noise;
+                    data.push(base + noise);
+                }
+            }
+        }
+    }
+    let images = Tensor::new(&[n, c, h, w], data).expect("generated shape consistent");
+    ImageSet::new(images, labels, spec.classes)
+}
+
+/// Generates a dataset with `train_n`/`test_n` samples from one seed.
+///
+/// The prototypes depend only on the seed, so the train and test splits share
+/// the same class structure but have disjoint sample randomness.
+fn generate_split(
+    spec: &SynthSpec,
+    train_n: usize,
+    test_n: usize,
+    seed: u64,
+) -> (ImageSet, ImageSet) {
+    let mut proto_rng = SmallRng::seed_from_u64(seed);
+    let protos = prototypes(spec, &mut proto_rng);
+    let mut train_rng = SmallRng::seed_from_u64(seed.wrapping_add(0x7261_696e)); // "rain"
+    let mut test_rng = SmallRng::seed_from_u64(seed.wrapping_add(0x7465_7374)); // "test"
+    (
+        sample_set(spec, &protos, train_n, &mut train_rng),
+        sample_set(spec, &protos, test_n, &mut test_rng),
+    )
+}
+
+macro_rules! synth_dataset {
+    ($(#[$doc:meta])* $name:ident, $spec:expr, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct $name {
+            train: ImageSet,
+            test: ImageSet,
+        }
+
+        impl $name {
+            /// Generates the dataset deterministically from `seed`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if either split size is zero.
+            pub fn generate(train_n: usize, test_n: usize, seed: u64) -> Self {
+                assert!(train_n > 0 && test_n > 0, "split sizes must be positive");
+                let spec = $spec;
+                let (train, test) = generate_split(&spec, train_n, test_n, seed);
+                Self { train, test }
+            }
+
+            /// The generation parameters of this family.
+            pub fn spec() -> SynthSpec {
+                $spec
+            }
+        }
+
+        impl Dataset for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn num_classes(&self) -> usize {
+                self.train.num_classes()
+            }
+
+            fn input_shape(&self) -> [usize; 3] {
+                self.train.image_shape()
+            }
+
+            fn train(&self) -> &ImageSet {
+                &self.train
+            }
+
+            fn test(&self) -> &ImageSet {
+                &self.test
+            }
+        }
+    };
+}
+
+synth_dataset!(
+    /// MNIST-like grayscale digits stand-in (1×16×16, 10 classes).
+    SynthDigits,
+    SynthSpec::digits(),
+    "synth-digits"
+);
+synth_dataset!(
+    /// CIFAR-10-like RGB objects stand-in (3×16×16, 10 classes).
+    SynthObjects,
+    SynthSpec::objects(),
+    "synth-objects"
+);
+synth_dataset!(
+    /// CIFAR-100-like RGB objects stand-in (3×16×16, 100 classes).
+    SynthObjects100,
+    SynthSpec::objects100(),
+    "synth-objects100"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_spec() {
+        let ds = SynthObjects::generate(20, 10, 1);
+        assert_eq!(ds.input_shape(), [3, 16, 16]);
+        assert_eq!(ds.train().len(), 20);
+        assert_eq!(ds.test().len(), 10);
+        assert_eq!(ds.num_classes(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SynthDigits::generate(12, 4, 99);
+        let b = SynthDigits::generate(12, 4, 99);
+        assert_eq!(a.train().images().as_slice(), b.train().images().as_slice());
+        assert_eq!(a.test().labels(), b.test().labels());
+    }
+
+    #[test]
+    fn different_seeds_give_different_data() {
+        let a = SynthDigits::generate(12, 4, 1);
+        let b = SynthDigits::generate(12, 4, 2);
+        assert_ne!(a.train().images().as_slice(), b.train().images().as_slice());
+    }
+
+    #[test]
+    fn labels_cycle_over_classes() {
+        let ds = SynthObjects100::generate(200, 100, 3);
+        // Every class appears exactly twice in train, once in test.
+        let mut counts = vec![0; 100];
+        for &l in ds.train().labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn train_and_test_samples_differ() {
+        let ds = SynthDigits::generate(10, 10, 5);
+        assert_ne!(
+            ds.train().images().as_slice(),
+            ds.test().images().as_slice()
+        );
+    }
+
+    #[test]
+    fn same_class_samples_are_correlated() {
+        // Two samples of the same class should be closer than prototype noise
+        // would suggest for different classes (on average).
+        let ds = SynthDigits::generate(40, 10, 7);
+        let imgs = ds.train().images();
+        let per = imgs.per_item();
+        let x = imgs.as_slice();
+        let dist = |i: usize, j: usize| -> f32 {
+            x[i * per..(i + 1) * per]
+                .iter()
+                .zip(&x[j * per..(j + 1) * per])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        };
+        // Samples 0 and 10 share class 0; samples 0 and 15 differ (class 5).
+        let same = dist(0, 10) + dist(10, 20) + dist(20, 30);
+        let diff = dist(0, 15) + dist(10, 25) + dist(20, 35);
+        assert!(
+            same < diff * 1.5,
+            "same-class distance {same} should not dwarf cross-class {diff}"
+        );
+    }
+
+    #[test]
+    fn blur_preserves_mean() {
+        let mut f = vec![0.0; 16];
+        f[5] = 16.0;
+        blur(&mut f, 4, 4, 3);
+        let sum: f32 = f.iter().sum();
+        assert!((sum - 16.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normalize_bounds_values() {
+        let mut f = vec![3.0, 7.0, -5.0, 0.0];
+        normalize(&mut f);
+        assert!(f.iter().all(|v| v.abs() <= 1.0 + 1e-6));
+        let mean: f32 = f.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+    }
+}
+
+/// A synthetic *sequence*-classification dataset for the multi-exit
+/// Transformer extension: each class is a set of smooth per-feature curves
+/// over time; samples are circular **time**-shifts of the class prototype
+/// with amplitude jitter and additive noise. Stored in the image layout
+/// `[n, 1, t, d]` so the entire training/profiling pipeline is reused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSequences {
+    train: ImageSet,
+    test: ImageSet,
+}
+
+impl SynthSequences {
+    /// Sequence length.
+    pub const STEPS: usize = 16;
+    /// Features per step.
+    pub const DIMS: usize = 8;
+    /// Number of classes.
+    pub const CLASSES: usize = 10;
+
+    /// Generates the dataset deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either split size is zero.
+    pub fn generate(train_n: usize, test_n: usize, seed: u64) -> Self {
+        assert!(train_n > 0 && test_n > 0, "split sizes must be positive");
+        let (t, d, classes) = (Self::STEPS, Self::DIMS, Self::CLASSES);
+        let mut proto_rng = SmallRng::seed_from_u64(seed ^ 0x5e9);
+        // Per-class, per-feature smooth curves: blurred white noise along t.
+        let protos: Vec<Vec<f32>> = (0..classes)
+            .map(|_| {
+                let mut proto = vec![0.0_f32; t * d];
+                for j in 0..d {
+                    let mut curve: Vec<f32> =
+                        (0..t).map(|_| proto_rng.gen_range(-1.0_f32..1.0)).collect();
+                    // 1-D circular smoothing.
+                    for _ in 0..2 {
+                        let prev = curve.clone();
+                        for i in 0..t {
+                            let a = prev[(i + t - 1) % t];
+                            let b = prev[i];
+                            let c = prev[(i + 1) % t];
+                            curve[i] = (a + b + c) / 3.0;
+                        }
+                    }
+                    normalize(&mut curve);
+                    for i in 0..t {
+                        proto[i * d + j] = curve[i];
+                    }
+                }
+                proto
+            })
+            .collect();
+        let make = |n: usize, salt: u64| -> ImageSet {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(salt));
+            let mut data = Vec::with_capacity(n * t * d);
+            let mut labels = Vec::with_capacity(n);
+            for i in 0..n {
+                let label = i % classes;
+                labels.push(label);
+                let proto = &protos[label];
+                let shift = rng.gen_range(0..t);
+                let amp = rng.gen_range(0.8_f32..1.2);
+                for step in 0..t {
+                    let src = (step + shift) % t;
+                    for j in 0..d {
+                        let noise = rng.gen_range(-1.0_f32..1.0) * 0.45;
+                        data.push(proto[src * d + j] * amp + noise);
+                    }
+                }
+            }
+            let images =
+                Tensor::new(&[n, 1, t, d], data).expect("generated sequence shape consistent");
+            ImageSet::new(images, labels, classes)
+        };
+        SynthSequences {
+            train: make(train_n, 0x7261_696e),
+            test: make(test_n, 0x7465_7374),
+        }
+    }
+}
+
+impl Dataset for SynthSequences {
+    fn name(&self) -> &str {
+        "synth-sequences"
+    }
+
+    fn num_classes(&self) -> usize {
+        Self::CLASSES
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        [1, Self::STEPS, Self::DIMS]
+    }
+
+    fn train(&self) -> &ImageSet {
+        &self.train
+    }
+
+    fn test(&self) -> &ImageSet {
+        &self.test
+    }
+}
+
+#[cfg(test)]
+mod seq_tests {
+    use super::*;
+
+    #[test]
+    fn sequences_have_declared_shape() {
+        let ds = SynthSequences::generate(20, 10, 1);
+        assert_eq!(ds.input_shape(), [1, 16, 8]);
+        assert_eq!(ds.train().len(), 20);
+        assert_eq!(ds.num_classes(), 10);
+    }
+
+    #[test]
+    fn sequences_deterministic() {
+        let a = SynthSequences::generate(10, 5, 9);
+        let b = SynthSequences::generate(10, 5, 9);
+        assert_eq!(a.train().images().as_slice(), b.train().images().as_slice());
+    }
+
+    #[test]
+    fn sequences_values_bounded() {
+        let ds = SynthSequences::generate(10, 5, 2);
+        assert!(ds.train().images().as_slice().iter().all(|v| v.abs() < 3.0));
+    }
+}

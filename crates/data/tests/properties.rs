@@ -1,0 +1,70 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use einet_data::{BatchIter, Dataset, SynthDigits, SynthObjects, SynthObjects100};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation is a pure function of (sizes, seed).
+    #[test]
+    fn generation_deterministic(train in 4usize..40, test in 2usize..16, seed in 0u64..1000) {
+        let a = SynthDigits::generate(train, test, seed);
+        let b = SynthDigits::generate(train, test, seed);
+        prop_assert_eq!(a.train().images().as_slice(), b.train().images().as_slice());
+        prop_assert_eq!(a.test().images().as_slice(), b.test().images().as_slice());
+        prop_assert_eq!(a.train().labels(), b.train().labels());
+    }
+
+    /// Every pixel value is finite and in a sane dynamic range.
+    #[test]
+    fn pixel_values_bounded(seed in 0u64..200) {
+        let ds = SynthObjects::generate(20, 10, seed);
+        for set in [ds.train(), ds.test()] {
+            for &v in set.images().as_slice() {
+                prop_assert!(v.is_finite());
+                prop_assert!(v.abs() < 5.0, "pixel {v} out of range");
+            }
+        }
+    }
+
+    /// Labels cycle through all classes so splits stay balanced.
+    #[test]
+    fn label_balance(seed in 0u64..100, n in 1usize..5) {
+        let ds = SynthDigits::generate(n * 10, 10, seed);
+        let mut counts = [0usize; 10];
+        for &l in ds.train().labels() {
+            counts[l] += 1;
+        }
+        for c in counts {
+            prop_assert_eq!(c, n);
+        }
+    }
+
+    /// Batch iteration covers each index exactly once for any batch size.
+    #[test]
+    fn batches_partition_dataset(batch in 1usize..17, seed in 0u64..100) {
+        let ds = SynthObjects100::generate(100, 100, 3);
+        let mut total = 0usize;
+        for (imgs, labels) in BatchIter::new(ds.test(), batch, seed) {
+            prop_assert_eq!(imgs.shape()[0], labels.len());
+            total += labels.len();
+        }
+        prop_assert_eq!(total, 100);
+    }
+
+    /// Growing a dataset keeps earlier samples identical (prefix property of
+    /// the sample RNG stream) — regenerating with more test samples must not
+    /// silently reshuffle the shared prototypes.
+    #[test]
+    fn class_count_constant(seed in 0u64..50) {
+        let small = SynthObjects::generate(10, 4, seed);
+        let large = SynthObjects::generate(10, 8, seed);
+        prop_assert_eq!(small.num_classes(), large.num_classes());
+        // Same seeds produce the same train split regardless of test size.
+        prop_assert_eq!(
+            small.train().images().as_slice(),
+            large.train().images().as_slice()
+        );
+    }
+}

@@ -1,0 +1,357 @@
+//! The elastic-inference worker.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use einet_core::{ExitPlan, PlanContext, PlannerDecision, TimeDistribution};
+use einet_models::{ExitOutput, MultiExitNet};
+use einet_profile::{EdgePlatform, EtProfile};
+use einet_tensor::{softmax_rows, Layer, Mode, Tensor};
+
+use crate::gate::PreemptionGate;
+use crate::source::PlannerSource;
+
+/// One inference task: a single `[1, c, h, w]` input, optionally with its
+/// label for on-line accuracy accounting.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    input: Tensor,
+    label: Option<u16>,
+}
+
+impl InferenceRequest {
+    /// Creates a request for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the input is a single-sample 4-D batch.
+    pub fn new(input: Tensor) -> Self {
+        assert_eq!(input.shape().len(), 4, "input must be [1, c, h, w]");
+        assert_eq!(input.shape()[0], 1, "one sample per request");
+        InferenceRequest { input, label: None }
+    }
+
+    /// Attaches the true label (for [`TaskOutcome::correct`]).
+    #[must_use]
+    pub fn with_label(mut self, label: u16) -> Self {
+        self.label = Some(label);
+        self
+    }
+}
+
+/// What an elastic task produced before it finished or was preempted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskOutcome {
+    /// Every output emitted, in depth order; the last one is the task's
+    /// answer.
+    pub outputs: Vec<ExitOutput>,
+    /// Whether the task ran to the end of its plan (false = preempted).
+    pub completed: bool,
+    /// Blocks whose conv part executed before the end.
+    pub blocks_run: usize,
+    /// `Some(prediction == label)` when the request carried a label and at
+    /// least one output exists.
+    pub correct: Option<bool>,
+}
+
+impl TaskOutcome {
+    /// The answer the application receives: the latest output, if any.
+    pub fn answer(&self) -> Option<&ExitOutput> {
+        self.outputs.last()
+    }
+}
+
+enum WorkerMsg {
+    Task(InferenceRequest, Sender<TaskOutcome>),
+    Shutdown,
+}
+
+/// A worker thread owning a trained multi-exit network, executing tasks
+/// elastically under a shared [`PreemptionGate`].
+///
+/// The worker profiles the network once at spawn (cost model) so planners
+/// have an ET-profile, and re-plans through its [`PlannerSource`] after
+/// every emitted output — the online loop of Section V, on real forward
+/// passes instead of a simulated clock.
+#[derive(Debug)]
+pub struct ElasticExecutor {
+    tx: Sender<WorkerMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ElasticExecutor {
+    /// Spawns the worker with the default platform model
+    /// ([`EdgePlatform::JetsonClass`]) and a uniform assumed kill-time
+    /// distribution.
+    pub fn spawn(net: MultiExitNet, source: Box<dyn PlannerSource>, gate: PreemptionGate) -> Self {
+        Self::spawn_with(
+            net,
+            source,
+            gate,
+            EdgePlatform::JetsonClass,
+            TimeDistribution::Uniform,
+        )
+    }
+
+    /// Spawns the worker with an explicit platform cost model and assumed
+    /// kill-time distribution (what the planners optimise against).
+    pub fn spawn_with(
+        net: MultiExitNet,
+        source: Box<dyn PlannerSource>,
+        gate: PreemptionGate,
+        platform: EdgePlatform,
+        dist: TimeDistribution,
+    ) -> Self {
+        Self::spawn_throttled(net, source, gate, platform, dist, Duration::ZERO)
+    }
+
+    /// Like [`ElasticExecutor::spawn_with`], additionally sleeping
+    /// `block_delay` after every conv part — emulating a slower device (or
+    /// making preemption demos land mid-inference on fast hosts) without
+    /// touching the model.
+    pub fn spawn_throttled(
+        mut net: MultiExitNet,
+        source: Box<dyn PlannerSource>,
+        gate: PreemptionGate,
+        platform: EdgePlatform,
+        dist: TimeDistribution,
+        block_delay: Duration,
+    ) -> Self {
+        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+        let handle = std::thread::spawn(move || {
+            let et = EtProfile::from_cost_model(&net, platform);
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    WorkerMsg::Shutdown => break,
+                    WorkerMsg::Task(request, reply) => {
+                        let outcome = run_elastic(
+                            &mut net,
+                            &et,
+                            &dist,
+                            source.as_ref(),
+                            &gate,
+                            &request,
+                            block_delay,
+                        );
+                        // The requester may have given up; that is fine.
+                        let _ = reply.send(outcome);
+                    }
+                }
+            }
+        });
+        ElasticExecutor {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Submits a task; the returned channel yields its outcome.
+    pub fn submit(&self, request: InferenceRequest) -> Receiver<TaskOutcome> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(WorkerMsg::Task(request, reply_tx))
+            .expect("executor thread alive");
+        reply_rx
+    }
+
+    /// Stops the worker after the current task and joins it.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(WorkerMsg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ElasticExecutor {
+    fn drop(&mut self) {
+        let _ = self.tx.send(WorkerMsg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The elastic execution loop: conv parts always advance, branches follow
+/// the live plan, the gate is polled between steps, and the planner is
+/// refreshed after every output.
+fn run_elastic(
+    net: &mut MultiExitNet,
+    et: &EtProfile,
+    dist: &TimeDistribution,
+    source: &dyn PlannerSource,
+    gate: &PreemptionGate,
+    request: &InferenceRequest,
+    block_delay: Duration,
+) -> TaskOutcome {
+    let n = net.num_exits();
+    let mut planner = source.make();
+    let mut executed: Vec<Option<f32>> = vec![None; n];
+    let mut history = ExitPlan::empty(n);
+    let mut outputs: Vec<ExitOutput> = Vec::new();
+    let mut blocks_run = 0usize;
+    let outcome = |outputs: Vec<ExitOutput>, blocks_run: usize, completed: bool| {
+        let correct = request
+            .label
+            .and_then(|l| outputs.last().map(|o| o.predicted as u16 == l));
+        TaskOutcome {
+            outputs,
+            completed,
+            blocks_run,
+            correct,
+        }
+    };
+    let ctx = PlanContext {
+        et,
+        dist,
+        executed: &executed,
+        history: &history,
+        next_exit: 0,
+    };
+    let mut plan = match planner.plan(&ctx) {
+        PlannerDecision::Plan(p) => p,
+        PlannerDecision::Stop => return outcome(outputs, 0, true),
+    };
+    let mut x = request.input.clone();
+    for i in 0..n {
+        if gate.is_raised() {
+            return outcome(outputs, blocks_run, false);
+        }
+        x = net.blocks_mut()[i].conv_part.forward(&x, Mode::Eval);
+        blocks_run += 1;
+        if !block_delay.is_zero() {
+            std::thread::sleep(block_delay);
+        }
+        if !plan.get(i) {
+            continue;
+        }
+        if gate.is_raised() {
+            return outcome(outputs, blocks_run, false);
+        }
+        let logits = net.blocks_mut()[i].branch.forward(&x, Mode::Eval);
+        let probs = softmax_rows(&logits);
+        let predicted = probs.row_argmax(0);
+        let confidence = probs.at2(0, predicted);
+        outputs.push(ExitOutput {
+            exit: i,
+            predicted,
+            confidence,
+        });
+        executed[i] = Some(confidence);
+        history.set(i, true);
+        if i + 1 == n {
+            break;
+        }
+        let ctx = PlanContext {
+            et,
+            dist,
+            executed: &executed,
+            history: &history,
+            next_exit: i + 1,
+        };
+        match planner.plan(&ctx) {
+            PlannerDecision::Plan(p) => plan = p.with_frozen_prefix(&history, i + 1),
+            PlannerDecision::Stop => return outcome(outputs, blocks_run, true),
+        }
+    }
+    outcome(outputs, blocks_run, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::StaticSource;
+    use einet_models::{zoo, BranchSpec};
+
+    fn net() -> MultiExitNet {
+        zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 5)
+    }
+
+    fn input() -> Tensor {
+        Tensor::filled(&[1, 1, 16, 16], 0.2)
+    }
+
+    #[test]
+    fn unpreempted_task_completes_with_all_outputs() {
+        let gate = PreemptionGate::new();
+        let exec =
+            ElasticExecutor::spawn(net(), Box::new(StaticSource::new(ExitPlan::full(3))), gate);
+        let outcome = exec.submit(InferenceRequest::new(input())).recv().unwrap();
+        assert!(outcome.completed);
+        assert_eq!(outcome.outputs.len(), 3);
+        assert_eq!(outcome.blocks_run, 3);
+        assert_eq!(outcome.answer().unwrap().exit, 2);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn pre_raised_gate_yields_no_output() {
+        let gate = PreemptionGate::new();
+        gate.raise();
+        let exec = ElasticExecutor::spawn(
+            net(),
+            Box::new(StaticSource::new(ExitPlan::full(3))),
+            gate.clone(),
+        );
+        let outcome = exec.submit(InferenceRequest::new(input())).recv().unwrap();
+        assert!(!outcome.completed);
+        assert!(outcome.outputs.is_empty());
+        // Lower the gate: the next task runs normally.
+        gate.lower();
+        let outcome = exec.submit(InferenceRequest::new(input())).recv().unwrap();
+        assert!(outcome.completed);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn plan_skips_are_respected_on_real_execution() {
+        let gate = PreemptionGate::new();
+        let exec = ElasticExecutor::spawn(
+            net(),
+            Box::new(StaticSource::new(ExitPlan::from_indices(3, &[1]))),
+            gate,
+        );
+        let outcome = exec.submit(InferenceRequest::new(input())).recv().unwrap();
+        assert!(outcome.completed);
+        assert_eq!(outcome.outputs.len(), 1);
+        assert_eq!(outcome.outputs[0].exit, 1);
+        assert_eq!(outcome.blocks_run, 3, "backbone always runs");
+        exec.shutdown();
+    }
+
+    #[test]
+    fn labels_flow_into_correctness() {
+        let gate = PreemptionGate::new();
+        let exec =
+            ElasticExecutor::spawn(net(), Box::new(StaticSource::new(ExitPlan::full(3))), gate);
+        let outcome = exec
+            .submit(InferenceRequest::new(input()).with_label(3))
+            .recv()
+            .unwrap();
+        assert!(outcome.correct.is_some());
+        exec.shutdown();
+    }
+
+    #[test]
+    fn many_tasks_in_sequence() {
+        let gate = PreemptionGate::new();
+        let exec =
+            ElasticExecutor::spawn(net(), Box::new(StaticSource::new(ExitPlan::full(3))), gate);
+        let replies: Vec<_> = (0..8)
+            .map(|_| exec.submit(InferenceRequest::new(input())))
+            .collect();
+        for r in replies {
+            assert!(r.recv().unwrap().completed);
+        }
+        exec.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_worker_down() {
+        let gate = PreemptionGate::new();
+        let exec =
+            ElasticExecutor::spawn(net(), Box::new(StaticSource::new(ExitPlan::full(3))), gate);
+        drop(exec); // must not hang or panic
+    }
+}

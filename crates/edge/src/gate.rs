@@ -1,0 +1,73 @@
+//! The preemption signal shared between a high-priority workload and the
+//! inference worker.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable preemption flag. The executor polls it between blocks; any
+/// holder may raise it at any time (a power monitor, a vRAN scheduler, a
+/// user abort handler).
+///
+/// Cheap to clone (an `Arc<AtomicBool>`); `raise` uses release ordering and
+/// `is_raised` acquire, so a checkpoint written before `raise` is visible to
+/// whoever observes the flag.
+#[derive(Debug, Clone, Default)]
+pub struct PreemptionGate {
+    flag: Arc<AtomicBool>,
+}
+
+impl PreemptionGate {
+    /// Creates a lowered gate.
+    pub fn new() -> Self {
+        PreemptionGate::default()
+    }
+
+    /// Signals preemption: the in-flight task stops within one block.
+    pub fn raise(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Clears the signal so the next task can run.
+    pub fn lower(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+
+    /// Whether preemption has been signalled.
+    pub fn is_raised(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_lower_roundtrip() {
+        let gate = PreemptionGate::new();
+        assert!(!gate.is_raised());
+        gate.raise();
+        assert!(gate.is_raised());
+        gate.lower();
+        assert!(!gate.is_raised());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = PreemptionGate::new();
+        let b = a.clone();
+        b.raise();
+        assert!(a.is_raised());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let gate = PreemptionGate::new();
+        let remote = gate.clone();
+        let handle = std::thread::spawn(move || {
+            remote.raise();
+        });
+        handle.join().unwrap();
+        assert!(gate.is_raised());
+    }
+}

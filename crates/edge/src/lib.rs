@@ -1,0 +1,52 @@
+//! # einet-edge
+//!
+//! A threaded **elastic-inference executor**: the deployment-side runtime
+//! that the paper's scenario implies (Fig. 1 — a high-priority 5G vRAN task
+//! preempts AI inference at an unpredictable moment).
+//!
+//! Where `einet-core`'s [`einet_core::ElasticRuntime`] *simulates* inference
+//! timelines from profiles (the evaluation methodology), this crate runs the
+//! **real network** on a worker thread:
+//!
+//! * [`ElasticExecutor`] owns a trained multi-exit network and processes
+//!   [`InferenceRequest`]s submitted over a channel;
+//! * between every conv part and branch it checks a shared
+//!   [`PreemptionGate`]; raising the gate makes the in-flight task stop
+//!   within one block and hand over its **latest checkpointed result** —
+//!   the elastic-inference guarantee;
+//! * plans come from any [`PlannerSource`] — EINet with a trained
+//!   CS-Predictor ([`EinetSource`]), a fixed plan ([`StaticSource`]), or the
+//!   run-everything default;
+//! * [`Preemptor`] drives a gate from a kill-time distribution, emulating an
+//!   unpredictable high-priority workload.
+//!
+//! # Example
+//!
+//! ```
+//! use einet_edge::{ElasticExecutor, InferenceRequest, PreemptionGate, StaticSource};
+//! use einet_models::{zoo, BranchSpec};
+//! use einet_core::ExitPlan;
+//! use einet_tensor::Tensor;
+//!
+//! let net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 1);
+//! let gate = PreemptionGate::new();
+//! let exec = ElasticExecutor::spawn(net, Box::new(StaticSource::new(ExitPlan::full(3))), gate);
+//! let reply = exec.submit(InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16])));
+//! let outcome = reply.recv().expect("executor reply");
+//! assert!(outcome.completed);
+//! assert_eq!(outcome.outputs.len(), 3);
+//! exec.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod gate;
+mod preemptor;
+mod source;
+
+pub use executor::{ElasticExecutor, InferenceRequest, TaskOutcome};
+pub use gate::PreemptionGate;
+pub use preemptor::Preemptor;
+pub use source::{EinetSource, PlannerSource, StaticSource};

@@ -1,0 +1,83 @@
+//! An unpredictable high-priority workload emulator.
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use einet_core::TimeDistribution;
+
+use crate::gate::PreemptionGate;
+
+/// Raises a [`PreemptionGate`] after a delay drawn from a kill-time
+/// distribution — a stand-in for a 5G vRAN scheduler, a power monitor, or
+/// any other source of unpredictable exits.
+///
+/// # Example
+///
+/// ```
+/// use einet_core::TimeDistribution;
+/// use einet_edge::{PreemptionGate, Preemptor};
+///
+/// let gate = PreemptionGate::new();
+/// let p = Preemptor::arm(gate.clone(), &TimeDistribution::Uniform, 2.0, 7);
+/// p.join();
+/// assert!(gate.is_raised());
+/// ```
+#[derive(Debug)]
+pub struct Preemptor {
+    handle: JoinHandle<f64>,
+}
+
+impl Preemptor {
+    /// Draws a delay in `[0, horizon_ms]` from `dist` and spawns a thread
+    /// that raises `gate` after it elapses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_ms` is not positive.
+    pub fn arm(gate: PreemptionGate, dist: &TimeDistribution, horizon_ms: f64, seed: u64) -> Self {
+        assert!(horizon_ms > 0.0, "horizon must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let delay_ms = dist.sample(horizon_ms, &mut rng);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs_f64(delay_ms / 1e3));
+            gate.raise();
+            delay_ms
+        });
+        Preemptor { handle }
+    }
+
+    /// Waits for the preemption to fire and returns the delay it used (ms).
+    pub fn join(self) -> f64 {
+        self.handle.join().expect("preemptor thread")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_within_horizon() {
+        let gate = PreemptionGate::new();
+        let t0 = std::time::Instant::now();
+        let p = Preemptor::arm(gate.clone(), &TimeDistribution::Uniform, 10.0, 1);
+        let delay = p.join();
+        assert!(gate.is_raised());
+        assert!((0.0..=10.0).contains(&delay));
+        // Wall time is at least the drawn delay (scheduler slack allowed).
+        assert!(t0.elapsed().as_secs_f64() * 1e3 >= delay * 0.5);
+    }
+
+    #[test]
+    fn deterministic_delay_for_seed() {
+        let d = TimeDistribution::Uniform;
+        let g1 = PreemptionGate::new();
+        let g2 = PreemptionGate::new();
+        let t1 = Preemptor::arm(g1, &d, 5.0, 42).join();
+        let t2 = Preemptor::arm(g2, &d, 5.0, 42).join();
+        assert_eq!(t1, t2);
+    }
+}

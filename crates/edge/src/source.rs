@@ -1,0 +1,141 @@
+//! Planner sources: how the executor obtains a planner for each task.
+//!
+//! [`einet_core::Planner`] implementations such as
+//! [`einet_core::EinetPlanner`] borrow their CS-Predictor, so they cannot be
+//! sent across the channel with the task. A [`PlannerSource`] lives on the
+//! worker thread and *mints a fresh planner per task*, borrowing from data
+//! the source owns.
+
+use std::sync::Arc;
+
+use einet_core::{EinetPlanner, ExitPlan, Planner, SearchEngine, StaticPlanner};
+use einet_predictor::CsPredictor;
+
+/// Mints a planner for each inference task. Implementations are owned by
+/// the executor's worker thread.
+pub trait PlannerSource: Send {
+    /// Creates the planner used for one task.
+    fn make(&self) -> Box<dyn Planner + '_>;
+
+    /// A short display name for logs.
+    fn name(&self) -> String {
+        self.make().name()
+    }
+}
+
+/// Always plans the same fixed [`ExitPlan`].
+#[derive(Debug, Clone)]
+pub struct StaticSource {
+    plan: ExitPlan,
+}
+
+impl StaticSource {
+    /// Wraps a fixed plan.
+    pub fn new(plan: ExitPlan) -> Self {
+        StaticSource { plan }
+    }
+}
+
+impl PlannerSource for StaticSource {
+    fn make(&self) -> Box<dyn Planner + '_> {
+        Box::new(StaticPlanner::new(self.plan, "static"))
+    }
+}
+
+/// The EINet planner source: owns the trained CS-Predictor and profile
+/// prior, minting an [`EinetPlanner`] per task.
+#[derive(Debug, Clone)]
+pub struct EinetSource {
+    predictor: Arc<CsPredictor>,
+    prior: Vec<f32>,
+    engine: SearchEngine,
+}
+
+impl EinetSource {
+    /// Creates the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior.len()` differs from the predictor width.
+    pub fn new(predictor: Arc<CsPredictor>, prior: Vec<f32>, engine: SearchEngine) -> Self {
+        assert_eq!(
+            prior.len(),
+            predictor.num_exits(),
+            "prior/predictor width mismatch"
+        );
+        EinetSource {
+            predictor,
+            prior,
+            engine,
+        }
+    }
+}
+
+impl PlannerSource for EinetSource {
+    fn make(&self) -> Box<dyn Planner + '_> {
+        Box::new(EinetPlanner::new(
+            &self.predictor,
+            self.prior.clone(),
+            self.engine,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einet_core::{PlanContext, PlannerDecision, TimeDistribution};
+    use einet_profile::EtProfile;
+
+    #[test]
+    fn static_source_mints_constant_planners() {
+        let source = StaticSource::new(ExitPlan::from_indices(3, &[2]));
+        let et = EtProfile::new(vec![1.0; 3], vec![0.5; 3]).unwrap();
+        let dist = TimeDistribution::Uniform;
+        let executed = [None; 3];
+        let history = ExitPlan::empty(3);
+        let ctx = PlanContext {
+            et: &et,
+            dist: &dist,
+            executed: &executed,
+            history: &history,
+            next_exit: 0,
+        };
+        let mut p1 = source.make();
+        let mut p2 = source.make();
+        assert_eq!(p1.plan(&ctx), p2.plan(&ctx));
+        match p1.plan(&ctx) {
+            PlannerDecision::Plan(plan) => assert!(plan.get(2)),
+            PlannerDecision::Stop => panic!("static never stops"),
+        }
+    }
+
+    #[test]
+    fn einet_source_mints_working_planners() {
+        let predictor = Arc::new(CsPredictor::new(4, 16, 1));
+        let source = EinetSource::new(predictor, vec![0.4, 0.5, 0.6, 0.7], SearchEngine::default());
+        let et = EtProfile::new(vec![1.0; 4], vec![0.5; 4]).unwrap();
+        let dist = TimeDistribution::Uniform;
+        let executed = [None; 4];
+        let history = ExitPlan::empty(4);
+        let ctx = PlanContext {
+            et: &et,
+            dist: &dist,
+            executed: &executed,
+            history: &history,
+            next_exit: 0,
+        };
+        match source.make().plan(&ctx) {
+            PlannerDecision::Plan(plan) => assert_eq!(plan.len(), 4),
+            PlannerDecision::Stop => panic!("einet never stops voluntarily"),
+        }
+        assert!(source.name().contains("einet"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn einet_source_validates_prior() {
+        let predictor = Arc::new(CsPredictor::new(4, 16, 1));
+        EinetSource::new(predictor, vec![0.5; 3], SearchEngine::default());
+    }
+}

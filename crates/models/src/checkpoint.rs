@@ -1,0 +1,242 @@
+//! Parameter checkpointing for multi-exit networks.
+//!
+//! A checkpoint stores *parameter values only* (a state dict): the
+//! architecture is rebuilt from code (the zoo constructors are seeded and
+//! deterministic), then [`load_params`] restores the trained weights. The
+//! format is a small binary layout: a magic header, the parameter count,
+//! and per parameter its shape and little-endian `f32` data.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::multi_exit::MultiExitNet;
+
+const MAGIC: &[u8; 12] = b"einet-ckpt1\n";
+
+/// Errors from reading or writing checkpoints.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is not a checkpoint or is truncated.
+    Malformed(String),
+    /// The checkpoint does not match the network's parameter shapes.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::ShapeMismatch(m) => write!(f, "checkpoint shape mismatch: {m}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes the network's parameters to `path`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written.
+pub fn save_params(net: &mut MultiExitNet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.write_all(MAGIC)?;
+    let mut count: u32 = 0;
+    net.visit_params(&mut |_| count += 1);
+    buf.extend_from_slice(&count.to_le_bytes());
+    let mut failed = false;
+    net.visit_params(&mut |p| {
+        if failed {
+            return;
+        }
+        let shape = p.value.shape();
+        buf.extend_from_slice(&(shape.len() as u32).to_le_bytes());
+        for &d in shape {
+            buf.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        for &v in p.value.as_slice() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let _ = &mut failed;
+    });
+    fs::write(path, buf)?;
+    Ok(())
+}
+
+/// Restores parameters written by [`save_params`] into a freshly-built
+/// network of the same architecture.
+///
+/// # Errors
+///
+/// Returns an error when the file is missing/malformed or any parameter
+/// shape differs from the network's.
+pub fn load_params(net: &mut MultiExitNet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let data = fs::read(path)?;
+    if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::Malformed("bad header".into()));
+    }
+    let mut cursor = MAGIC.len();
+    let read_u32 = |data: &[u8], cursor: &mut usize| -> Result<u32, CheckpointError> {
+        let end = *cursor + 4;
+        if end > data.len() {
+            return Err(CheckpointError::Malformed("unexpected end of file".into()));
+        }
+        let v = u32::from_le_bytes(data[*cursor..end].try_into().expect("4 bytes"));
+        *cursor = end;
+        Ok(v)
+    };
+    let stored_count = read_u32(&data, &mut cursor)? as usize;
+    let mut net_count = 0usize;
+    net.visit_params(&mut |_| net_count += 1);
+    if stored_count != net_count {
+        return Err(CheckpointError::ShapeMismatch(format!(
+            "checkpoint has {stored_count} parameters, network has {net_count}"
+        )));
+    }
+    // First pass: decode everything (so a truncated file cannot leave the
+    // network half-loaded).
+    let mut decoded: Vec<(Vec<usize>, Vec<f32>)> = Vec::with_capacity(stored_count);
+    for _ in 0..stored_count {
+        let rank = read_u32(&data, &mut cursor)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(&data, &mut cursor)? as usize);
+        }
+        let n: usize = shape.iter().product();
+        let end = cursor + 4 * n;
+        if end > data.len() {
+            return Err(CheckpointError::Malformed("truncated tensor data".into()));
+        }
+        let mut values = Vec::with_capacity(n);
+        for chunk in data[cursor..end].chunks_exact(4) {
+            values.push(f32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+        }
+        cursor = end;
+        decoded.push((shape, values));
+    }
+    // Second pass: shape-check against the network.
+    let mut idx = 0usize;
+    let mut mismatch: Option<String> = None;
+    net.visit_params(&mut |p| {
+        let (shape, _) = &decoded[idx];
+        if mismatch.is_none() && p.value.shape() != shape.as_slice() {
+            mismatch = Some(format!(
+                "parameter {idx}: checkpoint {shape:?} vs network {:?}",
+                p.value.shape()
+            ));
+        }
+        idx += 1;
+    });
+    if let Some(m) = mismatch {
+        return Err(CheckpointError::ShapeMismatch(m));
+    }
+    // Final pass: copy values in.
+    let mut idx = 0usize;
+    net.visit_params(&mut |p| {
+        let (_, values) = &decoded[idx];
+        p.value.as_mut_slice().copy_from_slice(values);
+        idx += 1;
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchSpec;
+    use crate::zoo;
+    use einet_tensor::{Mode, Tensor};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("einet-ckpt-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_restores_outputs_exactly() {
+        let spec = BranchSpec::paper_default();
+        let mut net = zoo::b_alexnet([1, 16, 16], 10, &spec, 77);
+        let x = Tensor::filled(&[1, 1, 16, 16], 0.3);
+        let before: Vec<Vec<f32>> = net
+            .forward_all(&x, Mode::Eval)
+            .into_iter()
+            .map(|t| t.into_vec())
+            .collect();
+        let path = tmp("alex.ckpt");
+        save_params(&mut net, &path).unwrap();
+        // Rebuild with a *different* seed, then load: outputs must match the
+        // original exactly.
+        let mut rebuilt = zoo::b_alexnet([1, 16, 16], 10, &spec, 999);
+        load_params(&mut rebuilt, &path).unwrap();
+        let after: Vec<Vec<f32>> = rebuilt
+            .forward_all(&x, Mode::Eval)
+            .into_iter()
+            .map(|t| t.into_vec())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let spec = BranchSpec::paper_default();
+        let mut net = zoo::b_alexnet([1, 16, 16], 10, &spec, 1);
+        let path = tmp("mismatch.ckpt");
+        save_params(&mut net, &path).unwrap();
+        let mut other = zoo::flex_vgg16([3, 16, 16], 10, &spec, 1);
+        match load_params(&mut other, &path) {
+            Err(CheckpointError::ShapeMismatch(_)) => {}
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let spec = BranchSpec::paper_default();
+        let mut net = zoo::b_alexnet([1, 16, 16], 10, &spec, 1);
+        let garbage = tmp("garbage.ckpt");
+        fs::write(&garbage, b"not a checkpoint").unwrap();
+        assert!(matches!(
+            load_params(&mut net, &garbage),
+            Err(CheckpointError::Malformed(_))
+        ));
+        // Truncate a valid checkpoint.
+        let path = tmp("trunc.ckpt");
+        save_params(&mut net, &path).unwrap();
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            load_params(&mut net, &path),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let spec = BranchSpec::paper_default();
+        let mut net = zoo::b_alexnet([1, 16, 16], 10, &spec, 1);
+        assert!(matches!(
+            load_params(&mut net, "/nonexistent/x.ckpt"),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+}

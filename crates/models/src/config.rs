@@ -1,0 +1,113 @@
+//! Model selection for experiment harnesses.
+
+use std::fmt;
+
+use crate::branch::BranchSpec;
+use crate::multi_exit::MultiExitNet;
+use crate::zoo;
+
+/// The six evaluation models of the paper (Section VI-A, "Baselines").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// BranchyNet-style AlexNet, 3 exits.
+    BAlexNet,
+    /// FlexDNN-style VGG-16, 5 exits.
+    FlexVgg16,
+    /// Fine-grained VGG-16, 14 exits.
+    Vgg16Fine,
+    /// Fine-grained ResNet, 6 exits.
+    ResNetFine,
+    /// MSDNet-like, 21 blocks.
+    MsdNet21,
+    /// MSDNet-like, 40 blocks.
+    MsdNet40,
+}
+
+impl ModelKind {
+    /// All six evaluation models, shallowest first.
+    pub fn all() -> [ModelKind; 6] {
+        [
+            ModelKind::BAlexNet,
+            ModelKind::FlexVgg16,
+            ModelKind::Vgg16Fine,
+            ModelKind::ResNetFine,
+            ModelKind::MsdNet21,
+            ModelKind::MsdNet40,
+        ]
+    }
+
+    /// Short identifier used in artifact file names.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ModelKind::BAlexNet => "b-alexnet",
+            ModelKind::FlexVgg16 => "flex-vgg16",
+            ModelKind::Vgg16Fine => "vgg16-fine",
+            ModelKind::ResNetFine => "resnet-fine",
+            ModelKind::MsdNet21 => "msdnet21",
+            ModelKind::MsdNet40 => "msdnet40",
+        }
+    }
+
+    /// Number of exits this model is built with.
+    pub fn exits(&self) -> usize {
+        match self {
+            ModelKind::BAlexNet => 3,
+            ModelKind::FlexVgg16 => 5,
+            ModelKind::Vgg16Fine => 14,
+            ModelKind::ResNetFine => 6,
+            ModelKind::MsdNet21 => 21,
+            ModelKind::MsdNet40 => 40,
+        }
+    }
+
+    /// Builds the model for a given input shape and class count.
+    pub fn build(
+        &self,
+        input: [usize; 3],
+        classes: usize,
+        spec: &BranchSpec,
+        seed: u64,
+    ) -> MultiExitNet {
+        match self {
+            ModelKind::BAlexNet => zoo::b_alexnet(input, classes, spec, seed),
+            ModelKind::FlexVgg16 => zoo::flex_vgg16(input, classes, spec, seed),
+            ModelKind::Vgg16Fine => zoo::vgg16_fine(input, classes, spec, seed),
+            ModelKind::ResNetFine => zoo::resnet_fine(input, classes, spec, seed),
+            ModelKind::MsdNet21 => zoo::msdnet21(input, classes, spec, seed),
+            ModelKind::MsdNet40 => zoo::msdnet40(input, classes, spec, seed),
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let ids: Vec<&str> = ModelKind::all().iter().map(|m| m.id()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn built_exit_counts_match_declared() {
+        for kind in ModelKind::all() {
+            let net = kind.build([3, 16, 16], 10, &BranchSpec::paper_default(), 1);
+            assert_eq!(net.num_exits(), kind.exits(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn display_matches_id() {
+        assert_eq!(ModelKind::MsdNet40.to_string(), "msdnet40");
+    }
+}

@@ -1,0 +1,233 @@
+//! Transformer encoder building blocks for the multi-exit Transformer
+//! extension (the paper's Discussion section: "the placement of exit
+//! branches between blocks enables it to be a multi-exit model").
+
+use rand::rngs::SmallRng;
+
+use einet_tensor::{Layer, LayerNorm, Mode, Param, ReLu, SelfAttention, Tensor, TokenLinear};
+
+/// Adapter between the image-shaped dataset pipeline (`[n, 1, t, d]`) and
+/// the sequence layers (`[n, t, d]`).
+#[derive(Debug, Default)]
+pub struct SqueezeChannel {
+    in_shape: Vec<usize>,
+}
+
+impl SqueezeChannel {
+    /// Creates the adapter.
+    pub fn new() -> Self {
+        SqueezeChannel::default()
+    }
+}
+
+impl Layer for SqueezeChannel {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "squeeze expects [n, 1, t, d]");
+        assert_eq!(shape[1], 1, "squeeze expects a single channel");
+        self.in_shape = shape.to_vec();
+        input
+            .clone()
+            .reshaped(&[shape[0], shape[2], shape[3]])
+            .expect("squeeze preserves element count")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(
+            !self.in_shape.is_empty(),
+            "squeeze backward without forward"
+        );
+        grad_output
+            .clone()
+            .reshaped(&self.in_shape)
+            .expect("squeeze grad matches cached shape")
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        vec![input[0], input[2], input[3]]
+    }
+
+    fn kind(&self) -> &'static str {
+        "squeeze_channel"
+    }
+}
+
+/// A pre-classifier Transformer encoder block:
+/// `y₁ = LN(x + Attn(x))`, `y = LN(y₁ + FFN(y₁))` with a two-layer ReLU FFN.
+#[derive(Debug)]
+pub struct EncoderBlock {
+    attn: SelfAttention,
+    ln1: LayerNorm,
+    fc1: TokenLinear,
+    relu: ReLu,
+    fc2: TokenLinear,
+    ln2: LayerNorm,
+    forwarded: bool,
+}
+
+impl EncoderBlock {
+    /// Creates an encoder block of width `d` with an FFN hidden width of
+    /// `ffn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is zero.
+    pub fn new(d: usize, ffn: usize, rng: &mut SmallRng) -> Self {
+        assert!(d > 0 && ffn > 0, "encoder block widths must be positive");
+        EncoderBlock {
+            attn: SelfAttention::new(d, rng),
+            ln1: LayerNorm::new(d),
+            fc1: TokenLinear::new(d, ffn, rng),
+            relu: ReLu::new(),
+            fc2: TokenLinear::new(ffn, d, rng),
+            ln2: LayerNorm::new(d),
+            forwarded: false,
+        }
+    }
+}
+
+impl Layer for EncoderBlock {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut a = self.attn.forward(input, mode);
+        a.add_scaled(input, 1.0);
+        let y1 = self.ln1.forward(&a, mode);
+        let h = self.fc1.forward(&y1, mode);
+        let h = self.relu.forward(&h, mode);
+        let mut m = self.fc2.forward(&h, mode);
+        m.add_scaled(&y1, 1.0);
+        self.forwarded = true;
+        self.ln2.forward(&m, mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(self.forwarded, "encoder backward without forward");
+        self.forwarded = false;
+        let g_m = self.ln2.backward(grad_output);
+        // FFN residual: gradient flows through the FFN and directly.
+        let g_ffn = self
+            .fc1
+            .backward(&self.relu.backward(&self.fc2.backward(&g_m)));
+        let mut g_y1 = g_m;
+        g_y1.add_scaled(&g_ffn, 1.0);
+        let g_a = self.ln1.backward(&g_y1);
+        // Attention residual.
+        let g_attn = self.attn.backward(&g_a);
+        let mut g_in = g_a;
+        g_in.add_scaled(&g_attn, 1.0);
+        g_in
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        self.attn.visit_params(visit);
+        self.ln1.visit_params(visit);
+        self.fc1.visit_params(visit);
+        self.fc2.visit_params(visit);
+        self.ln2.visit_params(visit);
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        let ffn_in = self.fc1.flops(input);
+        let ffn_out = self.fc2.flops(&self.fc1.output_shape(input));
+        self.attn.flops(input) + ffn_in + ffn_out + 2 * self.ln1.flops(input)
+    }
+
+    fn kind(&self) -> &'static str {
+        "encoder_block"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(61)
+    }
+
+    fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let mut r = SmallRng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        Tensor::new(shape, (0..n).map(|_| r.gen_range(-1.0..1.0)).collect()).unwrap()
+    }
+
+    #[test]
+    fn squeeze_round_trip() {
+        let mut sq = SqueezeChannel::new();
+        let x = rand_tensor(&[2, 1, 5, 3], 1);
+        let y = sq.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 5, 3]);
+        let g = sq.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn encoder_preserves_shape_and_is_finite() {
+        let mut enc = EncoderBlock::new(8, 16, &mut rng());
+        let x = rand_tensor(&[2, 6, 8], 2);
+        let y = enc.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), x.shape());
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn encoder_gradient_check() {
+        let mut enc = EncoderBlock::new(4, 8, &mut rng());
+        let x = rand_tensor(&[1, 3, 4], 3);
+        let w: Vec<f32> = (0..12).map(|i| 0.05 * (i as f32 - 6.0)).collect();
+        let y = enc.forward(&x, Mode::Train);
+        let gx = enc.backward(&Tensor::new(y.shape(), w.clone()).unwrap());
+        let loss = |enc: &mut EncoderBlock, x: &Tensor| -> f32 {
+            enc.forward(x, Mode::Train)
+                .as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        let eps = 1e-3;
+        for idx in 0..12 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&mut enc, &xp) - loss(&mut enc, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[idx]).abs() < 3e-2,
+                "encoder grad mismatch at {idx}: {num} vs {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn encoder_gradients_reach_all_params() {
+        let mut enc = EncoderBlock::new(4, 8, &mut rng());
+        let x = rand_tensor(&[2, 3, 4], 4);
+        let y = enc.forward(&x, Mode::Train);
+        enc.backward(&rand_tensor(y.shape(), 5));
+        let mut zero_params = 0;
+        let mut total = 0;
+        enc.visit_params(&mut |p| {
+            total += 1;
+            if p.grad.sq_norm() == 0.0 {
+                zero_params += 1;
+            }
+        });
+        assert_eq!(
+            zero_params, 0,
+            "{zero_params} of {total} params got no gradient"
+        );
+    }
+
+    #[test]
+    fn flops_positive() {
+        let enc = EncoderBlock::new(8, 16, &mut rng());
+        assert!(enc.flops(&[1, 6, 8]) > 0);
+    }
+}

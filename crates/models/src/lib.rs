@@ -1,0 +1,48 @@
+//! # einet-models
+//!
+//! The multi-exit model zoo of the EINet reproduction (Section IV-A of the
+//! paper), plus the machinery to build, train and run multi-exit networks:
+//!
+//! * [`MultiExitNet`] — a backbone partitioned into *blocks*, each a
+//!   `conv part` plus an exit `branch` (Fig. 3 of the paper);
+//! * [`BranchSpec`] — configurable branch structure; the paper's default is
+//!   one convolution followed by two fully-connected layers;
+//! * [`ResidualUnit`] — the residual building block used by the
+//!   ResNet-style backbone (each unit is one insertion point);
+//! * the `zoo` module — B-AlexNet (3 exits), FlexVGG-16 (5), fine-grained
+//!   VGG-16 (14), fine-grained ResNet (6), and an MSDNet-like family
+//!   parameterised by `blocks`/`step`/`base`/`channel` (21 and 40 blocks in
+//!   the evaluation);
+//! * [`train_multi_exit`] — joint training of backbone and branches with a
+//!   summed cross-entropy loss (backbone *not* frozen, as in the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use einet_models::{zoo, BranchSpec};
+//!
+//! let net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 1);
+//! assert_eq!(net.num_exits(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod checkpoint;
+mod config;
+mod dense;
+mod encoder;
+mod multi_exit;
+mod residual;
+mod trainer;
+pub mod zoo;
+
+pub use branch::{build_branch, BranchSpec};
+pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use config::ModelKind;
+pub use dense::DenseConv;
+pub use encoder::{EncoderBlock, SqueezeChannel};
+pub use multi_exit::{Block, ExitOutput, MultiExitNet};
+pub use residual::ResidualUnit;
+pub use trainer::{evaluate_exits, train_multi_exit, OptimizerKind, TrainConfig, TrainReport};

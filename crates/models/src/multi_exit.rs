@@ -1,0 +1,397 @@
+//! The multi-exit network container (Fig. 3 of the paper).
+
+use einet_tensor::{softmax_rows, Layer, Mode, Param, Sequential, Tensor};
+
+/// One block of a multi-exit network: a *conv part* of the backbone plus the
+/// exit *branch* inserted after it.
+#[derive(Debug)]
+pub struct Block {
+    /// The backbone segment.
+    pub conv_part: Sequential,
+    /// The exit branch producing class logits.
+    pub branch: Sequential,
+}
+
+/// The result produced at one exit during inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExitOutput {
+    /// Index of the exit that produced this output.
+    pub exit: usize,
+    /// Predicted class (argmax of the branch logits).
+    pub predicted: usize,
+    /// Confidence score: the maximum softmax probability (Section III).
+    pub confidence: f32,
+}
+
+/// A backbone partitioned into blocks, each with its own exit branch.
+///
+/// `MultiExitNet` is what EINet plans over: executing block `i`'s conv part
+/// always happens when inference reaches depth `i`, but its branch is only
+/// executed when the current exit plan says so.
+///
+/// # Example
+///
+/// ```
+/// use einet_models::{zoo, BranchSpec};
+/// use einet_tensor::{Mode, Tensor};
+///
+/// let mut net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 7);
+/// let logits = net.forward_all(&Tensor::zeros(&[2, 1, 16, 16]), Mode::Eval);
+/// assert_eq!(logits.len(), 3); // one logits tensor per exit
+/// ```
+#[derive(Debug)]
+pub struct MultiExitNet {
+    blocks: Vec<Block>,
+    num_classes: usize,
+    input_shape: [usize; 3],
+    name: String,
+    // Filled during forward_all for use by backward_all.
+    cached_batch: usize,
+}
+
+impl MultiExitNet {
+    /// Assembles a network from blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or `num_classes` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        blocks: Vec<Block>,
+        input_shape: [usize; 3],
+        num_classes: usize,
+    ) -> Self {
+        assert!(
+            !blocks.is_empty(),
+            "a multi-exit net needs at least one block"
+        );
+        assert!(num_classes > 0, "num_classes must be positive");
+        MultiExitNet {
+            blocks,
+            num_classes,
+            input_shape,
+            name: name.into(),
+            cached_batch: 0,
+        }
+    }
+
+    /// The model's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of exits (= number of blocks).
+    pub fn num_exits(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Expected `[c, h, w]` input shape.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
+    }
+
+    /// Borrows the blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutably borrows the blocks (used by the trainer).
+    pub fn blocks_mut(&mut self) -> &mut [Block] {
+        &mut self.blocks
+    }
+
+    /// The feature shape entering each block (batch dim set to 1), computed
+    /// by folding [`Layer::output_shape`] through the backbone.
+    pub fn block_input_shapes(&self) -> Vec<Vec<usize>> {
+        let mut shape = vec![
+            1,
+            self.input_shape[0],
+            self.input_shape[1],
+            self.input_shape[2],
+        ];
+        let mut shapes = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            shapes.push(shape.clone());
+            shape = block.conv_part.output_shape(&shape);
+        }
+        shapes
+    }
+
+    /// Per-block `(conv_part_flops, branch_flops)` for one sample.
+    pub fn block_flops(&self) -> Vec<(u64, u64)> {
+        let shapes = self.block_input_shapes();
+        self.blocks
+            .iter()
+            .zip(shapes.iter())
+            .map(|(block, shape)| {
+                let conv = block.conv_part.flops(shape);
+                let out = block.conv_part.output_shape(shape);
+                let branch = block.branch.flops(&out);
+                (conv, branch)
+            })
+            .collect()
+    }
+
+    /// Runs the backbone through every block and executes every branch,
+    /// returning the logits at each exit. Caches activations for
+    /// [`MultiExitNet::backward_all`].
+    pub fn forward_all(&mut self, input: &Tensor, mode: Mode) -> Vec<Tensor> {
+        self.cached_batch = input.shape()[0];
+        let mut x = input.clone();
+        let mut logits = Vec::with_capacity(self.blocks.len());
+        for block in &mut self.blocks {
+            x = block.conv_part.forward(&x, mode);
+            logits.push(block.branch.forward(&x, mode));
+        }
+        logits
+    }
+
+    /// Back-propagates per-exit logit gradients produced after a
+    /// [`MultiExitNet::forward_all`] call.
+    ///
+    /// Gradients flow from each branch into its conv-part output and are
+    /// summed with the gradient arriving from deeper blocks — exactly the
+    /// "update weights of models and branches from back to front" training
+    /// of Section IV-A3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from the number of exits or no forward
+    /// pass preceded this call.
+    pub fn backward_all(&mut self, grads: &[Tensor]) {
+        assert_eq!(grads.len(), self.blocks.len(), "one gradient per exit");
+        assert!(self.cached_batch > 0, "backward_all without forward_all");
+        let mut carry: Option<Tensor> = None;
+        for (block, grad) in self.blocks.iter_mut().zip(grads.iter()).rev() {
+            let mut g = block.branch.backward(grad);
+            if let Some(c) = carry {
+                g.add_scaled(&c, 1.0);
+            }
+            carry = Some(block.conv_part.backward(&g));
+        }
+        self.cached_batch = 0;
+    }
+
+    /// Runs inference for a single input, executing only the branches where
+    /// `execute_branch[i]` is true. Returns one [`ExitOutput`] per executed
+    /// branch, in depth order.
+    ///
+    /// This is the real elastic-inference execution path: the backbone always
+    /// advances; branches are skipped or executed per the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `execute_branch.len()` differs from the number of exits.
+    pub fn forward_plan(&mut self, input: &Tensor, execute_branch: &[bool]) -> Vec<ExitOutput> {
+        assert_eq!(
+            execute_branch.len(),
+            self.blocks.len(),
+            "plan length must equal exit count"
+        );
+        let mut x = input.clone();
+        let mut outputs = Vec::new();
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            x = block.conv_part.forward(&x, Mode::Eval);
+            if execute_branch[i] {
+                let logits = block.branch.forward(&x, Mode::Eval);
+                outputs.push(exit_output(i, &logits, 0));
+            }
+        }
+        outputs
+    }
+
+    /// Convenience: executes every branch for one sample and returns the
+    /// outputs at all exits.
+    pub fn forward_all_exits(&mut self, input: &Tensor) -> Vec<ExitOutput> {
+        let all = vec![true; self.blocks.len()];
+        self.forward_plan(input, &all)
+    }
+
+    /// Clears gradients on every parameter.
+    pub fn zero_grad(&mut self) {
+        for block in &mut self.blocks {
+            block.conv_part.zero_grad();
+            block.branch.zero_grad();
+        }
+    }
+
+    /// Visits every parameter of the backbone and all branches.
+    pub fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        for block in &mut self.blocks {
+            block.conv_part.visit_params(visit);
+            block.branch.visit_params(visit);
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+/// Builds an [`ExitOutput`] from branch logits for sample `row`.
+fn exit_output(exit: usize, logits: &Tensor, row: usize) -> ExitOutput {
+    let probs = softmax_rows(logits);
+    let predicted = probs.row_argmax(row);
+    ExitOutput {
+        exit,
+        predicted,
+        confidence: probs.at2(row, predicted),
+    }
+}
+
+/// A [`Layer`]-style adapter so an entire multi-exit net can be treated as an
+/// optimizer target.
+impl Layer for MultiExitNet {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        // The "default" single output of a multi-exit net is its deepest exit.
+        self.forward_all(input, mode)
+            .pop()
+            .expect("at least one block")
+    }
+
+    fn backward(&mut self, _grad_output: &Tensor) -> Tensor {
+        unimplemented!("use backward_all for multi-exit training")
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        MultiExitNet::visit_params(self, visit);
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        vec![input[0], self.num_classes]
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        let batch = input[0] as u64;
+        self.block_flops()
+            .iter()
+            .map(|(c, b)| (c + b) * batch)
+            .sum()
+    }
+
+    fn kind(&self) -> &'static str {
+        "multi_exit_net"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::{build_branch, BranchSpec};
+    use einet_tensor::{Conv2d, ReLu};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(exits: usize) -> MultiExitNet {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut blocks = Vec::new();
+        let mut shape = [2_usize, 8, 8];
+        for i in 0..exits {
+            let mut part = Sequential::new();
+            part.push(Conv2d::new(shape[0], 4, 3, 1, 1, &mut rng));
+            part.push(ReLu::new());
+            shape[0] = 4;
+            let branch = build_branch(&BranchSpec::paper_default(), shape, 5, &mut rng);
+            blocks.push(Block {
+                conv_part: part,
+                branch,
+            });
+            let _ = i;
+        }
+        MultiExitNet::new("tiny", blocks, [2, 8, 8], 5)
+    }
+
+    #[test]
+    fn forward_all_returns_logits_per_exit() {
+        let mut net = tiny_net(3);
+        let logits = net.forward_all(&Tensor::zeros(&[2, 2, 8, 8]), Mode::Eval);
+        assert_eq!(logits.len(), 3);
+        for l in &logits {
+            assert_eq!(l.shape(), &[2, 5]);
+        }
+    }
+
+    #[test]
+    fn forward_plan_skips_branches() {
+        let mut net = tiny_net(4);
+        let x = Tensor::zeros(&[1, 2, 8, 8]);
+        let outs = net.forward_plan(&x, &[false, true, false, true]);
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].exit, 1);
+        assert_eq!(outs[1].exit, 3);
+        for o in &outs {
+            assert!((0.0..=1.0).contains(&o.confidence));
+            assert!(o.predicted < 5);
+        }
+    }
+
+    #[test]
+    fn backward_all_accumulates_gradients() {
+        let mut net = tiny_net(2);
+        let x = Tensor::filled(&[1, 2, 8, 8], 0.1);
+        let logits = net.forward_all(&x, Mode::Train);
+        let grads: Vec<Tensor> = logits
+            .iter()
+            .map(|l| Tensor::filled(l.shape(), 0.1))
+            .collect();
+        net.backward_all(&grads);
+        let mut grad_norm = 0.0;
+        net.visit_params(&mut |p| grad_norm += p.grad.sq_norm());
+        assert!(grad_norm > 0.0, "training gradient should be nonzero");
+        net.zero_grad();
+        let mut zeroed = 0.0;
+        net.visit_params(&mut |p| zeroed += p.grad.sq_norm());
+        assert_eq!(zeroed, 0.0);
+    }
+
+    #[test]
+    fn early_block_receives_gradient_from_deep_exit() {
+        let mut net = tiny_net(3);
+        let x = Tensor::filled(&[1, 2, 8, 8], 0.1);
+        let logits = net.forward_all(&x, Mode::Train);
+        // Only the deepest exit gets a nonzero gradient.
+        let mut grads: Vec<Tensor> = logits.iter().map(|l| Tensor::zeros(l.shape())).collect();
+        grads[2] = Tensor::filled(logits[2].shape(), 1.0);
+        net.backward_all(&grads);
+        // First block conv part must still have gradient (chain rule through
+        // the backbone).
+        let mut first_norm = 0.0;
+        net.blocks_mut()[0]
+            .conv_part
+            .visit_params(&mut |p| first_norm += p.grad.sq_norm());
+        assert!(first_norm > 0.0);
+    }
+
+    #[test]
+    fn block_shapes_and_flops_align() {
+        let net = tiny_net(3);
+        let shapes = net.block_input_shapes();
+        assert_eq!(shapes.len(), 3);
+        assert_eq!(shapes[0], vec![1, 2, 8, 8]);
+        assert_eq!(shapes[1], vec![1, 4, 8, 8]);
+        let flops = net.block_flops();
+        assert_eq!(flops.len(), 3);
+        assert!(flops.iter().all(|&(c, b)| c > 0 && b > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "plan length")]
+    fn forward_plan_rejects_wrong_length() {
+        let mut net = tiny_net(2);
+        net.forward_plan(&Tensor::zeros(&[1, 2, 8, 8]), &[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn rejects_empty_blocks() {
+        MultiExitNet::new("empty", Vec::new(), [1, 1, 1], 2);
+    }
+}

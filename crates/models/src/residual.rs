@@ -1,0 +1,215 @@
+//! Residual units for the ResNet-style backbone.
+
+use einet_tensor::{Layer, Mode, Param, ReLu, Sequential, Tensor};
+
+/// A residual unit: `y = relu(main(x) + shortcut(x))`.
+///
+/// The EINet paper treats *each residual unit* of ResNet as one conv part
+/// with a branch inserted after it (Section IV-A1), so this type is the unit
+/// of granularity for the ResNet-style multi-exit model.
+///
+/// The shortcut is the identity when the main path preserves shape, otherwise
+/// a caller-supplied projection (typically a 1×1 strided convolution).
+#[derive(Debug)]
+pub struct ResidualUnit {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu: ReLu,
+    cached_sum_mask_valid: bool,
+}
+
+impl ResidualUnit {
+    /// Creates a unit with an identity shortcut.
+    ///
+    /// The main path must preserve the input shape.
+    pub fn new(main: Sequential) -> Self {
+        ResidualUnit {
+            main,
+            shortcut: None,
+            relu: ReLu::new(),
+            cached_sum_mask_valid: false,
+        }
+    }
+
+    /// Creates a unit with a projection shortcut (for shape-changing units).
+    pub fn with_projection(main: Sequential, shortcut: Sequential) -> Self {
+        ResidualUnit {
+            main,
+            shortcut: Some(shortcut),
+            relu: ReLu::new(),
+            cached_sum_mask_valid: false,
+        }
+    }
+}
+
+impl Layer for ResidualUnit {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut y = self.main.forward(input, mode);
+        match &mut self.shortcut {
+            Some(proj) => {
+                let s = proj.forward(input, mode);
+                assert_eq!(
+                    y.shape(),
+                    s.shape(),
+                    "projection output must match main path"
+                );
+                y.add_scaled(&s, 1.0);
+            }
+            None => {
+                assert_eq!(
+                    y.shape(),
+                    input.shape(),
+                    "identity shortcut requires shape-preserving main path"
+                );
+                y.add_scaled(input, 1.0);
+            }
+        }
+        self.cached_sum_mask_valid = true;
+        self.relu.forward(&y, mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(
+            self.cached_sum_mask_valid,
+            "residual backward without forward"
+        );
+        self.cached_sum_mask_valid = false;
+        let g_sum = self.relu.backward(grad_output);
+        let mut g_in = self.main.backward(&g_sum);
+        match &mut self.shortcut {
+            Some(proj) => {
+                let g_proj = proj.backward(&g_sum);
+                g_in.add_scaled(&g_proj, 1.0);
+            }
+            None => {
+                g_in.add_scaled(&g_sum, 1.0);
+            }
+        }
+        g_in
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(visit);
+        if let Some(proj) = &mut self.shortcut {
+            proj.visit_params(visit);
+        }
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        self.main.output_shape(input)
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        let mut total = self.main.flops(input);
+        if let Some(proj) = &self.shortcut {
+            total += proj.flops(input);
+        }
+        // The elementwise add.
+        total += self.main.output_shape(input).iter().product::<usize>() as u64;
+        total
+    }
+
+    fn kind(&self) -> &'static str {
+        "residual_unit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einet_tensor::{BatchNorm2d, Conv2d};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(31)
+    }
+
+    fn identity_unit(c: usize) -> ResidualUnit {
+        let mut r = rng();
+        let mut main = Sequential::new();
+        main.push(Conv2d::new(c, c, 3, 1, 1, &mut r));
+        main.push(BatchNorm2d::new(c));
+        main.push(ReLu::new());
+        main.push(Conv2d::new(c, c, 3, 1, 1, &mut r));
+        main.push(BatchNorm2d::new(c));
+        ResidualUnit::new(main)
+    }
+
+    #[test]
+    fn identity_unit_preserves_shape() {
+        let mut unit = identity_unit(4);
+        let x = Tensor::zeros(&[2, 4, 6, 6]);
+        let y = unit.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    fn projection_unit_changes_shape() {
+        let mut r = rng();
+        let mut main = Sequential::new();
+        main.push(Conv2d::new(2, 8, 3, 2, 1, &mut r));
+        let mut proj = Sequential::new();
+        proj.push(Conv2d::new(2, 8, 1, 2, 0, &mut r));
+        let mut unit = ResidualUnit::with_projection(main, proj);
+        let y = unit.forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval);
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+        assert_eq!(unit.output_shape(&[1, 2, 8, 8]), vec![1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn skip_connection_carries_signal() {
+        // Zero the main path: output should be relu(x).
+        let mut r = rng();
+        let mut main = Sequential::new();
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut r);
+        conv.visit_params(&mut |p| p.value.fill_zero());
+        main.push(conv);
+        let mut unit = ResidualUnit::new(main);
+        let x = Tensor::new(&[1, 1, 1, 2], vec![2.0, -3.0]).unwrap();
+        let y = unit.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_flows_through_both_paths() {
+        let mut unit = identity_unit(2);
+        let x = Tensor::filled(&[1, 2, 4, 4], 0.3);
+        let y = unit.forward(&x, Mode::Train);
+        let g = unit.backward(&Tensor::filled(y.shape(), 1.0));
+        assert_eq!(g.shape(), x.shape());
+        // The identity path alone guarantees a nonzero input gradient where
+        // the post-sum ReLU was active.
+        assert!(g.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn gradient_check_identity_unit() {
+        let mut unit = identity_unit(1);
+        let x = Tensor::new(&[1, 1, 2, 2], vec![0.4, -0.2, 0.7, 0.1]).unwrap();
+        let y = unit.forward(&x, Mode::Train);
+        let w: Vec<f32> = vec![0.3, -0.5, 0.2, 0.9];
+        let gx = unit.backward(&Tensor::new(y.shape(), w.clone()).unwrap());
+        let loss = |unit: &mut ResidualUnit, x: &Tensor| -> f32 {
+            unit.forward(x, Mode::Train)
+                .as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        let eps = 1e-3;
+        for idx in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&mut unit, &xp) - loss(&mut unit, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[idx]).abs() < 3e-2,
+                "residual grad mismatch at {idx}: {num} vs {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Joint training of multi-exit networks (Section IV-A3).
+
+use einet_data::{BatchIter, ImageSet};
+use einet_tensor::{softmax_cross_entropy, Adam, Mode, Sgd, Tensor};
+
+use crate::multi_exit::MultiExitNet;
+
+/// Which optimizer drives the update step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizerKind {
+    /// SGD with momentum — what the paper uses for its CNNs.
+    #[default]
+    Sgd,
+    /// Adam — useful for the Transformer extension, which trains poorly
+    /// under plain SGD at these scales.
+    Adam,
+}
+
+/// Hyper-parameters for multi-exit training.
+///
+/// The paper trains with SGD, momentum 0.9; epochs and learning rate are
+/// scaled here to the synthetic edge-scale datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Optional global-norm gradient clip.
+    pub clip_norm: Option<f32>,
+    /// Multiplicative learning-rate decay applied after every epoch.
+    pub lr_decay: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Which optimizer to use.
+    pub optimizer: OptimizerKind,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 14,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            clip_norm: Some(20.0),
+            lr_decay: 0.95,
+            seed: 0,
+            optimizer: OptimizerKind::Sgd,
+        }
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean summed-exit loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Accuracy at each exit on the training split after the final epoch.
+    pub train_exit_accuracy: Vec<f32>,
+}
+
+/// Trains backbone and branches jointly: the loss is the mean cross-entropy
+/// over all exits, so gradients from every branch flow "back to front"
+/// through the shared backbone (the paper explicitly does *not* freeze the
+/// backbone).
+///
+/// # Panics
+///
+/// Panics if the training set is empty or its class count differs from the
+/// network's.
+pub fn train_multi_exit(
+    net: &mut MultiExitNet,
+    train: &ImageSet,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert!(!train.is_empty(), "training set is empty");
+    assert_eq!(
+        train.num_classes(),
+        net.num_classes(),
+        "dataset/model class mismatch"
+    );
+    enum Opt {
+        Sgd(Sgd),
+        Adam(Adam),
+    }
+    impl Opt {
+        fn step(&mut self, net: &mut MultiExitNet) {
+            match self {
+                Opt::Sgd(o) => o.step(net),
+                Opt::Adam(o) => o.step(net),
+            }
+        }
+        fn decay_lr(&mut self, factor: f32) {
+            match self {
+                Opt::Sgd(o) => o.set_learning_rate((o.learning_rate() * factor).max(1e-5)),
+                Opt::Adam(o) => o.set_learning_rate((o.learning_rate() * factor).max(1e-6)),
+            }
+        }
+    }
+    let mut opt = match cfg.optimizer {
+        OptimizerKind::Sgd => {
+            let mut o = Sgd::new(cfg.lr)
+                .momentum(cfg.momentum)
+                .weight_decay(cfg.weight_decay);
+            if let Some(c) = cfg.clip_norm {
+                o = o.clip_norm(c);
+            }
+            Opt::Sgd(o)
+        }
+        OptimizerKind::Adam => {
+            let mut o = Adam::new(cfg.lr).weight_decay(cfg.weight_decay);
+            if let Some(c) = cfg.clip_norm {
+                o = o.clip_norm(c);
+            }
+            Opt::Adam(o)
+        }
+    };
+    // The joint loss is the *sum* of per-exit cross-entropies (equal
+    // weights, as in BranchyNet/MSDNet): averaging instead would scale each
+    // exit's gradient by 1/num_exits and starve the deep exits at these
+    // short epoch budgets. Global-norm clipping keeps the summed gradient
+    // stable for the 21/40-exit models.
+    let num_exits = net.num_exits() as f32;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let mut loss_sum = 0.0_f64;
+        let mut batches = 0usize;
+        for (images, labels) in BatchIter::new(train, cfg.batch_size, cfg.seed + epoch as u64) {
+            net.zero_grad();
+            let logits = net.forward_all(&images, Mode::Train);
+            let mut grads: Vec<Tensor> = Vec::with_capacity(logits.len());
+            let mut batch_loss = 0.0_f32;
+            for l in &logits {
+                let (loss, grad) = softmax_cross_entropy(l, &labels);
+                batch_loss += loss;
+                grads.push(grad);
+            }
+            net.backward_all(&grads);
+            opt.step(net);
+            loss_sum += f64::from(batch_loss / num_exits);
+            batches += 1;
+        }
+        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+        opt.decay_lr(cfg.lr_decay);
+    }
+    let train_exit_accuracy = evaluate_exits(net, train, cfg.batch_size);
+    TrainReport {
+        epoch_losses,
+        train_exit_accuracy,
+    }
+}
+
+/// Computes classification accuracy at every exit over `set`.
+///
+/// # Panics
+///
+/// Panics if `set` is empty or `batch_size` is zero.
+pub fn evaluate_exits(net: &mut MultiExitNet, set: &ImageSet, batch_size: usize) -> Vec<f32> {
+    assert!(!set.is_empty(), "evaluation set is empty");
+    let mut correct = vec![0usize; net.num_exits()];
+    for (images, labels) in BatchIter::sequential(set, batch_size) {
+        let logits = net.forward_all(&images, Mode::Eval);
+        for (exit, l) in logits.iter().enumerate() {
+            for (row, &label) in labels.iter().enumerate() {
+                if l.row_argmax(row) == label {
+                    correct[exit] += 1;
+                }
+            }
+        }
+    }
+    correct
+        .into_iter()
+        .map(|c| c as f32 / set.len() as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchSpec;
+    use crate::zoo;
+    use einet_data::{Dataset, SynthDigits};
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            lr: 0.08,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_beats_chance() {
+        let ds = SynthDigits::generate(160, 40, 11);
+        let mut net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 11);
+        let report = train_multi_exit(&mut net, ds.train(), &quick_cfg());
+        assert_eq!(report.epoch_losses.len(), 8);
+        assert!(
+            report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap(),
+            "loss should decrease: {:?}",
+            report.epoch_losses
+        );
+        let acc = evaluate_exits(&mut net, ds.test(), 16);
+        assert_eq!(acc.len(), 3);
+        // Much better than the 10% chance level at the best exit (the deep
+        // exits need more data/epochs than a unit test should spend).
+        let best = acc.iter().cloned().fold(0.0_f32, f32::max);
+        assert!(best > 0.25, "best exit should beat chance, got {acc:?}");
+    }
+
+    #[test]
+    fn evaluate_exits_bounds() {
+        let ds = SynthDigits::generate(30, 10, 3);
+        let mut net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 3);
+        let acc = evaluate_exits(&mut net, ds.test(), 8);
+        assert!(acc.iter().all(|&a| (0.0..=1.0).contains(&a)));
+    }
+
+    #[test]
+    #[should_panic(expected = "class mismatch")]
+    fn rejects_class_mismatch() {
+        let ds = SynthDigits::generate(10, 4, 1);
+        let mut net = zoo::b_alexnet([1, 16, 16], 7, &BranchSpec::paper_default(), 1);
+        train_multi_exit(&mut net, ds.train(), &quick_cfg());
+    }
+}

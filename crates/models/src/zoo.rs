@@ -1,0 +1,464 @@
+//! The multi-exit model zoo used in the paper's evaluation (Section VI-A).
+//!
+//! All models are built at *edge scale*: the synthetic datasets are 16×16, so
+//! channel counts are reduced relative to the ImageNet-era originals while
+//! the architectural shape — number of exits, insertion points, branch
+//! structure — follows the paper exactly:
+//!
+//! * [`b_alexnet`] — BranchyNet-style AlexNet with **3 exits**,
+//! * [`flex_vgg16`] — FlexDNN-style VGG-16 with **5 exits** (one per conv
+//!   stage),
+//! * [`vgg16_fine`] — fine-grained VGG-16 with **14 exits** (one per
+//!   convolution, plus a head block; Fig. 3),
+//! * [`resnet_fine`] — fine-grained ResNet with **6 exits** (one per
+//!   residual unit, Section IV-A1),
+//! * [`msdnet`] — an MSDNet-like densely-growing backbone parameterised by
+//!   `blocks`/`step`/`base`/`channel` ([`MsdConfig`]); the evaluation uses
+//!   the 21- and 40-block variants.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use einet_tensor::{BatchNorm2d, Conv2d, Layer, MaxPool2d, ReLu, Sequential};
+
+use crate::branch::{build_branch, BranchSpec};
+use crate::dense::DenseConv;
+use crate::encoder::{EncoderBlock, SqueezeChannel};
+use crate::multi_exit::{Block, MultiExitNet};
+use crate::residual::ResidualUnit;
+use einet_tensor::{PositionalEncoding, TokenLinear};
+
+/// Incrementally assembles blocks, tracking the feature shape between conv
+/// parts so each branch is sized correctly.
+struct ZooBuilder {
+    blocks: Vec<Block>,
+    shape: Vec<usize>,
+    classes: usize,
+    spec: BranchSpec,
+    rng: SmallRng,
+}
+
+impl ZooBuilder {
+    fn new(input: [usize; 3], classes: usize, spec: &BranchSpec, seed: u64) -> Self {
+        ZooBuilder {
+            blocks: Vec::new(),
+            shape: vec![1, input[0], input[1], input[2]],
+            classes,
+            spec: spec.clone(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn in_channels(&self) -> usize {
+        self.shape[1]
+    }
+
+    fn spatial(&self) -> (usize, usize) {
+        (self.shape[2], self.shape[3])
+    }
+
+    /// Finishes a conv part: infers the output shape, builds the exit branch
+    /// for it, and records the block.
+    fn finish_block(&mut self, part: Sequential) {
+        self.shape = part.output_shape(&self.shape);
+        let branch_shape = [self.shape[1], self.shape[2], self.shape[3]];
+        let branch = build_branch(&self.spec, branch_shape, self.classes, &mut self.rng);
+        self.blocks.push(Block {
+            conv_part: part,
+            branch,
+        });
+    }
+
+    fn build(self, name: impl Into<String>, input: [usize; 3]) -> MultiExitNet {
+        MultiExitNet::new(name, self.blocks, input, self.classes)
+    }
+}
+
+/// BranchyNet-style AlexNet with three exits.
+pub fn b_alexnet(input: [usize; 3], classes: usize, spec: &BranchSpec, seed: u64) -> MultiExitNet {
+    let mut b = ZooBuilder::new(input, classes, spec, seed);
+    for &out_c in &[12, 24, 32] {
+        let in_c = b.in_channels();
+        let mut part = Sequential::new();
+        part.push(Conv2d::new(in_c, out_c, 3, 1, 1, &mut b.rng));
+        part.push(ReLu::new());
+        let (h, w) = b.spatial();
+        if h >= 2 && w >= 2 {
+            part.push(MaxPool2d::new(2, 2));
+        }
+        b.finish_block(part);
+    }
+    b.build("b-alexnet", input)
+}
+
+/// FlexDNN-style VGG-16 with five exits, one per convolutional stage.
+pub fn flex_vgg16(input: [usize; 3], classes: usize, spec: &BranchSpec, seed: u64) -> MultiExitNet {
+    let mut b = ZooBuilder::new(input, classes, spec, seed);
+    let stages: [(usize, usize); 5] = [(1, 8), (2, 16), (2, 24), (2, 32), (2, 32)];
+    for &(convs, out_c) in &stages {
+        let mut part = Sequential::new();
+        let mut in_c = b.in_channels();
+        for _ in 0..convs {
+            part.push(Conv2d::new(in_c, out_c, 3, 1, 1, &mut b.rng));
+            part.push(BatchNorm2d::new(out_c));
+            part.push(ReLu::new());
+            in_c = out_c;
+        }
+        let (h, w) = b.spatial();
+        if h >= 2 && w >= 2 {
+            part.push(MaxPool2d::new(2, 2));
+        }
+        b.finish_block(part);
+    }
+    b.build("flex-vgg16", input)
+}
+
+/// Fine-grained VGG-16: every convolution is its own conv part (13 exits)
+/// plus a 1×1 head block — 14 exits total, as evaluated in the paper.
+pub fn vgg16_fine(input: [usize; 3], classes: usize, spec: &BranchSpec, seed: u64) -> MultiExitNet {
+    let mut b = ZooBuilder::new(input, classes, spec, seed);
+    // (channels, pool_after) per conv, VGG-16's 2-2-3-3-3 stage layout.
+    let convs: [(usize, bool); 13] = [
+        (8, false),
+        (8, true),
+        (16, false),
+        (16, true),
+        (24, false),
+        (24, false),
+        (24, true),
+        (32, false),
+        (32, false),
+        (32, true),
+        (32, false),
+        (32, false),
+        (32, false),
+    ];
+    for &(out_c, pool) in &convs {
+        let in_c = b.in_channels();
+        let mut part = Sequential::new();
+        part.push(Conv2d::new(in_c, out_c, 3, 1, 1, &mut b.rng));
+        part.push(BatchNorm2d::new(out_c));
+        part.push(ReLu::new());
+        let (h, w) = b.spatial();
+        if pool && h >= 2 && w >= 2 {
+            part.push(MaxPool2d::new(2, 2));
+        }
+        b.finish_block(part);
+    }
+    // Head block: a 1×1 convolution widening the final features.
+    let in_c = b.in_channels();
+    let mut head = Sequential::new();
+    head.push(Conv2d::new(in_c, 48, 1, 1, 0, &mut b.rng));
+    head.push(ReLu::new());
+    b.finish_block(head);
+    b.build("vgg16-fine", input)
+}
+
+/// Fine-grained ResNet with six exits: a stem plus five bottleneck residual
+/// units, each unit being one insertion point (Section IV-A1).
+pub fn resnet_fine(
+    input: [usize; 3],
+    classes: usize,
+    spec: &BranchSpec,
+    seed: u64,
+) -> MultiExitNet {
+    let mut b = ZooBuilder::new(input, classes, spec, seed);
+    // Stem.
+    let in_c = b.in_channels();
+    let mut stem = Sequential::new();
+    stem.push(Conv2d::new(in_c, 8, 3, 1, 1, &mut b.rng));
+    stem.push(BatchNorm2d::new(8));
+    stem.push(ReLu::new());
+    b.finish_block(stem);
+    // Residual units: (out_channels, stride).
+    let units: [(usize, usize); 5] = [(16, 2), (16, 1), (24, 2), (24, 1), (32, 2)];
+    for &(out_c, stride) in &units {
+        let in_c = b.in_channels();
+        let mid = (out_c / 2).max(4);
+        let mut main = Sequential::new();
+        main.push(Conv2d::new(in_c, mid, 1, 1, 0, &mut b.rng));
+        main.push(BatchNorm2d::new(mid));
+        main.push(ReLu::new());
+        main.push(Conv2d::new(mid, mid, 3, stride, 1, &mut b.rng));
+        main.push(BatchNorm2d::new(mid));
+        main.push(ReLu::new());
+        main.push(Conv2d::new(mid, out_c, 1, 1, 0, &mut b.rng));
+        main.push(BatchNorm2d::new(out_c));
+        let unit = if stride == 1 && in_c == out_c {
+            ResidualUnit::new(main)
+        } else {
+            let mut proj = Sequential::new();
+            proj.push(Conv2d::new(in_c, out_c, 1, stride, 0, &mut b.rng));
+            proj.push(BatchNorm2d::new(out_c));
+            ResidualUnit::with_projection(main, proj)
+        };
+        let mut part = Sequential::new();
+        part.push(unit);
+        b.finish_block(part);
+    }
+    b.build("resnet-fine", input)
+}
+
+/// Structural parameters of the MSDNet-like family (Section IV-A1 and
+/// Fig. 14a): number of blocks, convolutions per block (`step`), extra
+/// convolutions in the first block (`base`), and stem width (`channel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsdConfig {
+    /// Number of blocks (= exits).
+    pub blocks: usize,
+    /// Convolutions per block after the first.
+    pub step: usize,
+    /// Convolutions in the first block.
+    pub base: usize,
+    /// Stem output channels.
+    pub channel: usize,
+}
+
+impl MsdConfig {
+    /// The paper's 21-block evaluation variant (step 2, base 4, channel 16).
+    pub fn msd21() -> Self {
+        MsdConfig {
+            blocks: 21,
+            step: 2,
+            base: 4,
+            channel: 16,
+        }
+    }
+
+    /// The paper's 40-block evaluation variant (step 1, base 2, channel 8).
+    pub fn msd40() -> Self {
+        MsdConfig {
+            blocks: 40,
+            step: 1,
+            base: 2,
+            channel: 8,
+        }
+    }
+}
+
+/// Builds an MSDNet-like multi-exit network.
+///
+/// The true MSDNet keeps a multi-scale feature lattice over a DenseNet
+/// substrate; this edge-scale variant keeps the *planning-relevant* essence:
+/// many shallow blocks built from densely-connected convolutions
+/// ([`crate::DenseConv`], so features and gradients reach every depth
+/// directly), a classifier at every block, and DenseNet-style transitions
+/// (1x1 compression + down-sampling) at one- and two-thirds of the depth.
+///
+/// # Panics
+///
+/// Panics if any config field is zero.
+pub fn msdnet(
+    input: [usize; 3],
+    classes: usize,
+    cfg: MsdConfig,
+    spec: &BranchSpec,
+    seed: u64,
+) -> MultiExitNet {
+    assert!(
+        cfg.blocks > 0 && cfg.step > 0 && cfg.base > 0 && cfg.channel > 0,
+        "msdnet config fields must be positive"
+    );
+    let mut b = ZooBuilder::new(input, classes, spec, seed);
+    const GROWTH: usize = 3;
+    let transitions = [cfg.blocks / 3, (2 * cfg.blocks) / 3];
+    for block_idx in 0..cfg.blocks {
+        let convs = if block_idx == 0 { cfg.base } else { cfg.step };
+        let mut part = Sequential::new();
+        let mut in_c = b.in_channels();
+        let (h, w) = b.spatial();
+        if block_idx == 0 {
+            // Stem: stride-2 projection to `channel` feature maps.
+            part.push(Conv2d::new(in_c, cfg.channel, 3, 2, 1, &mut b.rng));
+            part.push(BatchNorm2d::new(cfg.channel));
+            part.push(ReLu::new());
+            in_c = cfg.channel;
+        } else if transitions.contains(&block_idx) {
+            // DenseNet-style transition: 1x1 compression, plus one
+            // down-sample while the map is big enough.
+            let out_c = (in_c / 2).max(cfg.channel);
+            part.push(Conv2d::new(in_c, out_c, 1, 1, 0, &mut b.rng));
+            part.push(BatchNorm2d::new(out_c));
+            part.push(ReLu::new());
+            if h >= 8 && w >= 8 {
+                part.push(MaxPool2d::new(2, 2));
+            }
+            in_c = out_c;
+        }
+        for _ in 0..convs {
+            part.push(DenseConv::new(in_c, GROWTH, &mut b.rng));
+            in_c += GROWTH;
+        }
+        b.finish_block(part);
+    }
+    b.build(
+        format!(
+            "msdnet{}-s{}b{}c{}",
+            cfg.blocks, cfg.step, cfg.base, cfg.channel
+        ),
+        input,
+    )
+}
+
+/// A multi-exit Transformer encoder for sequence classification — the
+/// extension sketched in the paper's Discussion: one exit branch after every
+/// encoder block. Inputs arrive in the image-shaped `[n, 1, t, d]` layout
+/// (so the whole training/profiling/planning pipeline is reused verbatim).
+///
+/// Branches are convolution-free (`Flatten` + FC stack) since sequence
+/// features have no spatial structure; `spec.fcs` controls their depth.
+///
+/// # Panics
+///
+/// Panics if `input` is not single-channel or any size is zero.
+pub fn transformer(
+    input: [usize; 3],
+    classes: usize,
+    blocks: usize,
+    d_model: usize,
+    spec: &BranchSpec,
+    seed: u64,
+) -> MultiExitNet {
+    let [c, t, d_in] = input;
+    assert_eq!(c, 1, "transformer expects single-channel [1, t, d] input");
+    assert!(blocks > 0 && d_model > 0 && t > 0 && d_in > 0, "zero dim");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let branch_spec = BranchSpec {
+        convs: 0,
+        ..spec.clone()
+    };
+    let mut out = Vec::with_capacity(blocks);
+    for b in 0..blocks {
+        let mut part = Sequential::new();
+        if b == 0 {
+            part.push(SqueezeChannel::new());
+            part.push(TokenLinear::new(d_in, d_model, &mut rng));
+            part.push(PositionalEncoding::new(t, d_model));
+        }
+        part.push(EncoderBlock::new(d_model, 2 * d_model, &mut rng));
+        let branch = build_branch(&branch_spec, [1, t, d_model], classes, &mut rng);
+        out.push(Block {
+            conv_part: part,
+            branch,
+        });
+    }
+    MultiExitNet::new(
+        format!("transformer{blocks}-d{d_model}"),
+        out,
+        input,
+        classes,
+    )
+}
+
+/// Convenience constructor for the 21-block MSDNet variant.
+pub fn msdnet21(input: [usize; 3], classes: usize, spec: &BranchSpec, seed: u64) -> MultiExitNet {
+    msdnet(input, classes, MsdConfig::msd21(), spec, seed)
+}
+
+/// Convenience constructor for the 40-block MSDNet variant.
+pub fn msdnet40(input: [usize; 3], classes: usize, spec: &BranchSpec, seed: u64) -> MultiExitNet {
+    msdnet(input, classes, MsdConfig::msd40(), spec, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einet_tensor::{Mode, Tensor};
+
+    const RGB: [usize; 3] = [3, 16, 16];
+    const GRAY: [usize; 3] = [1, 16, 16];
+
+    fn spec() -> BranchSpec {
+        BranchSpec::paper_default()
+    }
+
+    #[test]
+    fn exit_counts_match_paper() {
+        assert_eq!(b_alexnet(GRAY, 10, &spec(), 1).num_exits(), 3);
+        assert_eq!(flex_vgg16(RGB, 10, &spec(), 1).num_exits(), 5);
+        assert_eq!(vgg16_fine(RGB, 10, &spec(), 1).num_exits(), 14);
+        assert_eq!(resnet_fine(RGB, 10, &spec(), 1).num_exits(), 6);
+        assert_eq!(msdnet21(RGB, 10, &spec(), 1).num_exits(), 21);
+        assert_eq!(msdnet40(RGB, 100, &spec(), 1).num_exits(), 40);
+    }
+
+    #[test]
+    fn all_models_forward_cleanly() {
+        let x_rgb = Tensor::zeros(&[1, 3, 16, 16]);
+        for mut net in [
+            flex_vgg16(RGB, 10, &spec(), 2),
+            vgg16_fine(RGB, 10, &spec(), 2),
+            resnet_fine(RGB, 10, &spec(), 2),
+        ] {
+            let logits = net.forward_all(&x_rgb, Mode::Eval);
+            assert_eq!(logits.len(), net.num_exits());
+            for l in logits {
+                assert_eq!(l.shape(), &[1, 10]);
+                assert!(l.as_slice().iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn msdnet_forward_and_flops() {
+        let mut net = msdnet21(RGB, 10, &spec(), 3);
+        let logits = net.forward_all(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval);
+        assert_eq!(logits.len(), 21);
+        let flops = net.block_flops();
+        // The stem block (with base extra convs) is the most expensive.
+        assert!(flops[0].0 > flops[20].0 / 4);
+        assert!(flops.iter().all(|&(c, br)| c > 0 && br > 0));
+    }
+
+    #[test]
+    fn msdnet_more_blocks_more_flops() {
+        let n21: u64 = msdnet21(RGB, 10, &spec(), 1)
+            .block_flops()
+            .iter()
+            .map(|&(c, b)| c + b)
+            .sum();
+        let n40: u64 = msdnet40(RGB, 10, &spec(), 1)
+            .block_flops()
+            .iter()
+            .map(|&(c, b)| c + b)
+            .sum();
+        // 40-block variant uses step 1 / channel 8, so total compute stays
+        // in the same ballpark, but the counts must both be meaningful.
+        assert!(n21 > 0 && n40 > 0);
+    }
+
+    #[test]
+    fn gray_input_works_for_all() {
+        let x = Tensor::zeros(&[1, 1, 16, 16]);
+        let mut net = b_alexnet(GRAY, 10, &spec(), 5);
+        let logits = net.forward_all(&x, Mode::Eval);
+        assert_eq!(logits.len(), 3);
+    }
+
+    #[test]
+    fn custom_branch_spec_is_respected() {
+        let heavy = BranchSpec::with_layout(2, 3);
+        let net_light = b_alexnet(GRAY, 10, &spec(), 1);
+        let net_heavy = b_alexnet(GRAY, 10, &heavy, 1);
+        let light: u64 = net_light.block_flops().iter().map(|&(_, b)| b).sum();
+        let heavy_f: u64 = net_heavy.block_flops().iter().map(|&(_, b)| b).sum();
+        assert!(heavy_f > light);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn msdnet_rejects_zero_blocks() {
+        msdnet(
+            RGB,
+            10,
+            MsdConfig {
+                blocks: 0,
+                step: 1,
+                base: 1,
+                channel: 8,
+            },
+            &spec(),
+            1,
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration tests: plan-driven execution agrees with full execution, and
+//! gradients flow coherently in every zoo model.
+
+use einet_models::{zoo, BranchSpec, ModelKind, MultiExitNet};
+use einet_tensor::{softmax_rows, Layer, Mode, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_input(shape: [usize; 3], seed: u64) -> Tensor {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = shape[0] * shape[1] * shape[2];
+    Tensor::new(
+        &[1, shape[0], shape[1], shape[2]],
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap()
+}
+
+/// forward_plan must produce exactly the outputs forward_all produces at the
+/// executed exits — skipping branches must not disturb the backbone.
+#[test]
+fn plan_execution_matches_full_execution() {
+    let spec = BranchSpec::paper_default();
+    let shape = [3_usize, 16, 16];
+    for kind in [
+        ModelKind::BAlexNet,
+        ModelKind::FlexVgg16,
+        ModelKind::ResNetFine,
+    ] {
+        let mut net: MultiExitNet = kind.build(shape, 10, &spec, 9);
+        let x = random_input(shape, 9);
+        let full_logits = net.forward_all(&x, Mode::Eval);
+        let n = net.num_exits();
+        // Execute every second branch.
+        let plan: Vec<bool> = (0..n).map(|i| i % 2 == 0 || i == n - 1).collect();
+        let outputs = net.forward_plan(&x, &plan);
+        let expected: Vec<usize> = (0..n).filter(|&i| plan[i]).collect();
+        assert_eq!(
+            outputs.iter().map(|o| o.exit).collect::<Vec<_>>(),
+            expected,
+            "{kind}"
+        );
+        for o in &outputs {
+            let probs = softmax_rows(&full_logits[o.exit]);
+            let pred = probs.row_argmax(0);
+            assert_eq!(o.predicted, pred, "{kind} exit {}", o.exit);
+            assert!((o.confidence - probs.at2(0, pred)).abs() < 1e-5, "{kind}");
+        }
+    }
+}
+
+/// Multi-exit training must move every branch's parameters — no dead exits
+/// in the gradient graph.
+#[test]
+fn every_branch_receives_gradient() {
+    let spec = BranchSpec::paper_default();
+    let mut net = zoo::flex_vgg16([3, 16, 16], 10, &spec, 3);
+    // Batch > 1: batch-norm over a single sample has zero variance and
+    // legitimately kills the signal, which is not what we test here.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let data: Vec<f32> = (0..4 * 3 * 16 * 16)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let x = Tensor::new(&[4, 3, 16, 16], data).unwrap();
+    let logits = net.forward_all(&x, Mode::Train);
+    let grads: Vec<Tensor> = logits
+        .iter()
+        .map(|l| {
+            let vals: Vec<f32> = (0..l.len()).map(|_| rng.gen_range(-0.2..0.2)).collect();
+            Tensor::new(l.shape(), vals).unwrap()
+        })
+        .collect();
+    net.backward_all(&grads);
+    for (i, block) in net.blocks_mut().iter_mut().enumerate() {
+        let mut norm = 0.0;
+        block.branch.visit_params(&mut |p| norm += p.grad.sq_norm());
+        assert!(norm > 0.0, "branch {i} received no gradient");
+        let mut conv_norm = 0.0;
+        block
+            .conv_part
+            .visit_params(&mut |p| conv_norm += p.grad.sq_norm());
+        assert!(conv_norm > 0.0, "conv part {i} received no gradient");
+    }
+}
+
+/// Eval-mode inference must be deterministic (dropout off, BN running
+/// stats).
+#[test]
+fn eval_inference_is_deterministic() {
+    let spec = BranchSpec::paper_default();
+    let mut net = zoo::msdnet21([3, 16, 16], 10, &spec, 5);
+    let x = random_input([3, 16, 16], 5);
+    let a = net.forward_all(&x, Mode::Eval);
+    let b = net.forward_all(&x, Mode::Eval);
+    for (l1, l2) in a.iter().zip(&b) {
+        assert_eq!(l1.as_slice(), l2.as_slice());
+    }
+}
+
+/// Identical seeds must build identical models (bit-for-bit parameters).
+#[test]
+fn model_construction_is_seeded() {
+    let spec = BranchSpec::paper_default();
+    let mut a = zoo::b_alexnet([1, 16, 16], 10, &spec, 123);
+    let mut b = zoo::b_alexnet([1, 16, 16], 10, &spec, 123);
+    let mut pa = Vec::new();
+    a.visit_params(&mut |p| pa.extend_from_slice(p.value.as_slice()));
+    let mut pb = Vec::new();
+    b.visit_params(&mut |p| pb.extend_from_slice(p.value.as_slice()));
+    assert_eq!(pa, pb);
+    let mut c = zoo::b_alexnet([1, 16, 16], 10, &spec, 124);
+    let mut pc = Vec::new();
+    c.visit_params(&mut |p| pc.extend_from_slice(p.value.as_slice()));
+    assert_ne!(pa, pc);
+}
+
+/// Cost-model FLOPs must track parameter-heavy models: the 14-exit VGG has
+/// more total compute than the 3-exit AlexNet at the same input.
+#[test]
+fn flops_ordering_sane() {
+    let spec = BranchSpec::paper_default();
+    let alex = zoo::b_alexnet([3, 16, 16], 10, &spec, 1);
+    let vgg = zoo::vgg16_fine([3, 16, 16], 10, &spec, 1);
+    let sum = |net: &MultiExitNet| -> u64 { net.block_flops().iter().map(|&(c, b)| c + b).sum() };
+    assert!(sum(&vgg) > sum(&alex));
+}

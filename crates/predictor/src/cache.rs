@@ -1,0 +1,153 @@
+//! The Activation Cache (Section IV-C4 of the paper).
+//!
+//! During elastic inference the predictor's input vector grows one
+//! confidence at a time. Recomputing `W₁·x + b₁` from scratch each round is
+//! redundant: the cache stores the hidden-layer *pre-activations* and adds
+//! one weight column per newly-arrived confidence, then applies the
+//! activation function on read — trading a small amount of memory for a
+//! faster per-round prediction.
+
+use crate::mlp::CsPredictor;
+
+/// Cached pre-activation state for incremental CS-Predictor inference.
+///
+/// # Example
+///
+/// ```
+/// use einet_predictor::{ActivationCache, CsPredictor};
+///
+/// let p = CsPredictor::new(4, 16, 1);
+/// let mut cache = ActivationCache::new(&p);
+/// let out1 = cache.update(&p, 0, 0.4);
+/// let out2 = cache.update(&p, 1, 0.7);
+/// // Identical to full inference over the accumulated inputs.
+/// let full = p.infer(&[0.4, 0.7, 0.0, 0.0]);
+/// for (a, b) in out2.iter().zip(&full) {
+///     assert!((a - b).abs() < 1e-5);
+/// }
+/// # let _ = out1;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActivationCache {
+    /// Hidden pre-activations `W₁·x + b₁` accumulated so far.
+    z1: Vec<f32>,
+    /// Which input positions have already been applied.
+    applied: Vec<bool>,
+}
+
+impl ActivationCache {
+    /// Initialises the cache for a predictor: the empty-input pre-activation
+    /// is just the bias vector.
+    pub fn new(predictor: &CsPredictor) -> Self {
+        ActivationCache {
+            z1: predictor.input_layer().bias().as_slice().to_vec(),
+            applied: vec![false; predictor.num_exits()],
+        }
+    }
+
+    /// Applies a newly-generated confidence score at input position `exit`
+    /// and returns the predictor output for the accumulated inputs.
+    ///
+    /// Cost: `O(hidden)` for the column update plus the output layer,
+    /// instead of the full `O(hidden × exits)` input-layer product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exit` is out of range or was already applied (a confidence
+    /// score is generated exactly once per exit).
+    pub fn update(&mut self, predictor: &CsPredictor, exit: usize, confidence: f32) -> Vec<f32> {
+        assert!(exit < self.applied.len(), "exit index out of range");
+        assert!(!self.applied[exit], "exit {exit} already applied");
+        self.applied[exit] = true;
+        if confidence != 0.0 {
+            let l1 = predictor.input_layer();
+            let w1 = l1.weight().as_slice();
+            let n = predictor.num_exits();
+            for (h, z) in self.z1.iter_mut().enumerate() {
+                *z += w1[h * n + exit] * confidence;
+            }
+        }
+        self.read(predictor)
+    }
+
+    /// Computes the predictor output from the cached pre-activations without
+    /// applying new inputs.
+    pub fn read(&self, predictor: &CsPredictor) -> Vec<f32> {
+        let hidden: Vec<f32> = self.z1.iter().map(|&z| z.max(0.0)).collect();
+        predictor.output_from_hidden(&hidden)
+    }
+
+    /// Number of input positions already applied.
+    pub fn applied_count(&self) -> usize {
+        self.applied.iter().filter(|&&a| a).count()
+    }
+
+    /// Extra memory the cache occupies, in bytes (what Table III of the
+    /// paper reports against the inference speed-up).
+    pub fn memory_bytes(&self) -> usize {
+        self.z1.len() * std::mem::size_of::<f32>() + self.applied.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_matches_full_inference() {
+        let p = CsPredictor::new(6, 32, 7);
+        let mut cache = ActivationCache::new(&p);
+        let confs = [0.31_f32, 0.44, 0.58, 0.71, 0.83, 0.97];
+        let mut accumulated = vec![0.0_f32; 6];
+        for (i, &c) in confs.iter().enumerate() {
+            accumulated[i] = c;
+            let inc = cache.update(&p, i, c);
+            let full = p.infer(&accumulated);
+            for (a, b) in inc.iter().zip(&full) {
+                assert!((a - b).abs() < 1e-4, "step {i}: {a} vs {b}");
+            }
+        }
+        assert_eq!(cache.applied_count(), 6);
+    }
+
+    #[test]
+    fn out_of_order_updates_match_full() {
+        // EINet can skip branches, so confidences arrive at arbitrary exits.
+        let p = CsPredictor::new(5, 16, 2);
+        let mut cache = ActivationCache::new(&p);
+        cache.update(&p, 3, 0.6);
+        let inc = cache.update(&p, 1, 0.4);
+        let full = p.infer(&[0.0, 0.4, 0.0, 0.6, 0.0]);
+        for (a, b) in inc.iter().zip(&full) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_cache_read_matches_zero_input() {
+        let p = CsPredictor::new(4, 8, 3);
+        let cache = ActivationCache::new(&p);
+        let read = cache.read(&p);
+        let full = p.infer(&[0.0; 4]);
+        for (a, b) in read.iter().zip(&full) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_hidden() {
+        let small = ActivationCache::new(&CsPredictor::new(4, 16, 1));
+        let big = ActivationCache::new(&CsPredictor::new(4, 256, 1));
+        assert!(big.memory_bytes() > small.memory_bytes());
+        assert_eq!(big.memory_bytes(), 256 * 4 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already applied")]
+    fn double_update_panics() {
+        let p = CsPredictor::new(3, 8, 1);
+        let mut cache = ActivationCache::new(&p);
+        cache.update(&p, 0, 0.5);
+        cache.update(&p, 0, 0.6);
+    }
+}

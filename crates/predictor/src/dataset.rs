@@ -1,0 +1,168 @@
+//! CS-Predictor training-set construction (Fig. 5 of the paper).
+
+use einet_profile::CsProfile;
+
+/// A CS-Predictor training set: partial confidence lists as inputs, full
+/// lists as targets, and per-position loss masks.
+///
+/// For a profiled sample with confidences `[c0, c1, c2]`, the construction
+/// of Fig. 5 yields one data piece per executed prefix:
+///
+/// | input            | target          | mask (future only) |
+/// |------------------|-----------------|--------------------|
+/// | `[c0, 0, 0]`     | `[c0, c1, c2]`  | `[0, 1, 1]`        |
+/// | `[c0, c1, 0]`    | `[c0, c1, c2]`  | `[0, 0, 1]`        |
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorDataset {
+    inputs: Vec<Vec<f32>>,
+    targets: Vec<Vec<f32>>,
+    masks: Vec<Vec<f32>>,
+    num_exits: usize,
+}
+
+impl PredictorDataset {
+    /// Number of data pieces.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Exit count (vector width).
+    pub fn num_exits(&self) -> usize {
+        self.num_exits
+    }
+
+    /// Data piece `i` as `(input, target, mask)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn piece(&self, i: usize) -> (&[f32], &[f32], &[f32]) {
+        (&self.inputs[i], &self.targets[i], &self.masks[i])
+    }
+
+    /// Gathers pieces at `indices` into dense `(inputs, targets, masks)`
+    /// row-major buffers for batch training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let n = self.num_exits;
+        let mut inputs = Vec::with_capacity(indices.len() * n);
+        let mut targets = Vec::with_capacity(indices.len() * n);
+        let mut masks = Vec::with_capacity(indices.len() * n);
+        for &i in indices {
+            inputs.extend_from_slice(&self.inputs[i]);
+            targets.extend_from_slice(&self.targets[i]);
+            masks.extend_from_slice(&self.masks[i]);
+        }
+        (inputs, targets, masks)
+    }
+}
+
+/// Builds the training set from a CS-profile: each profiled sample with `n`
+/// exits contributes `n - 1` data pieces (prefixes of length `1..n`), all
+/// sharing the sample's full confidence list as the target.
+///
+/// # Panics
+///
+/// Panics if the profile is empty or has fewer than two exits.
+pub fn build_training_set(profile: &CsProfile) -> PredictorDataset {
+    assert!(!profile.is_empty(), "profile is empty");
+    let n = profile.num_exits();
+    assert!(n >= 2, "a predictor needs at least two exits");
+    let mut inputs = Vec::with_capacity(profile.len() * (n - 1));
+    let mut targets = Vec::with_capacity(profile.len() * (n - 1));
+    let mut masks = Vec::with_capacity(profile.len() * (n - 1));
+    for s in 0..profile.len() {
+        let full = profile.confidences(s);
+        for prefix in 1..n {
+            let mut input = vec![0.0_f32; n];
+            input[..prefix].copy_from_slice(&full[..prefix]);
+            let mut mask = vec![0.0_f32; n];
+            for m in mask.iter_mut().skip(prefix) {
+                *m = 1.0;
+            }
+            inputs.push(input);
+            targets.push(full.to_vec());
+            masks.push(mask);
+        }
+    }
+    PredictorDataset {
+        inputs,
+        targets,
+        masks,
+        num_exits: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> CsProfile {
+        CsProfile::new(
+            vec![vec![0.5126, 0.8602, 0.9999], vec![0.7877, 0.9999, 1.0]],
+            vec![vec![1, 1, 1], vec![0, 0, 0]],
+            vec![1, 0],
+            3,
+        )
+    }
+
+    #[test]
+    fn fig5_construction() {
+        let ds = build_training_set(&profile());
+        // Two samples × (3 - 1) prefixes.
+        assert_eq!(ds.len(), 4);
+        let (input, target, mask) = ds.piece(0);
+        assert_eq!(input, &[0.5126, 0.0, 0.0]);
+        assert_eq!(target, &[0.5126, 0.8602, 0.9999]);
+        assert_eq!(mask, &[0.0, 1.0, 1.0]);
+        let (input, target, mask) = ds.piece(1);
+        assert_eq!(input, &[0.5126, 0.8602, 0.0]);
+        assert_eq!(target, &[0.5126, 0.8602, 0.9999]);
+        assert_eq!(mask, &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn all_pieces_share_sample_target() {
+        let ds = build_training_set(&profile());
+        assert_eq!(ds.piece(2).1, ds.piece(3).1);
+        assert_ne!(ds.piece(0).1, ds.piece(2).1);
+    }
+
+    #[test]
+    fn gather_concatenates_rows() {
+        let ds = build_training_set(&profile());
+        let (inp, tgt, msk) = ds.gather(&[0, 2]);
+        assert_eq!(inp.len(), 6);
+        assert_eq!(tgt.len(), 6);
+        assert_eq!(msk.len(), 6);
+        assert_eq!(&inp[3..], &[0.7877, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mask_is_future_only() {
+        let ds = build_training_set(&profile());
+        for i in 0..ds.len() {
+            let (input, _, mask) = ds.piece(i);
+            for j in 0..3 {
+                if mask[j] == 1.0 {
+                    assert_eq!(input[j], 0.0, "future exits carry no input");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two exits")]
+    fn rejects_single_exit() {
+        let p = CsProfile::new(vec![vec![0.9]], vec![vec![0]], vec![0], 1);
+        build_training_set(&p);
+    }
+}

@@ -1,0 +1,36 @@
+//! # einet-predictor
+//!
+//! **Confidence-Score Predictors** (Section IV-C of the paper).
+//!
+//! During elastic inference, after the multi-exit network produces a result
+//! at exit `x`, EINet needs an estimate of the confidence the *remaining*
+//! exits would achieve for this particular sample. A [`CsPredictor`] — a
+//! small fully-connected network — provides that estimate:
+//!
+//! * its input is the length-`n` confidence list with zeros at unexecuted
+//!   exits (Fig. 5),
+//! * it is trained with the **masked MSE** loss of Eq. 3, so only the future
+//!   exits contribute gradient,
+//! * inference applies the binary-mask update of Eq. 1
+//!   (`O' = O·M + L·M̄`): known past scores pass through unchanged, the
+//!   predictor fills in the future,
+//! * the [`ActivationCache`] implements the paper's incremental-inference
+//!   optimisation: since confidences arrive one at a time, the hidden-layer
+//!   pre-activations are cached and updated with a single weight column per
+//!   new score instead of a full matrix-vector product.
+//!
+//! Training sets are built from platform-independent CS-profiles with
+//! [`build_training_set`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod dataset;
+mod mlp;
+mod train;
+
+pub use cache::ActivationCache;
+pub use dataset::{build_training_set, PredictorDataset};
+pub use mlp::CsPredictor;
+pub use train::{masked_eval_loss, train_predictor, PredictorTrainConfig};

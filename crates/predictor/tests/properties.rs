@@ -1,0 +1,82 @@
+//! Property-based tests for the CS-Predictor stack.
+
+use einet_predictor::{build_training_set, ActivationCache, CsPredictor};
+use einet_profile::CsProfile;
+use proptest::prelude::*;
+
+fn arb_confs(exits: usize, samples: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(0.01_f32..1.0, exits), samples)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental (Activation-Cache) inference equals full inference for
+    /// any arrival order of confidence scores.
+    #[test]
+    fn cache_equals_full_inference(seed in 0u64..500,
+                                   confs in proptest::collection::vec(0.01_f32..1.0, 6),
+                                   order in Just(()) ) {
+        let _ = order;
+        let p = CsPredictor::new(6, 24, seed);
+        let mut cache = ActivationCache::new(&p);
+        let mut dense = vec![0.0_f32; 6];
+        // Apply in a seed-scrambled order to cover skipping patterns.
+        let mut idx: Vec<usize> = (0..6).collect();
+        idx.rotate_left((seed % 6) as usize);
+        for &i in &idx {
+            dense[i] = confs[i];
+            let inc = cache.update(&p, i, confs[i]);
+            let full = p.infer(&dense);
+            for (a, b) in inc.iter().zip(&full) {
+                prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Eq. 1 masking: executed positions pass through exactly; the rest are
+    /// clamped predictions.
+    #[test]
+    fn masked_prediction_law(seed in 0u64..200, known in 0.01_f32..1.0, pos in 0usize..5) {
+        let p = CsPredictor::new(5, 16, seed);
+        let mut executed = vec![None; 5];
+        executed[pos] = Some(known);
+        let out = p.predict_masked(&executed);
+        prop_assert_eq!(out[pos], known);
+        for (i, v) in out.iter().enumerate() {
+            if i != pos {
+                prop_assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+
+    /// The Fig. 5 training-set construction always yields (n-1) pieces per
+    /// sample with masks complementary to the inputs.
+    #[test]
+    fn training_set_shape(confs in arb_confs(4, 5)) {
+        let n = confs.len();
+        let preds = vec![vec![0_u16; 4]; n];
+        let labels = vec![0_u16; n];
+        let profile = CsProfile::new(confs, preds, labels, 4);
+        let ds = build_training_set(&profile);
+        prop_assert_eq!(ds.len(), n * 3);
+        for i in 0..ds.len() {
+            let (input, target, mask) = ds.piece(i);
+            for j in 0..4 {
+                if mask[j] == 1.0 {
+                    prop_assert_eq!(input[j], 0.0);
+                } else {
+                    prop_assert_eq!(input[j], target[j]);
+                }
+            }
+        }
+    }
+
+    /// Inference is deterministic: same input, same output.
+    #[test]
+    fn inference_deterministic(seed in 0u64..200,
+                               input in proptest::collection::vec(0.0_f32..1.0, 8)) {
+        let p = CsPredictor::new(8, 32, seed);
+        prop_assert_eq!(p.infer(&input), p.infer(&input));
+    }
+}

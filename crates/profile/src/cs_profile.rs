@@ -1,0 +1,270 @@
+//! Confidence-score profiles (Section IV-B2).
+
+use einet_data::{BatchIter, ImageSet};
+use einet_tensor::{softmax_rows, Mode};
+
+use einet_models::MultiExitNet;
+
+/// For every profiled sample: the confidence score (maximum softmax value)
+/// and the predicted class at *every* exit, plus the true label.
+///
+/// CS-profiles are platform-independent — they depend only on the model and
+/// the inputs — so one profile serves every [`crate::EdgePlatform`]. They are
+/// used to (a) build the CS-Predictor training sets (Fig. 5 of the paper)
+/// and (b) drive the elastic-inference simulation without re-running the
+/// network for every random kill time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsProfile {
+    confidences: Vec<Vec<f32>>,
+    predictions: Vec<Vec<u16>>,
+    labels: Vec<u16>,
+    num_exits: usize,
+}
+
+impl CsProfile {
+    /// Wraps raw profile data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-sample vectors are ragged or lengths disagree.
+    pub fn new(
+        confidences: Vec<Vec<f32>>,
+        predictions: Vec<Vec<u16>>,
+        labels: Vec<u16>,
+        num_exits: usize,
+    ) -> Self {
+        assert_eq!(confidences.len(), labels.len(), "sample count mismatch");
+        assert_eq!(predictions.len(), labels.len(), "sample count mismatch");
+        assert!(
+            confidences.iter().all(|c| c.len() == num_exits)
+                && predictions.iter().all(|p| p.len() == num_exits),
+            "every sample must cover every exit"
+        );
+        CsProfile {
+            confidences,
+            predictions,
+            labels,
+            num_exits,
+        }
+    }
+
+    /// Profiles `net` over every sample of `set`, executing all exits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty.
+    pub fn generate(net: &mut MultiExitNet, set: &ImageSet) -> Self {
+        assert!(!set.is_empty(), "profiling set is empty");
+        let num_exits = net.num_exits();
+        let n = set.len();
+        let mut confidences = vec![vec![0.0_f32; num_exits]; n];
+        let mut predictions = vec![vec![0_u16; num_exits]; n];
+        let labels: Vec<u16> = set.labels().iter().map(|&l| l as u16).collect();
+        let batch = 32;
+        let mut offset = 0;
+        for (images, batch_labels) in BatchIter::sequential(set, batch) {
+            let logits = net.forward_all(&images, Mode::Eval);
+            for (exit, l) in logits.iter().enumerate() {
+                let probs = softmax_rows(l);
+                for row in 0..batch_labels.len() {
+                    let pred = probs.row_argmax(row);
+                    confidences[offset + row][exit] = probs.at2(row, pred);
+                    predictions[offset + row][exit] = pred as u16;
+                }
+            }
+            offset += batch_labels.len();
+        }
+        CsProfile {
+            confidences,
+            predictions,
+            labels,
+            num_exits,
+        }
+    }
+
+    /// Number of profiled samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of exits.
+    pub fn num_exits(&self) -> usize {
+        self.num_exits
+    }
+
+    /// Confidence scores of sample `i` at every exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn confidences(&self, i: usize) -> &[f32] {
+        &self.confidences[i]
+    }
+
+    /// Predicted classes of sample `i` at every exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn predictions(&self, i: usize) -> &[u16] {
+        &self.predictions[i]
+    }
+
+    /// True label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> u16 {
+        self.labels[i]
+    }
+
+    /// Whether exit `exit` classifies sample `i` correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn correct(&self, i: usize, exit: usize) -> bool {
+        self.predictions[i][exit] == self.labels[i]
+    }
+
+    /// Classification accuracy of each exit over the whole profile.
+    pub fn exit_accuracy(&self) -> Vec<f32> {
+        let n = self.len().max(1);
+        (0..self.num_exits)
+            .map(|e| {
+                let correct = (0..self.len()).filter(|&i| self.correct(i, e)).count();
+                correct as f32 / n as f32
+            })
+            .collect()
+    }
+
+    /// Per-exit confidence calibration factors `accuracy / mean confidence`.
+    ///
+    /// The confidence score stands in for the probability of correctness in
+    /// the accuracy-expectation metric (Eq. 5); modern networks are
+    /// over-confident, so multiplying a confidence by its exit's factor maps
+    /// it onto the accuracy scale. (The paper's Fig. 11 match between
+    /// expectation and ground truth presumes calibrated confidences.)
+    pub fn exit_calibration(&self) -> Vec<f32> {
+        self.exit_accuracy()
+            .iter()
+            .zip(self.exit_mean_confidence())
+            .map(|(&acc, conf)| {
+                if conf > 1e-6 {
+                    (acc / conf).clamp(0.0, 2.0)
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Mean confidence of each exit over the whole profile.
+    pub fn exit_mean_confidence(&self) -> Vec<f32> {
+        let n = self.len().max(1) as f32;
+        (0..self.num_exits)
+            .map(|e| self.confidences.iter().map(|c| c[e]).sum::<f32>() / n)
+            .collect()
+    }
+
+    /// Internal raw access for serialization.
+    pub(crate) fn raw(&self) -> (&[Vec<f32>], &[Vec<u16>], &[u16]) {
+        (&self.confidences, &self.predictions, &self.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einet_data::{Dataset, SynthDigits};
+    use einet_models::{zoo, BranchSpec};
+
+    fn profile() -> CsProfile {
+        let ds = SynthDigits::generate(20, 12, 2);
+        let mut net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 2);
+        CsProfile::generate(&mut net, ds.test())
+    }
+
+    #[test]
+    fn generate_covers_all_samples_and_exits() {
+        let p = profile();
+        assert_eq!(p.len(), 12);
+        assert_eq!(p.num_exits(), 3);
+        for i in 0..p.len() {
+            assert_eq!(p.confidences(i).len(), 3);
+            assert!(p.confidences(i).iter().all(|&c| (0.0..=1.0).contains(&c)));
+            assert!(p.predictions(i).iter().all(|&c| c < 10));
+        }
+    }
+
+    #[test]
+    fn confidence_at_least_one_over_k() {
+        // The max softmax value over 10 classes is at least 0.1.
+        let p = profile();
+        for i in 0..p.len() {
+            assert!(p.confidences(i).iter().all(|&c| c >= 0.1 - 1e-5));
+        }
+    }
+
+    #[test]
+    fn accuracy_consistent_with_correct() {
+        let p = profile();
+        let acc = p.exit_accuracy();
+        for (e, &a) in acc.iter().enumerate() {
+            let manual = (0..p.len()).filter(|&i| p.correct(i, e)).count() as f32 / p.len() as f32;
+            assert_eq!(a, manual);
+        }
+    }
+
+    #[test]
+    fn calibration_maps_confidence_to_accuracy_scale() {
+        // Exit 0: always correct, confidence 0.5 -> factor 2 (clamped cap).
+        // Exit 1: never correct -> factor 0.
+        let p = CsProfile::new(
+            vec![vec![0.5, 0.8]; 4],
+            vec![vec![1, 0]; 4],
+            vec![1; 4],
+            2,
+        );
+        let cal = p.exit_calibration();
+        assert!((cal[0] - 2.0).abs() < 1e-6);
+        assert!(cal[1].abs() < 1e-6);
+        // Applying the factors maps mean confidence onto accuracy exactly.
+        let mean = p.exit_mean_confidence();
+        let acc = p.exit_accuracy();
+        for e in 0..2 {
+            assert!((mean[e] * cal[e] - acc[e]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn calibration_is_identity_for_calibrated_profiles() {
+        // Confidence equals empirical accuracy -> factors are 1.
+        let p = CsProfile::new(
+            vec![vec![0.5]; 2],
+            vec![vec![0], vec![1]],
+            vec![0, 0],
+            1,
+        );
+        let cal = p.exit_calibration();
+        assert!((cal[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn new_validates_raggedness() {
+        let ok = CsProfile::new(vec![vec![0.5, 0.5]], vec![vec![0, 1]], vec![1], 2);
+        assert_eq!(ok.num_exits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every exit")]
+    fn new_rejects_ragged() {
+        CsProfile::new(vec![vec![0.5]], vec![vec![0, 1]], vec![1], 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! Plain-text profile serialization.
+//!
+//! A tiny line-oriented format keeps the experiment artifact cache free of
+//! extra dependencies:
+//!
+//! ```text
+//! einet-et v1
+//! exits 3
+//! conv 1.25 0.8 0.9
+//! branch 0.2 0.2 0.25
+//! ```
+//!
+//! ```text
+//! einet-cs v1
+//! exits 3 samples 2
+//! 7 | 0.31 0.55 0.92 | 3 7 7
+//! 1 | 0.25 0.41 0.88 | 1 1 1
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use crate::cs_profile::CsProfile;
+use crate::et_profile::EtProfile;
+
+/// Errors from reading or writing profile files.
+#[derive(Debug)]
+pub enum ProfileIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file exists but does not parse as a profile.
+    Malformed(String),
+}
+
+impl fmt::Display for ProfileIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileIoError::Io(e) => write!(f, "profile i/o failed: {e}"),
+            ProfileIoError::Malformed(msg) => write!(f, "malformed profile: {msg}"),
+        }
+    }
+}
+
+impl Error for ProfileIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProfileIoError::Io(e) => Some(e),
+            ProfileIoError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProfileIoError {
+    fn from(e: std::io::Error) -> Self {
+        ProfileIoError::Io(e)
+    }
+}
+
+fn parse_floats(s: &str) -> Result<Vec<f64>, ProfileIoError> {
+    s.split_whitespace()
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|_| ProfileIoError::Malformed(format!("bad float {t:?}")))
+        })
+        .collect()
+}
+
+impl EtProfile {
+    /// Writes the profile to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ProfileIoError> {
+        let mut out = String::new();
+        out.push_str("einet-et v1\n");
+        out.push_str(&format!("exits {}\n", self.num_exits()));
+        out.push_str("conv");
+        for t in self.conv_ms() {
+            out.push_str(&format!(" {t:.17e}"));
+        }
+        out.push_str("\nbranch");
+        for t in self.branch_ms() {
+            out.push_str(&format!(" {t:.17e}"));
+        }
+        out.push('\n');
+        fs::write(path, out)?;
+        Ok(())
+    }
+
+    /// Reads a profile written by [`EtProfile::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file is missing or malformed.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ProfileIoError> {
+        let text = fs::read_to_string(path)?;
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        if header != "einet-et v1" {
+            return Err(ProfileIoError::Malformed(format!(
+                "unexpected header {header:?}"
+            )));
+        }
+        let _exits = lines.next(); // informational
+        let conv_line = lines
+            .next()
+            .and_then(|l| l.strip_prefix("conv "))
+            .ok_or_else(|| ProfileIoError::Malformed("missing conv line".into()))?;
+        let branch_line = lines
+            .next()
+            .and_then(|l| l.strip_prefix("branch "))
+            .ok_or_else(|| ProfileIoError::Malformed("missing branch line".into()))?;
+        EtProfile::new(parse_floats(conv_line)?, parse_floats(branch_line)?)
+    }
+}
+
+impl CsProfile {
+    /// Writes the profile to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ProfileIoError> {
+        let (confs, preds, labels) = self.raw();
+        let mut out = String::new();
+        out.push_str("einet-cs v1\n");
+        out.push_str(&format!(
+            "exits {} samples {}\n",
+            self.num_exits(),
+            self.len()
+        ));
+        for i in 0..labels.len() {
+            out.push_str(&labels[i].to_string());
+            out.push_str(" |");
+            for c in &confs[i] {
+                out.push_str(&format!(" {c:.9e}"));
+            }
+            out.push_str(" |");
+            for p in &preds[i] {
+                out.push_str(&format!(" {p}"));
+            }
+            out.push('\n');
+        }
+        fs::write(path, out)?;
+        Ok(())
+    }
+
+    /// Reads a profile written by [`CsProfile::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file is missing or malformed.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ProfileIoError> {
+        let text = fs::read_to_string(path)?;
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        if header != "einet-cs v1" {
+            return Err(ProfileIoError::Malformed(format!(
+                "unexpected header {header:?}"
+            )));
+        }
+        let meta = lines
+            .next()
+            .ok_or_else(|| ProfileIoError::Malformed("missing meta line".into()))?;
+        let fields: Vec<&str> = meta.split_whitespace().collect();
+        if fields.len() != 4 || fields[0] != "exits" || fields[2] != "samples" {
+            return Err(ProfileIoError::Malformed(format!("bad meta line {meta:?}")));
+        }
+        let exits: usize = fields[1]
+            .parse()
+            .map_err(|_| ProfileIoError::Malformed("bad exit count".into()))?;
+        let samples: usize = fields[3]
+            .parse()
+            .map_err(|_| ProfileIoError::Malformed("bad sample count".into()))?;
+        let mut confidences = Vec::with_capacity(samples);
+        let mut predictions = Vec::with_capacity(samples);
+        let mut labels = Vec::with_capacity(samples);
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('|').collect();
+            if parts.len() != 3 {
+                return Err(ProfileIoError::Malformed(format!("bad row {line:?}")));
+            }
+            let label: u16 = parts[0]
+                .trim()
+                .parse()
+                .map_err(|_| ProfileIoError::Malformed("bad label".into()))?;
+            let confs: Vec<f32> = parse_floats(parts[1])?
+                .into_iter()
+                .map(|v| v as f32)
+                .collect();
+            let preds: Vec<u16> = parts[2]
+                .split_whitespace()
+                .map(|t| {
+                    t.parse::<u16>()
+                        .map_err(|_| ProfileIoError::Malformed("bad prediction".into()))
+                })
+                .collect::<Result<_, _>>()?;
+            if confs.len() != exits || preds.len() != exits {
+                return Err(ProfileIoError::Malformed("row width mismatch".into()));
+            }
+            labels.push(label);
+            confidences.push(confs);
+            predictions.push(preds);
+        }
+        if labels.len() != samples {
+            return Err(ProfileIoError::Malformed(format!(
+                "expected {samples} samples, found {}",
+                labels.len()
+            )));
+        }
+        Ok(CsProfile::new(confidences, predictions, labels, exits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("einet-profile-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn et_roundtrip() {
+        let et = EtProfile::new(vec![1.5, 2.25], vec![0.125, 0.5]).unwrap();
+        let path = tmp("et.prof");
+        et.save(&path).unwrap();
+        let back = EtProfile::load(&path).unwrap();
+        assert_eq!(et, back);
+    }
+
+    #[test]
+    fn cs_roundtrip() {
+        let cs = CsProfile::new(
+            vec![vec![0.5, 0.75], vec![0.25, 1.0]],
+            vec![vec![1, 2], vec![0, 0]],
+            vec![2, 0],
+            2,
+        );
+        let path = tmp("cs.prof");
+        cs.save(&path).unwrap();
+        let back = CsProfile::load(&path).unwrap();
+        assert_eq!(cs.len(), back.len());
+        assert_eq!(cs.confidences(0), back.confidences(0));
+        assert_eq!(cs.predictions(1), back.predictions(1));
+        assert_eq!(cs.label(0), back.label(0));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        match EtProfile::load("/nonexistent/einet.prof") {
+            Err(ProfileIoError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage.prof");
+        fs::write(&path, "not a profile\n").unwrap();
+        assert!(matches!(
+            EtProfile::load(&path),
+            Err(ProfileIoError::Malformed(_))
+        ));
+        assert!(matches!(
+            CsProfile::load(&path),
+            Err(ProfileIoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = ProfileIoError::Malformed("oops".into());
+        assert!(e.to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # einet-profile
+//!
+//! Offline **Block-wise Model Profiling** (Section IV of the paper).
+//!
+//! EINet characterises a trained multi-exit network on a target platform with
+//! two profiles:
+//!
+//! * [`EtProfile`] — *Execution-Time profile*: the average time to run each
+//!   conv part and each branch. Platform-dependent, so it is regenerated per
+//!   device. Two sources are provided:
+//!   * [`EtProfile::measure`] — wall-clock measurement on this host
+//!     (what the paper does on each edge device), and
+//!   * [`EtProfile::from_cost_model`] — a deterministic FLOP-based model of
+//!     a chosen [`EdgePlatform`], which substitutes for the paper's fleet of
+//!     physical edge devices and makes experiments reproducible.
+//! * [`CsProfile`] — *Confidence-Score profile*: for every test sample, the
+//!   maximum-softmax confidence and predicted class at every exit.
+//!   Platform-independent (Section IV-B2); it both drives the elastic
+//!   inference simulation and forms the training set of the CS-Predictors.
+//!
+//! Profiles serialise to a plain line-oriented text format
+//! ([`EtProfile::save`], [`CsProfile::save`]) so experiment harnesses can
+//! cache them between runs without extra dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cs_profile;
+mod et_profile;
+mod io;
+mod platform;
+
+pub use cs_profile::CsProfile;
+pub use et_profile::{measure_distribution, EtProfile};
+pub use io::ProfileIoError;
+pub use platform::EdgePlatform;

@@ -1,0 +1,96 @@
+//! Edge-platform cost models.
+
+use std::fmt;
+
+/// A modelled edge device class.
+///
+/// The paper regenerates ET-profiles per physical platform; with no device
+/// fleet available, each variant models a device class by a sustained
+/// multiply-accumulate throughput plus a fixed per-block invocation overhead
+/// (kernel launch, cache warm-up, scheduling). The absolute numbers are
+/// deliberately round — only *ratios between blocks* matter to the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgePlatform {
+    /// Raspberry-Pi-class CPU (slow, high per-op overhead).
+    PiClass,
+    /// Jetson-class embedded GPU/SoC.
+    JetsonClass,
+    /// Workstation/server-class device (the paper's RTX-3090 host).
+    ServerClass,
+}
+
+impl EdgePlatform {
+    /// All modelled platforms, slowest first.
+    pub fn all() -> [EdgePlatform; 3] {
+        [
+            EdgePlatform::PiClass,
+            EdgePlatform::JetsonClass,
+            EdgePlatform::ServerClass,
+        ]
+    }
+
+    /// Sustained throughput in multiply-accumulates per millisecond.
+    pub fn macs_per_ms(&self) -> f64 {
+        match self {
+            EdgePlatform::PiClass => 2.0e5,
+            EdgePlatform::JetsonClass => 1.0e6,
+            EdgePlatform::ServerClass => 5.0e6,
+        }
+    }
+
+    /// Fixed overhead per block invocation, in milliseconds.
+    pub fn overhead_ms(&self) -> f64 {
+        match self {
+            EdgePlatform::PiClass => 0.05,
+            EdgePlatform::JetsonClass => 0.02,
+            EdgePlatform::ServerClass => 0.005,
+        }
+    }
+
+    /// Converts a MAC count into modelled milliseconds (without overhead).
+    pub fn ms_for_flops(&self, flops: u64) -> f64 {
+        flops as f64 / self.macs_per_ms()
+    }
+
+    /// Short identifier for reports.
+    pub fn id(&self) -> &'static str {
+        match self {
+            EdgePlatform::PiClass => "pi-class",
+            EdgePlatform::JetsonClass => "jetson-class",
+            EdgePlatform::ServerClass => "server-class",
+        }
+    }
+}
+
+impl fmt::Display for EdgePlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platforms_ordered_by_speed() {
+        let [pi, jetson, server] = EdgePlatform::all();
+        assert!(pi.macs_per_ms() < jetson.macs_per_ms());
+        assert!(jetson.macs_per_ms() < server.macs_per_ms());
+        assert!(pi.overhead_ms() > server.overhead_ms());
+    }
+
+    #[test]
+    fn ms_scales_linearly_with_flops() {
+        let p = EdgePlatform::JetsonClass;
+        assert!((p.ms_for_flops(2_000_000) - 2.0 * p.ms_for_flops(1_000_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<_> = EdgePlatform::all().iter().map(|p| p.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+}

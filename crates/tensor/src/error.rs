@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor construction and reshaping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The data length does not match the product of the shape dimensions.
+    ShapeMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A shape with zero dimensions was supplied where that is not allowed.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were provided"
+            ),
+            TensorError::EmptyShape => write!(f, "tensor shape must have at least one dimension"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('5'));
+        assert!(!TensorError::EmptyShape.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,80 @@
+//! Weight initialisation schemes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Kaiming (He) uniform initialisation: `U(-b, b)` with
+/// `b = sqrt(6 / fan_in)`, suited to ReLU networks.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero or `shape` is empty.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut SmallRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0_f32 / fan_in as f32).sqrt();
+    uniform_init(shape, bound, rng)
+}
+
+/// Xavier (Glorot) uniform initialisation: `U(-b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`, suited to linear/sigmoid layers.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out` is zero or `shape` is empty.
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut SmallRng,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let bound = (6.0_f32 / (fan_in + fan_out) as f32).sqrt();
+    uniform_init(shape, bound, rng)
+}
+
+/// Uniform initialisation in `[-bound, bound]`.
+///
+/// # Panics
+///
+/// Panics if `shape` is empty or `bound` is negative.
+pub fn uniform_init(shape: &[usize], bound: f32, rng: &mut SmallRng) -> Tensor {
+    assert!(bound >= 0.0, "bound must be non-negative");
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-bound..=bound)).collect();
+    Tensor::new(shape, data).expect("shape/data constructed consistently")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_values_within_bound() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = kaiming_uniform(&[8, 8], 8, &mut rng);
+        let bound = (6.0_f32 / 8.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= bound + 1e-6));
+        // Not all zero.
+        assert!(t.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fans() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = xavier_uniform(&[100], 1000, 1000, &mut rng);
+        assert!(t.max_abs() <= (6.0_f32 / 2000.0).sqrt() + 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        assert_eq!(
+            uniform_init(&[16], 1.0, &mut a).as_slice(),
+            uniform_init(&[16], 1.0, &mut b).as_slice()
+        );
+    }
+}

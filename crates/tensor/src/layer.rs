@@ -1,0 +1,145 @@
+//! The layer abstraction shared by every network module.
+
+use std::fmt;
+
+use crate::tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Layers such as [`crate::Dropout`] and [`crate::BatchNorm2d`] behave
+/// differently between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training: stochastic layers are active, batch statistics are updated.
+    Train,
+    /// Evaluation: deterministic inference path.
+    #[default]
+    Eval,
+}
+
+/// A trainable parameter with its gradient accumulator and SGD momentum
+/// buffer.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Momentum buffer used by [`crate::Sgd`].
+    pub velocity: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value, allocating zeroed gradient and momentum
+    /// buffers.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        let velocity = Tensor::zeros(value.shape());
+        Param {
+            value,
+            grad,
+            velocity,
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A neural-network module with explicit forward and backward passes.
+///
+/// The contract mirrors classic layer-wise frameworks:
+///
+/// 1. [`Layer::forward`] computes the output and caches whatever the backward
+///    pass needs (inputs, masks, column buffers, ...).
+/// 2. [`Layer::backward`] consumes that cache, accumulates parameter
+///    gradients into [`Param::grad`], and returns the gradient with respect
+///    to the layer input.
+///
+/// `backward` must be called at most once per `forward` and with a gradient
+/// of the output's shape. Gradients *accumulate* across calls until
+/// [`Layer::zero_grad`] — this is what lets multi-exit training sum losses
+/// from several branches.
+pub trait Layer: fmt::Debug + Send {
+    /// Computes the layer output for `input`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Back-propagates `grad_output`, returning the gradient w.r.t. the
+    /// input of the last `forward` call.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter. Layers without parameters keep the
+    /// default empty implementation.
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        let _ = visit;
+    }
+
+    /// Clears accumulated gradients on all parameters.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// The output shape for a given input shape (batch dimension included).
+    fn output_shape(&self, input: &[usize]) -> Vec<usize>;
+
+    /// Estimated multiply-accumulate count of one forward pass over `input`
+    /// (batch dimension included). Used by the FLOP-based edge-platform cost
+    /// model in `einet-profile`.
+    fn flops(&self, input: &[usize]) -> u64 {
+        let _ = input;
+        0
+    }
+
+    /// A short static name for diagnostics (`"conv2d"`, `"linear"`, ...).
+    fn kind(&self) -> &'static str;
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_allocates_matching_buffers() {
+        let p = Param::new(Tensor::zeros(&[2, 3]));
+        assert_eq!(p.grad.shape(), &[2, 3]);
+        assert_eq!(p.velocity.shape(), &[2, 3]);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::zeros(&[4]));
+        p.grad.as_mut_slice()[2] = 3.0;
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn mode_default_is_eval() {
+        assert_eq!(Mode::default(), Mode::Eval);
+    }
+}

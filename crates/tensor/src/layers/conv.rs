@@ -1,0 +1,411 @@
+//! 2-D convolution via im2col + GEMM.
+
+use rand::rngs::SmallRng;
+
+use crate::init::kaiming_uniform;
+use crate::layer::{Layer, Mode, Param};
+use crate::matmul::{mm, mm_a_bt, mm_at_b};
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer over `[n, c, h, w]` tensors.
+///
+/// The forward pass lowers each sample to a column matrix (im2col) and runs a
+/// single GEMM per sample — the standard CPU strategy. The column buffers are
+/// cached for the backward pass.
+///
+/// # Example
+///
+/// ```
+/// use einet_tensor::{Conv2d, Layer, Mode, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let x = Tensor::zeros(&[2, 3, 8, 8]);
+/// let y = conv.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape(), &[2, 8, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param, // [out_c, in_c*kh*kw]
+    bias: Param,   // [out_c]
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cached_cols: Vec<Vec<f32>>,
+    cached_in_shape: Vec<usize>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `k`×`k` kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_c`, `out_c`, `k`, `stride` is zero.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(
+            in_c > 0 && out_c > 0 && k > 0 && stride > 0,
+            "conv2d: zero dim"
+        );
+        let fan_in = in_c * k * k;
+        Conv2d {
+            weight: Param::new(kaiming_uniform(&[out_c, fan_in], fan_in, rng)),
+            bias: Param::new(Tensor::zeros(&[out_c])),
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            cached_cols: Vec::new(),
+            cached_in_shape: Vec::new(),
+        }
+    }
+
+    /// Output spatial size for an input spatial size.
+    fn out_dim(&self, d: usize) -> usize {
+        (d + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+}
+
+/// Lowers one `[c, h, w]` sample into an `[c*k*k, oh*ow]` column matrix.
+pub(crate) fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    let mut cols = vec![0.0_f32; c * k * k * oh * ow];
+    for ci in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let base = row * oh * ow;
+                for oi in 0..oh {
+                    let ih = (oi * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let in_base = (ci * h + ih as usize) * w;
+                    for oj in 0..ow {
+                        let iw = (oj * stride + kj) as isize - pad as isize;
+                        if iw < 0 || iw >= w as isize {
+                            continue;
+                        }
+                        cols[base + oi * ow + oj] = x[in_base + iw as usize];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Reverses [`im2col`]: scatters column gradients back into an image gradient.
+pub(crate) fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut [f32],
+) {
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    for ci in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (ci * k + ki) * k + kj;
+                let base = row * oh * ow;
+                for oi in 0..oh {
+                    let ih = (oi * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let out_base = (ci * h + ih as usize) * w;
+                    for oj in 0..ow {
+                        let iw = (oj * stride + kj) as isize - pad as isize;
+                        if iw < 0 || iw >= w as isize {
+                            continue;
+                        }
+                        out[out_base + iw as usize] += cols[base + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "conv2d expects [n,c,h,w]");
+        assert_eq!(shape[1], self.in_c, "conv2d channel mismatch");
+        let (n, h, w) = (shape[0], shape[2], shape[3]);
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        let per_in = self.in_c * h * w;
+        let kk = self.in_c * self.k * self.k;
+        let mut out = vec![0.0_f32; n * self.out_c * oh * ow];
+        self.cached_cols.clear();
+        self.cached_in_shape = shape.to_vec();
+        let x = input.as_slice();
+        let wt = self.weight.value.as_slice();
+        let b = self.bias.value.as_slice();
+        for i in 0..n {
+            let cols = im2col(
+                &x[i * per_in..(i + 1) * per_in],
+                self.in_c,
+                h,
+                w,
+                self.k,
+                self.stride,
+                self.pad,
+            );
+            let y = mm(wt, &cols, self.out_c, kk, oh * ow);
+            let dst = &mut out[i * self.out_c * oh * ow..(i + 1) * self.out_c * oh * ow];
+            for oc in 0..self.out_c {
+                let bias = b[oc];
+                for v in 0..oh * ow {
+                    dst[oc * oh * ow + v] = y[oc * oh * ow + v] + bias;
+                }
+            }
+            self.cached_cols.push(cols);
+        }
+        Tensor::new(&[n, self.out_c, oh, ow], out).expect("conv output shape consistent")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(
+            !self.cached_cols.is_empty() || self.cached_in_shape.first() == Some(&0),
+            "conv2d backward without forward"
+        );
+        let in_shape = self.cached_in_shape.clone();
+        let (n, h, w) = (in_shape[0], in_shape[2], in_shape[3]);
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        let kk = self.in_c * self.k * self.k;
+        let g = grad_output.as_slice();
+        assert_eq!(g.len(), n * self.out_c * oh * ow, "conv2d grad shape");
+        let per_in = self.in_c * h * w;
+        let mut grad_in = vec![0.0_f32; n * per_in];
+        let wt = self.weight.value.as_slice().to_vec();
+        for i in 0..n {
+            let gi = &g[i * self.out_c * oh * ow..(i + 1) * self.out_c * oh * ow];
+            let cols = &self.cached_cols[i];
+            // dW += dY * cols^T  (out_c x kk)
+            let dw = mm_a_bt(gi, cols, self.out_c, oh * ow, kk);
+            self.weight.grad.add_scaled(&Tensor::from_vec(dw), 1.0);
+            // db += row sums of dY
+            {
+                let db = self.bias.grad.as_mut_slice();
+                for oc in 0..self.out_c {
+                    let mut s = 0.0;
+                    for v in 0..oh * ow {
+                        s += gi[oc * oh * ow + v];
+                    }
+                    db[oc] += s;
+                }
+            }
+            // dCols = W^T * dY (kk x oh*ow), then col2im.
+            let dcols = mm_at_b(&wt, gi, kk, self.out_c, oh * ow);
+            col2im(
+                &dcols,
+                self.in_c,
+                h,
+                w,
+                self.k,
+                self.stride,
+                self.pad,
+                &mut grad_in[i * per_in..(i + 1) * per_in],
+            );
+        }
+        self.cached_cols.clear();
+        Tensor::new(&in_shape, grad_in).expect("conv grad shape consistent")
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        visit(&mut self.weight);
+        visit(&mut self.bias);
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        vec![
+            input[0],
+            self.out_c,
+            self.out_dim(input[2]),
+            self.out_dim(input[3]),
+        ]
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        let oh = self.out_dim(input[2]) as u64;
+        let ow = self.out_dim(input[3]) as u64;
+        let kk = (self.in_c * self.k * self.k) as u64;
+        input[0] as u64 * self.out_c as u64 * oh * ow * kk
+    }
+
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn forward_shape_with_padding() {
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng());
+        let x = Tensor::zeros(&[3, 2, 5, 5]);
+        assert_eq!(conv.forward(&x, Mode::Eval).shape(), &[3, 4, 5, 5]);
+        assert_eq!(conv.output_shape(&[3, 2, 5, 5]), vec![3, 4, 5, 5]);
+    }
+
+    #[test]
+    fn forward_shape_strided() {
+        let mut conv = Conv2d::new(1, 2, 3, 2, 1, &mut rng());
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        assert_eq!(conv.forward(&x, Mode::Eval).shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1 and bias 0 is the identity.
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng());
+        conv.visit_params(&mut |p| {
+            if p.value.len() == 1 {
+                p.value.as_mut_slice()[0] = 1.0;
+            }
+        });
+        // bias is also len-1; set weight=1, bias=0 explicitly.
+        let mut first = true;
+        conv.visit_params(&mut |p| {
+            p.value.as_mut_slice()[0] = if first { 1.0 } else { 0.0 };
+            first = false;
+        });
+        let x = Tensor::new(&[1, 1, 2, 2], vec![1.0, -2.0, 3.0, 4.0]).unwrap();
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_col2im_roundtrip_counts_overlaps() {
+        // With k=1, stride=1, pad=0 the mapping is a bijection.
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let cols = im2col(&x, 1, 2, 2, 1, 1, 0);
+        assert_eq!(cols, x);
+        let mut back = vec![0.0; 4];
+        col2im(&cols, 1, 2, 2, 1, 1, 0, &mut back);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn gradient_check_finite_difference() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut r);
+        let x = kaiming_uniform(&[1, 2, 4, 4], 4, &mut r)
+            .reshaped(&[1, 2, 4, 4])
+            .unwrap();
+        // Loss = sum(forward(x)). Analytic input gradient:
+        let y = conv.forward(&x, Mode::Train);
+        let ones = Tensor::filled(y.shape(), 1.0);
+        let gx = conv.backward(&ones);
+        // Numeric check on a handful of coordinates.
+        let eps = 1e-3_f32;
+        for &idx in &[0usize, 5, 13, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let sp: f32 = conv.forward(&xp, Mode::Train).as_slice().iter().sum();
+            conv.cached_cols.clear();
+            let sm: f32 = conv.forward(&xm, Mode::Train).as_slice().iter().sum();
+            conv.cached_cols.clear();
+            let num = (sp - sm) / (2.0 * eps);
+            let ana = gx.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "grad mismatch at {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_check() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, &mut r);
+        let x = kaiming_uniform(&[1, 1, 5, 5], 25, &mut r)
+            .reshaped(&[1, 1, 5, 5])
+            .unwrap();
+        let y = conv.forward(&x, Mode::Train);
+        let ones = Tensor::filled(y.shape(), 1.0);
+        conv.backward(&ones);
+        let mut grads = Vec::new();
+        conv.visit_params(&mut |p| grads.push((p.value.clone(), p.grad.clone())));
+        let (wv, wg) = grads[0].clone();
+        let eps = 1e-3_f32;
+        for &idx in &[0usize, 4, 9] {
+            let mut wp = wv.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = wv.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let set = |val: &Tensor, conv: &mut Conv2d| {
+                let mut first = true;
+                let val = val.clone();
+                conv.visit_params(&mut |p| {
+                    if first {
+                        p.value = val.clone();
+                        first = false;
+                    }
+                });
+            };
+            set(&wp, &mut conv);
+            let sp: f32 = conv.forward(&x, Mode::Train).as_slice().iter().sum();
+            set(&wm, &mut conv);
+            let sm: f32 = conv.forward(&x, Mode::Train).as_slice().iter().sum();
+            set(&wv, &mut conv);
+            conv.cached_cols.clear();
+            let num = (sp - sm) / (2.0 * eps);
+            assert!(
+                (num - wg.as_slice()[idx]).abs() < 1e-2,
+                "weight grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng());
+        assert_eq!(conv.flops(&[2, 2, 8, 8]), 2 * conv.flops(&[1, 2, 8, 8]));
+        assert!(conv.flops(&[1, 2, 8, 8]) > 0);
+    }
+}

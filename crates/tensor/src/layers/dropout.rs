@@ -1,0 +1,159 @@
+//! Inverted dropout.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layer::{Layer, Mode};
+use crate::tensor::Tensor;
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`; evaluation is the identity.
+///
+/// The paper uses dropout both in exit branches and in the CS-Predictor
+/// (Section IV-C2) to improve robustness.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: SmallRng,
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
+        Dropout {
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+            mask: Vec::new(),
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        match mode {
+            Mode::Eval => {
+                self.mask.clear();
+                input.clone()
+            }
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let scale = 1.0 / keep;
+                self.mask = input
+                    .as_slice()
+                    .iter()
+                    .map(|_| {
+                        if self.rng.gen::<f32>() < keep {
+                            scale
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let data = input
+                    .as_slice()
+                    .iter()
+                    .zip(self.mask.iter())
+                    .map(|(&v, &m)| v * m)
+                    .collect();
+                Tensor::new(input.shape(), data).expect("dropout output shape consistent")
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        if self.mask.is_empty() {
+            // Eval-mode forward: identity.
+            return grad_output.clone();
+        }
+        assert_eq!(
+            grad_output.len(),
+            self.mask.len(),
+            "dropout backward without matching forward"
+        );
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Tensor::new(grad_output.shape(), data).expect("dropout grad shape consistent")
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn kind(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, Mode::Eval).as_slice(), x.as_slice());
+        assert_eq!(
+            d.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0]))
+                .as_slice(),
+            &[1.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn train_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::filled(&[1000], 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((300..700).contains(&zeros), "dropped {zeros} of 1000");
+        // Survivors are scaled by 2.
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::filled(&[64], 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::filled(&[64], 1.0));
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_probability_keeps_everything() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Tensor::filled(&[16], 3.0);
+        assert_eq!(d.forward(&x, Mode::Train).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_p_of_one() {
+        Dropout::new(1.0, 0);
+    }
+}

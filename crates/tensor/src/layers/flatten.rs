@@ -1,0 +1,70 @@
+//! Shape-flattening layer.
+
+use crate::layer::{Layer, Mode};
+use crate::tensor::Tensor;
+
+/// Flattens `[n, d1, d2, ...]` into `[n, d1*d2*...]`, remembering the shape
+/// so the backward pass can restore it.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.in_shape = input.shape().to_vec();
+        let n = input.batch_len();
+        let per = input.per_item();
+        input
+            .clone()
+            .reshaped(&[n, per])
+            .expect("flatten preserves element count")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(
+            !self.in_shape.is_empty(),
+            "flatten backward without forward"
+        );
+        grad_output
+            .clone()
+            .reshaped(&self.in_shape)
+            .expect("flatten grad matches cached shape")
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        vec![input[0], input[1..].iter().product()]
+    }
+
+    fn kind(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = f.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 60]);
+        let g = f.backward(&Tensor::zeros(&[2, 60]));
+        assert_eq!(g.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn output_shape_matches_forward() {
+        let f = Flatten::new();
+        assert_eq!(f.output_shape(&[7, 2, 2]), vec![7, 4]);
+    }
+}

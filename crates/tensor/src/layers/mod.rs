@@ -1,0 +1,10 @@
+//! Concrete layer implementations.
+
+pub mod activation;
+pub mod conv;
+pub mod dropout;
+pub mod flatten;
+pub mod linear;
+pub mod norm;
+pub mod pool;
+pub mod seq;

@@ -1,0 +1,243 @@
+//! Batch normalisation.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+
+/// Per-channel batch normalisation over `[n, c, h, w]` tensors.
+///
+/// Training normalises with batch statistics and updates exponential running
+/// averages; evaluation uses the running averages. Needed to train the
+/// ResNet-style backbones of the model zoo stably.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    // Backward cache.
+    xhat: Vec<f32>,
+    inv_std: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `c` channels with default momentum 0.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is zero.
+    pub fn new(c: usize) -> Self {
+        assert!(c > 0, "batchnorm: zero channels");
+        BatchNorm2d {
+            gamma: Param::new(Tensor::filled(&[c], 1.0)),
+            beta: Param::new(Tensor::zeros(&[c])),
+            running_mean: vec![0.0; c],
+            running_var: vec![1.0; c],
+            momentum: 0.1,
+            eps: 1e-5,
+            xhat: Vec::new(),
+            inv_std: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.running_mean.len()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "batchnorm expects [n,c,h,w]");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(c, self.channels(), "batchnorm channel mismatch");
+        let x = input.as_slice();
+        let m = (n * h * w) as f32;
+        let mut out = vec![0.0_f32; x.len()];
+        let g = self.gamma.value.as_slice().to_vec();
+        let b = self.beta.value.as_slice().to_vec();
+        match mode {
+            Mode::Train => {
+                self.xhat = vec![0.0; x.len()];
+                self.inv_std = vec![0.0; c];
+                self.in_shape = shape.to_vec();
+                for ch in 0..c {
+                    let mut sum = 0.0_f64;
+                    let mut sq = 0.0_f64;
+                    for ni in 0..n {
+                        let base = (ni * c + ch) * h * w;
+                        for v in &x[base..base + h * w] {
+                            sum += f64::from(*v);
+                            sq += f64::from(*v) * f64::from(*v);
+                        }
+                    }
+                    let mean = (sum / f64::from(m)) as f32;
+                    let var =
+                        ((sq / f64::from(m)) - f64::from(mean) * f64::from(mean)).max(0.0) as f32;
+                    let inv_std = 1.0 / (var + self.eps).sqrt();
+                    self.inv_std[ch] = inv_std;
+                    self.running_mean[ch] =
+                        (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                    self.running_var[ch] =
+                        (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                    for ni in 0..n {
+                        let base = (ni * c + ch) * h * w;
+                        for i in base..base + h * w {
+                            let xh = (x[i] - mean) * inv_std;
+                            self.xhat[i] = xh;
+                            out[i] = g[ch] * xh + b[ch];
+                        }
+                    }
+                }
+            }
+            Mode::Eval => {
+                for ch in 0..c {
+                    let inv_std = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+                    let mean = self.running_mean[ch];
+                    for ni in 0..n {
+                        let base = (ni * c + ch) * h * w;
+                        for i in base..base + h * w {
+                            out[i] = g[ch] * (x[i] - mean) * inv_std + b[ch];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::new(shape, out).expect("batchnorm output shape consistent")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(
+            !self.xhat.is_empty(),
+            "batchnorm backward requires a train-mode forward"
+        );
+        let shape = self.in_shape.clone();
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let m = (n * h * w) as f32;
+        let dy = grad_output.as_slice();
+        let mut grad_in = vec![0.0_f32; dy.len()];
+        let g = self.gamma.value.as_slice().to_vec();
+        for ch in 0..c {
+            let mut sum_dy = 0.0_f32;
+            let mut sum_dy_xhat = 0.0_f32;
+            for ni in 0..n {
+                let base = (ni * c + ch) * h * w;
+                for i in base..base + h * w {
+                    sum_dy += dy[i];
+                    sum_dy_xhat += dy[i] * self.xhat[i];
+                }
+            }
+            self.gamma.grad.as_mut_slice()[ch] += sum_dy_xhat;
+            self.beta.grad.as_mut_slice()[ch] += sum_dy;
+            let coef = g[ch] * self.inv_std[ch] / m;
+            for ni in 0..n {
+                let base = (ni * c + ch) * h * w;
+                for i in base..base + h * w {
+                    grad_in[i] = coef * (m * dy[i] - sum_dy - self.xhat[i] * sum_dy_xhat);
+                }
+            }
+        }
+        self.xhat.clear();
+        Tensor::new(&shape, grad_in).expect("batchnorm grad shape consistent")
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        visit(&mut self.gamma);
+        visit(&mut self.beta);
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        2 * input.iter().product::<usize>() as u64
+    }
+
+    fn kind(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_normalises_batch() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::new(&[2, 1, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = bn.forward(&x, Mode::Train);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        let var: f32 = y
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::new(&[2, 1, 1, 2], vec![10.0, 10.0, 10.0, 10.0]).unwrap();
+        // Before any training step the running stats are (0, 1):
+        let y = bn.forward(&x, Mode::Eval);
+        assert!((y.as_slice()[0] - 10.0).abs() < 1e-2);
+        // After a train pass on constant data the running mean moves toward 10.
+        bn.forward(&x, Mode::Train);
+        let y2 = bn.forward(&x, Mode::Eval);
+        assert!(y2.as_slice()[0] < y.as_slice()[0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::new(
+            &[2, 2, 1, 2],
+            vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.1, 0.0, 0.9],
+        )
+        .unwrap();
+        // Loss = weighted sum of output to give nontrivial gradient.
+        let weights: Vec<f32> = (0..8).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+        let y = bn.forward(&x, Mode::Train);
+        let loss = |t: &Tensor| -> f32 {
+            t.as_slice()
+                .iter()
+                .zip(weights.iter())
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        let _ = loss(&y);
+        let gx = bn.backward(&Tensor::new(&[2, 2, 1, 2], weights.clone()).unwrap());
+        let eps = 1e-3_f32;
+        for idx in 0..8 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = loss(&bn.forward(&xp, Mode::Train));
+            let lm = loss(&bn.forward(&xm, Mode::Train));
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[idx]).abs() < 2e-2,
+                "bn grad mismatch at {idx}: {num} vs {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "train-mode forward")]
+    fn backward_requires_train_forward() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval);
+        bn.backward(&Tensor::zeros(&[1, 1, 2, 2]));
+    }
+}

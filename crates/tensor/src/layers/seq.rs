@@ -1,0 +1,659 @@
+//! Sequence-model layers: layer normalisation, token-wise linear maps,
+//! sinusoidal positional encoding, and single-head self-attention.
+//!
+//! These support the multi-exit Transformer extension sketched in the
+//! paper's Discussion section ("the placement of exit branches between
+//! blocks enables it to be a multi-exit model"). All layers operate on
+//! `[n, t, d]` tensors (batch, tokens, model width).
+
+use rand::rngs::SmallRng;
+
+use crate::init::xavier_uniform;
+use crate::layer::{Layer, Mode, Param};
+use crate::matmul::{mm, mm_a_bt, mm_at_b};
+use crate::tensor::Tensor;
+
+fn check_3d(shape: &[usize], what: &str) {
+    assert_eq!(shape.len(), 3, "{what} expects [n, t, d], got {shape:?}");
+}
+
+/// Layer normalisation over the last dimension of `[n, t, d]` tensors.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    // Backward cache.
+    xhat: Vec<f32>,
+    inv_std: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm for width `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "layernorm width must be positive");
+        LayerNorm {
+            gamma: Param::new(Tensor::filled(&[d], 1.0)),
+            beta: Param::new(Tensor::zeros(&[d])),
+            eps: 1e-5,
+            xhat: Vec::new(),
+            inv_std: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+
+    /// The normalised width.
+    pub fn width(&self) -> usize {
+        self.gamma.value.len()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let shape = input.shape();
+        check_3d(shape, "layernorm");
+        let d = shape[2];
+        assert_eq!(d, self.width(), "layernorm width mismatch");
+        let rows = shape[0] * shape[1];
+        let x = input.as_slice();
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        self.xhat = vec![0.0; x.len()];
+        self.inv_std = vec![0.0; rows];
+        self.in_shape = shape.to_vec();
+        let mut out = vec![0.0_f32; x.len()];
+        for r in 0..rows {
+            let row = &x[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            self.inv_std[r] = inv_std;
+            for j in 0..d {
+                let xh = (row[j] - mean) * inv_std;
+                self.xhat[r * d + j] = xh;
+                out[r * d + j] = g[j] * xh + b[j];
+            }
+        }
+        Tensor::new(shape, out).expect("layernorm output shape consistent")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.xhat.is_empty(), "layernorm backward without forward");
+        let shape = self.in_shape.clone();
+        let d = shape[2];
+        let rows = shape[0] * shape[1];
+        let dy = grad_output.as_slice();
+        let g = self.gamma.value.as_slice().to_vec();
+        let mut grad_in = vec![0.0_f32; dy.len()];
+        for r in 0..rows {
+            let mut sum_dy_g = 0.0_f32;
+            let mut sum_dy_g_xhat = 0.0_f32;
+            for j in 0..d {
+                let i = r * d + j;
+                let dyg = dy[i] * g[j];
+                sum_dy_g += dyg;
+                sum_dy_g_xhat += dyg * self.xhat[i];
+                self.gamma.grad.as_mut_slice()[j] += dy[i] * self.xhat[i];
+                self.beta.grad.as_mut_slice()[j] += dy[i];
+            }
+            let inv = self.inv_std[r];
+            for j in 0..d {
+                let i = r * d + j;
+                let dyg = dy[i] * g[j];
+                grad_in[i] =
+                    inv * (dyg - sum_dy_g / d as f32 - self.xhat[i] * sum_dy_g_xhat / d as f32);
+            }
+        }
+        self.xhat.clear();
+        Tensor::new(&shape, grad_in).expect("layernorm grad shape consistent")
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        visit(&mut self.gamma);
+        visit(&mut self.beta);
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        3 * input.iter().product::<usize>() as u64
+    }
+
+    fn kind(&self) -> &'static str {
+        "layernorm"
+    }
+}
+
+/// A linear map applied independently to every token of `[n, t, d_in]`,
+/// producing `[n, t, d_out]`.
+#[derive(Debug)]
+pub struct TokenLinear {
+    weight: Param, // [out, in]
+    bias: Param,
+    in_d: usize,
+    out_d: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl TokenLinear {
+    /// Creates a token-wise linear layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is zero.
+    pub fn new(in_d: usize, out_d: usize, rng: &mut SmallRng) -> Self {
+        assert!(in_d > 0 && out_d > 0, "token linear: zero dim");
+        TokenLinear {
+            weight: Param::new(xavier_uniform(&[out_d, in_d], in_d, out_d, rng)),
+            bias: Param::new(Tensor::zeros(&[out_d])),
+            in_d,
+            out_d,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for TokenLinear {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let shape = input.shape();
+        check_3d(shape, "token linear");
+        assert_eq!(shape[2], self.in_d, "token linear width mismatch");
+        let rows = shape[0] * shape[1];
+        let mut out = mm_a_bt(
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            rows,
+            self.in_d,
+            self.out_d,
+        );
+        let b = self.bias.value.as_slice();
+        for r in 0..rows {
+            for j in 0..self.out_d {
+                out[r * self.out_d + j] += b[j];
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::new(&[shape[0], shape[1], self.out_d], out)
+            .expect("token linear output shape consistent")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("token linear backward without forward");
+        let shape = input.shape().to_vec();
+        let rows = shape[0] * shape[1];
+        let g = grad_output.as_slice();
+        let dw = mm_at_b(g, input.as_slice(), self.out_d, rows, self.in_d);
+        self.weight.grad.add_scaled(&Tensor::from_vec(dw), 1.0);
+        let db = self.bias.grad.as_mut_slice();
+        for r in 0..rows {
+            for j in 0..self.out_d {
+                db[j] += g[r * self.out_d + j];
+            }
+        }
+        let dx = mm(g, self.weight.value.as_slice(), rows, self.out_d, self.in_d);
+        Tensor::new(&shape, dx).expect("token linear grad shape consistent")
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        visit(&mut self.weight);
+        visit(&mut self.bias);
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        vec![input[0], input[1], self.out_d]
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        (input[0] * input[1] * self.in_d * self.out_d) as u64
+    }
+
+    fn kind(&self) -> &'static str {
+        "token_linear"
+    }
+}
+
+/// Adds the fixed sinusoidal positional encoding of "Attention Is All You
+/// Need" to `[n, t, d]` inputs. No parameters; backward is the identity.
+#[derive(Debug, Default)]
+pub struct PositionalEncoding {
+    table: Vec<f32>,
+    t: usize,
+    d: usize,
+}
+
+impl PositionalEncoding {
+    /// Creates an encoding for up to `t` tokens of width `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `d` is zero.
+    pub fn new(t: usize, d: usize) -> Self {
+        assert!(t > 0 && d > 0, "positional encoding dims must be positive");
+        let mut table = vec![0.0_f32; t * d];
+        for pos in 0..t {
+            for j in 0..d {
+                let angle = pos as f64 / 10_000_f64.powf((2 * (j / 2)) as f64 / d as f64);
+                table[pos * d + j] = if j % 2 == 0 {
+                    angle.sin() as f32
+                } else {
+                    angle.cos() as f32
+                };
+            }
+        }
+        PositionalEncoding { table, t, d }
+    }
+}
+
+impl Layer for PositionalEncoding {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let shape = input.shape();
+        check_3d(shape, "positional encoding");
+        assert!(shape[1] <= self.t, "sequence longer than encoding table");
+        assert_eq!(shape[2], self.d, "positional encoding width mismatch");
+        let mut out = input.clone();
+        let per = shape[1] * shape[2];
+        for n in 0..shape[0] {
+            let dst = &mut out.as_mut_slice()[n * per..(n + 1) * per];
+            for (o, &p) in dst.iter_mut().zip(self.table.iter()) {
+                *o += p;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        grad_output.clone()
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn kind(&self) -> &'static str {
+        "positional_encoding"
+    }
+}
+
+/// Single-head scaled dot-product self-attention over `[n, t, d]`:
+/// `softmax(QKᵀ/√d)·V` followed by an output projection.
+#[derive(Debug)]
+pub struct SelfAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    d: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug)]
+struct AttnCache {
+    x: Tensor,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn: Vec<f32>, // row-softmaxed scores, [n*t*t]
+    av: Vec<f32>,   // attn · V, [n*t*d]
+}
+
+impl SelfAttention {
+    /// Creates an attention layer of width `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn new(d: usize, rng: &mut SmallRng) -> Self {
+        assert!(d > 0, "attention width must be positive");
+        let mk = |rng: &mut SmallRng| Param::new(xavier_uniform(&[d, d], d, d, rng));
+        SelfAttention {
+            wq: mk(rng),
+            wk: mk(rng),
+            wv: mk(rng),
+            wo: mk(rng),
+            d,
+            cache: None,
+        }
+    }
+
+    /// The model width.
+    pub fn width(&self) -> usize {
+        self.d
+    }
+}
+
+impl Layer for SelfAttention {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let shape = input.shape();
+        check_3d(shape, "self attention");
+        assert_eq!(shape[2], self.d, "attention width mismatch");
+        let (n, t, d) = (shape[0], shape[1], shape[2]);
+        let x = input.as_slice();
+        let rows = n * t;
+        let q = mm_a_bt(x, self.wq.value.as_slice(), rows, d, d);
+        let k = mm_a_bt(x, self.wk.value.as_slice(), rows, d, d);
+        let v = mm_a_bt(x, self.wv.value.as_slice(), rows, d, d);
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut attn = vec![0.0_f32; n * t * t];
+        let mut av = vec![0.0_f32; n * t * d];
+        for s in 0..n {
+            let qs = &q[s * t * d..(s + 1) * t * d];
+            let ks = &k[s * t * d..(s + 1) * t * d];
+            let vs = &v[s * t * d..(s + 1) * t * d];
+            // scores = Q Kᵀ, then stable row softmax.
+            let mut scores = mm_a_bt(qs, ks, t, d, t);
+            for sc in scores.iter_mut() {
+                *sc *= scale;
+            }
+            for i in 0..t {
+                let row = &mut scores[i * t..(i + 1) * t];
+                let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+            attn[s * t * t..(s + 1) * t * t].copy_from_slice(&scores);
+            let out = mm(&scores, vs, t, t, d);
+            av[s * t * d..(s + 1) * t * d].copy_from_slice(&out);
+        }
+        let y = mm_a_bt(&av, self.wo.value.as_slice(), rows, d, d);
+        self.cache = Some(AttnCache {
+            x: input.clone(),
+            q,
+            k,
+            v,
+            attn,
+            av,
+        });
+        Tensor::new(shape, y).expect("attention output shape consistent")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("attention backward without forward");
+        let shape = cache.x.shape().to_vec();
+        let (n, t, d) = (shape[0], shape[1], shape[2]);
+        let rows = n * t;
+        let dy = grad_output.as_slice();
+        // Output projection.
+        let dwo = mm_at_b(dy, &cache.av, d, rows, d);
+        self.wo.grad.add_scaled(&Tensor::from_vec(dwo), 1.0);
+        let dav = mm(dy, self.wo.value.as_slice(), rows, d, d);
+        let scale = 1.0 / (d as f32).sqrt();
+        let x = cache.x.as_slice();
+        let mut dq = vec![0.0_f32; rows * d];
+        let mut dk = vec![0.0_f32; rows * d];
+        let mut dv = vec![0.0_f32; rows * d];
+        for s in 0..n {
+            let a = &cache.attn[s * t * t..(s + 1) * t * t];
+            let vs = &cache.v[s * t * d..(s + 1) * t * d];
+            let davs = &dav[s * t * d..(s + 1) * t * d];
+            // dA = dAV · Vᵀ ; dV = Aᵀ · dAV.
+            let da = mm_a_bt(davs, vs, t, d, t);
+            let dvs = mm_at_b(a, davs, t, t, d);
+            dv[s * t * d..(s + 1) * t * d].copy_from_slice(&dvs);
+            // Softmax backward per row: dS = A ⊙ (dA − Σ dA⊙A).
+            let mut ds = vec![0.0_f32; t * t];
+            for i in 0..t {
+                let arow = &a[i * t..(i + 1) * t];
+                let darow = &da[i * t..(i + 1) * t];
+                let dot: f32 = arow.iter().zip(darow).map(|(&p, &g)| p * g).sum();
+                for j in 0..t {
+                    ds[i * t + j] = arow[j] * (darow[j] - dot) * scale;
+                }
+            }
+            // dQ = dS · K ; dK = dSᵀ · Q.
+            let qs = &cache.q[s * t * d..(s + 1) * t * d];
+            let ks = &cache.k[s * t * d..(s + 1) * t * d];
+            let dqs = mm(&ds, ks, t, t, d);
+            let dks = mm_at_b(&ds, qs, t, t, d);
+            dq[s * t * d..(s + 1) * t * d].copy_from_slice(&dqs);
+            dk[s * t * d..(s + 1) * t * d].copy_from_slice(&dks);
+        }
+        // Projection weight grads and the input gradient.
+        let dwq = mm_at_b(&dq, x, d, rows, d);
+        let dwk = mm_at_b(&dk, x, d, rows, d);
+        let dwv = mm_at_b(&dv, x, d, rows, d);
+        self.wq.grad.add_scaled(&Tensor::from_vec(dwq), 1.0);
+        self.wk.grad.add_scaled(&Tensor::from_vec(dwk), 1.0);
+        self.wv.grad.add_scaled(&Tensor::from_vec(dwv), 1.0);
+        let mut dx = mm(&dq, self.wq.value.as_slice(), rows, d, d);
+        let dx_k = mm(&dk, self.wk.value.as_slice(), rows, d, d);
+        let dx_v = mm(&dv, self.wv.value.as_slice(), rows, d, d);
+        for i in 0..dx.len() {
+            dx[i] += dx_k[i] + dx_v[i];
+        }
+        Tensor::new(&shape, dx).expect("attention grad shape consistent")
+    }
+
+    fn visit_params(&mut self, visit: &mut dyn FnMut(&mut Param)) {
+        visit(&mut self.wq);
+        visit(&mut self.wk);
+        visit(&mut self.wv);
+        visit(&mut self.wo);
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn flops(&self, input: &[usize]) -> u64 {
+        let (n, t, d) = (input[0] as u64, input[1] as u64, input[2] as u64);
+        // Four projections + two t×t matmuls.
+        4 * n * t * d * d + 2 * n * t * t * d
+    }
+
+    fn kind(&self) -> &'static str {
+        "self_attention"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(51)
+    }
+
+    fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let mut r = SmallRng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        Tensor::new(
+            shape,
+            (0..n)
+                .map(|_| rand::Rng::gen_range(&mut r, -1.0..1.0))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn layernorm_rows_are_normalised() {
+        let mut ln = LayerNorm::new(8);
+        let x = rand_tensor(&[2, 3, 8], 1);
+        let y = ln.forward(&x, Mode::Train);
+        for r in 0..6 {
+            let row = &y.as_slice()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradient_check() {
+        let mut ln = LayerNorm::new(4);
+        let x = rand_tensor(&[1, 2, 4], 2);
+        let w: Vec<f32> = (0..8).map(|i| 0.1 * (i as f32 - 3.0)).collect();
+        let y = ln.forward(&x, Mode::Train);
+        let gx = ln.backward(&Tensor::new(y.shape(), w.clone()).unwrap());
+        let loss = |ln: &mut LayerNorm, x: &Tensor| -> f32 {
+            ln.forward(x, Mode::Train)
+                .as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        let eps = 1e-3;
+        for idx in 0..8 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&mut ln, &xp) - loss(&mut ln, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[idx]).abs() < 2e-2,
+                "layernorm grad mismatch at {idx}: {num} vs {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn token_linear_shapes_and_gradcheck() {
+        let mut tl = TokenLinear::new(4, 6, &mut rng());
+        let x = rand_tensor(&[2, 3, 4], 3);
+        let y = tl.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 3, 6]);
+        let gx = tl.backward(&Tensor::filled(y.shape(), 1.0));
+        assert_eq!(gx.shape(), x.shape());
+        let eps = 1e-3;
+        let loss = |tl: &mut TokenLinear, x: &Tensor| -> f32 {
+            tl.forward(x, Mode::Train).as_slice().iter().sum()
+        };
+        for idx in [0_usize, 7, 23] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&mut tl, &xp) - loss(&mut tl, &xm)) / (2.0 * eps);
+            assert!((num - gx.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn positional_encoding_adds_fixed_table() {
+        let mut pe = PositionalEncoding::new(4, 6);
+        let zero = Tensor::zeros(&[1, 4, 6]);
+        let y = pe.forward(&zero, Mode::Eval);
+        // Position 0: sin(0)=0, cos(0)=1 alternating.
+        assert_eq!(y.as_slice()[0], 0.0);
+        assert_eq!(y.as_slice()[1], 1.0);
+        // Identity backward.
+        let g = pe.backward(&Tensor::filled(&[1, 4, 6], 2.0));
+        assert!(g.as_slice().iter().all(|&v| v == 2.0));
+        // Two samples get the same table.
+        let y2 = pe.forward(&Tensor::zeros(&[2, 4, 6]), Mode::Eval);
+        assert_eq!(&y2.as_slice()[..24], &y2.as_slice()[24..]);
+    }
+
+    #[test]
+    fn attention_rows_attend_to_something() {
+        let mut attn = SelfAttention::new(8, &mut rng());
+        let x = rand_tensor(&[2, 5, 8], 4);
+        let y = attn.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), x.shape());
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn attention_gradient_check() {
+        let mut attn = SelfAttention::new(4, &mut rng());
+        let x = rand_tensor(&[1, 3, 4], 5);
+        let w: Vec<f32> = (0..12).map(|i| 0.05 * (i as f32 - 5.0)).collect();
+        let y = attn.forward(&x, Mode::Train);
+        let gx = attn.backward(&Tensor::new(y.shape(), w.clone()).unwrap());
+        let loss = |attn: &mut SelfAttention, x: &Tensor| -> f32 {
+            attn.forward(x, Mode::Train)
+                .as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        let eps = 1e-3;
+        for idx in 0..12 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&mut attn, &xp) - loss(&mut attn, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.as_slice()[idx]).abs() < 2e-2,
+                "attention grad mismatch at {idx}: {num} vs {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn attention_weight_gradient_check() {
+        let mut attn = SelfAttention::new(4, &mut rng());
+        let x = rand_tensor(&[1, 3, 4], 6);
+        let y = attn.forward(&x, Mode::Train);
+        attn.backward(&Tensor::filled(y.shape(), 0.5));
+        // Check the Q projection weight numerically (first parameter).
+        let mut params: Vec<(Tensor, Tensor)> = Vec::new();
+        attn.visit_params(&mut |p| params.push((p.value.clone(), p.grad.clone())));
+        let (wq, gq) = params[0].clone();
+        let loss = |attn: &mut SelfAttention, x: &Tensor| -> f32 {
+            attn.forward(x, Mode::Train).as_slice().iter().sum::<f32>() * 0.5
+        };
+        let eps = 1e-3;
+        for idx in [0_usize, 5, 15] {
+            for (sign, store) in [(1.0_f32, 0), (-1.0, 1)] {
+                let mut w = wq.clone();
+                w.as_mut_slice()[idx] += sign * eps;
+                let mut first = true;
+                attn.visit_params(&mut |p| {
+                    if first {
+                        p.value = w.clone();
+                        first = false;
+                    }
+                });
+                let l = loss(&mut attn, &x);
+                if store == 0 {
+                    PLUS.with(|c| c.set(l));
+                } else {
+                    let num = (PLUS.with(|c| c.get()) - l) / (2.0 * eps);
+                    assert!(
+                        (num - gq.as_slice()[idx]).abs() < 2e-2,
+                        "wq grad mismatch at {idx}"
+                    );
+                }
+            }
+        }
+        // Restore.
+        let mut first = true;
+        attn.visit_params(&mut |p| {
+            if first {
+                p.value = wq.clone();
+                first = false;
+            }
+        });
+    }
+
+    thread_local! {
+        static PLUS: std::cell::Cell<f32> = const { std::cell::Cell::new(0.0) };
+    }
+}

@@ -1,0 +1,76 @@
+//! # einet-tensor
+//!
+//! A small, dependency-light CPU tensor and neural-network substrate built for
+//! the EINet reproduction (ICDCS 2023, "Elastic DNN Inference with
+//! Unpredictable Exit in Edge Computing").
+//!
+//! The paper implements its models in PyTorch; this crate is the from-scratch
+//! substitute. It provides exactly what multi-exit CNN training and inference
+//! need and nothing more:
+//!
+//! * a dense row-major [`Tensor`] of `f32`,
+//! * layer modules with explicit forward/backward passes
+//!   ([`Conv2d`], [`Linear`], [`ReLu`], [`MaxPool2d`], [`GlobalAvgPool`],
+//!   [`BatchNorm2d`], [`Dropout`], [`Flatten`], [`Softmax`]),
+//! * a [`Sequential`] container,
+//! * classification and regression losses (including the masked MSE of
+//!   EINet's CS-Predictor, Eq. 3 of the paper),
+//! * an [`Sgd`] optimizer with momentum, weight decay and gradient clipping.
+//!
+//! Layers follow the classic "module" design (as in tiny-dnn / Caffe): each
+//! layer caches what it needs during [`Layer::forward`] and consumes the cache
+//! in [`Layer::backward`]. There is no tape-based autograd; multi-exit
+//! training composes layer backward passes explicitly, which keeps gradient
+//! flow through branch points easy to audit.
+//!
+//! # Example
+//!
+//! ```
+//! use einet_tensor::{Linear, Layer, Mode, ReLu, Sequential, Sgd, Tensor, softmax_cross_entropy};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let mut net = Sequential::new();
+//! net.push(Linear::new(4, 16, &mut rng));
+//! net.push(ReLu::new());
+//! net.push(Linear::new(16, 3, &mut rng));
+//!
+//! let x = Tensor::new(&[2, 4], vec![0.1; 8]).unwrap();
+//! let logits = net.forward(&x, Mode::Train);
+//! let (loss, grad) = softmax_cross_entropy(&logits, &[0, 2]);
+//! net.backward(&grad);
+//! Sgd::new(0.05).step(&mut net);
+//! assert!(loss > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+mod error;
+mod init;
+mod layer;
+mod layers;
+mod loss;
+mod matmul;
+mod optim;
+mod sequential;
+mod tensor;
+
+pub use adam::Adam;
+pub use error::TensorError;
+pub use init::{kaiming_uniform, uniform_init, xavier_uniform};
+pub use layer::{Layer, Mode, Param};
+pub use layers::activation::{ReLu, Softmax};
+pub use layers::conv::Conv2d;
+pub use layers::dropout::Dropout;
+pub use layers::flatten::Flatten;
+pub use layers::linear::Linear;
+pub use layers::norm::BatchNorm2d;
+pub use layers::pool::{GlobalAvgPool, MaxPool2d};
+pub use layers::seq::{LayerNorm, PositionalEncoding, SelfAttention, TokenLinear};
+pub use loss::{masked_mse, mse, softmax_cross_entropy, softmax_rows};
+pub use matmul::{mm, mm_a_bt, mm_at_b};
+pub use optim::Sgd;
+pub use sequential::Sequential;
+pub use tensor::Tensor;

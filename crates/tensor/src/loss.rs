@@ -1,0 +1,204 @@
+//! Loss functions.
+//!
+//! All losses return `(mean_loss, gradient_w.r.t._input)` so callers can feed
+//! the gradient straight into [`crate::Layer::backward`].
+
+use crate::tensor::Tensor;
+
+/// Row-wise numerically-stable softmax of a `[n, k]` tensor.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let shape = logits.shape();
+    assert_eq!(shape.len(), 2, "softmax_rows expects [n, k]");
+    let (n, k) = (shape[0], shape[1]);
+    let x = logits.as_slice();
+    let mut out = vec![0.0_f32; n * k];
+    for i in 0..n {
+        let row = &x[i * k..(i + 1) * k];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0_f32;
+        for j in 0..k {
+            let e = (row[j] - max).exp();
+            out[i * k + j] = e;
+            sum += e;
+        }
+        for j in 0..k {
+            out[i * k + j] /= sum;
+        }
+    }
+    Tensor::new(&[n, k], out).expect("softmax shape consistent")
+}
+
+/// Mean softmax cross-entropy over a batch of logits with integer labels.
+///
+/// Returns the mean loss and the gradient w.r.t. the logits (already divided
+/// by the batch size).
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[n, k]`, `labels.len() != n`, or any label is
+/// out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let shape = logits.shape();
+    assert_eq!(shape.len(), 2, "cross entropy expects [n, k]");
+    let (n, k) = (shape[0], shape[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let probs = softmax_rows(logits);
+    let p = probs.as_slice();
+    let mut loss = 0.0_f64;
+    let mut grad = p.to_vec();
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let pi = p[i * k + label].max(1e-12);
+        loss -= f64::from(pi.ln());
+        grad[i * k + label] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    for g in &mut grad {
+        *g *= inv_n;
+    }
+    (
+        (loss / n as f64) as f32,
+        Tensor::new(&[n, k], grad).expect("grad shape consistent"),
+    )
+}
+
+/// Mean-squared error between `pred` and `target` (any matching shapes).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len().max(1);
+    let mut loss = 0.0_f64;
+    let mut grad = vec![0.0_f32; pred.len()];
+    for (i, (&a, &b)) in pred.as_slice().iter().zip(target.as_slice()).enumerate() {
+        let d = a - b;
+        loss += f64::from(d) * f64::from(d);
+        grad[i] = 2.0 * d / n as f32;
+    }
+    (
+        (loss / n as f64) as f32,
+        Tensor::new(pred.shape(), grad).expect("grad shape consistent"),
+    )
+}
+
+/// The masked MSE of EINet's CS-Predictor training (Eq. 3 of the paper).
+///
+/// Only positions where `mask` is 1 contribute to the loss; the gradient is
+/// zero elsewhere. In the paper the mask selects the confidence scores of the
+/// *not yet executed* exits — the already-generated past scores must not pull
+/// on the predictor.
+///
+/// The loss is normalised by the number of *unmasked* positions (with a floor
+/// of one to keep the all-masked case finite).
+///
+/// # Panics
+///
+/// Panics if the three shapes differ.
+pub fn masked_mse(pred: &Tensor, target: &Tensor, mask: &[f32]) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "masked_mse shape mismatch");
+    assert_eq!(pred.len(), mask.len(), "masked_mse mask length mismatch");
+    let active = mask.iter().filter(|&&m| m != 0.0).count().max(1);
+    let mut loss = 0.0_f64;
+    let mut grad = vec![0.0_f32; pred.len()];
+    for i in 0..pred.len() {
+        if mask[i] == 0.0 {
+            continue;
+        }
+        let d = pred.as_slice()[i] - target.as_slice()[i];
+        loss += f64::from(d) * f64::from(d);
+        grad[i] = 2.0 * d / active as f32;
+    }
+    (
+        (loss / active as f64) as f32,
+        Tensor::new(pred.shape(), grad).expect("grad shape consistent"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::new(&[1, 3], vec![20.0, 0.0, 0.0]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::new(&[2, 4], vec![0.0; 8]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 2]);
+        assert!((loss - (4.0_f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        let logits = Tensor::new(&[1, 3], vec![0.2, -0.4, 0.9]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2]);
+        let eps = 1e-3_f32;
+        for idx in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &[2]);
+            let (fm, _) = softmax_cross_entropy(&lm, &[2]);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::new(&[1, 2], vec![0.0, 0.0]).unwrap();
+        softmax_cross_entropy(&logits, &[5]);
+    }
+
+    #[test]
+    fn mse_basic() {
+        let p = Tensor::from_vec(vec![1.0, 3.0]);
+        let t = Tensor::from_vec(vec![0.0, 0.0]);
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - 5.0).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn masked_mse_ignores_masked_positions() {
+        let p = Tensor::from_vec(vec![1.0, 100.0, 3.0]);
+        let t = Tensor::from_vec(vec![0.0, 0.0, 0.0]);
+        let (loss, grad) = masked_mse(&p, &t, &[1.0, 0.0, 1.0]);
+        assert!((loss - 5.0).abs() < 1e-6);
+        assert_eq!(grad.as_slice()[1], 0.0);
+        assert!(grad.as_slice()[0] > 0.0);
+    }
+
+    #[test]
+    fn masked_mse_equals_mse_with_full_mask() {
+        let p = Tensor::from_vec(vec![1.0, -2.0, 0.5]);
+        let t = Tensor::from_vec(vec![0.1, 0.2, 0.3]);
+        let (l1, g1) = mse(&p, &t);
+        let (l2, g2) = masked_mse(&p, &t, &[1.0, 1.0, 1.0]);
+        assert!((l1 - l2).abs() < 1e-6);
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_mse_all_masked_is_zero() {
+        let p = Tensor::from_vec(vec![5.0]);
+        let t = Tensor::from_vec(vec![0.0]);
+        let (loss, grad) = masked_mse(&p, &t, &[0.0]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.as_slice(), &[0.0]);
+    }
+}

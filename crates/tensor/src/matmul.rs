@@ -1,0 +1,149 @@
+//! Dense matrix multiplication kernels.
+//!
+//! Three layout variants cover everything the layers need without ever
+//! materialising a transpose. All matrices are row-major `f32` slices.
+//! The kernels use an `i-k-j` loop order so the innermost loop streams both
+//! the output row and one operand row sequentially, which is the single most
+//! important optimisation for a cache-friendly naive GEMM.
+
+/// `C[m,n] = A[m,k] * B[k,n]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "mm: lhs size mismatch");
+    assert_eq!(b.len(), k * n, "mm: rhs size mismatch");
+    let mut c = vec![0.0_f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C[m,n] = A[m,k] * B[n,k]^T` — i.e. rows of `B` are dotted with rows of `A`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn mm_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "mm_a_bt: lhs size mismatch");
+    assert_eq!(b.len(), n * k, "mm_a_bt: rhs size mismatch");
+    let mut c = vec![0.0_f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0_f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// `C[m,n] = A[k,m]^T * B[k,n]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn mm_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), k * m, "mm_at_b: lhs size mismatch");
+    assert_eq!(b.len(), k * n, "mm_at_b: rhs size mismatch");
+    let mut c = vec![0.0_f32; m * n];
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn mm_small_known() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let c = mm(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn mm_rectangular() {
+        let a: Vec<f32> = (0..6).map(|v| v as f32).collect(); // 2x3
+        let b: Vec<f32> = (0..12).map(|v| v as f32).collect(); // 3x4
+        assert_eq!(mm(&a, &b, 2, 3, 4), mm_ref(&a, &b, 2, 3, 4));
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_reference() {
+        let a: Vec<f32> = (0..12).map(|v| (v as f32) * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..12).map(|v| (v as f32) * -0.25 + 1.0).collect();
+        // A is 3x4, B as 3x4; A^T * B is 4x4.
+        let mut at = vec![0.0; 12];
+        for i in 0..3 {
+            for j in 0..4 {
+                at[j * 3 + i] = a[i * 4 + j];
+            }
+        }
+        assert_eq!(mm_at_b(&a, &b, 4, 3, 4), mm_ref(&at, &b, 4, 3, 4));
+
+        // A 3x4 times B(2x4)^T is 3x2.
+        let b2: Vec<f32> = (0..8).map(|v| v as f32).collect();
+        let mut b2t = vec![0.0; 8];
+        for i in 0..2 {
+            for j in 0..4 {
+                b2t[j * 2 + i] = b2[i * 4 + j];
+            }
+        }
+        assert_eq!(mm_a_bt(&a, &b2, 3, 4, 2), mm_ref(&a, &b2t, 3, 4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs size mismatch")]
+    fn mm_panics_on_bad_size() {
+        mm(&[1.0], &[1.0, 2.0], 2, 1, 2);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let eye = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        assert_eq!(mm(&a, &eye, 3, 3, 3), a);
+        assert_eq!(mm(&eye, &a, 3, 3, 3), a);
+    }
+}

@@ -1,0 +1,187 @@
+//! Stochastic gradient descent.
+
+use crate::layer::Layer;
+
+/// SGD with momentum, L2 weight decay, and optional global-norm gradient
+/// clipping — the optimizer configuration the paper trains with
+/// (SGD, momentum 0.9, plus gradient clipping for the CS-Predictors).
+///
+/// # Example
+///
+/// ```
+/// use einet_tensor::Sgd;
+///
+/// let opt = Sgd::new(0.01).momentum(0.9).weight_decay(5e-4).clip_norm(5.0);
+/// assert_eq!(opt.learning_rate(), 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    clip: Option<f32>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate, no momentum/decay/clipping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            clip: None,
+        }
+    }
+
+    /// Sets the momentum coefficient (0 disables momentum).
+    #[must_use]
+    pub fn momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    #[must_use]
+    pub fn weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Enables global-norm gradient clipping at `max_norm`.
+    #[must_use]
+    pub fn clip_norm(mut self, max_norm: f32) -> Self {
+        assert!(max_norm > 0.0, "clip norm must be positive");
+        self.clip = Some(max_norm);
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step to every parameter of `net`, then leaves
+    /// gradients untouched (call [`Layer::zero_grad`] before the next
+    /// accumulation).
+    pub fn step(&self, net: &mut dyn Layer) {
+        let scale = match self.clip {
+            Some(max_norm) => {
+                let mut sq = 0.0_f32;
+                net.visit_params(&mut |p| sq += p.grad.sq_norm());
+                let norm = sq.sqrt();
+                if norm > max_norm {
+                    max_norm / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        net.visit_params(&mut |p| {
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            let vel = p.velocity.as_mut_slice();
+            for i in 0..value.len() {
+                let g = grad[i] * scale + wd * value[i];
+                vel[i] = mu * vel[i] + g;
+                value[i] -= lr * vel[i];
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::linear::Linear;
+    use crate::loss::softmax_cross_entropy;
+    use crate::{Mode, Tensor};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_reduces_loss() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut net = Linear::new(4, 2, &mut rng);
+        let x = Tensor::new(&[4, 4], (0..16).map(|v| (v % 5) as f32 * 0.1).collect()).unwrap();
+        let labels = [0, 1, 0, 1];
+        let opt = Sgd::new(0.5).momentum(0.9);
+        let (first, _) = {
+            let y = net.forward(&x, Mode::Train);
+            softmax_cross_entropy(&y, &labels)
+        };
+        let mut last = first;
+        for _ in 0..30 {
+            net.zero_grad();
+            let y = net.forward(&x, Mode::Train);
+            let (loss, grad) = softmax_cross_entropy(&y, &labels);
+            net.backward(&grad);
+            opt.step(&mut net);
+            last = loss;
+        }
+        assert!(last < first * 0.5, "loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut net = Linear::new(2, 2, &mut rng);
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            net.visit_params(&mut |p| v.extend_from_slice(p.value.as_slice()));
+            v
+        };
+        // Inject a huge gradient.
+        net.visit_params(&mut |p| {
+            for g in p.grad.as_mut_slice() {
+                *g = 1e6;
+            }
+        });
+        Sgd::new(1.0).clip_norm(1.0).step(&mut net);
+        let mut after = Vec::new();
+        net.visit_params(&mut |p| after.extend_from_slice(p.value.as_slice()));
+        let delta_norm: f32 = before
+            .iter()
+            .zip(after.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!(
+            delta_norm <= 1.0 + 1e-4,
+            "clipped step moved by {delta_norm}"
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut net = Linear::new(2, 2, &mut rng);
+        let mut norm_before = 0.0;
+        net.visit_params(&mut |p| norm_before += p.value.sq_norm());
+        // Zero gradient, only decay acts.
+        Sgd::new(0.1).weight_decay(0.5).step(&mut net);
+        let mut norm_after = 0.0;
+        net.visit_params(&mut |p| norm_after += p.value.sq_norm());
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_zero_lr() {
+        Sgd::new(0.0);
+    }
+}

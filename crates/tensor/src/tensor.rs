@@ -1,0 +1,385 @@
+use std::fmt;
+
+use crate::error::TensorError;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// This is the single data type flowing through every layer in the EINet
+/// substrate. Shapes are dynamic (`Vec<usize>`); the common layouts are
+/// `[n, features]` for fully-connected data and `[n, c, h, w]` for images.
+///
+/// # Example
+///
+/// ```
+/// use einet_tensor::Tensor;
+///
+/// let t = Tensor::new(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.at2(1, 2), 6.0);
+/// # Ok::<(), einet_tensor::TensorError>(())
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and matching data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` is not the
+    /// product of `shape`, and [`TensorError::EmptyShape`] for an empty shape.
+    pub fn new(shape: &[usize], data: Vec<f32>) -> Result<Self, TensorError> {
+        if shape.is_empty() {
+            return Err(TensorError::EmptyShape);
+        }
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a tensor of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::filled(shape, 0.0)
+    }
+
+    /// Creates a tensor where every element is `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        let n: usize = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a 1-D tensor owning `data`.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying data row-major.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying data row-major.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshapes in place without moving data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the element count differs.
+    pub fn reshape(&mut self, shape: &[usize]) -> Result<(), TensorError> {
+        if shape.is_empty() {
+            return Err(TensorError::EmptyShape);
+        }
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
+    /// Returns a reshaped copy of the tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tensor::reshape`].
+    pub fn reshaped(mut self, shape: &[usize]) -> Result<Self, TensorError> {
+        self.reshape(shape)?;
+        Ok(self)
+    }
+
+    /// Element at `[i, j]` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the tensor is not 2-D or indices are out of
+    /// bounds.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        debug_assert!(i < self.shape[0] && j < self.shape[1]);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Sets element `[i, j]` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) under the same conditions as [`Tensor::at2`].
+    #[inline]
+    pub fn set2(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert_eq!(self.shape.len(), 2);
+        debug_assert!(i < self.shape[0] && j < self.shape[1]);
+        self.data[i * self.shape[1] + j] = v;
+    }
+
+    /// Element at `[n, c, h, w]` of a 4-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the tensor is not 4-D or indices are out of
+    /// bounds.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (cs, hs, ws) = (self.shape[1], self.shape[2], self.shape[3]);
+        debug_assert!(n < self.shape[0] && c < cs && h < hs && w < ws);
+        self.data[((n * cs + c) * hs + h) * ws + w]
+    }
+
+    /// Applies `f` element-wise, returning a new tensor of the same shape.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place `self[i] += scale * other[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors have different element counts.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(
+            self.data.len(),
+            other.data.len(),
+            "add_scaled size mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// In-place multiplication of every element by `scale`.
+    pub fn scale(&mut self, scale: f32) {
+        for v in &mut self.data {
+            *v *= scale;
+        }
+    }
+
+    /// Fills the tensor with zeros, keeping the shape.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of squares of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Largest absolute element, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, v| m.max(v.abs()))
+    }
+
+    /// For a `[n, k]` tensor, the argmax of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `i` is out of bounds.
+    pub fn row_argmax(&self, i: usize) -> usize {
+        assert_eq!(self.shape.len(), 2, "row_argmax expects a 2-D tensor");
+        let k = self.shape[1];
+        let row = &self.data[i * k..(i + 1) * k];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Borrows row `i` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 2, "row expects a 2-D tensor");
+        let k = self.shape[1];
+        &self.data[i * k..(i + 1) * k]
+    }
+
+    /// Number of rows when viewed as `[batch, rest...]`.
+    pub fn batch_len(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Element count per batch entry (product of all non-batch dimensions).
+    pub fn per_item(&self) -> usize {
+        self.shape[1..].iter().product()
+    }
+
+    /// Extracts batch items `lo..hi` into a new tensor with the same trailing
+    /// shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn batch_slice(&self, lo: usize, hi: usize) -> Tensor {
+        assert!(lo <= hi && hi <= self.shape[0], "batch_slice out of range");
+        let per = self.per_item();
+        let mut shape = self.shape.clone();
+        shape[0] = hi - lo;
+        Tensor {
+            shape,
+            data: self.data[lo * per..hi * per].to_vec(),
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, .. {} elems])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
+        }
+    }
+}
+
+impl From<Vec<f32>> for Tensor {
+    fn from(data: Vec<f32>) -> Self {
+        Tensor::from_vec(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_shape() {
+        assert!(Tensor::new(&[2, 2], vec![0.0; 4]).is_ok());
+        assert_eq!(
+            Tensor::new(&[2, 2], vec![0.0; 3]),
+            Err(TensorError::ShapeMismatch {
+                expected: 4,
+                actual: 3
+            })
+        );
+        assert_eq!(Tensor::new(&[], vec![]), Err(TensorError::EmptyShape));
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let t = Tensor::new(&[2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
+        assert_eq!(t.at2(0, 0), 0.0);
+        assert_eq!(t.at2(1, 0), 3.0);
+        assert_eq!(t.at2(1, 2), 5.0);
+    }
+
+    #[test]
+    fn at4_matches_layout() {
+        let t = Tensor::new(&[1, 2, 2, 2], (0..8).map(|v| v as f32).collect()).unwrap();
+        assert_eq!(t.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(t.at4(0, 0, 1, 1), 3.0);
+        assert_eq!(t.at4(0, 1, 0, 0), 4.0);
+        assert_eq!(t.at4(0, 1, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::new(&[2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
+        t.reshape(&[3, 2]).unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at2(2, 1), 5.0);
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn map_and_add_scaled() {
+        let a = Tensor::from_vec(vec![1.0, 2.0]);
+        let mut b = a.map(|v| v * 10.0);
+        b.add_scaled(&a, 0.5);
+        assert_eq!(b.as_slice(), &[10.5, 21.0]);
+    }
+
+    #[test]
+    fn row_argmax_picks_first_max() {
+        let t = Tensor::new(&[2, 3], vec![0.0, 5.0, 5.0, 9.0, 1.0, 2.0]).unwrap();
+        assert_eq!(t.row_argmax(0), 1);
+        assert_eq!(t.row_argmax(1), 0);
+    }
+
+    #[test]
+    fn batch_slice_extracts_items() {
+        let t = Tensor::new(&[3, 2], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let s = t.batch_slice(1, 3);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tensor::from_vec(vec![3.0, -4.0]);
+        assert_eq!(t.sq_norm(), 25.0);
+        assert_eq!(t.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::zeros(&[10]);
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

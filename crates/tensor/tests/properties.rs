@@ -1,0 +1,103 @@
+//! Property-based tests for the tensor substrate.
+
+use einet_tensor::{mm, mm_a_bt, mm_at_b, softmax_rows, Layer, Mode, ReLu, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0_f32..10.0, rows * cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matmul is linear in its left operand: (A + B) * C = A*C + B*C.
+    #[test]
+    fn mm_left_distributive(a in small_matrix(3, 4), b in small_matrix(3, 4), c in small_matrix(4, 2)) {
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let lhs = mm(&sum, &c, 3, 4, 2);
+        let ac = mm(&a, &c, 3, 4, 2);
+        let bc = mm(&b, &c, 3, 4, 2);
+        for i in 0..lhs.len() {
+            prop_assert!((lhs[i] - (ac[i] + bc[i])).abs() < 1e-3);
+        }
+    }
+
+    /// mm_a_bt(A, B) equals mm(A, Bᵀ) computed explicitly.
+    #[test]
+    fn mm_a_bt_matches_explicit_transpose(a in small_matrix(3, 4), b in small_matrix(2, 4)) {
+        let fast = mm_a_bt(&a, &b, 3, 4, 2);
+        let mut bt = vec![0.0; 8];
+        for i in 0..2 {
+            for j in 0..4 {
+                bt[j * 2 + i] = b[i * 4 + j];
+            }
+        }
+        let slow = mm(&a, &bt, 3, 4, 2);
+        for i in 0..fast.len() {
+            prop_assert!((fast[i] - slow[i]).abs() < 1e-3);
+        }
+    }
+
+    /// mm_at_b(A, B) equals mm(Aᵀ, B) computed explicitly.
+    #[test]
+    fn mm_at_b_matches_explicit_transpose(a in small_matrix(3, 4), b in small_matrix(3, 2)) {
+        let fast = mm_at_b(&a, &b, 4, 3, 2);
+        let mut at = vec![0.0; 12];
+        for i in 0..3 {
+            for j in 0..4 {
+                at[j * 3 + i] = a[i * 4 + j];
+            }
+        }
+        let slow = mm(&at, &b, 4, 3, 2);
+        for i in 0..fast.len() {
+            prop_assert!((fast[i] - slow[i]).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax rows always form a probability distribution.
+    #[test]
+    fn softmax_rows_are_distributions(logits in small_matrix(4, 6)) {
+        let t = Tensor::new(&[4, 6], logits).unwrap();
+        let p = softmax_rows(&t);
+        for i in 0..4 {
+            let row = p.row(i);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// ReLU output is idempotent: relu(relu(x)) == relu(x).
+    #[test]
+    fn relu_idempotent(x in proptest::collection::vec(-5.0_f32..5.0, 16)) {
+        let t = Tensor::from_vec(x);
+        let mut relu = ReLu::new();
+        let once = relu.forward(&t, Mode::Eval);
+        let twice = relu.forward(&once, Mode::Eval);
+        prop_assert_eq!(once.as_slice(), twice.as_slice());
+    }
+
+    /// Reshape round-trips preserve the data buffer exactly.
+    #[test]
+    fn reshape_roundtrip(x in proptest::collection::vec(-5.0_f32..5.0, 24)) {
+        let t = Tensor::new(&[2, 3, 4], x.clone()).unwrap();
+        let r = t.reshaped(&[4, 6]).unwrap().reshaped(&[2, 3, 4]).unwrap();
+        prop_assert_eq!(r.as_slice(), &x[..]);
+    }
+
+    /// add_scaled with scale 0 is a no-op; with scale 1 it adds.
+    #[test]
+    fn add_scaled_laws(a in proptest::collection::vec(-5.0_f32..5.0, 8),
+                       b in proptest::collection::vec(-5.0_f32..5.0, 8)) {
+        let base = Tensor::from_vec(a.clone());
+        let other = Tensor::from_vec(b.clone());
+        let mut zero = base.clone();
+        zero.add_scaled(&other, 0.0);
+        prop_assert_eq!(zero.as_slice(), &a[..]);
+        let mut one = base.clone();
+        one.add_scaled(&other, 1.0);
+        for i in 0..8 {
+            prop_assert!((one.as_slice()[i] - (a[i] + b[i])).abs() < 1e-5);
+        }
+    }
+}

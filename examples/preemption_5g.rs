@@ -1,0 +1,110 @@
+//! The Fig. 1 scenario with real threads: a high-priority task (think
+//! Concordia's 5G vRAN) preempts AI inference at an unpredictable moment.
+//!
+//! The [`einet::edge::ElasticExecutor`] runs the actual multi-exit network
+//! on a worker thread, re-planning with EINet after every output; a
+//! [`einet::edge::Preemptor`] raises the preemption gate after a random
+//! delay. The elastic task hands over its best result at preemption — a
+//! classic single-exit task would usually have nothing.
+//!
+//! ```sh
+//! cargo run --release --example preemption_5g
+//! ```
+
+use std::sync::Arc;
+
+use einet::core::{SearchEngine, TimeDistribution};
+use einet::data::{Dataset, SynthDigits};
+use einet::edge::{EinetSource, ElasticExecutor, InferenceRequest, PreemptionGate, Preemptor};
+use einet::models::{train_multi_exit, zoo, BranchSpec, TrainConfig};
+use einet::predictor::{build_training_set, train_predictor, CsPredictor, PredictorTrainConfig};
+use einet::profile::EdgePlatform;
+use einet::profile::{CsProfile, EtProfile};
+use std::time::Duration;
+
+fn main() {
+    // Train a small multi-exit model and its predictor (quick, CPU-only).
+    let ds = SynthDigits::generate(300, 60, 5);
+    let mut net = zoo::flex_vgg16(
+        ds.input_shape(),
+        ds.num_classes(),
+        &BranchSpec::paper_default(),
+        5,
+    );
+    println!("training {} ({} exits)...", net.name(), net.num_exits());
+    train_multi_exit(
+        &mut net,
+        ds.train(),
+        &TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        },
+    );
+    let sample = ds.test().images().batch_slice(0, 1);
+    let label = ds.test().labels()[0] as u16;
+    // Wall-clock profile of this host plus the 2 ms/block demo throttle:
+    // sets the scale of preemption delays.
+    let horizon_ms = EtProfile::measure(&mut net, &sample, 3).total_ms() + 5.0 * 2.0;
+    let cs = CsProfile::generate(&mut net, ds.test());
+    let mut predictor = CsPredictor::new(net.num_exits(), 64, 5);
+    train_predictor(
+        &mut predictor,
+        &build_training_set(&cs),
+        &PredictorTrainConfig::default(),
+    );
+
+    // Spin up the elastic executor with the EINet planner.
+    let gate = PreemptionGate::new();
+    let source = EinetSource::new(
+        Arc::new(predictor),
+        cs.exit_mean_confidence(),
+        SearchEngine::default(),
+    );
+    // Throttle each block by 2 ms so preemption visibly lands mid-inference
+    // on this fast host (an embedded device needs no throttle).
+    let exec = ElasticExecutor::spawn_throttled(
+        net,
+        Box::new(source),
+        gate.clone(),
+        EdgePlatform::JetsonClass,
+        TimeDistribution::Uniform,
+        Duration::from_millis(2),
+    );
+
+    println!(
+        "task: classify one sample (true class {label}); vRAN may preempt within ~{horizon_ms:.1} ms\n"
+    );
+    for round in 0..6_u64 {
+        gate.lower();
+        // The "vRAN" claims the accelerator after a random delay.
+        let preemptor = Preemptor::arm(
+            gate.clone(),
+            &TimeDistribution::Uniform,
+            horizon_ms * 1.2,
+            100 + round,
+        );
+        let outcome = exec
+            .submit(InferenceRequest::new(sample.clone()).with_label(label))
+            .recv()
+            .expect("executor alive");
+        let delay = preemptor.join();
+        match outcome.answer() {
+            Some(answer) => println!(
+                "round {round}: preempt at {delay:>5.2} ms -> {} after {}/{} blocks: exit {} says class {} (conf {:.2}, {})",
+                if outcome.completed { "finished" } else { "PREEMPTED" },
+                outcome.blocks_run,
+                5,
+                answer.exit,
+                answer.predicted,
+                answer.confidence,
+                if outcome.correct == Some(true) { "correct" } else { "wrong" },
+            ),
+            None => println!(
+                "round {round}: preempt at {delay:>5.2} ms -> PREEMPTED after {} blocks with no result yet",
+                outcome.blocks_run
+            ),
+        }
+    }
+    exec.shutdown();
+    println!("\na classic single-exit model would return a result only when never preempted.");
+}

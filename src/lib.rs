@@ -1,0 +1,42 @@
+//! # einet — Elastic DNN Inference with Unpredictable Exit
+//!
+//! Facade crate for the EINet reproduction (ICDCS 2023). It re-exports the
+//! whole stack so applications can depend on one crate:
+//!
+//! * [`tensor`] — CPU tensor/NN substrate (layers, losses, SGD).
+//! * [`data`] — seeded synthetic image-classification datasets.
+//! * [`models`] — multi-exit model zoo and branch-insertion machinery.
+//! * [`profile`] — block-wise model profiling (ET-profiles, CS-profiles).
+//! * [`predictor`] — CS-Predictors with masked-MSE training and the
+//!   Activation Cache.
+//! * [`core`] — exit plans, accuracy expectation, hybrid search, planners and
+//!   the elastic-inference runtime.
+//! * [`edge`] — a threaded elastic executor running the real network under
+//!   live preemption.
+//!
+//! See `examples/quickstart.rs` for the end-to-end pipeline and DESIGN.md for
+//! the paper-to-code map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use einet_core as core;
+pub use einet_data as data;
+pub use einet_edge as edge;
+pub use einet_models as models;
+pub use einet_predictor as predictor;
+pub use einet_profile as profile;
+pub use einet_tensor as tensor;
+
+/// Commonly used items, importable with `use einet::prelude::*`.
+pub mod prelude {
+    pub use einet_core::{
+        expectation, AccuracyExpectation, ElasticOutcome, ElasticRuntime, ExitPlan, Planner,
+        SearchEngine, TimeDistribution,
+    };
+    pub use einet_data::{Dataset, SynthDigits, SynthObjects, SynthObjects100};
+    pub use einet_models::{BranchSpec, MultiExitNet, TrainConfig};
+    pub use einet_predictor::CsPredictor;
+    pub use einet_profile::{CsProfile, EdgePlatform, EtProfile};
+    pub use einet_tensor::{Layer, Mode, Tensor};
+}
