@@ -1,0 +1,78 @@
+//! Compute-kernel microbenchmarks: the blocked, pool-threaded GEMM and the
+//! batch-threaded conv forward on Fig. 4-sized shapes.
+//!
+//! `scripts/check.sh` / `bench_kernels` (the binary) produce the
+//! naive-vs-optimized speedup JSON; this criterion bench tracks the
+//! optimized kernels' absolute latency over time, per worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use einet_tensor::{mm, set_num_threads, Conv2d, Layer, Mode, Tensor};
+
+fn random_data(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0_f32..1.0)).collect()
+}
+
+fn thread_counts() -> Vec<usize> {
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if avail > 1 {
+        vec![1, avail]
+    } else {
+        vec![1]
+    }
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/gemm");
+    for (name, m, k, n) in [
+        ("block_mid_96x576x256", 96_usize, 576_usize, 256_usize),
+        ("square_256", 256, 256, 256),
+    ] {
+        let a = random_data(m * k, 1);
+        let b = random_data(k * n, 2);
+        for threads in thread_counts() {
+            set_num_threads(threads);
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{threads}t")),
+                &threads,
+                |bch, _| bch.iter(|| black_box(mm(black_box(&a), black_box(&b), m, k, n))),
+            );
+        }
+        set_num_threads(0);
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/conv_forward");
+    for (name, batch, in_c, out_c, hw) in [
+        ("n8_c32to64_16x16", 8_usize, 32_usize, 64_usize, 16_usize),
+        ("n4_c16to32_32x32", 4, 16, 32, 32),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(in_c, out_c, 3, 1, 1, &mut rng);
+        let x = Tensor::new(
+            &[batch, in_c, hw, hw],
+            random_data(batch * in_c * hw * hw, 10),
+        )
+        .unwrap();
+        for threads in thread_counts() {
+            set_num_threads(threads);
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{threads}t")),
+                &threads,
+                |bch, _| bch.iter(|| black_box(conv.forward(black_box(&x), Mode::Eval))),
+            );
+        }
+        set_num_threads(0);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_conv);
+criterion_main!(benches);

@@ -1,15 +1,25 @@
-//! Table III — Activation-Cache speedup versus predictor size.
+//! Table III — Activation-Cache speedup versus predictor size, plus the
+//! planner's prefix-expectation memo.
 //!
 //! One elastic-inference round feeds the CS-Predictor an input vector with
 //! one more confidence than the last round. The naive path recomputes the
 //! full input-layer product; the Activation Cache adds a single weight
 //! column. This bench measures a whole 40-round inference trajectory under
 //! both paths for several hidden sizes.
+//!
+//! The second group plays the same trick one level up: `search_cached`
+//! memoises prefix scan states of the expectation recurrence across the
+//! hundreds of candidate plans one search scores, and across re-plan steps.
+//! Plans and scores are bit-identical with the cache on or off (see
+//! `crates/core/tests/search_cache_parity.rs`); the observed hit rate is
+//! printed alongside the timings.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use einet_core::{ExpectationCache, SearchEngine, TimeDistribution};
 use einet_predictor::{ActivationCache, CsPredictor};
+use einet_profile::EtProfile;
 
 const EXITS: usize = 40;
 
@@ -49,5 +59,68 @@ fn bench_cache(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache);
+/// Deterministic per-step pseudo-confidences (no RNG in the bench loop).
+fn step_confs(n: usize, step: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64 + 1).wrapping_mul(step.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            0.2 + 0.75 * ((x >> 40) as f32 / (1_u64 << 24) as f32)
+        })
+        .collect()
+}
+
+fn bench_search_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/search_expectation_cache");
+    for n in [21_usize, 40] {
+        let conv: Vec<f64> = (0..n).map(|i| 0.9 + 0.13 * ((i * 7) % 5) as f64).collect();
+        let branch: Vec<f64> = (0..n).map(|i| 0.25 + 0.07 * ((i * 3) % 4) as f64).collect();
+        let et = EtProfile::new(conv, branch).unwrap();
+        let dist = TimeDistribution::Uniform;
+        let engine = SearchEngine::new(4);
+        const STEPS: u64 = 8;
+        g.bench_with_input(BenchmarkId::new("uncached", n), &et, |b, et| {
+            b.iter(|| {
+                for step in 0..STEPS {
+                    let confs = step_confs(n, step);
+                    black_box(engine.search(et, &dist, black_box(&confs), 0, None));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cached", n), &et, |b, et| {
+            b.iter(|| {
+                let mut cache = ExpectationCache::new();
+                for step in 0..STEPS {
+                    let confs = step_confs(n, step);
+                    black_box(engine.search_cached(
+                        et,
+                        &dist,
+                        black_box(&confs),
+                        0,
+                        None,
+                        &mut cache,
+                    ));
+                }
+                black_box(cache.stats())
+            })
+        });
+        // Report the hit rate once per size so the bench output doubles as
+        // the Table III cache-effectiveness figure.
+        let mut cache = ExpectationCache::new();
+        for step in 0..STEPS {
+            let confs = step_confs(n, step);
+            engine.search_cached(&et, &dist, &confs, 0, None, &mut cache);
+        }
+        let stats = cache.stats();
+        eprintln!(
+            "table3/search_expectation_cache: n={n}: hit rate {:.1}% ({} hits / {} misses, {} exit scans skipped)",
+            100.0 * stats.hit_rate(),
+            stats.hits,
+            stats.misses,
+            stats.exits_skipped,
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_search_cache);
 criterion_main!(benches);

@@ -2,10 +2,12 @@
 //! Accepts `--quick` / `--full` or `EINET_SCALE`.
 use einet_bench::experiments as exp;
 
+type ExperimentFn = fn(&einet_bench::Scale) -> einet_bench::report::Report;
+
 fn main() {
     let scale = einet_bench::Scale::from_env();
     let t0 = std::time::Instant::now();
-    let runs: Vec<(&str, fn(&einet_bench::Scale) -> einet_bench::report::Report)> = vec![
+    let runs: Vec<(&str, ExperimentFn)> = vec![
         ("fig4", exp::fig4_block_times),
         ("table1", exp::table1_implementation_gap),
         ("fig8", exp::fig8_static_plans),

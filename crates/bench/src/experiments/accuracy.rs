@@ -46,10 +46,12 @@ pub fn fig8_static_plans(scale: &Scale) -> Report {
                 let mut planner = StaticPlanner::percent(n, pctg);
                 let acc = overall_accuracy(&art.et, &dist, &tables, &mut planner, &cfg);
                 values.push((
-                    match pctg {
-                        p if p == 0.25 => "static25",
-                        p if p == 0.5 => "static50",
-                        _ => "static100",
+                    if pctg == 0.25 {
+                        "static25"
+                    } else if pctg == 0.5 {
+                        "static50"
+                    } else {
+                        "static100"
                     },
                     pct(acc),
                 ));

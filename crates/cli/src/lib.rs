@@ -37,6 +37,15 @@ pub fn run(raw_args: &[String]) -> i32 {
         print!("{}", usage());
         return if parsed.has_flag("help") { 0 } else { 2 };
     }
+    // Global: worker-pool width for the compute kernels. Default (absent or
+    // 0) lets the pool use the machine's available parallelism.
+    match parsed.get_parsed_or::<usize>("threads", 0) {
+        Ok(n) => einet_tensor::set_num_threads(n),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    }
     let result = match parsed.subcommand().expect("checked above") {
         "train" => commands::train::run(&parsed),
         "eval" => commands::eval::run(&parsed),
@@ -82,6 +91,8 @@ COMMANDS:
                    [--quick|--full]
 
 GLOBAL:
+    --threads N  worker-pool width for compute kernels
+                   (default: all available cores; results do not depend on it)
     --help       show this text
 "
     .to_string()
@@ -113,8 +124,23 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for cmd in ["train", "eval", "plan", "demo", "experiments"] {
+        for cmd in ["train", "eval", "plan", "demo", "experiments", "--threads"] {
             assert!(u.contains(cmd), "usage missing {cmd}");
         }
+    }
+
+    #[test]
+    fn threads_flag_reaches_the_pool() {
+        assert_eq!(
+            run(&v(&["demo", "--threads", "2", "--preemptions", "0"])),
+            0
+        );
+        assert_eq!(einet_tensor::num_threads(), 2);
+        einet_tensor::set_num_threads(0);
+    }
+
+    #[test]
+    fn bad_threads_value_fails_fast() {
+        assert_eq!(run(&v(&["plan", "--threads", "lots"])), 2);
     }
 }

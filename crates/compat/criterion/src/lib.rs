@@ -1,0 +1,284 @@
+//! Offline stand-in for the subset of the [`criterion` 0.5 API] the EINet
+//! benches use.
+//!
+//! The build environment has no access to crates.io, so this tiny path
+//! dependency ships under the `criterion` package name. It implements a
+//! simple but honest harness: per benchmark it warms up, auto-scales the
+//! iteration count to a fixed measurement budget, and reports the median,
+//! mean, and spread of per-iteration wall time. There are no HTML reports,
+//! statistical regressions, or plots.
+//!
+//! Set `EINET_BENCH_BUDGET_MS` to change the per-benchmark measurement
+//! budget (default 300 ms; lower it for smoke runs).
+//!
+//! [`criterion` 0.5 API]: https://docs.rs/criterion/0.5
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The top-level harness handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), 100, &mut f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample_size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (purely cosmetic in this shim).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    measuring: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to fill the measurement
+    /// budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.measuring {
+            // Calibration pass: time a single call.
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn budget() -> Duration {
+    std::env::var("EINET_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Duration::from_millis(300), Duration::from_millis)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    // Calibration: one untimed-budget pass to estimate per-iteration cost.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        measuring: false,
+    };
+    f(&mut calib);
+    let estimate = calib.samples.first().copied().unwrap_or(Duration::ZERO);
+    let per_sample_budget = budget().as_nanos() / sample_size.max(1) as u128;
+    let iters = if estimate.as_nanos() == 0 {
+        1000
+    } else {
+        (per_sample_budget / estimate.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+    let mut bench = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(sample_size),
+        measuring: true,
+    };
+    for _ in 0..sample_size {
+        f(&mut bench);
+    }
+    report(label, &mut bench.samples);
+}
+
+fn report(label: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        eprintln!("{label:<48} no samples");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let lo = samples[samples.len() / 20];
+    let hi = samples[samples.len() - 1 - samples.len() / 20];
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{label:<48} median {:>12}  mean {:>12}  [{} .. {}]",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(lo),
+        fmt_ns(hi)
+    );
+    eprintln!("{line}");
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        std::env::set_var("EINET_BENCH_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_test");
+        g.sample_size(10);
+        let mut ran = 0_u64;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0, "routine must have run");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 42).label, "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

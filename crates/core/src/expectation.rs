@@ -69,6 +69,72 @@ impl<'a> AccuracyExpectation<'a> {
     }
 }
 
+/// The left-to-right scan state of the expectation kernel after consuming a
+/// prefix of the exits. The state after exit `d` depends only on the plan
+/// bits `< d`, which is what makes prefix states shareable across plans
+/// (see `search::ExpectationCache`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct ScanState {
+    /// Elapsed execution time.
+    t: f64,
+    /// Time of the latest output.
+    t_last: f64,
+    /// Confidence of the latest output (0 = none yet).
+    c_last: f64,
+    /// Expectation mass accumulated over closed intervals.
+    e: f64,
+}
+
+impl ScanState {
+    /// The state before any exit has been consumed.
+    pub(crate) const START: ScanState = ScanState {
+        t: 0.0,
+        t_last: 0.0,
+        c_last: 0.0,
+        e: 0.0,
+    };
+}
+
+/// Advances a scan state over exits `from..to`. Running this in pieces
+/// replays exactly the op sequence of a whole-plan scan, so resumed
+/// evaluations are bit-identical to fresh ones.
+pub(crate) fn scan_exits(
+    et: &EtProfile,
+    dist: &TimeDistribution,
+    plan: &ExitPlan,
+    confidences: &[f32],
+    mut s: ScanState,
+    from: usize,
+    to: usize,
+) -> ScanState {
+    let horizon = et.total_ms();
+    let conv = et.conv_ms();
+    let branch = et.branch_ms();
+    for i in from..to {
+        s.t += conv[i];
+        if plan.get(i) {
+            s.t += branch[i];
+            if s.c_last > 0.0 {
+                s.e += s.c_last * dist.mass_between(s.t_last, s.t, horizon);
+            }
+            s.c_last = f64::from(confidences[i]);
+            s.t_last = s.t;
+        }
+    }
+    s
+}
+
+/// Closes a fully-scanned state: the last output covers the remaining
+/// horizon.
+pub(crate) fn scan_close(et: &EtProfile, dist: &TimeDistribution, s: ScanState) -> f64 {
+    let horizon = et.total_ms();
+    if s.c_last > 0.0 {
+        s.e + s.c_last * dist.mass_between(s.t_last, horizon, horizon)
+    } else {
+        s.e
+    }
+}
+
 /// The optimized accuracy-expectation kernel: one pass over the exits, no
 /// allocation. This is the "C implementation" of Table I.
 ///
@@ -84,28 +150,8 @@ pub fn expectation(
     let n = et.num_exits();
     assert_eq!(plan.len(), n, "plan/profile length mismatch");
     assert_eq!(confidences.len(), n, "confidence/profile length mismatch");
-    let horizon = et.total_ms();
-    let conv = et.conv_ms();
-    let branch = et.branch_ms();
-    let mut t = 0.0_f64;
-    let mut t_last = 0.0_f64;
-    let mut c_last = 0.0_f64;
-    let mut e = 0.0_f64;
-    for i in 0..n {
-        t += conv[i];
-        if plan.get(i) {
-            t += branch[i];
-            if c_last > 0.0 {
-                e += c_last * dist.mass_between(t_last, t, horizon);
-            }
-            c_last = f64::from(confidences[i]);
-            t_last = t;
-        }
-    }
-    if c_last > 0.0 {
-        e += c_last * dist.mass_between(t_last, horizon, horizon);
-    }
-    e
+    let s = scan_exits(et, dist, plan, confidences, ScanState::START, 0, n);
+    scan_close(et, dist, s)
 }
 
 /// A deliberately naive reference implementation of Algorithm 1 that builds
@@ -136,11 +182,11 @@ pub fn expectation_reference(
     // Build the event timeline as owned vectors (naively).
     let mut events: Vec<(f64, f64)> = Vec::new(); // (output time, confidence)
     let mut t = 0.0;
-    for i in 0..n {
+    for (i, &conf) in confidences.iter().enumerate() {
         t += et.conv_ms()[i];
         if plan.to_bools()[i] {
             t += et.branch_ms()[i];
-            events.push((t, f64::from(confidences[i])));
+            events.push((t, f64::from(conf)));
         }
     }
     let mut intervals: Vec<Interval> = Vec::new();

@@ -47,5 +47,5 @@ pub use planner::{
     Planner, PlannerDecision, ProfilePriorPlanner, RandomSearchPlanner, StaticPlanner,
 };
 pub use runtime::{ElasticOutcome, ElasticRuntime, SampleTable};
-pub use search::SearchEngine;
+pub use search::{CacheStats, ExpectationCache, SearchEngine};
 pub use time_dist::TimeDistribution;

@@ -147,7 +147,7 @@ impl<'a> ElasticRuntime<'a> {
         let mut last: Option<EmittedOutput> = None;
         let mut outputs = 0usize;
         let outcome = |last: Option<EmittedOutput>, outputs: usize, finished: bool| {
-            let correct = last.map_or(false, |o| o.predicted == table.label);
+            let correct = last.is_some_and(|o| o.predicted == table.label);
             ElasticOutcome {
                 last,
                 correct,

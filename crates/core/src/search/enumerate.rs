@@ -26,6 +26,7 @@ pub fn enumerate_best(
     let budget = max_outputs.min(free.len());
     // Depth-first over combinations of free positions with ≤ budget set.
     let mut chosen: Vec<usize> = Vec::with_capacity(budget);
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         base: &ExitPlan,
         free: &[usize],

@@ -32,10 +32,7 @@ pub fn greedy_augment(
         for (slot, &i) in remaining.iter().enumerate() {
             let candidate = current.with(i, true);
             let score = eval(&candidate);
-            if round_best
-                .as_ref()
-                .map_or(true, |&(_, _, best)| score > best)
-            {
+            if round_best.as_ref().is_none_or(|&(_, _, best)| score > best) {
                 round_best = Some((slot, candidate, score));
             }
         }

@@ -9,15 +9,19 @@
 //! serves offline planning (average profiles), online replanning (frozen
 //! history prefix + predicted future confidences), and ground-truth studies.
 
+mod cache;
 mod enumerate;
 mod greedy;
 mod hybrid;
 mod random;
 
+pub use cache::{CacheStats, ExpectationCache};
 pub use enumerate::{enumerate_best, enumerate_prefix};
 pub use greedy::greedy_augment;
 pub use hybrid::hybrid_search;
 pub use random::random_search;
+
+use std::cell::RefCell;
 
 use einet_profile::EtProfile;
 
@@ -103,6 +107,51 @@ impl SearchEngine {
         };
         let free: Vec<usize> = (frozen_prefix..n).collect();
         let eval = |p: &ExitPlan| expectation(et, dist, p, confidences);
+        hybrid_search(&base, &free, self.enum_outputs, &eval)
+    }
+
+    /// [`SearchEngine::search`] scoring plans through a prefix-expectation
+    /// memo. Returns the same plan and a bit-identical score (the memo
+    /// resumes the identical scan op sequence; see `search::cache`), while
+    /// skipping the shared-prefix part of most scans — the hybrid search's
+    /// stages re-score thousands of plans that differ only in deep bits.
+    ///
+    /// The cache is invalidated (`begin_step`) on entry, because each call
+    /// carries fresh confidences; pass the same cache across calls so its
+    /// cumulative [`CacheStats`] track a whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SearchEngine::search`].
+    pub fn search_cached(
+        &self,
+        et: &EtProfile,
+        dist: &TimeDistribution,
+        confidences: &[f32],
+        frozen_prefix: usize,
+        history: Option<&ExitPlan>,
+        cache: &mut ExpectationCache,
+    ) -> (ExitPlan, f64) {
+        let n = et.num_exits();
+        assert!(frozen_prefix <= n, "prefix out of range");
+        let base = match history {
+            Some(h) => {
+                assert_eq!(h.len(), n, "history length mismatch");
+                let mut b = ExitPlan::empty(n);
+                for i in 0..frozen_prefix {
+                    b.set(i, h.get(i));
+                }
+                b
+            }
+            None => {
+                assert_eq!(frozen_prefix, 0, "frozen prefix requires history");
+                ExitPlan::empty(n)
+            }
+        };
+        cache.begin_step();
+        let free: Vec<usize> = (frozen_prefix..n).collect();
+        let cache = RefCell::new(cache);
+        let eval = |p: &ExitPlan| cache.borrow_mut().evaluate(et, dist, p, confidences);
         hybrid_search(&base, &free, self.enum_outputs, &eval)
     }
 }

@@ -1,0 +1,99 @@
+//! The planner cache must be invisible: same plans, bit-identical scores,
+//! with or without the memo — across distributions, frozen prefixes, and
+//! re-plan steps with changing confidences.
+
+use einet_core::{ExitPlan, ExpectationCache, SearchEngine, TimeDistribution};
+use einet_profile::EtProfile;
+
+fn profile(n: usize) -> EtProfile {
+    let conv: Vec<f64> = (0..n).map(|i| 0.9 + 0.13 * ((i * 7) % 5) as f64).collect();
+    let branch: Vec<f64> = (0..n).map(|i| 0.25 + 0.07 * ((i * 3) % 4) as f64).collect();
+    EtProfile::new(conv, branch).unwrap()
+}
+
+/// Deterministic pseudo-confidences for step `step`.
+fn confs(n: usize, step: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64 + 1).wrapping_mul(step.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            0.2 + 0.75 * ((x >> 40) as f32 / (1_u64 << 24) as f32)
+        })
+        .collect()
+}
+
+#[test]
+fn cached_search_matches_uncached_over_many_steps() {
+    for n in [6, 17, 40] {
+        let et = profile(n);
+        let mut cache = ExpectationCache::new();
+        for (d, dist) in [
+            TimeDistribution::Uniform,
+            TimeDistribution::gaussian(0.5),
+            TimeDistribution::piecewise(vec![1.0, 3.0, 2.0, 0.5]),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for step in 0..12_u64 {
+                let c = confs(n, step + 100 * d as u64);
+                let engine = SearchEngine::new(4);
+                let (plan, score) = engine.search(&et, &dist, &c, 0, None);
+                let (plan_c, score_c) = engine.search_cached(&et, &dist, &c, 0, None, &mut cache);
+                assert_eq!(plan, plan_c, "n={n} step={step}");
+                assert_eq!(
+                    score.to_bits(),
+                    score_c.to_bits(),
+                    "n={n} step={step}: {score} vs {score_c}"
+                );
+            }
+        }
+        if n > 8 {
+            assert!(cache.stats().hits > 0, "n={n}: long models must hit");
+        }
+    }
+}
+
+#[test]
+fn cached_search_matches_with_frozen_prefix() {
+    let n = 24;
+    let et = profile(n);
+    let dist = TimeDistribution::Uniform;
+    let mut cache = ExpectationCache::new();
+    let mut history = ExitPlan::empty(n);
+    for step in 0..n as u64 - 1 {
+        let c = confs(n, step);
+        let frozen = step as usize + 1;
+        history.set(step as usize, step % 3 != 0);
+        let engine = SearchEngine::new(5);
+        let (plan, score) = engine.search(&et, &dist, &c, frozen, Some(&history));
+        let (plan_c, score_c) =
+            engine.search_cached(&et, &dist, &c, frozen, Some(&history), &mut cache);
+        assert_eq!(plan, plan_c, "step={step}");
+        assert_eq!(score.to_bits(), score_c.to_bits(), "step={step}");
+    }
+    let stats = cache.stats();
+    assert!(stats.hits + stats.misses > 0);
+    assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+}
+
+#[test]
+fn cache_reports_meaningful_hit_rate_on_paper_scale() {
+    // MSDNet scale: 40 exits, enumerate 4 — the greedy stage re-scores
+    // hundreds of deep-bit variants sharing checkpoints.
+    let n = 40;
+    let et = profile(n);
+    let dist = TimeDistribution::Uniform;
+    let mut cache = ExpectationCache::new();
+    let engine = SearchEngine::new(4);
+    let c = confs(n, 7);
+    engine.search_cached(&et, &dist, &c, 0, None, &mut cache);
+    let stats = cache.stats();
+    assert!(
+        stats.hit_rate() > 0.5,
+        "expected most evaluations to resume from a checkpoint, got {:.3} ({} hits / {} misses)",
+        stats.hit_rate(),
+        stats.hits,
+        stats.misses
+    );
+    assert!(stats.exits_skipped > 0);
+}

@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn covers_every_sample_once() {
         let s = set(10);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for (imgs, _) in BatchIter::new(&s, 3, 5) {
             for &v in imgs.as_slice() {
                 let i = v as usize;

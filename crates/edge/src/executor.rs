@@ -1,6 +1,6 @@
 //! The elastic-inference worker.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -118,7 +118,7 @@ impl ElasticExecutor {
         dist: TimeDistribution,
         block_delay: Duration,
     ) -> Self {
-        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = channel();
         let handle = std::thread::spawn(move || {
             let et = EtProfile::from_cost_model(&net, platform);
             while let Ok(msg) = rx.recv() {
@@ -148,7 +148,7 @@ impl ElasticExecutor {
 
     /// Submits a task; the returned channel yields its outcome.
     pub fn submit(&self, request: InferenceRequest) -> Receiver<TaskOutcome> {
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = channel();
         self.tx
             .send(WorkerMsg::Task(request, reply_tx))
             .expect("executor thread alive");

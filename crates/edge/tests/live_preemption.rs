@@ -52,9 +52,8 @@ fn einet_source_completes_and_emits_outputs() {
         gate,
     );
     let (images, labels) = ds.test().slice(0, 4);
-    for i in 0..4 {
-        let request =
-            InferenceRequest::new(images.batch_slice(i, i + 1)).with_label(labels[i] as u16);
+    for (i, &label) in labels.iter().enumerate().take(4) {
+        let request = InferenceRequest::new(images.batch_slice(i, i + 1)).with_label(label as u16);
         let outcome = exec.submit(request).recv().unwrap();
         assert!(outcome.completed);
         assert!(

@@ -15,9 +15,7 @@ proptest! {
     /// any arrival order of confidence scores.
     #[test]
     fn cache_equals_full_inference(seed in 0u64..500,
-                                   confs in proptest::collection::vec(0.01_f32..1.0, 6),
-                                   order in Just(()) ) {
-        let _ = order;
+                                   confs in proptest::collection::vec(0.01_f32..1.0, 6)) {
         let p = CsPredictor::new(6, 24, seed);
         let mut cache = ActivationCache::new(&p);
         let mut dense = vec![0.0_f32; 6];

@@ -226,12 +226,7 @@ mod tests {
     fn calibration_maps_confidence_to_accuracy_scale() {
         // Exit 0: always correct, confidence 0.5 -> factor 2 (clamped cap).
         // Exit 1: never correct -> factor 0.
-        let p = CsProfile::new(
-            vec![vec![0.5, 0.8]; 4],
-            vec![vec![1, 0]; 4],
-            vec![1; 4],
-            2,
-        );
+        let p = CsProfile::new(vec![vec![0.5, 0.8]; 4], vec![vec![1, 0]; 4], vec![1; 4], 2);
         let cal = p.exit_calibration();
         assert!((cal[0] - 2.0).abs() < 1e-6);
         assert!(cal[1].abs() < 1e-6);
@@ -246,12 +241,7 @@ mod tests {
     #[test]
     fn calibration_is_identity_for_calibrated_profiles() {
         // Confidence equals empirical accuracy -> factors are 1.
-        let p = CsProfile::new(
-            vec![vec![0.5]; 2],
-            vec![vec![0], vec![1]],
-            vec![0, 0],
-            1,
-        );
+        let p = CsProfile::new(vec![vec![0.5]; 2], vec![vec![0], vec![1]], vec![0, 0], 1);
         let cal = p.exit_calibration();
         assert!((cal[0] - 1.0).abs() < 1e-6);
     }

@@ -88,9 +88,9 @@ impl EtProfile {
     pub fn plan_time_ms(&self, execute: &[bool]) -> f64 {
         assert_eq!(execute.len(), self.num_exits(), "plan length mismatch");
         let mut t = 0.0;
-        for i in 0..execute.len() {
+        for (i, &run_branch) in execute.iter().enumerate() {
             t += self.conv_ms[i];
-            if execute[i] {
+            if run_branch {
                 t += self.branch_ms[i];
             }
         }

@@ -4,14 +4,18 @@ use rand::rngs::SmallRng;
 
 use crate::init::kaiming_uniform;
 use crate::layer::{Layer, Mode, Param};
-use crate::matmul::{mm, mm_a_bt, mm_at_b};
+use crate::matmul::{mm_a_bt, mm_at_b, mm_into};
+use crate::parallel::{for_each_chunk, num_threads, PAR_MIN_WORK};
 use crate::tensor::Tensor;
 
 /// A 2-D convolution layer over `[n, c, h, w]` tensors.
 ///
 /// The forward pass lowers each sample to a column matrix (im2col) and runs a
-/// single GEMM per sample — the standard CPU strategy. The column buffers are
-/// cached for the backward pass.
+/// single GEMM per sample — the standard CPU strategy. Samples are
+/// distributed over the worker pool (`parallel.rs`) when the batch is large
+/// enough, and the per-sample column buffers are retained across calls (for
+/// the backward pass *and* as reusable scratch: repeated same-shape forwards
+/// — the elastic executor's steady state — allocate nothing).
 ///
 /// # Example
 ///
@@ -87,6 +91,7 @@ impl Conv2d {
 }
 
 /// Lowers one `[c, h, w]` sample into an `[c*k*k, oh*ow]` column matrix.
+#[cfg(test)]
 pub(crate) fn im2col(
     x: &[f32],
     c: usize,
@@ -96,9 +101,27 @@ pub(crate) fn im2col(
     stride: usize,
     pad: usize,
 ) -> Vec<f32> {
+    let mut cols = Vec::new();
+    im2col_into(x, c, h, w, k, stride, pad, &mut cols);
+    cols
+}
+
+/// [`im2col`] into a caller-owned buffer, reusing its capacity.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn im2col_into(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cols: &mut Vec<f32>,
+) {
     let oh = (h + 2 * pad - k) / stride + 1;
     let ow = (w + 2 * pad - k) / stride + 1;
-    let mut cols = vec![0.0_f32; c * k * k * oh * ow];
+    cols.clear();
+    cols.resize(c * k * k * oh * ow, 0.0);
     for ci in 0..c {
         for ki in 0..k {
             for kj in 0..k {
@@ -110,21 +133,34 @@ pub(crate) fn im2col(
                         continue;
                     }
                     let in_base = (ci * h + ih as usize) * w;
-                    for oj in 0..ow {
-                        let iw = (oj * stride + kj) as isize - pad as isize;
-                        if iw < 0 || iw >= w as isize {
-                            continue;
+                    let dst_base = base + oi * ow;
+                    if stride == 1 {
+                        // `iw = oj + kj - pad` walks the input row with unit
+                        // stride, so the valid span is one contiguous copy.
+                        let lo = pad.saturating_sub(kj);
+                        let hi = (w + pad).saturating_sub(kj).min(ow);
+                        if lo < hi {
+                            let src = in_base + lo + kj - pad;
+                            cols[dst_base + lo..dst_base + hi]
+                                .copy_from_slice(&x[src..src + hi - lo]);
                         }
-                        cols[base + oi * ow + oj] = x[in_base + iw as usize];
+                    } else {
+                        for oj in 0..ow {
+                            let iw = (oj * stride + kj) as isize - pad as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            cols[dst_base + oj] = x[in_base + iw as usize];
+                        }
                     }
                 }
             }
         }
     }
-    cols
 }
 
 /// Reverses [`im2col`]: scatters column gradients back into an image gradient.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn col2im(
     cols: &[f32],
     c: usize,
@@ -169,33 +205,48 @@ impl Layer for Conv2d {
         let (n, h, w) = (shape[0], shape[2], shape[3]);
         let (oh, ow) = (self.out_dim(h), self.out_dim(w));
         let per_in = self.in_c * h * w;
+        let per_out = self.out_c * oh * ow;
         let kk = self.in_c * self.k * self.k;
-        let mut out = vec![0.0_f32; n * self.out_c * oh * ow];
-        self.cached_cols.clear();
+        let mut out = vec![0.0_f32; n * per_out];
+        // Keep n slots, reusing previous allocations as im2col scratch.
+        self.cached_cols.resize_with(n, Vec::new);
         self.cached_in_shape = shape.to_vec();
         let x = input.as_slice();
         let wt = self.weight.value.as_slice();
         let b = self.bias.value.as_slice();
-        for i in 0..n {
-            let cols = im2col(
-                &x[i * per_in..(i + 1) * per_in],
-                self.in_c,
+        let (in_c, kc, stride, pad, out_c) = (self.in_c, self.k, self.stride, self.pad, self.out_c);
+        let macs = n * out_c * kk * oh * ow;
+        let threads = if macs >= PAR_MIN_WORK {
+            num_threads()
+        } else {
+            1
+        };
+        let mut jobs: Vec<(usize, &mut [f32], &mut Vec<f32>)> = out
+            .chunks_mut(per_out)
+            .zip(self.cached_cols.iter_mut())
+            .enumerate()
+            .map(|(i, (dst, cols))| (i, dst, cols))
+            .collect();
+        for_each_chunk(&mut jobs, 1, threads, |_, job| {
+            let (i, dst, cols) = &mut job[0];
+            im2col_into(
+                &x[*i * per_in..(*i + 1) * per_in],
+                in_c,
                 h,
                 w,
-                self.k,
-                self.stride,
-                self.pad,
+                kc,
+                stride,
+                pad,
+                cols,
             );
-            let y = mm(wt, &cols, self.out_c, kk, oh * ow);
-            let dst = &mut out[i * self.out_c * oh * ow..(i + 1) * self.out_c * oh * ow];
-            for oc in 0..self.out_c {
+            mm_into(wt, cols, dst, out_c, kk, oh * ow);
+            for (oc, row) in dst.chunks_mut(oh * ow).enumerate() {
                 let bias = b[oc];
-                for v in 0..oh * ow {
-                    dst[oc * oh * ow + v] = y[oc * oh * ow + v] + bias;
+                for v in row {
+                    *v += bias;
                 }
             }
-            self.cached_cols.push(cols);
-        }
+        });
         Tensor::new(&[n, self.out_c, oh, ow], out).expect("conv output shape consistent")
     }
 

@@ -1,6 +1,7 @@
 //! Batch normalisation.
 
 use crate::layer::{Layer, Mode, Param};
+use crate::parallel::{for_each_chunk, num_threads, PAR_MIN_WORK};
 use crate::tensor::Tensor;
 
 /// Per-channel batch normalisation over `[n, c, h, w]` tensors.
@@ -95,16 +96,34 @@ impl Layer for BatchNorm2d {
                 }
             }
             Mode::Eval => {
-                for ch in 0..c {
-                    let inv_std = 1.0 / (self.running_var[ch] + self.eps).sqrt();
-                    let mean = self.running_mean[ch];
-                    for ni in 0..n {
-                        let base = (ni * c + ch) * h * w;
-                        for i in base..base + h * w {
-                            out[i] = g[ch] * (x[i] - mean) * inv_std + b[ch];
+                // Eval is the inference latency path: per-channel running
+                // stats are fixed, so samples are independent and go to the
+                // worker pool. Arithmetic per element is identical to the
+                // serial form.
+                let inv_std: Vec<f32> = self
+                    .running_var
+                    .iter()
+                    .map(|&v| 1.0 / (v + self.eps).sqrt())
+                    .collect();
+                let mean = &self.running_mean;
+                let threads = if x.len() >= PAR_MIN_WORK {
+                    num_threads()
+                } else {
+                    1
+                };
+                for_each_chunk(&mut out, c * h * w, threads, |ni, sample| {
+                    let src = &x[ni * c * h * w..(ni + 1) * c * h * w];
+                    for ch in 0..c {
+                        let (gc, bc, mc, sc) = (g[ch], b[ch], mean[ch], inv_std[ch]);
+                        let base = ch * h * w;
+                        for (o, &v) in sample[base..base + h * w]
+                            .iter_mut()
+                            .zip(&src[base..base + h * w])
+                        {
+                            *o = gc * (v - mc) * sc + bc;
                         }
                     }
-                }
+                });
             }
         }
         Tensor::new(shape, out).expect("batchnorm output shape consistent")
@@ -121,23 +140,30 @@ impl Layer for BatchNorm2d {
         let dy = grad_output.as_slice();
         let mut grad_in = vec![0.0_f32; dy.len()];
         let g = self.gamma.value.as_slice().to_vec();
-        for ch in 0..c {
+        for (ch, &gc) in g.iter().enumerate() {
             let mut sum_dy = 0.0_f32;
             let mut sum_dy_xhat = 0.0_f32;
             for ni in 0..n {
                 let base = (ni * c + ch) * h * w;
-                for i in base..base + h * w {
-                    sum_dy += dy[i];
-                    sum_dy_xhat += dy[i] * self.xhat[i];
+                for (&dyv, &xh) in dy[base..base + h * w]
+                    .iter()
+                    .zip(&self.xhat[base..base + h * w])
+                {
+                    sum_dy += dyv;
+                    sum_dy_xhat += dyv * xh;
                 }
             }
             self.gamma.grad.as_mut_slice()[ch] += sum_dy_xhat;
             self.beta.grad.as_mut_slice()[ch] += sum_dy;
-            let coef = g[ch] * self.inv_std[ch] / m;
+            let coef = gc * self.inv_std[ch] / m;
             for ni in 0..n {
                 let base = (ni * c + ch) * h * w;
-                for i in base..base + h * w {
-                    grad_in[i] = coef * (m * dy[i] - sum_dy - self.xhat[i] * sum_dy_xhat);
+                for ((gi, &dyv), &xh) in grad_in[base..base + h * w]
+                    .iter_mut()
+                    .zip(&dy[base..base + h * w])
+                    .zip(&self.xhat[base..base + h * w])
+                {
+                    *gi = coef * (m * dyv - sum_dy - xh * sum_dy_xhat);
                 }
             }
         }

@@ -1,6 +1,7 @@
 //! Pooling layers.
 
 use crate::layer::{Layer, Mode};
+use crate::parallel::{for_each_chunk, num_threads, PAR_MIN_WORK};
 use crate::tensor::Tensor;
 
 /// Max pooling over non-overlapping or strided windows of `[n, c, h, w]`.
@@ -46,31 +47,48 @@ impl Layer for MaxPool2d {
         assert!(oh > 0 && ow > 0, "maxpool window larger than input");
         let x = input.as_slice();
         let mut out = vec![0.0_f32; n * c * oh * ow];
-        self.argmax = vec![0; n * c * oh * ow];
+        let mut argmax = vec![0_usize; n * c * oh * ow];
         self.in_shape = shape.to_vec();
-        for nc in 0..n * c {
-            let src = &x[nc * h * w..(nc + 1) * h * w];
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0;
-                    for ki in 0..self.k {
-                        for kj in 0..self.k {
-                            let ih = oi * self.stride + ki;
-                            let iw = oj * self.stride + kj;
-                            let v = src[ih * w + iw];
-                            if v > best {
-                                best = v;
-                                best_idx = ih * w + iw;
+        let (k, stride) = (self.k, self.stride);
+        let work = n * c * oh * ow * k * k;
+        let threads = if work >= PAR_MIN_WORK {
+            num_threads()
+        } else {
+            1
+        };
+        // One job per (sample, channel) plane; `c` planes per chunk so a
+        // chunk is one sample.
+        let mut jobs: Vec<(usize, &mut [f32], &mut [usize])> = out
+            .chunks_mut(oh * ow)
+            .zip(argmax.chunks_mut(oh * ow))
+            .enumerate()
+            .map(|(nc, (o, a))| (nc, o, a))
+            .collect();
+        for_each_chunk(&mut jobs, c, threads, |_, chunk| {
+            for (nc, o, a) in chunk.iter_mut() {
+                let src = &x[*nc * h * w..(*nc + 1) * h * w];
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let ih = oi * stride + ki;
+                                let iw = oj * stride + kj;
+                                let v = src[ih * w + iw];
+                                if v > best {
+                                    best = v;
+                                    best_idx = ih * w + iw;
+                                }
                             }
                         }
+                        o[oi * ow + oj] = best;
+                        a[oi * ow + oj] = *nc * h * w + best_idx;
                     }
-                    let o = nc * oh * ow + oi * ow + oj;
-                    out[o] = best;
-                    self.argmax[o] = nc * h * w + best_idx;
                 }
             }
-        }
+        });
+        self.argmax = argmax;
         Tensor::new(&[n, c, oh, ow], out).expect("maxpool output shape consistent")
     }
 

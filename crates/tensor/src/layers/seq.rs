@@ -93,18 +93,18 @@ impl Layer for LayerNorm {
         for r in 0..rows {
             let mut sum_dy_g = 0.0_f32;
             let mut sum_dy_g_xhat = 0.0_f32;
-            for j in 0..d {
+            for (j, &gj) in g.iter().enumerate() {
                 let i = r * d + j;
-                let dyg = dy[i] * g[j];
+                let dyg = dy[i] * gj;
                 sum_dy_g += dyg;
                 sum_dy_g_xhat += dyg * self.xhat[i];
                 self.gamma.grad.as_mut_slice()[j] += dy[i] * self.xhat[i];
                 self.beta.grad.as_mut_slice()[j] += dy[i];
             }
             let inv = self.inv_std[r];
-            for j in 0..d {
+            for (j, &gj) in g.iter().enumerate() {
                 let i = r * d + j;
-                let dyg = dy[i] * g[j];
+                let dyg = dy[i] * gj;
                 grad_in[i] =
                     inv * (dyg - sum_dy_g / d as f32 - self.xhat[i] * sum_dy_g_xhat / d as f32);
             }

@@ -54,6 +54,7 @@ mod layers;
 mod loss;
 mod matmul;
 mod optim;
+mod parallel;
 mod sequential;
 mod tensor;
 
@@ -70,7 +71,8 @@ pub use layers::norm::BatchNorm2d;
 pub use layers::pool::{GlobalAvgPool, MaxPool2d};
 pub use layers::seq::{LayerNorm, PositionalEncoding, SelfAttention, TokenLinear};
 pub use loss::{masked_mse, mse, softmax_cross_entropy, softmax_rows};
-pub use matmul::{mm, mm_a_bt, mm_at_b};
+pub use matmul::{mm, mm_a_bt, mm_a_bt_into, mm_at_b, mm_at_b_into, mm_into};
 pub use optim::Sgd;
+pub use parallel::{num_threads, set_num_threads};
 pub use sequential::Sequential;
 pub use tensor::Tensor;

@@ -2,9 +2,54 @@
 //!
 //! Three layout variants cover everything the layers need without ever
 //! materialising a transpose. All matrices are row-major `f32` slices.
-//! The kernels use an `i-k-j` loop order so the innermost loop streams both
-//! the output row and one operand row sequentially, which is the single most
-//! important optimisation for a cache-friendly naive GEMM.
+//!
+//! Every variant is a thin wrapper over one strided GEMM with two tiers:
+//!
+//! * **small** (`m·k·n < BLOCKED_MIN_MACS`): a simple loop nest — the
+//!   blocked path's packing overhead is not worth it for the tiny matmuls
+//!   on the elastic executor's latency path (e.g. `1×256 · 256×10`).
+//! * **blocked** otherwise: a BLIS-style cache-blocked kernel. `B` is
+//!   packed once into `NR`-column panels and each `MR`-row strip of `A`
+//!   into an interleaved tile, then an `MR×NR` register micro-kernel
+//!   accumulates over the full `k` extent. Strips of `C` rows are
+//!   distributed over the worker pool (`parallel.rs`) above
+//!   `PAR_MIN_WORK`.
+//!
+//! Determinism: each output element is one accumulation chain in `p = 0..k`
+//! order, in both tiers, with a single accumulator per element (the
+//! micro-kernel's `MR·NR` accumulators belong to `MR·NR` *different*
+//! elements). The
+//! work grid depends only on the problem shape, so results are bit-identical
+//! across thread counts. Zero inputs are **not** skipped: `0.0 * x` must
+//! stay IEEE-faithful (`0 * inf = NaN`), and a data-dependent branch in the
+//! inner loop would block vectorisation anyway.
+
+use crate::parallel::{for_each_chunk_with, num_threads, PAR_MIN_WORK};
+
+/// Rows per register tile of the micro-kernel.
+const MR: usize = 6;
+/// Columns per register tile (and per packed `B` panel).
+const NR: usize = 16;
+/// Below this many multiply-accumulates the simple loop nest wins over
+/// packing (≈ a `32×32 · 32×32` product).
+const BLOCKED_MIN_MACS: usize = 32 * 32 * 32;
+
+/// A constant-stride view of a row-major buffer: element `(r, c)` lives at
+/// `data[r * rs + c * cs]`. Lets one kernel serve `A·B`, `A·Bᵀ` and `Aᵀ·B`
+/// without copying.
+#[derive(Clone, Copy)]
+struct MatRef<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl MatRef<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.rs + c * self.cs]
+    }
+}
 
 /// `C[m,n] = A[m,k] * B[k,n]`.
 ///
@@ -12,23 +57,37 @@
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0_f32; m * n];
+    mm_into(a, b, &mut c, m, k, n);
+    c
+}
+
+/// [`mm`] writing into a caller-provided buffer (overwritten, not
+/// accumulated) so hot loops can reuse allocations.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn mm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "mm: lhs size mismatch");
     assert_eq!(b.len(), k * n, "mm: rhs size mismatch");
-    let mut c = vec![0.0_f32; m * n];
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += av * bv;
-            }
-        }
-    }
-    c
+    assert_eq!(c.len(), m * n, "mm: out size mismatch");
+    gemm(
+        MatRef {
+            data: a,
+            rs: k,
+            cs: 1,
+        },
+        MatRef {
+            data: b,
+            rs: n,
+            cs: 1,
+        },
+        c,
+        m,
+        k,
+        n,
+    );
 }
 
 /// `C[m,n] = A[m,k] * B[n,k]^T` — i.e. rows of `B` are dotted with rows of `A`.
@@ -37,21 +96,37 @@ pub fn mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn mm_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0_f32; m * n];
+    mm_a_bt_into(a, b, &mut c, m, k, n);
+    c
+}
+
+/// [`mm_a_bt`] writing into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn mm_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "mm_a_bt: lhs size mismatch");
     assert_eq!(b.len(), n * k, "mm_a_bt: rhs size mismatch");
-    let mut c = vec![0.0_f32; m * n];
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0_f32;
-            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
-            }
-            c[i * n + j] = acc;
-        }
-    }
-    c
+    assert_eq!(c.len(), m * n, "mm_a_bt: out size mismatch");
+    gemm(
+        MatRef {
+            data: a,
+            rs: k,
+            cs: 1,
+        },
+        // Logical B[k,n] with B[p][j] = b[j*k + p].
+        MatRef {
+            data: b,
+            rs: 1,
+            cs: k,
+        },
+        c,
+        m,
+        k,
+        n,
+    );
 }
 
 /// `C[m,n] = A[k,m]^T * B[k,n]`.
@@ -60,23 +135,184 @@ pub fn mm_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn mm_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0_f32; m * n];
+    mm_at_b_into(a, b, &mut c, m, k, n);
+    c
+}
+
+/// [`mm_at_b`] writing into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn mm_at_b_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), k * m, "mm_at_b: lhs size mismatch");
     assert_eq!(b.len(), k * n, "mm_at_b: rhs size mismatch");
-    let mut c = vec![0.0_f32; m * n];
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    assert_eq!(c.len(), m * n, "mm_at_b: out size mismatch");
+    gemm(
+        // Logical A[m,k] with A[i][p] = a[p*m + i].
+        MatRef {
+            data: a,
+            rs: 1,
+            cs: m,
+        },
+        MatRef {
+            data: b,
+            rs: n,
+            cs: 1,
+        },
+        c,
+        m,
+        k,
+        n,
+    );
+}
+
+/// Strided GEMM dispatcher: `c = a * b`, overwriting `c`.
+fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    let macs = m * k * n;
+    if macs < BLOCKED_MIN_MACS {
+        gemm_small(a, b, c, m, k, n);
+        return;
+    }
+    let threads = if macs >= PAR_MIN_WORK {
+        num_threads()
+    } else {
+        1
+    };
+    let bpack = pack_b(b, k, n);
+    let n_panels = n.div_ceil(NR);
+    // Each MR-row strip of C is one chunk; the strip grid depends only on
+    // (m, n), never on `threads`.
+    for_each_chunk_with(
+        c,
+        MR * n,
+        threads,
+        || vec![0.0_f32; MR * k],
+        |strip, c_strip, apack| {
+            let i0 = strip * MR;
+            let rows = (m - i0).min(MR);
+            pack_a_strip(a, i0, rows, k, apack);
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let cols = (n - j0).min(NR);
+                let bpanel = &bpack[jp * k * NR..(jp + 1) * k * NR];
+                let acc = micro_kernel(apack, bpanel, k);
+                for (r, c_row) in c_strip.chunks_mut(n).enumerate().take(rows) {
+                    c_row[j0..j0 + cols].copy_from_slice(&acc[r][..cols]);
+                }
             }
+        },
+    );
+}
+
+/// The simple tier: plain loop nests picked by `B`'s layout so the
+/// innermost loop is always unit-stride.
+fn gemm_small(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], m: usize, k: usize, n: usize) {
+    c.fill(0.0);
+    if b.cs == 1 {
+        // i-k-j: stream C's row and B's row together.
+        for i in 0..m {
             let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += av * bv;
+            for p in 0..k {
+                let av = a.at(i, p);
+                let b_row = &b.data[p * b.rs..p * b.rs + n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    } else {
+        // B columns are contiguous (the A·Bᵀ case): dot-product order.
+        for i in 0..m {
+            for j in 0..n {
+                let b_col = &b.data[j * b.cs..j * b.cs + k];
+                let mut acc = 0.0_f32;
+                for (p, &bv) in b_col.iter().enumerate() {
+                    acc += a.at(i, p) * bv;
+                }
+                c[i * n + j] = acc;
             }
         }
     }
-    c
+}
+
+/// Packs `B[k,n]` into `⌈n/NR⌉` contiguous panels. Panel `jp` holds columns
+/// `jp*NR ..`, laid out `p`-major with `NR` interleaved columns per step
+/// (zero-padded past `n`), so the micro-kernel reads it as one forward
+/// stream.
+fn pack_b(b: MatRef<'_>, k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut out = vec![0.0_f32; panels * k * NR];
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let cols = (n - j0).min(NR);
+        let dst = &mut out[jp * k * NR..(jp + 1) * k * NR];
+        if b.cs == 1 {
+            for p in 0..k {
+                let src = &b.data[p * b.rs + j0..p * b.rs + j0 + cols];
+                dst[p * NR..p * NR + cols].copy_from_slice(src);
+            }
+        } else {
+            for col in 0..cols {
+                let src = &b.data[(j0 + col) * b.cs..(j0 + col) * b.cs + k];
+                for (p, &v) in src.iter().enumerate() {
+                    dst[p * NR + col] = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Packs rows `i0 .. i0+rows` of `A[m,k]` into `apack`, `p`-major with `MR`
+/// interleaved rows per step, zero-padding rows past `rows`.
+fn pack_a_strip(a: MatRef<'_>, i0: usize, rows: usize, k: usize, apack: &mut [f32]) {
+    if rows < MR {
+        apack.fill(0.0);
+    }
+    for r in 0..rows {
+        let row = i0 + r;
+        if a.cs == 1 {
+            let src = &a.data[row * a.rs..row * a.rs + k];
+            for (p, &v) in src.iter().enumerate() {
+                apack[p * MR + r] = v;
+            }
+        } else {
+            // Aᵀ case: the logical row is a contiguous column of the buffer.
+            let src = &a.data[row * a.rs..];
+            for p in 0..k {
+                apack[p * MR + r] = src[p * a.cs];
+            }
+        }
+    }
+}
+
+/// The register tile: `MR×NR` independent accumulator chains over the full
+/// `k` extent. `MR`/`NR` are compile-time constants and `chunks_exact`
+/// erases all bounds checks, so the two inner loops fully unroll into
+/// `MR·NR` independent FMA chains the compiler can vectorise (`6×16` =
+/// twelve 8-wide AVX2 accumulators, the classic Haswell tile) — without
+/// ever splitting a single element's chain (which would change rounding).
+#[inline(always)]
+fn micro_kernel(apack: &[f32], bpanel: &[f32], k: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0_f32; NR]; MR];
+    for (av, bv) in apack.chunks_exact(MR).zip(bpanel.chunks_exact(NR)).take(k) {
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (x, &bvc) in row.iter_mut().zip(bv) {
+                *x += ar * bvc;
+            }
+        }
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -145,5 +381,45 @@ mod tests {
         let eye = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
         assert_eq!(mm(&a, &eye, 3, 3, 3), a);
         assert_eq!(mm(&eye, &a, 3, 3, 3), a);
+    }
+
+    #[test]
+    fn zero_times_inf_propagates_nan() {
+        // A data-dependent skip of zero entries would turn these NaNs into
+        // 0.0; IEEE says 0 * inf = NaN and the kernel must preserve that.
+        let c = mm(&[0.0, 1.0], &[f32::INFINITY, 0.0, 0.0, 1.0], 1, 2, 2);
+        assert!(c[0].is_nan(), "0*inf must contaminate the dot product");
+        assert_eq!(c[1], 1.0);
+        let c = mm_at_b(&[0.0, 1.0], &[f32::INFINITY, 0.0, 0.0, 1.0], 1, 2, 2);
+        assert!(c[0].is_nan());
+        let c = mm_a_bt(&[0.0, 1.0], &[f32::INFINITY, 0.0], 1, 2, 1);
+        assert!(c[0].is_nan());
+    }
+
+    #[test]
+    fn blocked_tier_matches_reference() {
+        // Big enough for the blocked (and threaded) path, with dimensions
+        // that are not multiples of MR/NR.
+        let (m, k, n) = (45, 67, 53);
+        let a: Vec<f32> = (0..m * k)
+            .map(|v| ((v * 37 + 11) % 83) as f32 * 0.03 - 1.2)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|v| ((v * 53 + 7) % 97) as f32 * 0.02 - 0.9)
+            .collect();
+        let reference = mm_ref(&a, &b, m, k, n);
+        let got = mm(&a, &b, m, k, n);
+        for (x, y) in got.iter().zip(&reference) {
+            assert!((x - y).abs() < 1e-3, "blocked {x} vs ref {y}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(mm(&[], &[], 0, 0, 0), Vec::<f32>::new());
+        assert_eq!(mm(&[], &[1.0, 2.0], 0, 1, 2), Vec::<f32>::new());
+        // k = 0: the empty sum is 0.
+        assert_eq!(mm(&[], &[], 2, 0, 3), vec![0.0; 6]);
+        assert_eq!(mm(&[2.0], &[3.0], 1, 1, 1), vec![6.0]);
     }
 }

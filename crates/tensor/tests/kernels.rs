@@ -1,0 +1,183 @@
+//! Properties of the blocked, threaded GEMM kernels:
+//!
+//! 1. every variant matches a naive f32 reference within 1e-4 (relative)
+//!    across random shapes, including non-multiple-of-tile and degenerate
+//!    ones (`m = 1`, `k = 1`);
+//! 2. results are **bit-identical** across worker counts, for the raw
+//!    kernels and for the batch-threaded layer forwards built on them.
+
+use einet_tensor::{
+    mm, mm_a_bt, mm_at_b, set_num_threads, BatchNorm2d, Conv2d, Layer, MaxPool2d, Mode, Tensor,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn mm_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0_f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0_f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut t = vec![0.0_f32; x.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            t[c * rows + r] = x[r * cols + c];
+        }
+    }
+    t
+}
+
+fn random_data(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-2.0_f32..2.0)).collect()
+}
+
+fn assert_close(got: &[f32], want: &[f32], what: &str) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-4_f32 * w.abs().max(1.0);
+        assert!(
+            (g - w).abs() <= tol,
+            "{what}: element {i}: got {g}, want {w} (tol {tol})"
+        );
+    }
+}
+
+/// Shapes spanning the serial tier, the blocked tier, tile-edge cases and
+/// degenerate extents.
+fn shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        (1_usize..=8, 1_usize..=8, 1_usize..=8), // tiny / serial tier
+        (1_usize..=2, 30_usize..=70, 30_usize..=70), // m = 1..2 rows
+        (30_usize..=70, 1_usize..=2, 30_usize..=70), // k = 1..2 depth
+        (30_usize..=90, 30_usize..=90, 30_usize..=90), // blocked tier
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn mm_matches_reference(((m, k, n), seed) in (shape(), 0_u64..1 << 32)) {
+        let a = random_data(m * k, seed);
+        let b = random_data(k * n, seed ^ 0xABCD_EF01);
+        let want = mm_ref(&a, &b, m, k, n);
+        assert_close(&mm(&a, &b, m, k, n), &want, "mm");
+    }
+
+    #[test]
+    fn mm_a_bt_matches_reference(((m, k, n), seed) in (shape(), 0_u64..1 << 32)) {
+        let a = random_data(m * k, seed);
+        let bt = random_data(n * k, seed ^ 0x1357_9BDF); // stored [n, k]
+        let b = transpose(&bt, n, k); // logical [k, n]
+        let want = mm_ref(&a, &b, m, k, n);
+        assert_close(&mm_a_bt(&a, &bt, m, k, n), &want, "mm_a_bt");
+    }
+
+    #[test]
+    fn mm_at_b_matches_reference(((m, k, n), seed) in (shape(), 0_u64..1 << 32)) {
+        let at = random_data(k * m, seed); // stored [k, m]
+        let b = random_data(k * n, seed ^ 0x2468_ACE0);
+        let a = transpose(&at, k, m); // logical [m, k]
+        let want = mm_ref(&a, &b, m, k, n);
+        assert_close(&mm_at_b(&at, &b, m, k, n), &want, "mm_at_b");
+    }
+}
+
+/// Runs `f` under each worker count and asserts the outputs are bitwise
+/// equal to the single-worker result. Restores the default afterwards.
+fn assert_thread_invariant(mut f: impl FnMut() -> Vec<f32>, what: &str) {
+    set_num_threads(1);
+    let baseline = f();
+    for threads in [2, 3, 4, 8] {
+        set_num_threads(threads);
+        let got = f();
+        set_num_threads(0);
+        assert_eq!(
+            baseline.len(),
+            got.len(),
+            "{what}: length @ {threads} workers"
+        );
+        for (i, (a, b)) in baseline.iter().zip(&got).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{what}: element {i} differs at {threads} workers: {a} vs {b}"
+            );
+        }
+    }
+    set_num_threads(0);
+}
+
+#[test]
+fn gemm_bit_identical_across_thread_counts() {
+    // 150*130*140 ≈ 2.7M MACs: well above both the blocked and the
+    // threading thresholds.
+    let (m, k, n) = (150, 130, 140);
+    let a = random_data(m * k, 11);
+    let b = random_data(k * n, 22);
+    let bt = random_data(n * k, 33);
+    let at = random_data(k * m, 44);
+    assert_thread_invariant(|| mm(&a, &b, m, k, n), "mm");
+    assert_thread_invariant(|| mm_a_bt(&a, &bt, m, k, n), "mm_a_bt");
+    assert_thread_invariant(|| mm_at_b(&at, &b, m, k, n), "mm_at_b");
+}
+
+#[test]
+fn conv_forward_bit_identical_across_thread_counts() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut conv = Conv2d::new(8, 16, 3, 1, 1, &mut rng);
+    let x = Tensor::new(&[4, 8, 32, 32], random_data(4 * 8 * 32 * 32, 55)).unwrap();
+    assert_thread_invariant(
+        || conv.forward(&x, Mode::Eval).as_slice().to_vec(),
+        "conv2d forward",
+    );
+}
+
+#[test]
+fn maxpool_forward_bit_identical_across_thread_counts() {
+    let mut pool = MaxPool2d::new(2, 2);
+    let x = Tensor::new(&[4, 64, 32, 32], random_data(4 * 64 * 32 * 32, 66)).unwrap();
+    assert_thread_invariant(
+        || pool.forward(&x, Mode::Eval).as_slice().to_vec(),
+        "maxpool forward",
+    );
+}
+
+#[test]
+fn batchnorm_eval_bit_identical_across_thread_counts() {
+    let mut bn = BatchNorm2d::new(16);
+    // A train pass first so the running stats are non-trivial.
+    let warm = Tensor::new(&[2, 16, 8, 8], random_data(2 * 16 * 8 * 8, 77)).unwrap();
+    bn.forward(&warm, Mode::Train);
+    let x = Tensor::new(&[4, 16, 48, 48], random_data(4 * 16 * 48 * 48, 88)).unwrap();
+    assert_thread_invariant(
+        || bn.forward(&x, Mode::Eval).as_slice().to_vec(),
+        "batchnorm eval forward",
+    );
+}
+
+#[test]
+fn degenerate_extents_stay_finite_and_exact() {
+    // m = 1 single row against a large B.
+    let (k, n) = (64, 48);
+    let a = random_data(k, 3);
+    let b = random_data(k * n, 4);
+    assert_close(&mm(&a, &b, 1, k, n), &mm_ref(&a, &b, 1, k, n), "mm m=1");
+    // k = 1: outer product.
+    let a = random_data(40, 5);
+    let b = random_data(50, 6);
+    assert_close(&mm(&a, &b, 40, 1, 50), &mm_ref(&a, &b, 40, 1, 50), "mm k=1");
+    // n = 1: matrix-vector.
+    let a = random_data(40 * 30, 7);
+    let b = random_data(30, 8);
+    assert_close(&mm(&a, &b, 40, 30, 1), &mm_ref(&a, &b, 40, 30, 1), "mm n=1");
+}

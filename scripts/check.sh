@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tests — and optionally the kernel speedup
+# runner that refreshes results/bench_kernels.json.
+#
+#   scripts/check.sh          # fmt --check + clippy -D warnings + tests
+#   scripts/check.sh --bench  # also run the bench runner (release build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_bench=0
+for arg in "$@"; do
+    case "$arg" in
+    --bench) run_bench=1 ;;
+    *)
+        echo "usage: scripts/check.sh [--bench]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace --quiet
+
+if [ "$run_bench" -eq 1 ]; then
+    echo "== bench runner (results/bench_kernels.json)"
+    cargo build --release -p einet-bench --bin bench_kernels
+    ./target/release/bench_kernels
+fi
+
+echo "== all checks passed"
