@@ -5,8 +5,11 @@ use std::time::Duration;
 
 use einet_core::{SearchEngine, TimeDistribution};
 use einet_data::{Dataset, SynthDigits};
-use einet_edge::{EinetSource, ElasticExecutor, InferenceRequest, PreemptionGate, Preemptor};
-use einet_models::{train_multi_exit, zoo, BranchSpec, TrainConfig};
+use einet_edge::{
+    EinetSource, ElasticExecutor, ExecutorPool, InferenceRequest, PoolConfig, PreemptionGate,
+    Preemptor, SubmitError,
+};
+use einet_models::{train_multi_exit, zoo, BranchSpec, MultiExitNet, TrainConfig};
 use einet_predictor::{build_training_set, train_predictor, CsPredictor, PredictorTrainConfig};
 use einet_profile::{CsProfile, EdgePlatform};
 
@@ -40,12 +43,15 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
         &build_training_set(&cs),
         &PredictorTrainConfig::default(),
     );
+    let predictor = Arc::new(predictor);
+    let prior = cs.exit_mean_confidence();
+    // The pool demo needs its own copy of the trained network; clone it
+    // before the executor takes ownership.
+    let pool_net = args
+        .has_flag("serve-stats")
+        .then(|| (net.clone(), Arc::clone(&predictor), prior.clone()));
     let gate = PreemptionGate::new();
-    let source = EinetSource::new(
-        Arc::new(predictor),
-        cs.exit_mean_confidence(),
-        SearchEngine::default(),
-    );
+    let source = EinetSource::new(Arc::clone(&predictor), prior, SearchEngine::default());
     // 2 ms per block so preemptions land mid-inference on fast hosts.
     let exec = ElasticExecutor::spawn_throttled(
         net,
@@ -56,19 +62,19 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
         Duration::from_millis(2),
     );
     let sample = ds.test().images().batch_slice(0, 1);
-    let label = ds.test().labels()[0] as u16;
+    let label = ds.test().labels()[0];
     println!("classifying one sample (true class {label}) under unpredictable preemption:\n");
     for round in 0..preemptions as u64 {
         gate.lower();
         let preemptor = Preemptor::arm(gate.clone(), &TimeDistribution::Uniform, 12.0, 500 + round);
         let outcome = exec
-            .submit(InferenceRequest::new(sample.clone()).with_label(label))
+            .submit(InferenceRequest::new(sample.clone()).with_label(label))?
             .recv()?;
         let delay = preemptor.join();
         match outcome.answer() {
             Some(a) => println!(
                 "  round {round}: kill at {delay:>5.2} ms -> {} with exit {} = class {} ({})",
-                if outcome.completed {
+                if outcome.is_complete() {
                     "finished"
                 } else {
                     "PREEMPTED"
@@ -86,6 +92,70 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     }
     exec.shutdown();
     println!("\nelastic inference always hands over its best checkpoint; a classic model would return nothing when preempted.");
+    if let Some((pool_net, predictor, prior)) = pool_net {
+        serve_with_stats(pool_net, predictor, prior, &ds)?;
+    }
+    Ok(())
+}
+
+/// The `--serve-stats` section: drives the same trained model through an
+/// [`ExecutorPool`] — burst admission with backpressure, per-task deadlines
+/// and a mid-burst preemption — then prints the pool's metrics snapshot.
+fn serve_with_stats(
+    net: MultiExitNet,
+    predictor: Arc<CsPredictor>,
+    prior: Vec<f32>,
+    ds: &SynthDigits,
+) -> CmdResult {
+    println!("\nserving the same model through the executor pool (--serve-stats):");
+    let gate = PreemptionGate::new();
+    let pool = ExecutorPool::spawn(
+        net,
+        |_worker| {
+            Box::new(EinetSource::new(
+                Arc::clone(&predictor),
+                prior.clone(),
+                SearchEngine::default(),
+            ))
+        },
+        gate.clone(),
+        PoolConfig {
+            workers: 2,
+            queue_capacity: 4,
+            block_delay: Duration::from_millis(2),
+            ..PoolConfig::default()
+        },
+    );
+    let test = ds.test();
+    let mut replies = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..24usize {
+        let idx = i % test.len();
+        let sample = test.images().batch_slice(idx, idx + 1);
+        let mut request = InferenceRequest::new(sample).with_label(test.labels()[idx]);
+        // Every third request carries a tight deadline, so the snapshot
+        // shows all three ways a task can end.
+        if i % 3 == 0 {
+            request = request.with_deadline(Duration::from_millis(6));
+        }
+        match pool.submit(request) {
+            Ok(rx) => replies.push(rx),
+            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(e) => return Err(e.into()),
+        }
+        if i == 8 {
+            // A mid-burst "vRAN" claim preempts whatever is in flight.
+            Preemptor::arm_in(gate.clone(), Duration::from_millis(5)).join();
+            gate.lower();
+        }
+    }
+    for rx in replies {
+        let _ = rx.recv()?;
+    }
+    let snap = pool.metrics().snapshot();
+    pool.shutdown();
+    println!("{snap}");
+    println!("  ({rejected} submissions bounced by backpressure, never blocking the caller)");
     Ok(())
 }
 
@@ -104,6 +174,23 @@ mod tests {
                 "1".to_string(),
             ],
             &[],
+        )
+        .unwrap();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn serve_stats_path_runs_the_pool_and_prints_a_snapshot() {
+        let args = ParsedArgs::parse(
+            &[
+                "demo".to_string(),
+                "--preemptions".to_string(),
+                "0".to_string(),
+                "--epochs".to_string(),
+                "1".to_string(),
+                "--serve-stats".to_string(),
+            ],
+            &["serve-stats"],
         )
         .unwrap();
         run(&args).unwrap();

@@ -26,7 +26,7 @@ pub use args::{ArgsError, ParsedArgs};
 /// Entry point shared by the binary and the tests: parses `argv[1..]` and
 /// dispatches. Returns the process exit code.
 pub fn run(raw_args: &[String]) -> i32 {
-    let parsed = match ParsedArgs::parse(raw_args, &["quick", "full", "help"]) {
+    let parsed = match ParsedArgs::parse(raw_args, &["quick", "full", "help", "serve-stats"]) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
@@ -85,7 +85,10 @@ COMMANDS:
     plan         search a near-optimal exit plan on trained profiles
                    --dir DIR [--m N] [--dist ...]
     demo         live preemption demo (threads, real forward passes)
-                   [--preemptions N]
+                   [--preemptions N] [--serve-stats]
+                   --serve-stats also drives the executor pool (bounded
+                   admission, deadlines, panic isolation) and prints its
+                   serving-metrics snapshot
     experiments  regenerate the paper's tables/figures
                    <fig4|table1|fig8|table2|fig9|fig10|fig11|fig12|fig13|table3|fig14a|fig14b|ablation|transformer|all>
                    [--quick|--full]
@@ -124,7 +127,15 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for cmd in ["train", "eval", "plan", "demo", "experiments", "--threads"] {
+        for cmd in [
+            "train",
+            "eval",
+            "plan",
+            "demo",
+            "experiments",
+            "--threads",
+            "--serve-stats",
+        ] {
             assert!(u.contains(cmd), "usage missing {cmd}");
         }
     }

@@ -1,23 +1,27 @@
 //! The elastic-inference worker.
 
+use std::error::Error;
+use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use einet_core::{ExitPlan, PlanContext, PlannerDecision, TimeDistribution};
 use einet_models::{ExitOutput, MultiExitNet};
 use einet_profile::{EdgePlatform, EtProfile};
 use einet_tensor::{softmax_rows, Layer, Mode, Tensor};
 
-use crate::gate::PreemptionGate;
+use crate::gate::{PreemptionGate, StopCause, TaskGuard};
 use crate::source::PlannerSource;
 
 /// One inference task: a single `[1, c, h, w]` input, optionally with its
-/// label for on-line accuracy accounting.
+/// label for on-line accuracy accounting and a deadline for admission
+/// control.
 #[derive(Debug, Clone)]
 pub struct InferenceRequest {
-    input: Tensor,
-    label: Option<u16>,
+    pub(crate) input: Tensor,
+    pub(crate) label: Option<usize>,
+    pub(crate) deadline: Option<Duration>,
 }
 
 impl InferenceRequest {
@@ -29,25 +33,64 @@ impl InferenceRequest {
     pub fn new(input: Tensor) -> Self {
         assert_eq!(input.shape().len(), 4, "input must be [1, c, h, w]");
         assert_eq!(input.shape()[0], 1, "one sample per request");
-        InferenceRequest { input, label: None }
+        InferenceRequest {
+            input,
+            label: None,
+            deadline: None,
+        }
     }
 
     /// Attaches the true label (for [`TaskOutcome::correct`]).
     #[must_use]
-    pub fn with_label(mut self, label: u16) -> Self {
+    pub fn with_label(mut self, label: usize) -> Self {
         self.label = Some(label);
         self
     }
+
+    /// Attaches a deadline, measured from admission. When it elapses the
+    /// task is stopped exactly like a preemption — within one block, handing
+    /// over its latest checkpoint — and reported as
+    /// [`TaskStatus::DeadlineExpired`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
 }
 
-/// What an elastic task produced before it finished or was preempted.
+/// How an elastic task ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// The task ran to the end of its plan.
+    Completed,
+    /// The shared preemption gate stopped it mid-flight.
+    Preempted,
+    /// Its own deadline stopped it mid-flight.
+    DeadlineExpired,
+}
+
+impl From<StopCause> for TaskStatus {
+    fn from(cause: StopCause) -> Self {
+        match cause {
+            StopCause::Preempted => TaskStatus::Preempted,
+            StopCause::DeadlineExpired => TaskStatus::DeadlineExpired,
+        }
+    }
+}
+
+/// What an elastic task produced before it finished or was stopped.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskOutcome {
     /// Every output emitted, in depth order; the last one is the task's
     /// answer.
     pub outputs: Vec<ExitOutput>,
-    /// Whether the task ran to the end of its plan (false = preempted).
-    pub completed: bool,
+    /// How the task ended.
+    pub status: TaskStatus,
     /// Blocks whose conv part executed before the end.
     pub blocks_run: usize,
     /// `Some(prediction == label)` when the request carried a label and at
@@ -60,10 +103,37 @@ impl TaskOutcome {
     pub fn answer(&self) -> Option<&ExitOutput> {
         self.outputs.last()
     }
+
+    /// Whether the task ran to the end of its plan.
+    pub fn is_complete(&self) -> bool {
+        self.status == TaskStatus::Completed
+    }
 }
 
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded admission queue is at capacity; retry later or shed the
+    /// request (backpressure, never blocking).
+    QueueFull,
+    /// The executor's worker(s) are gone — the executor was shut down or its
+    /// only worker died.
+    WorkerGone,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue is full"),
+            SubmitError::WorkerGone => write!(f, "executor worker is gone"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
 enum WorkerMsg {
-    Task(InferenceRequest, Sender<TaskOutcome>),
+    Task(InferenceRequest, Option<Instant>, Sender<TaskOutcome>),
     Shutdown,
 }
 
@@ -74,6 +144,10 @@ enum WorkerMsg {
 /// have an ET-profile, and re-plans through its [`PlannerSource`] after
 /// every emitted output — the online loop of Section V, on real forward
 /// passes instead of a simulated clock.
+///
+/// This is the single-worker primitive; production serving goes through
+/// [`crate::ExecutorPool`], which adds a bounded admission queue, panic
+/// isolation and metrics on top of the same execution loop.
 #[derive(Debug)]
 pub struct ElasticExecutor {
     tx: Sender<WorkerMsg>,
@@ -124,13 +198,14 @@ impl ElasticExecutor {
             while let Ok(msg) = rx.recv() {
                 match msg {
                     WorkerMsg::Shutdown => break,
-                    WorkerMsg::Task(request, reply) => {
+                    WorkerMsg::Task(request, deadline_at, reply) => {
+                        let guard = TaskGuard::new(gate.clone(), deadline_at);
                         let outcome = run_elastic(
                             &mut net,
                             &et,
                             &dist,
                             source.as_ref(),
-                            &gate,
+                            &guard,
                             &request,
                             block_delay,
                         );
@@ -147,12 +222,26 @@ impl ElasticExecutor {
     }
 
     /// Submits a task; the returned channel yields its outcome.
-    pub fn submit(&self, request: InferenceRequest) -> Receiver<TaskOutcome> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::WorkerGone`] when the worker thread has exited
+    /// (e.g. it panicked on a poisoned task) instead of panicking — the
+    /// caller decides whether to respawn or shed load.
+    pub fn submit(&self, request: InferenceRequest) -> Result<Receiver<TaskOutcome>, SubmitError> {
         let (reply_tx, reply_rx) = channel();
+        let deadline_at = request.deadline.map(|d| Instant::now() + d);
         self.tx
-            .send(WorkerMsg::Task(request, reply_tx))
-            .expect("executor thread alive");
-        reply_rx
+            .send(WorkerMsg::Task(request, deadline_at, reply_tx))
+            .map_err(|_| SubmitError::WorkerGone)?;
+        Ok(reply_rx)
+    }
+
+    /// Whether the worker thread is still running. A worker that panicked
+    /// mid-task reports `false` here and [`SubmitError::WorkerGone`] from
+    /// [`ElasticExecutor::submit`].
+    pub fn is_alive(&self) -> bool {
+        self.handle.as_ref().is_some_and(|h| !h.is_finished())
     }
 
     /// Stops the worker after the current task and joins it.
@@ -174,14 +263,24 @@ impl Drop for ElasticExecutor {
 }
 
 /// The elastic execution loop: conv parts always advance, branches follow
-/// the live plan, the gate is polled between steps, and the planner is
-/// refreshed after every output.
-fn run_elastic(
+/// the live plan, the guard (gate ∪ deadline) is polled between steps, and
+/// the planner is refreshed after every output.
+///
+/// Shared by [`ElasticExecutor`] (one worker) and [`crate::ExecutorPool`]
+/// (N workers behind an admission queue).
+///
+/// # Panics
+///
+/// Panics when the planner returns a plan whose length differs from the
+/// network's exit count — the same contract the simulated runtime enforces.
+/// Inside [`crate::ExecutorPool`] this surfaces as a
+/// [`crate::TaskError::Panicked`] outcome instead of killing the worker.
+pub(crate) fn run_elastic(
     net: &mut MultiExitNet,
     et: &EtProfile,
     dist: &TimeDistribution,
     source: &dyn PlannerSource,
-    gate: &PreemptionGate,
+    guard: &TaskGuard,
     request: &InferenceRequest,
     block_delay: Duration,
 ) -> TaskOutcome {
@@ -191,17 +290,26 @@ fn run_elastic(
     let mut history = ExitPlan::empty(n);
     let mut outputs: Vec<ExitOutput> = Vec::new();
     let mut blocks_run = 0usize;
-    let outcome = |outputs: Vec<ExitOutput>, blocks_run: usize, completed: bool| {
+    let outcome = |outputs: Vec<ExitOutput>, blocks_run: usize, status: TaskStatus| {
         let correct = request
             .label
-            .and_then(|l| outputs.last().map(|o| o.predicted as u16 == l));
+            .and_then(|l| outputs.last().map(|o| o.predicted == l));
         TaskOutcome {
             outputs,
-            completed,
+            status,
             blocks_run,
             correct,
         }
     };
+    let checked = |p: ExitPlan| {
+        assert_eq!(p.len(), n, "planner returned wrong plan length");
+        p
+    };
+    // A task that is already preempted or past-deadline on arrival (it may
+    // have waited in the admission queue) never touches the network.
+    if let Some(cause) = guard.check() {
+        return outcome(outputs, 0, cause.into());
+    }
     let ctx = PlanContext {
         et,
         dist,
@@ -210,13 +318,13 @@ fn run_elastic(
         next_exit: 0,
     };
     let mut plan = match planner.plan(&ctx) {
-        PlannerDecision::Plan(p) => p,
-        PlannerDecision::Stop => return outcome(outputs, 0, true),
+        PlannerDecision::Plan(p) => checked(p),
+        PlannerDecision::Stop => return outcome(outputs, 0, TaskStatus::Completed),
     };
     let mut x = request.input.clone();
     for i in 0..n {
-        if gate.is_raised() {
-            return outcome(outputs, blocks_run, false);
+        if let Some(cause) = guard.check() {
+            return outcome(outputs, blocks_run, cause.into());
         }
         x = net.blocks_mut()[i].conv_part.forward(&x, Mode::Eval);
         blocks_run += 1;
@@ -226,8 +334,8 @@ fn run_elastic(
         if !plan.get(i) {
             continue;
         }
-        if gate.is_raised() {
-            return outcome(outputs, blocks_run, false);
+        if let Some(cause) = guard.check() {
+            return outcome(outputs, blocks_run, cause.into());
         }
         let logits = net.blocks_mut()[i].branch.forward(&x, Mode::Eval);
         let probs = softmax_rows(&logits);
@@ -251,17 +359,18 @@ fn run_elastic(
             next_exit: i + 1,
         };
         match planner.plan(&ctx) {
-            PlannerDecision::Plan(p) => plan = p.with_frozen_prefix(&history, i + 1),
-            PlannerDecision::Stop => return outcome(outputs, blocks_run, true),
+            PlannerDecision::Plan(p) => plan = checked(p).with_frozen_prefix(&history, i + 1),
+            PlannerDecision::Stop => return outcome(outputs, blocks_run, TaskStatus::Completed),
         }
     }
-    outcome(outputs, blocks_run, true)
+    outcome(outputs, blocks_run, TaskStatus::Completed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::source::StaticSource;
+    use crate::source::{FnSource, StaticSource};
+    use einet_core::StaticPlanner;
     use einet_models::{zoo, BranchSpec};
 
     fn net() -> MultiExitNet {
@@ -277,8 +386,13 @@ mod tests {
         let gate = PreemptionGate::new();
         let exec =
             ElasticExecutor::spawn(net(), Box::new(StaticSource::new(ExitPlan::full(3))), gate);
-        let outcome = exec.submit(InferenceRequest::new(input())).recv().unwrap();
-        assert!(outcome.completed);
+        let outcome = exec
+            .submit(InferenceRequest::new(input()))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.status, TaskStatus::Completed);
         assert_eq!(outcome.outputs.len(), 3);
         assert_eq!(outcome.blocks_run, 3);
         assert_eq!(outcome.answer().unwrap().exit, 2);
@@ -294,13 +408,21 @@ mod tests {
             Box::new(StaticSource::new(ExitPlan::full(3))),
             gate.clone(),
         );
-        let outcome = exec.submit(InferenceRequest::new(input())).recv().unwrap();
-        assert!(!outcome.completed);
+        let outcome = exec
+            .submit(InferenceRequest::new(input()))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert_eq!(outcome.status, TaskStatus::Preempted);
         assert!(outcome.outputs.is_empty());
         // Lower the gate: the next task runs normally.
         gate.lower();
-        let outcome = exec.submit(InferenceRequest::new(input())).recv().unwrap();
-        assert!(outcome.completed);
+        let outcome = exec
+            .submit(InferenceRequest::new(input()))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert!(outcome.is_complete());
         exec.shutdown();
     }
 
@@ -312,8 +434,12 @@ mod tests {
             Box::new(StaticSource::new(ExitPlan::from_indices(3, &[1]))),
             gate,
         );
-        let outcome = exec.submit(InferenceRequest::new(input())).recv().unwrap();
-        assert!(outcome.completed);
+        let outcome = exec
+            .submit(InferenceRequest::new(input()))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert!(outcome.is_complete());
         assert_eq!(outcome.outputs.len(), 1);
         assert_eq!(outcome.outputs[0].exit, 1);
         assert_eq!(outcome.blocks_run, 3, "backbone always runs");
@@ -327,9 +453,33 @@ mod tests {
             ElasticExecutor::spawn(net(), Box::new(StaticSource::new(ExitPlan::full(3))), gate);
         let outcome = exec
             .submit(InferenceRequest::new(input()).with_label(3))
+            .unwrap()
             .recv()
             .unwrap();
         assert!(outcome.correct.is_some());
+        exec.shutdown();
+    }
+
+    #[test]
+    fn wide_labels_never_alias() {
+        // Labels used to be compared through a truncating `as u16` cast, so
+        // label `predicted + 65536` would alias to "correct". Learn the
+        // prediction once, then resubmit with the aliasing label.
+        let gate = PreemptionGate::new();
+        let exec =
+            ElasticExecutor::spawn(net(), Box::new(StaticSource::new(ExitPlan::full(3))), gate);
+        let first = exec
+            .submit(InferenceRequest::new(input()))
+            .unwrap()
+            .recv()
+            .unwrap();
+        let predicted = first.answer().unwrap().predicted;
+        let outcome = exec
+            .submit(InferenceRequest::new(input()).with_label(predicted + (u16::MAX as usize + 1)))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert_eq!(outcome.correct, Some(false));
         exec.shutdown();
     }
 
@@ -339,11 +489,78 @@ mod tests {
         let exec =
             ElasticExecutor::spawn(net(), Box::new(StaticSource::new(ExitPlan::full(3))), gate);
         let replies: Vec<_> = (0..8)
-            .map(|_| exec.submit(InferenceRequest::new(input())))
+            .map(|_| exec.submit(InferenceRequest::new(input())).unwrap())
             .collect();
         for r in replies {
-            assert!(r.recv().unwrap().completed);
+            assert!(r.recv().unwrap().is_complete());
         }
+        exec.shutdown();
+    }
+
+    #[test]
+    fn submit_after_worker_death_errors_instead_of_panicking() {
+        let gate = PreemptionGate::new();
+        // A planner that panics kills the (unpooled) worker thread.
+        let exec = ElasticExecutor::spawn(
+            net(),
+            Box::new(FnSource::new("poison", || panic!("poisoned planner"))),
+            gate,
+        );
+        let reply = exec.submit(InferenceRequest::new(input())).unwrap();
+        // The worker died mid-task, so its reply sender was dropped.
+        assert!(reply.recv().is_err());
+        // Wait for the thread to be fully gone, then submit again: an error,
+        // not a panic.
+        for _ in 0..200 {
+            if !exec.is_alive() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!exec.is_alive());
+        let err = exec
+            .submit(InferenceRequest::new(input()))
+            .expect_err("dead worker must reject");
+        assert_eq!(err, SubmitError::WorkerGone);
+    }
+
+    #[test]
+    fn wrong_length_plan_is_rejected_like_the_simulator() {
+        let gate = PreemptionGate::new();
+        // 2-exit plan against a 3-exit network: the live loop must enforce
+        // the same contract as the simulated runtime.
+        let exec = ElasticExecutor::spawn(
+            net(),
+            Box::new(FnSource::new("short-plan", || {
+                Box::new(StaticPlanner::new(ExitPlan::full(2), "short"))
+            })),
+            gate,
+        );
+        let reply = exec.submit(InferenceRequest::new(input())).unwrap();
+        // The length assertion kills the bare worker; the reply channel
+        // reports the loss instead of returning a mis-planned outcome.
+        assert!(reply.recv().is_err());
+    }
+
+    #[test]
+    fn deadline_expires_mid_task() {
+        let gate = PreemptionGate::new();
+        let exec = ElasticExecutor::spawn_throttled(
+            net(),
+            Box::new(StaticSource::new(ExitPlan::full(3))),
+            gate,
+            EdgePlatform::JetsonClass,
+            TimeDistribution::Uniform,
+            Duration::from_millis(25),
+        );
+        let outcome = exec
+            .submit(InferenceRequest::new(input()).with_deadline(Duration::from_millis(30)))
+            .unwrap()
+            .recv()
+            .unwrap();
+        assert_eq!(outcome.status, TaskStatus::DeadlineExpired);
+        assert!(!outcome.is_complete());
+        assert!(outcome.blocks_run < 3);
         exec.shutdown();
     }
 

@@ -1,8 +1,9 @@
 //! The preemption signal shared between a high-priority workload and the
-//! inference worker.
+//! inference worker, and its per-task unification with deadlines.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A cloneable preemption flag. The executor polls it between blocks; any
 /// holder may raise it at any time (a power monitor, a vRAN scheduler, a
@@ -38,6 +39,47 @@ impl PreemptionGate {
     }
 }
 
+/// Why an elastic task stopped before reaching the end of its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The shared [`PreemptionGate`] was raised (unpredictable exit).
+    Preempted,
+    /// The task's own deadline elapsed.
+    DeadlineExpired,
+}
+
+/// The stop condition one task executes under: the shared preemption gate
+/// unified with an optional absolute deadline.
+///
+/// The paper's unpredictable exit and a serving deadline are the same event
+/// to the execution loop — "stop within one block and hand over the latest
+/// checkpoint" — so an expired deadline acts as an automatic, task-local
+/// gate raise. [`TaskGuard::check`] reports which of the two fired (the
+/// gate wins ties, it is the higher-priority signal).
+#[derive(Debug, Clone)]
+pub struct TaskGuard {
+    gate: PreemptionGate,
+    deadline: Option<Instant>,
+}
+
+impl TaskGuard {
+    /// Combines the shared gate with an optional absolute deadline.
+    pub fn new(gate: PreemptionGate, deadline: Option<Instant>) -> Self {
+        TaskGuard { gate, deadline }
+    }
+
+    /// Polls the stop condition. `None` means keep executing.
+    pub fn check(&self) -> Option<StopCause> {
+        if self.gate.is_raised() {
+            return Some(StopCause::Preempted);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(StopCause::DeadlineExpired),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +111,29 @@ mod tests {
         });
         handle.join().unwrap();
         assert!(gate.is_raised());
+    }
+
+    #[test]
+    fn guard_without_deadline_tracks_gate() {
+        let gate = PreemptionGate::new();
+        let guard = TaskGuard::new(gate.clone(), None);
+        assert_eq!(guard.check(), None);
+        gate.raise();
+        assert_eq!(guard.check(), Some(StopCause::Preempted));
+    }
+
+    #[test]
+    fn expired_deadline_fires_like_a_gate() {
+        let gate = PreemptionGate::new();
+        let guard = TaskGuard::new(gate.clone(), Some(Instant::now()));
+        assert_eq!(guard.check(), Some(StopCause::DeadlineExpired));
+        // A future deadline does not fire.
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let guard = TaskGuard::new(gate.clone(), Some(far));
+        assert_eq!(guard.check(), None);
+        // The gate outranks the deadline.
+        gate.raise();
+        let guard = TaskGuard::new(gate, Some(Instant::now()));
+        assert_eq!(guard.check(), Some(StopCause::Preempted));
     }
 }

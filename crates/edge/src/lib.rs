@@ -18,7 +18,13 @@
 //!   CS-Predictor ([`EinetSource`]), a fixed plan ([`StaticSource`]), or the
 //!   run-everything default;
 //! * [`Preemptor`] drives a gate from a kill-time distribution, emulating an
-//!   unpredictable high-priority workload.
+//!   unpredictable high-priority workload;
+//! * [`ExecutorPool`] is the serving substrate: N workers (each owning a
+//!   clone of the trained network) behind a **bounded admission queue** with
+//!   explicit backpressure ([`SubmitError::QueueFull`]), per-task deadlines
+//!   unified with preemption ([`TaskStatus::DeadlineExpired`]), panic
+//!   isolation ([`TaskError::Panicked`]) and a lock-free metrics registry
+//!   ([`ServeMetrics`]).
 //!
 //! # Example
 //!
@@ -31,22 +37,30 @@
 //! let net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 1);
 //! let gate = PreemptionGate::new();
 //! let exec = ElasticExecutor::spawn(net, Box::new(StaticSource::new(ExitPlan::full(3))), gate);
-//! let reply = exec.submit(InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16])));
+//! let reply = exec.submit(InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16]))).unwrap();
 //! let outcome = reply.recv().expect("executor reply");
-//! assert!(outcome.completed);
+//! assert!(outcome.is_complete());
 //! assert_eq!(outcome.outputs.len(), 3);
 //! exec.shutdown();
 //! ```
+//!
+//! See [`ExecutorPool`] for the multi-worker serving example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod executor;
 mod gate;
+mod metrics;
+mod pool;
 mod preemptor;
 mod source;
 
-pub use executor::{ElasticExecutor, InferenceRequest, TaskOutcome};
-pub use gate::PreemptionGate;
+pub use executor::{ElasticExecutor, InferenceRequest, SubmitError, TaskOutcome, TaskStatus};
+pub use gate::{PreemptionGate, StopCause, TaskGuard};
+pub use metrics::{
+    HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS_US,
+};
+pub use pool::{ExecutorPool, PoolConfig, TaskError, TaskResult};
 pub use preemptor::Preemptor;
-pub use source::{EinetSource, PlannerSource, StaticSource};
+pub use source::{EinetSource, FnSource, PlannerSource, StaticSource};

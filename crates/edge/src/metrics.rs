@@ -1,0 +1,340 @@
+//! A lock-free serving-metrics registry for the executor pool.
+//!
+//! Every counter is a relaxed atomic: the registry sits on the admission and
+//! completion paths of every task, so it must never contend. Consistency
+//! across counters is only guaranteed *at rest* (after the queue drains),
+//! which is exactly when reconciliation matters — see
+//! [`MetricsSnapshot::reconciles`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (µs, inclusive) of the latency histogram buckets; the last
+/// bucket is unbounded. Roughly logarithmic from 100 µs to 1 s.
+pub const LATENCY_BUCKETS_US: [u64; 13] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+const NUM_BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
+
+/// A fixed-bucket latency histogram with atomic counters.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(NUM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts ([`LATENCY_BUCKETS_US`] bounds plus an overflow
+    /// bucket).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations in µs.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64 / 1e3
+        }
+    }
+
+    /// Upper-bound estimate (ms) of the `q`-quantile (`0 < q <= 1`): the
+    /// bound of the first bucket at which the cumulative count reaches
+    /// `q * count`. Returns 0 when empty; the overflow bucket reports the
+    /// largest finite bound.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let bound = LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX);
+                return bound.min(*LATENCY_BUCKETS_US.last().expect("non-empty")) as f64 / 1e3;
+            }
+        }
+        *LATENCY_BUCKETS_US.last().expect("non-empty") as f64 / 1e3
+    }
+}
+
+/// The pool's serving metrics: task counters, queue gauges and latency
+/// histograms. Shared (`Arc`) between the pool handle and its workers.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    preempted: AtomicU64,
+    deadline_expired: AtomicU64,
+    panicked: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_high_water: AtomicU64,
+    /// Admission → dequeue.
+    pub queue_wait: LatencyHistogram,
+    /// Dequeue → outcome.
+    pub service: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Creates an all-zero registry.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Accounts a task *before* it is offered to the queue. The increment
+    /// must happen-before the enqueue: a worker may dequeue the task and
+    /// call [`ServeMetrics::on_dequeued`] before the submitter returns, and
+    /// the depth gauge must never underflow.
+    pub(crate) fn begin_admission(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The enqueue succeeded: fold the observed depth into the high-water
+    /// mark. (Read back rather than computed from the increment, so a task
+    /// already dequeued by a fast worker is not counted as queued.)
+    pub(crate) fn commit_admission(&self) {
+        let depth = self.queue_depth.load(Ordering::Relaxed);
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The enqueue was refused: undo [`ServeMetrics::begin_admission`],
+    /// recording a rejection when the refusal was backpressure.
+    pub(crate) fn abort_admission(&self, rejected: bool) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if rejected {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One task left the queue for a worker after waiting `wait`.
+    pub(crate) fn on_dequeued(&self, wait: Duration) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_wait.record(wait);
+    }
+
+    /// One task finished with `status` after `service` on the worker.
+    pub(crate) fn on_outcome(&self, status: crate::TaskStatus, service: Duration) {
+        use crate::TaskStatus::*;
+        let counter = match status {
+            Completed => &self.completed,
+            Preempted => &self.preempted,
+            DeadlineExpired => &self.deadline_expired,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.service.record(service);
+    }
+
+    /// One task died to a worker panic (after `service` on the worker).
+    pub(crate) fn on_panicked(&self, service: Duration) {
+        self.panicked.fetch_add(1, Ordering::Relaxed);
+        self.service.record(service);
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            preempted: self.preempted.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            queue_wait: self.queue_wait.snapshot(),
+            service: self.service.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Tasks admitted into the queue.
+    pub submitted: u64,
+    /// Submissions bounced with `QueueFull`.
+    pub rejected: u64,
+    /// Tasks that ran to the end of their plan.
+    pub completed: u64,
+    /// Tasks stopped by the shared gate.
+    pub preempted: u64,
+    /// Tasks stopped by their own deadline.
+    pub deadline_expired: u64,
+    /// Tasks lost to a worker panic.
+    pub panicked: u64,
+    /// Tasks currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Deepest the queue has ever been.
+    pub queue_high_water: u64,
+    /// Admission → dequeue latencies.
+    pub queue_wait: HistogramSnapshot,
+    /// Dequeue → outcome latencies.
+    pub service: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Tasks that have produced a terminal result (any kind).
+    pub fn finished(&self) -> u64 {
+        self.completed + self.preempted + self.deadline_expired + self.panicked
+    }
+
+    /// At rest (queue drained, no task in flight) every admitted task must
+    /// be accounted for exactly once.
+    pub fn reconciles(&self) -> bool {
+        self.queue_depth == 0 && self.finished() == self.submitted
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "tasks: submitted {} | completed {} | preempted {} | deadline-expired {} | panicked {} | rejected {}",
+            self.submitted,
+            self.completed,
+            self.preempted,
+            self.deadline_expired,
+            self.panicked,
+            self.rejected,
+        )?;
+        writeln!(
+            f,
+            "queue: depth {} | high-water {}",
+            self.queue_depth, self.queue_high_water
+        )?;
+        writeln!(
+            f,
+            "queue-wait: mean {:.2} ms | p50 <= {:.1} ms | p99 <= {:.1} ms",
+            self.queue_wait.mean_ms(),
+            self.queue_wait.quantile_ms(0.50),
+            self.queue_wait.quantile_ms(0.99),
+        )?;
+        write!(
+            f,
+            "service:    mean {:.2} ms | p50 <= {:.1} ms | p99 <= {:.1} ms",
+            self.service.mean_ms(),
+            self.service.quantile_ms(0.50),
+            self.service.quantile_ms(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(50)); // bucket 0 (<=100us)
+        h.record(Duration::from_micros(200)); // bucket 1 (<=250us)
+        h.record(Duration::from_secs(5)); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[NUM_BUCKETS - 1], 1);
+        let expected = (50.0 + 200.0 + 5e6) / 3.0 / 1e3;
+        assert!((s.mean_ms() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(80));
+        }
+        h.record(Duration::from_millis(40));
+        let s = h.snapshot();
+        assert!((s.quantile_ms(0.5) - 0.1).abs() < 1e-9, "p50 <= 100us");
+        assert!((s.quantile_ms(1.0) - 50.0).abs() < 1e-9, "p100 <= 50ms");
+        let empty = LatencyHistogram::default().snapshot();
+        assert_eq!(empty.quantile_ms(0.99), 0.0);
+        assert_eq!(empty.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn counters_reconcile_at_rest() {
+        let m = ServeMetrics::new();
+        for _ in 0..4 {
+            m.begin_admission();
+            m.commit_admission();
+        }
+        m.begin_admission();
+        m.abort_admission(true);
+        for _ in 0..4 {
+            m.on_dequeued(Duration::from_micros(10));
+        }
+        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(1));
+        m.on_outcome(crate::TaskStatus::Preempted, Duration::from_millis(1));
+        m.on_outcome(crate::TaskStatus::DeadlineExpired, Duration::from_millis(1));
+        m.on_panicked(Duration::from_millis(1));
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 4);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.finished(), 4);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.queue_high_water, 4);
+        assert!(s.reconciles());
+        assert_eq!(s.queue_wait.count, 4);
+        assert_eq!(s.service.count, 4);
+        // The display path never panics and mentions every counter family.
+        let text = s.to_string();
+        for needle in ["submitted", "queue", "service", "p99"] {
+            assert!(text.contains(needle), "display missing {needle}");
+        }
+    }
+
+    #[test]
+    fn unfinished_tasks_fail_reconciliation() {
+        let m = ServeMetrics::new();
+        m.begin_admission();
+        m.commit_admission();
+        assert!(!m.snapshot().reconciles());
+        m.on_dequeued(Duration::ZERO);
+        assert!(!m.snapshot().reconciles(), "in flight, not yet finished");
+        m.on_outcome(crate::TaskStatus::Completed, Duration::ZERO);
+        assert!(m.snapshot().reconciles());
+    }
+}

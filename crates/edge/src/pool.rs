@@ -1,0 +1,382 @@
+//! The multi-worker serving substrate: N elastic workers behind a bounded
+//! admission queue.
+//!
+//! [`crate::ElasticExecutor`] is the single-worker primitive; this module is
+//! what a deployment actually runs:
+//!
+//! * **Bounded admission.** Submissions go through a fixed-capacity queue;
+//!   when it is full, [`ExecutorPool::submit`] returns
+//!   [`SubmitError::QueueFull`] immediately (backpressure, never blocking
+//!   and never unbounded memory).
+//! * **Deadlines are preemptions.** A request's deadline is fused with the
+//!   shared [`PreemptionGate`] into one per-task
+//!   [`crate::gate::TaskGuard`], so an expired deadline stops a task
+//!   exactly like the paper's unpredictable exit — within one block,
+//!   keeping its latest checkpointed answer.
+//! * **Panic isolation.** Each task runs under `catch_unwind`; a panicking
+//!   planner (or any other task-level fault) surfaces as
+//!   [`TaskError::Panicked`] on that task's reply channel, the worker
+//!   rebuilds its network from the pristine template, and the pool keeps
+//!   serving.
+//! * **Metrics.** Every admission, rejection, dequeue and outcome feeds the
+//!   shared [`ServeMetrics`] registry.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use einet_core::TimeDistribution;
+use einet_models::MultiExitNet;
+use einet_profile::{EdgePlatform, EtProfile};
+
+use crate::executor::{run_elastic, InferenceRequest, SubmitError, TaskOutcome};
+use crate::gate::{PreemptionGate, TaskGuard};
+use crate::metrics::ServeMetrics;
+use crate::source::PlannerSource;
+
+/// A task-level failure: the task is lost but the pool (and every other
+/// task) keeps running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task panicked on its worker (message attached); the worker was
+    /// rebuilt from the pristine network template.
+    Panicked(String),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked(msg) => write!(f, "task panicked on its worker: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// What a pool task's reply channel yields.
+pub type TaskResult = Result<TaskOutcome, TaskError>;
+
+/// Sizing and cost-model configuration for an [`ExecutorPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads, each owning a full copy of the network (≥ 1).
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it submissions bounce with
+    /// [`SubmitError::QueueFull`] (≥ 1).
+    pub queue_capacity: usize,
+    /// Platform cost model the per-worker ET-profiles are derived from.
+    pub platform: EdgePlatform,
+    /// Assumed kill-time distribution handed to planners.
+    pub dist: TimeDistribution,
+    /// Artificial per-block delay (slow-device emulation; demos/tests).
+    pub block_delay: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 2,
+            queue_capacity: 32,
+            platform: EdgePlatform::JetsonClass,
+            dist: TimeDistribution::Uniform,
+            block_delay: Duration::ZERO,
+        }
+    }
+}
+
+struct PoolTask {
+    request: InferenceRequest,
+    deadline_at: Option<Instant>,
+    admitted_at: Instant,
+    reply: std::sync::mpsc::Sender<TaskResult>,
+}
+
+/// N elastic workers behind a bounded admission queue — the serving-side
+/// entry point of the crate.
+///
+/// # Example
+///
+/// ```
+/// use einet_edge::{ExecutorPool, InferenceRequest, PoolConfig, PreemptionGate, StaticSource};
+/// use einet_models::{zoo, BranchSpec};
+/// use einet_core::ExitPlan;
+/// use einet_tensor::Tensor;
+///
+/// let net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 1);
+/// let pool = ExecutorPool::spawn(
+///     net,
+///     |_worker| Box::new(StaticSource::new(ExitPlan::full(3))),
+///     PreemptionGate::new(),
+///     PoolConfig { workers: 2, ..PoolConfig::default() },
+/// );
+/// let reply = pool.submit(InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16]))).unwrap();
+/// let outcome = reply.recv().unwrap().unwrap();
+/// assert!(outcome.is_complete());
+/// assert!(pool.metrics().snapshot().reconciles());
+/// pool.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ExecutorPool {
+    tx: Option<SyncSender<PoolTask>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<ServeMetrics>,
+    gate: PreemptionGate,
+}
+
+impl ExecutorPool {
+    /// Spawns the pool. The trained `net` is the pristine template: every
+    /// worker starts from its own clone of it and re-clones it after a
+    /// panic. `make_source` mints one [`PlannerSource`] per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` or `cfg.queue_capacity` is zero.
+    pub fn spawn(
+        net: MultiExitNet,
+        mut make_source: impl FnMut(usize) -> Box<dyn PlannerSource>,
+        gate: PreemptionGate,
+        cfg: PoolConfig,
+    ) -> Self {
+        assert!(cfg.workers >= 1, "pool needs at least one worker");
+        assert!(cfg.queue_capacity >= 1, "queue capacity must be positive");
+        let (tx, rx) = std::sync::mpsc::sync_channel::<PoolTask>(cfg.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let metrics = Arc::new(ServeMetrics::new());
+        let template = Arc::new(net);
+        let workers = (0..cfg.workers)
+            .map(|w| {
+                let rx = Arc::clone(&rx);
+                let metrics = Arc::clone(&metrics);
+                let gate = gate.clone();
+                let source = make_source(w);
+                let template = Arc::clone(&template);
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("einet-pool-{w}"))
+                    .spawn(move || worker_loop(&template, source, &gate, &rx, &metrics, &cfg))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ExecutorPool {
+            tx: Some(tx),
+            workers,
+            metrics,
+            gate,
+        }
+    }
+
+    /// Submits a task without blocking. The returned channel yields the
+    /// task's [`TaskResult`] once a worker finishes (or loses) it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the admission queue is at capacity —
+    /// the backpressure signal — and [`SubmitError::WorkerGone`] when the
+    /// pool is shutting down.
+    pub fn submit(&self, request: InferenceRequest) -> Result<Receiver<TaskResult>, SubmitError> {
+        let tx = self.tx.as_ref().ok_or(SubmitError::WorkerGone)?;
+        let (reply_tx, reply_rx) = channel();
+        let now = Instant::now();
+        let task = PoolTask {
+            deadline_at: request.deadline.map(|d| now + d),
+            admitted_at: now,
+            request,
+            reply: reply_tx,
+        };
+        self.metrics.begin_admission();
+        match tx.try_send(task) {
+            Ok(()) => {
+                self.metrics.commit_admission();
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.abort_admission(true);
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.abort_admission(false);
+                Err(SubmitError::WorkerGone)
+            }
+        }
+    }
+
+    /// The shared metrics registry (live; take a
+    /// [`crate::MetricsSnapshot`] to read consistently).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The shared preemption gate all workers poll.
+    pub fn gate(&self) -> &PreemptionGate {
+        &self.gate
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops admissions, drains the queue (already-admitted tasks still get
+    /// their replies) and joins every worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(
+    template: &Arc<MultiExitNet>,
+    source: Box<dyn PlannerSource>,
+    gate: &PreemptionGate,
+    rx: &Arc<Mutex<Receiver<PoolTask>>>,
+    metrics: &Arc<ServeMetrics>,
+    cfg: &PoolConfig,
+) {
+    let mut net = (**template).clone();
+    let et = EtProfile::from_cost_model(&net, cfg.platform);
+    loop {
+        // Hold the lock only for the dequeue itself. A poisoned lock can
+        // only mean a sibling panicked *between* catch_unwind regions, so
+        // the queue state is still sound: keep serving.
+        let task = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            match guard.recv() {
+                Ok(task) => task,
+                Err(_) => break, // pool handle dropped and queue drained
+            }
+        };
+        metrics.on_dequeued(task.admitted_at.elapsed());
+        let task_guard = TaskGuard::new(gate.clone(), task.deadline_at);
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_elastic(
+                &mut net,
+                &et,
+                &cfg.dist,
+                source.as_ref(),
+                &task_guard,
+                &task.request,
+                cfg.block_delay,
+            )
+        }));
+        match result {
+            Ok(outcome) => {
+                metrics.on_outcome(outcome.status, started.elapsed());
+                // The requester may have given up; that is fine.
+                let _ = task.reply.send(Ok(outcome));
+            }
+            Err(payload) => {
+                metrics.on_panicked(started.elapsed());
+                let _ = task
+                    .reply
+                    .send(Err(TaskError::Panicked(panic_message(payload))));
+                // The unwound network may hold half-written caches; respawn
+                // the worker state from the pristine template.
+                net = (**template).clone();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::StaticSource;
+    use einet_core::ExitPlan;
+    use einet_models::{zoo, BranchSpec};
+    use einet_tensor::Tensor;
+
+    fn net() -> MultiExitNet {
+        zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 5)
+    }
+
+    fn input() -> Tensor {
+        Tensor::filled(&[1, 1, 16, 16], 0.2)
+    }
+
+    #[test]
+    fn pool_serves_many_tasks_across_workers() {
+        let pool = ExecutorPool::spawn(
+            net(),
+            |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+            PreemptionGate::new(),
+            PoolConfig {
+                workers: 3,
+                queue_capacity: 64,
+                ..PoolConfig::default()
+            },
+        );
+        let replies: Vec<_> = (0..12)
+            .map(|_| pool.submit(InferenceRequest::new(input())).unwrap())
+            .collect();
+        for r in replies {
+            let outcome = r.recv().unwrap().unwrap();
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.outputs.len(), 3);
+        }
+        let snap = pool.metrics().snapshot();
+        assert_eq!(snap.submitted, 12);
+        assert_eq!(snap.completed, 12);
+        assert!(snap.reconciles());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_tasks() {
+        let pool = ExecutorPool::spawn(
+            net(),
+            |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+            PreemptionGate::new(),
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 16,
+                ..PoolConfig::default()
+            },
+        );
+        let replies: Vec<_> = (0..6)
+            .map(|_| pool.submit(InferenceRequest::new(input())).unwrap())
+            .collect();
+        pool.shutdown();
+        for r in replies {
+            assert!(r.recv().unwrap().unwrap().is_complete());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let _ = ExecutorPool::spawn(
+            net(),
+            |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+            PreemptionGate::new(),
+            PoolConfig {
+                workers: 0,
+                ..PoolConfig::default()
+            },
+        );
+    }
+}

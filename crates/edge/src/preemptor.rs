@@ -49,6 +49,17 @@ impl Preemptor {
         Preemptor { handle }
     }
 
+    /// Raises `gate` after exactly `delay` — the deterministic variant used
+    /// by serving demos and tests that need a preemption at a known point.
+    pub fn arm_in(gate: PreemptionGate, delay: Duration) -> Self {
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            gate.raise();
+            delay.as_secs_f64() * 1e3
+        });
+        Preemptor { handle }
+    }
+
     /// Waits for the preemption to fire and returns the delay it used (ms).
     pub fn join(self) -> f64 {
         self.handle.join().expect("preemptor thread")
@@ -69,6 +80,15 @@ mod tests {
         assert!((0.0..=10.0).contains(&delay));
         // Wall time is at least the drawn delay (scheduler slack allowed).
         assert!(t0.elapsed().as_secs_f64() * 1e3 >= delay * 0.5);
+    }
+
+    #[test]
+    fn arm_in_fires_after_fixed_delay() {
+        let gate = PreemptionGate::new();
+        let p = Preemptor::arm_in(gate.clone(), Duration::from_millis(2));
+        let delay = p.join();
+        assert!(gate.is_raised());
+        assert!((delay - 2.0).abs() < 1e-9);
     }
 
     #[test]

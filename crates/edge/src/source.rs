@@ -23,6 +23,48 @@ pub trait PlannerSource: Send {
     }
 }
 
+/// Mints planners from a closure — the escape hatch for custom planning
+/// policies (and for fault-injection tests: a closure may mint a panicking
+/// or mis-sized planner to exercise the pool's isolation paths).
+pub struct FnSource<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnSource<F>
+where
+    F: Fn() -> Box<dyn Planner + 'static> + Send,
+{
+    /// Wraps a planner-minting closure under a display name.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnSource {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> std::fmt::Debug for FnSource<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSource")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl<F> PlannerSource for FnSource<F>
+where
+    F: Fn() -> Box<dyn Planner + 'static> + Send,
+{
+    fn make(&self) -> Box<dyn Planner + '_> {
+        (self.f)()
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
 /// Always plans the same fixed [`ExitPlan`].
 #[derive(Debug, Clone)]
 pub struct StaticSource {

@@ -53,9 +53,9 @@ fn einet_source_completes_and_emits_outputs() {
     );
     let (images, labels) = ds.test().slice(0, 4);
     for (i, &label) in labels.iter().enumerate().take(4) {
-        let request = InferenceRequest::new(images.batch_slice(i, i + 1)).with_label(label as u16);
-        let outcome = exec.submit(request).recv().unwrap();
-        assert!(outcome.completed);
+        let request = InferenceRequest::new(images.batch_slice(i, i + 1)).with_label(label);
+        let outcome = exec.submit(request).unwrap().recv().unwrap();
+        assert!(outcome.is_complete());
         assert!(
             !outcome.outputs.is_empty(),
             "EINet must execute at least one exit"
@@ -88,10 +88,11 @@ fn live_preemption_keeps_latest_result() {
         let preemptor = Preemptor::arm(gate.clone(), &TimeDistribution::Uniform, 1.5, seed);
         let outcome = exec
             .submit(InferenceRequest::new(images.clone()))
+            .unwrap()
             .recv()
             .unwrap();
         preemptor.join();
-        if !outcome.completed && !outcome.outputs.is_empty() {
+        if !outcome.is_complete() && !outcome.outputs.is_empty() {
             preempted_with_result += 1;
             let answer = outcome.answer().unwrap();
             assert!(answer.exit < 5);
@@ -116,12 +117,17 @@ fn preempted_task_runs_fewer_blocks_than_completed_one() {
     let (images, _) = ds.test().slice(0, 1);
     let full = exec
         .submit(InferenceRequest::new(images.clone()))
+        .unwrap()
         .recv()
         .unwrap();
-    assert!(full.completed);
+    assert!(full.is_complete());
     gate.raise();
-    let cut = exec.submit(InferenceRequest::new(images)).recv().unwrap();
-    assert!(!cut.completed);
+    let cut = exec
+        .submit(InferenceRequest::new(images))
+        .unwrap()
+        .recv()
+        .unwrap();
+    assert!(!cut.is_complete());
     assert!(cut.blocks_run < full.blocks_run);
     exec.shutdown();
 }

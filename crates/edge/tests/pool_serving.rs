@@ -1,0 +1,294 @@
+//! Integration: the executor pool as a serving substrate — bounded
+//! admission with backpressure, deadline→preemption unification, panic
+//! isolation with worker respawn, and metrics that reconcile.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use einet_core::{ExitPlan, StaticPlanner};
+use einet_edge::{
+    ExecutorPool, FnSource, InferenceRequest, PoolConfig, PreemptionGate, Preemptor, StaticSource,
+    SubmitError, TaskError, TaskStatus,
+};
+use einet_models::{zoo, BranchSpec, MultiExitNet};
+use einet_tensor::Tensor;
+
+fn net() -> MultiExitNet {
+    // Untrained weights are fine: these tests exercise serving mechanics,
+    // not accuracy. 3 exits, tiny input.
+    zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 5)
+}
+
+fn input() -> Tensor {
+    Tensor::filled(&[1, 1, 16, 16], 0.2)
+}
+
+fn full_plan_source() -> Box<dyn einet_edge::PlannerSource> {
+    Box::new(StaticSource::new(ExitPlan::full(3)))
+}
+
+#[test]
+fn queue_full_submissions_are_rejected_not_blocked() {
+    let pool = ExecutorPool::spawn(
+        net(),
+        |_| full_plan_source(),
+        PreemptionGate::new(),
+        PoolConfig {
+            workers: 1,
+            queue_capacity: 2,
+            block_delay: Duration::from_millis(10),
+            ..PoolConfig::default()
+        },
+    );
+    // One worker needs ~30 ms per task; firing 30 submissions back-to-back
+    // must overflow a 2-slot queue long before it drains.
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..30 {
+        match pool.submit(InferenceRequest::new(input())) {
+            Ok(rx) => accepted.push(rx),
+            Err(e) => {
+                assert_eq!(e, SubmitError::QueueFull);
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "a 2-deep queue must bounce a 30-burst");
+    assert!(!accepted.is_empty(), "admission must still make progress");
+    for rx in accepted {
+        let outcome = rx.recv().unwrap().unwrap();
+        assert!(outcome.is_complete());
+    }
+    let snap = pool.metrics().snapshot();
+    assert_eq!(snap.rejected, rejected);
+    assert_eq!(snap.submitted + snap.rejected, 30);
+    assert!(snap.queue_high_water <= 2, "bound respected");
+    assert!(
+        snap.reconciles(),
+        "all admitted tasks accounted for: {snap}"
+    );
+    pool.shutdown();
+}
+
+#[test]
+fn planner_panic_is_isolated_and_the_pool_keeps_serving() {
+    // The first minted planner panics (a poisoned task); every later task
+    // must still be served by the same pool.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let calls_in_source = Arc::clone(&calls);
+    let pool = ExecutorPool::spawn(
+        net(),
+        move |_| {
+            let calls = Arc::clone(&calls_in_source);
+            Box::new(FnSource::new("poison-once", move || {
+                if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("poisoned task");
+                }
+                Box::new(StaticPlanner::new(ExitPlan::full(3), "full"))
+            }))
+        },
+        PreemptionGate::new(),
+        PoolConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..PoolConfig::default()
+        },
+    );
+    let poisoned = pool
+        .submit(InferenceRequest::new(input()))
+        .unwrap()
+        .recv()
+        .unwrap();
+    match poisoned {
+        Err(TaskError::Panicked(msg)) => assert!(msg.contains("poisoned task"), "got: {msg}"),
+        other => panic!("expected a panic error outcome, got {other:?}"),
+    }
+    // Subsequent submissions on the same pool complete normally.
+    for _ in 0..3 {
+        let outcome = pool
+            .submit(InferenceRequest::new(input()))
+            .unwrap()
+            .recv()
+            .unwrap()
+            .unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.outputs.len(), 3);
+    }
+    let snap = pool.metrics().snapshot();
+    assert_eq!(snap.panicked, 1);
+    assert_eq!(snap.completed, 3);
+    assert!(snap.reconciles(), "{snap}");
+    pool.shutdown();
+}
+
+#[test]
+fn wrong_length_plan_is_an_error_outcome_not_a_dead_pool() {
+    // A mis-sized plan violates the planner contract (the simulated runtime
+    // asserts it; the live loop must too). Under the pool the violation is
+    // confined to the offending task.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let calls_in_source = Arc::clone(&calls);
+    let pool = ExecutorPool::spawn(
+        net(),
+        move |_| {
+            let calls = Arc::clone(&calls_in_source);
+            Box::new(FnSource::new("short-once", move || {
+                let wrong = calls.fetch_add(1, Ordering::SeqCst) == 0;
+                let exits = if wrong { 2 } else { 3 };
+                Box::new(StaticPlanner::new(ExitPlan::full(exits), "static"))
+            }))
+        },
+        PreemptionGate::new(),
+        PoolConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..PoolConfig::default()
+        },
+    );
+    let bad = pool
+        .submit(InferenceRequest::new(input()))
+        .unwrap()
+        .recv()
+        .unwrap();
+    match bad {
+        Err(TaskError::Panicked(msg)) => {
+            assert!(msg.contains("wrong plan length"), "got: {msg}");
+        }
+        other => panic!("expected plan-length violation, got {other:?}"),
+    }
+    let outcome = pool
+        .submit(InferenceRequest::new(input()))
+        .unwrap()
+        .recv()
+        .unwrap()
+        .unwrap();
+    assert!(outcome.is_complete());
+    pool.shutdown();
+}
+
+#[test]
+fn expired_deadline_preempts_but_keeps_the_partial_answer() {
+    let pool = ExecutorPool::spawn(
+        net(),
+        |_| full_plan_source(),
+        PreemptionGate::new(),
+        PoolConfig {
+            workers: 1,
+            queue_capacity: 4,
+            block_delay: Duration::from_millis(30),
+            ..PoolConfig::default()
+        },
+    );
+    // Block 1 lands at ~30 ms (before the 50 ms deadline) and emits exit 0;
+    // block 2 would land at ~60 ms, past the deadline.
+    let outcome = pool
+        .submit(InferenceRequest::new(input()).with_deadline(Duration::from_millis(50)))
+        .unwrap()
+        .recv()
+        .unwrap()
+        .unwrap();
+    assert_eq!(outcome.status, TaskStatus::DeadlineExpired);
+    assert!(!outcome.is_complete());
+    assert!(
+        !outcome.outputs.is_empty(),
+        "the elastic guarantee: a checkpoint was ready before the deadline"
+    );
+    assert!(outcome.blocks_run < 3);
+    let answer = outcome.answer().unwrap();
+    assert_eq!(answer.exit, 0);
+    let snap = pool.metrics().snapshot();
+    assert_eq!(snap.deadline_expired, 1);
+    assert!(snap.reconciles(), "{snap}");
+    pool.shutdown();
+}
+
+#[test]
+fn deadline_already_expired_in_queue_never_touches_the_network() {
+    let pool = ExecutorPool::spawn(
+        net(),
+        |_| full_plan_source(),
+        PreemptionGate::new(),
+        PoolConfig {
+            workers: 1,
+            queue_capacity: 8,
+            block_delay: Duration::from_millis(20),
+            ..PoolConfig::default()
+        },
+    );
+    // The first task occupies the worker for ~60 ms; the second's 1 ms
+    // deadline expires while it waits in the queue.
+    let first = pool.submit(InferenceRequest::new(input())).unwrap();
+    let stale = pool
+        .submit(InferenceRequest::new(input()).with_deadline(Duration::from_millis(1)))
+        .unwrap();
+    assert!(first.recv().unwrap().unwrap().is_complete());
+    let outcome = stale.recv().unwrap().unwrap();
+    assert_eq!(outcome.status, TaskStatus::DeadlineExpired);
+    assert_eq!(outcome.blocks_run, 0, "expired before execution started");
+    assert!(outcome.outputs.is_empty());
+    pool.shutdown();
+}
+
+#[test]
+fn concurrent_preemption_upholds_the_elastic_guarantee_and_metrics_reconcile() {
+    let gate = PreemptionGate::new();
+    let pool = ExecutorPool::spawn(
+        net(),
+        |_| full_plan_source(),
+        gate.clone(),
+        PoolConfig {
+            workers: 3,
+            queue_capacity: 32,
+            block_delay: Duration::from_millis(3),
+            ..PoolConfig::default()
+        },
+    );
+    let replies: Vec<_> = (0..18)
+        .map(|_| pool.submit(InferenceRequest::new(input())).unwrap())
+        .collect();
+    // The "vRAN" claims the device mid-burst, across all workers at once.
+    let preemptor = Preemptor::arm_in(gate.clone(), Duration::from_millis(15));
+    let mut completed = 0u64;
+    let mut preempted = 0u64;
+    for rx in replies {
+        // Every admitted task yields an outcome — none is lost or stuck.
+        let outcome = rx.recv().unwrap().unwrap();
+        match outcome.status {
+            TaskStatus::Completed => {
+                completed += 1;
+                assert_eq!(outcome.outputs.len(), 3);
+            }
+            TaskStatus::Preempted => {
+                preempted += 1;
+                // The elastic guarantee: whatever was checkpointed before
+                // the gate rose is handed over, in depth order.
+                assert!(outcome.outputs.len() < 3);
+                let exits: Vec<usize> = outcome.outputs.iter().map(|o| o.exit).collect();
+                let mut sorted = exits.clone();
+                sorted.sort_unstable();
+                assert_eq!(exits, sorted);
+            }
+            TaskStatus::DeadlineExpired => panic!("no deadlines were set"),
+        }
+    }
+    preemptor.join();
+    let snap = pool.metrics().snapshot();
+    assert_eq!(snap.submitted, 18);
+    assert_eq!(snap.completed, completed);
+    assert_eq!(snap.preempted, preempted);
+    assert_eq!(snap.finished(), 18);
+    assert!(snap.reconciles(), "{snap}");
+    assert_eq!(snap.queue_wait.count, 18, "every task's wait was measured");
+    assert_eq!(snap.service.count, 18, "every task's service was measured");
+    // After the high-priority burst ends the pool serves normally again.
+    gate.lower();
+    let outcome = pool
+        .submit(InferenceRequest::new(input()))
+        .unwrap()
+        .recv()
+        .unwrap()
+        .unwrap();
+    assert!(outcome.is_complete());
+    pool.shutdown();
+}

@@ -12,7 +12,7 @@ use einet_tensor::{BatchNorm2d, Conv2d, Layer, Mode, Param, ReLu, Tensor};
 /// reach every depth directly — the property that lets MSDNet train its many
 /// deep classifiers. This is the conv primitive of the MSDNet-like backbone
 /// in [`crate::zoo::msdnet`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DenseConv {
     conv: Conv2d,
     bn: BatchNorm2d,
@@ -124,6 +124,10 @@ impl Layer for DenseConv {
 
     fn kind(&self) -> &'static str {
         "dense_conv"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -8,7 +8,7 @@ use einet_tensor::{Layer, LayerNorm, Mode, Param, ReLu, SelfAttention, Tensor, T
 
 /// Adapter between the image-shaped dataset pipeline (`[n, 1, t, d]`) and
 /// the sequence layers (`[n, t, d]`).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SqueezeChannel {
     in_shape: Vec<usize>,
 }
@@ -50,11 +50,15 @@ impl Layer for SqueezeChannel {
     fn kind(&self) -> &'static str {
         "squeeze_channel"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// A pre-classifier Transformer encoder block:
 /// `y₁ = LN(x + Attn(x))`, `y = LN(y₁ + FFN(y₁))` with a two-layer ReLU FFN.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EncoderBlock {
     attn: SelfAttention,
     ln1: LayerNorm,
@@ -137,6 +141,10 @@ impl Layer for EncoderBlock {
 
     fn kind(&self) -> &'static str {
         "encoder_block"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -4,7 +4,7 @@ use einet_tensor::{softmax_rows, Layer, Mode, Param, Sequential, Tensor};
 
 /// One block of a multi-exit network: a *conv part* of the backbone plus the
 /// exit *branch* inserted after it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Block {
     /// The backbone segment.
     pub conv_part: Sequential,
@@ -39,7 +39,7 @@ pub struct ExitOutput {
 /// let logits = net.forward_all(&Tensor::zeros(&[2, 1, 16, 16]), Mode::Eval);
 /// assert_eq!(logits.len(), 3); // one logits tensor per exit
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MultiExitNet {
     blocks: Vec<Block>,
     num_classes: usize,
@@ -279,6 +279,10 @@ impl Layer for MultiExitNet {
 
     fn kind(&self) -> &'static str {
         "multi_exit_net"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

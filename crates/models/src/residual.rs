@@ -10,7 +10,7 @@ use einet_tensor::{Layer, Mode, Param, ReLu, Sequential, Tensor};
 ///
 /// The shortcut is the identity when the main path preserves shape, otherwise
 /// a caller-supplied projection (typically a 1×1 strided convolution).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ResidualUnit {
     main: Sequential,
     shortcut: Option<Sequential>,
@@ -111,6 +111,10 @@ impl Layer for ResidualUnit {
 
     fn kind(&self) -> &'static str {
         "residual_unit"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

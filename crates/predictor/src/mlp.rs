@@ -18,7 +18,7 @@ use einet_tensor::{Dropout, Layer, Linear, Mode, Param, ReLu, Tensor};
 /// let out = p.infer(&[0.4, 0.0, 0.0, 0.0, 0.0]);
 /// assert_eq!(out.len(), 5);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CsPredictor {
     l1: Linear,
     relu: ReLu,
@@ -173,6 +173,10 @@ impl Layer for CsPredictor {
 
     fn kind(&self) -> &'static str {
         "cs_predictor"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

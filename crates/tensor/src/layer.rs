@@ -72,7 +72,7 @@ impl Param {
 /// of the output's shape. Gradients *accumulate* across calls until
 /// [`Layer::zero_grad`] — this is what lets multi-exit training sum losses
 /// from several branches.
-pub trait Layer: fmt::Debug + Send {
+pub trait Layer: fmt::Debug + Send + Sync {
     /// Computes the layer output for `input`.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 
@@ -109,11 +109,23 @@ pub trait Layer: fmt::Debug + Send {
     /// A short static name for diagnostics (`"conv2d"`, `"linear"`, ...).
     fn kind(&self) -> &'static str;
 
+    /// Clones the layer into a fresh boxed trait object, parameters and
+    /// buffers included. This is what lets a trained network be replicated
+    /// across executor-pool workers (each worker owns its own copy) and
+    /// rebuilt after a panic poisons one copy.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
     /// Total number of trainable scalars.
     fn param_count(&mut self) -> usize {
         let mut n = 0;
         self.visit_params(&mut |p| n += p.len());
         n
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 

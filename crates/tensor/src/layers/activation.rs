@@ -4,7 +4,7 @@ use crate::layer::{Layer, Mode};
 use crate::tensor::Tensor;
 
 /// Rectified linear unit, applied element-wise.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ReLu {
     mask: Vec<bool>,
 }
@@ -44,6 +44,10 @@ impl Layer for ReLu {
     fn kind(&self) -> &'static str {
         "relu"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Row-wise softmax over `[n, k]` tensors.
@@ -52,7 +56,7 @@ impl Layer for ReLu {
 /// layer exists for inference paths that need calibrated probabilities (the
 /// confidence scores of EINet are "the maximum softmax value" — Section III
 /// of the paper).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Softmax {
     cached_output: Option<Tensor>,
 }
@@ -98,6 +102,10 @@ impl Layer for Softmax {
 
     fn kind(&self) -> &'static str {
         "softmax"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -29,7 +29,7 @@ use crate::tensor::Tensor;
 /// let y = conv.forward(&x, Mode::Eval);
 /// assert_eq!(y.shape(), &[2, 8, 8, 8]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param, // [out_c, in_c*kh*kw]
     bias: Param,   // [out_c]
@@ -321,6 +321,10 @@ impl Layer for Conv2d {
 
     fn kind(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

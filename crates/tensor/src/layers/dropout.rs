@@ -11,7 +11,7 @@ use crate::tensor::Tensor;
 ///
 /// The paper uses dropout both in exit branches and in the CS-Predictor
 /// (Section IV-C2) to improve robustness.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     rng: SmallRng,
@@ -100,6 +100,10 @@ impl Layer for Dropout {
 
     fn kind(&self) -> &'static str {
         "dropout"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

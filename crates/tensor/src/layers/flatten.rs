@@ -5,7 +5,7 @@ use crate::tensor::Tensor;
 
 /// Flattens `[n, d1, d2, ...]` into `[n, d1*d2*...]`, remembering the shape
 /// so the backward pass can restore it.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Flatten {
     in_shape: Vec<usize>,
 }
@@ -45,6 +45,10 @@ impl Layer for Flatten {
 
     fn kind(&self) -> &'static str {
         "flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

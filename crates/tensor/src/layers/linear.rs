@@ -20,7 +20,7 @@ use crate::tensor::Tensor;
 /// let y = fc.forward(&Tensor::zeros(&[3, 8]), Mode::Eval);
 /// assert_eq!(y.shape(), &[3, 4]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     weight: Param, // [out, in]
     bias: Param,   // [out]
@@ -130,6 +130,10 @@ impl Layer for Linear {
 
     fn kind(&self) -> &'static str {
         "linear"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -9,7 +9,7 @@ use crate::tensor::Tensor;
 /// Training normalises with batch statistics and updates exponential running
 /// averages; evaluation uses the running averages. Needed to train the
 /// ResNet-style backbones of the model zoo stably.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -186,6 +186,10 @@ impl Layer for BatchNorm2d {
 
     fn kind(&self) -> &'static str {
         "batchnorm2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -5,7 +5,7 @@ use crate::parallel::{for_each_chunk, num_threads, PAR_MIN_WORK};
 use crate::tensor::Tensor;
 
 /// Max pooling over non-overlapping or strided windows of `[n, c, h, w]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     k: usize,
     stride: usize,
@@ -124,10 +124,14 @@ impl Layer for MaxPool2d {
     fn kind(&self) -> &'static str {
         "maxpool2d"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Global average pooling: `[n, c, h, w]` → `[n, c]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GlobalAvgPool {
     in_shape: Vec<usize>,
 }
@@ -177,6 +181,10 @@ impl Layer for GlobalAvgPool {
 
     fn kind(&self) -> &'static str {
         "global_avg_pool"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

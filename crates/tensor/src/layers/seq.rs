@@ -18,7 +18,7 @@ fn check_3d(shape: &[usize], what: &str) {
 }
 
 /// Layer normalisation over the last dimension of `[n, t, d]` tensors.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LayerNorm {
     gamma: Param,
     beta: Param,
@@ -129,11 +129,15 @@ impl Layer for LayerNorm {
     fn kind(&self) -> &'static str {
         "layernorm"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// A linear map applied independently to every token of `[n, t, d_in]`,
 /// producing `[n, t, d_out]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TokenLinear {
     weight: Param, // [out, in]
     bias: Param,
@@ -220,11 +224,15 @@ impl Layer for TokenLinear {
     fn kind(&self) -> &'static str {
         "token_linear"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Adds the fixed sinusoidal positional encoding of "Attention Is All You
 /// Need" to `[n, t, d]` inputs. No parameters; backward is the identity.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PositionalEncoding {
     table: Vec<f32>,
     t: usize,
@@ -282,11 +290,15 @@ impl Layer for PositionalEncoding {
     fn kind(&self) -> &'static str {
         "positional_encoding"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Single-head scaled dot-product self-attention over `[n, t, d]`:
 /// `softmax(QKᵀ/√d)·V` followed by an output projection.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SelfAttention {
     wq: Param,
     wk: Param,
@@ -296,7 +308,7 @@ pub struct SelfAttention {
     cache: Option<AttnCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct AttnCache {
     x: Tensor,
     q: Vec<f32>,
@@ -461,6 +473,10 @@ impl Layer for SelfAttention {
 
     fn kind(&self) -> &'static str {
         "self_attention"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

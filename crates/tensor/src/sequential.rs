@@ -22,7 +22,7 @@ use crate::tensor::Tensor;
 /// let y = net.forward(&Tensor::zeros(&[2, 3, 2, 2]), Mode::Eval);
 /// assert_eq!(y.shape(), &[2, 5]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -102,6 +102,10 @@ impl Layer for Sequential {
 
     fn kind(&self) -> &'static str {
         "sequential"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

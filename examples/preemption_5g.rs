@@ -41,7 +41,7 @@ fn main() {
         },
     );
     let sample = ds.test().images().batch_slice(0, 1);
-    let label = ds.test().labels()[0] as u16;
+    let label = ds.test().labels()[0];
     // Wall-clock profile of this host plus the 2 ms/block demo throttle:
     // sets the scale of preemption delays.
     let horizon_ms = EtProfile::measure(&mut net, &sample, 3).total_ms() + 5.0 * 2.0;
@@ -85,13 +85,14 @@ fn main() {
         );
         let outcome = exec
             .submit(InferenceRequest::new(sample.clone()).with_label(label))
+            .expect("executor accepts the task")
             .recv()
             .expect("executor alive");
         let delay = preemptor.join();
         match outcome.answer() {
             Some(answer) => println!(
                 "round {round}: preempt at {delay:>5.2} ms -> {} after {}/{} blocks: exit {} says class {} (conf {:.2}, {})",
-                if outcome.completed { "finished" } else { "PREEMPTED" },
+                if outcome.is_complete() { "finished" } else { "PREEMPTED" },
                 outcome.blocks_run,
                 5,
                 answer.exit,
