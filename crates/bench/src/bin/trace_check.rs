@@ -1,0 +1,153 @@
+//! Validates the observability artifacts the CLI writes: a Chrome
+//! `trace_event` JSON file and (optionally) a serving-metrics snapshot.
+//!
+//! ```text
+//! trace_check <trace.json> [serve_metrics.json]
+//! ```
+//!
+//! Checks, exiting non-zero with a message on the first failure:
+//! * the trace parses and holds a non-empty `traceEvents` array;
+//! * every event has the `ph`/`ts`/`pid`/`tid`/`cat`/`name` fields Chrome
+//!   requires, with sane values (complete spans carry `dur >= 0`);
+//! * at least four categories appear, including `block`, `search` and one
+//!   of `predictor`/`exit` — the end-to-end coverage bar; `queue` too when
+//!   a metrics file is given (serving traces must show queue wait, but an
+//!   `einet eval` trace has no pool);
+//! * with a metrics file: the number of `service`/`task` spans equals the
+//!   snapshot's serviced-task count, and their summed duration lands within
+//!   5% of the service histogram's total (plus a small absolute floor for
+//!   sub-millisecond runs).
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use einet_trace::json::{parse, JsonValue};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, metrics_path) = match args.as_slice() {
+        [t] => (t.clone(), None),
+        [t, m] => (t.clone(), Some(m.clone())),
+        _ => return fail("usage: trace_check <trace.json> [serve_metrics.json]"),
+    };
+
+    let raw = match std::fs::read_to_string(&trace_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {trace_path}: {e}")),
+    };
+    let doc = match parse(&raw) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{trace_path} is not valid JSON: {e}")),
+    };
+    let events = match doc.get("traceEvents").and_then(JsonValue::as_array) {
+        Some(evs) if !evs.is_empty() => evs,
+        Some(_) => return fail("traceEvents is empty"),
+        None => return fail("missing traceEvents array"),
+    };
+
+    let mut cats: BTreeSet<String> = BTreeSet::new();
+    let mut service_spans = 0u64;
+    let mut service_dur_us = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match ev.get("ph").and_then(JsonValue::as_str) {
+            Some(p) => p,
+            None => return fail(&format!("event {i}: missing ph")),
+        };
+        for field in ["ts", "pid", "tid"] {
+            if ev.get(field).and_then(JsonValue::as_u64).is_none() {
+                return fail(&format!("event {i}: missing numeric {field}"));
+            }
+        }
+        let cat = match ev.get("cat").and_then(JsonValue::as_str) {
+            Some(c) => c,
+            None => return fail(&format!("event {i}: missing cat")),
+        };
+        let name = match ev.get("name").and_then(JsonValue::as_str) {
+            Some(n) => n,
+            None => return fail(&format!("event {i}: missing name")),
+        };
+        cats.insert(cat.to_string());
+        match ph {
+            "X" => {
+                let dur = match ev.get("dur").and_then(JsonValue::as_u64) {
+                    Some(d) => d,
+                    None => return fail(&format!("event {i}: complete span without dur")),
+                };
+                if cat == "service" && name == "task" {
+                    service_spans += 1;
+                    service_dur_us += dur;
+                }
+            }
+            "C" | "i" => {}
+            other => return fail(&format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    println!(
+        "trace_check: {} events across categories {:?}",
+        events.len(),
+        cats
+    );
+    if cats.len() < 4 {
+        return fail(&format!("only {} categories, need >= 4", cats.len()));
+    }
+    for required in ["block", "search"] {
+        if !cats.contains(required) {
+            return fail(&format!("missing required category {required:?}"));
+        }
+    }
+    if !cats.contains("predictor") && !cats.contains("exit") {
+        return fail("missing both predictor and exit categories");
+    }
+    if metrics_path.is_some() && !cats.contains("queue") {
+        return fail("serving trace missing the queue category");
+    }
+
+    if let Some(metrics_path) = metrics_path {
+        let raw = match std::fs::read_to_string(&metrics_path) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("cannot read {metrics_path}: {e}")),
+        };
+        let m = match parse(&raw) {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("{metrics_path} is not valid JSON: {e}")),
+        };
+        let counter = |key: &str| m.get(key).and_then(JsonValue::as_u64);
+        let (finished, shed) = match (counter("finished"), counter("shed_expired_at_dequeue")) {
+            (Some(f), Some(s)) => (f, s),
+            _ => return fail("metrics missing finished / shed_expired_at_dequeue"),
+        };
+        let serviced = finished - shed;
+        if service_spans != serviced {
+            return fail(&format!(
+                "trace has {service_spans} service spans but metrics say {serviced} serviced tasks"
+            ));
+        }
+        let hist_sum_us = match m
+            .get("service")
+            .and_then(|s| s.get("sum_us"))
+            .and_then(JsonValue::as_u64)
+        {
+            Some(v) => v,
+            None => return fail("metrics missing service.sum_us"),
+        };
+        let diff = service_dur_us.abs_diff(hist_sum_us);
+        let tolerance = (hist_sum_us as f64 * 0.05).max(500.0) as u64;
+        if diff > tolerance {
+            return fail(&format!(
+                "service span time {service_dur_us} us vs histogram {hist_sum_us} us: \
+                 differ by {diff} us (> {tolerance} us)"
+            ));
+        }
+        println!(
+            "trace_check: {service_spans} service spans reconcile with metrics \
+             ({service_dur_us} us vs {hist_sum_us} us, tolerance {tolerance} us)"
+        );
+    }
+    println!("trace_check: OK");
+    ExitCode::SUCCESS
+}

@@ -14,12 +14,16 @@ use einet_predictor::{build_training_set, train_predictor, CsPredictor, Predicto
 use einet_profile::{CsProfile, EdgePlatform};
 
 use crate::args::ParsedArgs;
-use crate::commands::CmdResult;
+use crate::commands::{finish_tracing, start_tracing, CmdResult};
 
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> CmdResult {
     let preemptions: usize = args.get_parsed_or("preemptions", 6)?;
     let epochs: usize = args.get_parsed_or("epochs", 8)?;
+    // Asking for a metrics artifact implies driving the pool.
+    let metrics_out = args.get("metrics-out").map(std::path::PathBuf::from);
+    let serve_stats = args.has_flag("serve-stats") || metrics_out.is_some();
+    let trace_out = start_tracing(args);
     println!("training a small 5-exit model for the demo...");
     let ds = SynthDigits::generate(300, 60, 5);
     let mut net = zoo::flex_vgg16(
@@ -47,9 +51,7 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     let prior = cs.exit_mean_confidence();
     // The pool demo needs its own copy of the trained network; clone it
     // before the executor takes ownership.
-    let pool_net = args
-        .has_flag("serve-stats")
-        .then(|| (net.clone(), Arc::clone(&predictor), prior.clone()));
+    let pool_net = serve_stats.then(|| (net.clone(), Arc::clone(&predictor), prior.clone()));
     let gate = PreemptionGate::new();
     let source = EinetSource::new(Arc::clone(&predictor), prior, SearchEngine::default());
     // 2 ms per block so preemptions land mid-inference on fast hosts.
@@ -93,7 +95,10 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     exec.shutdown();
     println!("\nelastic inference always hands over its best checkpoint; a classic model would return nothing when preempted.");
     if let Some((pool_net, predictor, prior)) = pool_net {
-        serve_with_stats(pool_net, predictor, prior, &ds)?;
+        serve_with_stats(pool_net, predictor, prior, &ds, metrics_out.as_deref())?;
+    }
+    if let Some(path) = &trace_out {
+        finish_tracing(path)?;
     }
     Ok(())
 }
@@ -106,6 +111,7 @@ fn serve_with_stats(
     predictor: Arc<CsPredictor>,
     prior: Vec<f32>,
     ds: &SynthDigits,
+    metrics_out: Option<&std::path::Path>,
 ) -> CmdResult {
     println!("\nserving the same model through the executor pool (--serve-stats):");
     let gate = PreemptionGate::new();
@@ -156,6 +162,15 @@ fn serve_with_stats(
     pool.shutdown();
     println!("{snap}");
     println!("  ({rejected} submissions bounced by backpressure, never blocking the caller)");
+    if let Some(path) = metrics_out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, snap.to_json())?;
+        println!("wrote serving metrics to {}", path.display());
+    }
     Ok(())
 }
 
@@ -177,6 +192,48 @@ mod tests {
         )
         .unwrap();
         run(&args).unwrap();
+    }
+
+    #[test]
+    fn trace_and_metrics_artifacts_are_written_and_parse() {
+        let dir = std::env::temp_dir().join("einet-cli-demo-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("serve_metrics.json");
+        let args = ParsedArgs::parse(
+            &[
+                "demo".to_string(),
+                "--preemptions".to_string(),
+                "1".to_string(),
+                "--epochs".to_string(),
+                "1".to_string(),
+                "--trace-out".to_string(),
+                trace_path.to_str().unwrap().to_string(),
+                "--metrics-out".to_string(),
+                metrics_path.to_str().unwrap().to_string(),
+            ],
+            &[],
+        )
+        .unwrap();
+        run(&args).unwrap();
+        // Both artifacts exist and parse with the crate's own JSON parser.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let v = einet_trace::json::parse(&trace).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        // Other tests may run (untraced code paths) concurrently, so only
+        // assert presence of the categories this demo must produce.
+        let cats: std::collections::BTreeSet<&str> = events
+            .iter()
+            .filter_map(|e| e.get("cat").and_then(|c| c.as_str()))
+            .collect();
+        for cat in ["queue", "service", "block", "exit", "search", "predictor"] {
+            assert!(cats.contains(cat), "missing category {cat} in {cats:?}");
+        }
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        let m = einet_trace::json::parse(&metrics).unwrap();
+        assert!(m.get("submitted").unwrap().as_u64().unwrap() > 0);
+        assert!(m.get("service").unwrap().get("count").is_some());
     }
 
     #[test]

@@ -12,10 +12,11 @@ use einet_predictor::{build_training_set, train_predictor, CsPredictor, Predicto
 use einet_profile::{CsProfile, EtProfile};
 
 use crate::args::ParsedArgs;
-use crate::commands::{parse_dist, ArtifactPaths, CmdResult};
+use crate::commands::{finish_tracing, parse_dist, start_tracing, ArtifactPaths, CmdResult};
 
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> CmdResult {
+    let trace_out = start_tracing(args);
     let dir = PathBuf::from(args.require("dir")?);
     let paths = ArtifactPaths::in_dir(&dir);
     let et = EtProfile::load(&paths.et)?;
@@ -65,6 +66,9 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     for planner in planners.iter_mut() {
         let acc = overall_accuracy(&et, &dist, &tables, planner.as_mut(), &cfg);
         println!("  {:<24} {:.2}%", planner.name(), acc * 100.0);
+    }
+    if let Some(path) = &trace_out {
+        finish_tracing(path)?;
     }
     Ok(())
 }

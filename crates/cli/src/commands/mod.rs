@@ -16,6 +16,37 @@ use einet_models::ModelKind;
 /// The boxed-error result every subcommand returns.
 pub type CmdResult = Result<(), Box<dyn Error>>;
 
+/// Enables process-wide tracing when the command was given
+/// `--trace-out PATH`, returning the path the Chrome trace will go to.
+/// Call [`finish_tracing`] with the returned path once the traced work is
+/// done.
+pub(crate) fn start_tracing(args: &crate::args::ParsedArgs) -> Option<PathBuf> {
+    let path = PathBuf::from(args.get("trace-out")?);
+    einet_trace::init(einet_trace::TraceConfig::on());
+    Some(path)
+}
+
+/// Drains the trace, writes the Chrome `trace_event` JSON to `path`
+/// (creating parent directories), prints the per-category summary, and
+/// turns tracing back off.
+pub(crate) fn finish_tracing(path: &Path) -> CmdResult {
+    let snapshot = einet_trace::drain();
+    einet_trace::init(einet_trace::TraceConfig::off());
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, snapshot.to_chrome_json())?;
+    println!("\ntrace summary ({} events):", snapshot.events.len());
+    println!("{}", snapshot.summary());
+    println!(
+        "wrote Chrome trace to {} — open it in chrome://tracing or https://ui.perfetto.dev",
+        path.display()
+    );
+    Ok(())
+}
+
 /// Parses a model name.
 pub(crate) fn parse_model(name: &str) -> Result<ModelKind, String> {
     ModelKind::all()

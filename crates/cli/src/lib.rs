@@ -82,16 +82,27 @@ COMMANDS:
                    [--epochs N] [--train-n N] [--test-n N] [--out-dir DIR]
     eval         compare planners on trained profiles
                    --dir DIR [--dist uniform|gauss0.5|gauss1.0] [--trials N]
+                   [--trace-out FILE]
     plan         search a near-optimal exit plan on trained profiles
                    --dir DIR [--m N] [--dist ...]
     demo         live preemption demo (threads, real forward passes)
                    [--preemptions N] [--serve-stats]
+                   [--trace-out FILE] [--metrics-out FILE]
                    --serve-stats also drives the executor pool (bounded
                    admission, deadlines, panic isolation) and prints its
                    serving-metrics snapshot
+                   --metrics-out writes that snapshot as JSON (implies
+                   --serve-stats)
     experiments  regenerate the paper's tables/figures
                    <fig4|table1|fig8|table2|fig9|fig10|fig11|fig12|fig13|table3|fig14a|fig14b|ablation|transformer|all>
                    [--quick|--full]
+
+TRACING:
+    --trace-out FILE   record spans/counters across the whole command and
+                   write Chrome trace_event JSON — open it in
+                   chrome://tracing or https://ui.perfetto.dev; a
+                   per-category summary (count, total/mean/p95 span time)
+                   is printed on exit. Tracing off costs nothing.
 
 GLOBAL:
     --threads N  worker-pool width for compute kernels
@@ -135,6 +146,8 @@ mod tests {
             "experiments",
             "--threads",
             "--serve-stats",
+            "--trace-out",
+            "--metrics-out",
         ] {
             assert!(u.contains(cmd), "usage missing {cmd}");
         }

@@ -230,8 +230,10 @@ impl Planner for EinetPlanner<'_> {
     fn plan(&mut self, ctx: &PlanContext<'_>) -> PlannerDecision {
         let no_output_yet = ctx.executed.iter().all(|c| c.is_none());
         let confidences = if no_output_yet {
+            let _s = einet_trace::span(einet_trace::Category::Predictor, "prior");
             self.prior.clone()
         } else {
+            let _s = einet_trace::span(einet_trace::Category::Predictor, "predict_masked");
             self.predictor.predict_masked(ctx.executed)
         };
         let (plan, _) = self.engine.search(

@@ -12,6 +12,7 @@
 //! exactly the component under evaluation.
 
 use einet_profile::{CsProfile, EtProfile};
+use einet_trace::{self as trace, Args, Category};
 
 use crate::plan::ExitPlan;
 use crate::planner::{PlanContext, Planner, PlannerDecision};
@@ -164,6 +165,7 @@ impl<'a> ElasticRuntime<'a> {
                 history: &history,
                 next_exit: 0,
             };
+            let _replan = trace::span_args(Category::Replan, "initial_plan", Args::none());
             match planner.plan(&ctx) {
                 PlannerDecision::Plan(p) => {
                     assert_eq!(p.len(), n, "planner returned wrong plan length");
@@ -173,6 +175,13 @@ impl<'a> ElasticRuntime<'a> {
             }
         };
         for i in 0..n {
+            // The span's wall time is the planner-free simulation cost of
+            // this block; the simulated clock rides along in the args.
+            let block_span = trace::span_args(
+                Category::Block,
+                "sim_block",
+                Args::two("exit", i as u64, "sim_us", (t * 1_000.0) as u64),
+            );
             t += conv[i];
             if t > kill_ms {
                 return outcome(last, outputs, false);
@@ -193,6 +202,12 @@ impl<'a> ElasticRuntime<'a> {
                 predicted: table.predictions[i],
                 confidence: table.confidences[i],
             });
+            drop(block_span);
+            trace::instant(
+                Category::Exit,
+                "sim_exit",
+                Args::two("exit", i as u64, "sim_us", (t * 1_000.0) as u64),
+            );
             if i + 1 == n {
                 break;
             }
@@ -207,6 +222,11 @@ impl<'a> ElasticRuntime<'a> {
                 history: &history,
                 next_exit: i + 1,
             };
+            let _replan = trace::span_args(
+                Category::Replan,
+                "replan",
+                Args::one("after_exit", i as u64),
+            );
             match planner.plan(&ctx) {
                 PlannerDecision::Plan(p) => {
                     assert_eq!(p.len(), n, "planner returned wrong plan length");

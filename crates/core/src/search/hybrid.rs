@@ -1,5 +1,9 @@
 //! The hybrid search algorithm (Algorithm 2).
 
+use std::cell::Cell;
+
+use einet_trace::{self as trace, Args, Category};
+
 use crate::plan::ExitPlan;
 use crate::search::enumerate::enumerate_prefix;
 use crate::search::greedy::greedy_augment;
@@ -23,13 +27,40 @@ pub fn hybrid_search(
     enum_outputs: usize,
     eval: &dyn Fn(&ExitPlan) -> f64,
 ) -> (ExitPlan, f64) {
-    // Stage 1: exhaustive enumeration over the first m free branches
-    // (Algorithm 2, lines 1-2).
     let m = enum_outputs.min(free.len());
-    let (enum_plan, enum_score) = enumerate_prefix(base, &free[..m], eval);
-    // Stage 2: greedy over the remaining branches from the enumeration
-    // optimum (lines 3-11).
-    greedy_augment(&enum_plan, enum_score, &free[m..], eval)
+    if !trace::enabled() {
+        // Stage 1: exhaustive enumeration over the first m free branches
+        // (Algorithm 2, lines 1-2).
+        let (enum_plan, enum_score) = enumerate_prefix(base, &free[..m], eval);
+        // Stage 2: greedy over the remaining branches from the enumeration
+        // optimum (lines 3-11).
+        return greedy_augment(&enum_plan, enum_score, &free[m..], eval);
+    }
+    // Traced variant of the same two stages: one span per stage plus a
+    // counter of plans scored, with the eval wrapped to count candidates.
+    let scored = Cell::new(0_u64);
+    let counted = |p: &ExitPlan| {
+        scored.set(scored.get() + 1);
+        eval(p)
+    };
+    let (enum_plan, enum_score) = {
+        let _s = trace::span_args(
+            Category::Search,
+            "enumerate",
+            Args::one("branches", m as u64),
+        );
+        enumerate_prefix(base, &free[..m], &counted)
+    };
+    let result = {
+        let _s = trace::span_args(
+            Category::Search,
+            "greedy",
+            Args::one("branches", (free.len() - m) as u64),
+        );
+        greedy_augment(&enum_plan, enum_score, &free[m..], &counted)
+    };
+    trace::counter(Category::Search, "candidates_scored", scored.get());
+    result
 }
 
 #[cfg(test)]

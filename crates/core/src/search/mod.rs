@@ -149,10 +149,25 @@ impl SearchEngine {
             }
         };
         cache.begin_step();
+        let stats_before = cache.stats();
         let free: Vec<usize> = (frozen_prefix..n).collect();
         let cache = RefCell::new(cache);
         let eval = |p: &ExitPlan| cache.borrow_mut().evaluate(et, dist, p, confidences);
-        hybrid_search(&base, &free, self.enum_outputs, &eval)
+        let result = hybrid_search(&base, &free, self.enum_outputs, &eval);
+        if einet_trace::enabled() {
+            let delta_stats = cache.borrow().stats();
+            einet_trace::counter(
+                einet_trace::Category::Search,
+                "cache_hits",
+                delta_stats.hits - stats_before.hits,
+            );
+            einet_trace::counter(
+                einet_trace::Category::Search,
+                "cache_misses",
+                delta_stats.misses - stats_before.misses,
+            );
+        }
+        result
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -10,9 +11,25 @@ use einet_core::{ExitPlan, PlanContext, PlannerDecision, TimeDistribution};
 use einet_models::{ExitOutput, MultiExitNet};
 use einet_profile::{EdgePlatform, EtProfile};
 use einet_tensor::{softmax_rows, Layer, Mode, Tensor};
+use einet_trace::{self as trace, Args, Category};
 
 use crate::gate::{PreemptionGate, StopCause, TaskGuard};
 use crate::source::PlannerSource;
+
+/// Process-wide task-id sequence, shared by every executor and pool so
+/// trace spans from concurrent pools never collide.
+pub(crate) fn next_task_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace-instant name for a stop cause.
+pub(crate) fn stop_name(cause: StopCause) -> &'static str {
+    match cause {
+        StopCause::Preempted => "preempted",
+        StopCause::DeadlineExpired => "deadline_expired",
+    }
+}
 
 /// One inference task: a single `[1, c, h, w]` input, optionally with its
 /// label for on-line accuracy accounting and a deadline for admission
@@ -133,7 +150,7 @@ impl fmt::Display for SubmitError {
 impl Error for SubmitError {}
 
 enum WorkerMsg {
-    Task(InferenceRequest, Option<Instant>, Sender<TaskOutcome>),
+    Task(u64, InferenceRequest, Option<Instant>, Sender<TaskOutcome>),
     Shutdown,
 }
 
@@ -198,8 +215,15 @@ impl ElasticExecutor {
             while let Ok(msg) = rx.recv() {
                 match msg {
                     WorkerMsg::Shutdown => break,
-                    WorkerMsg::Task(request, deadline_at, reply) => {
+                    WorkerMsg::Task(task_id, request, deadline_at, reply) => {
                         let guard = TaskGuard::new(gate.clone(), deadline_at);
+                        // "solo_task", not "task": pool-serviced spans must
+                        // stay countable against the pool's ServeMetrics.
+                        let service = trace::span_args(
+                            Category::Service,
+                            "solo_task",
+                            Args::one("task", task_id),
+                        );
                         let outcome = run_elastic(
                             &mut net,
                             &et,
@@ -208,7 +232,9 @@ impl ElasticExecutor {
                             &guard,
                             &request,
                             block_delay,
+                            task_id,
                         );
+                        drop(service);
                         // The requester may have given up; that is fine.
                         let _ = reply.send(outcome);
                     }
@@ -232,7 +258,12 @@ impl ElasticExecutor {
         let (reply_tx, reply_rx) = channel();
         let deadline_at = request.deadline.map(|d| Instant::now() + d);
         self.tx
-            .send(WorkerMsg::Task(request, deadline_at, reply_tx))
+            .send(WorkerMsg::Task(
+                next_task_id(),
+                request,
+                deadline_at,
+                reply_tx,
+            ))
             .map_err(|_| SubmitError::WorkerGone)?;
         Ok(reply_rx)
     }
@@ -275,6 +306,7 @@ impl Drop for ElasticExecutor {
 /// network's exit count — the same contract the simulated runtime enforces.
 /// Inside [`crate::ExecutorPool`] this surfaces as a
 /// [`crate::TaskError::Panicked`] outcome instead of killing the worker.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_elastic(
     net: &mut MultiExitNet,
     et: &EtProfile,
@@ -283,6 +315,7 @@ pub(crate) fn run_elastic(
     guard: &TaskGuard,
     request: &InferenceRequest,
     block_delay: Duration,
+    task_id: u64,
 ) -> TaskOutcome {
     let n = net.num_exits();
     let mut planner = source.make();
@@ -308,6 +341,11 @@ pub(crate) fn run_elastic(
     // A task that is already preempted or past-deadline on arrival (it may
     // have waited in the admission queue) never touches the network.
     if let Some(cause) = guard.check() {
+        trace::instant(
+            Category::Preempt,
+            stop_name(cause),
+            Args::one("task", task_id),
+        );
         return outcome(outputs, 0, cause.into());
     }
     let ctx = PlanContext {
@@ -317,37 +355,65 @@ pub(crate) fn run_elastic(
         history: &history,
         next_exit: 0,
     };
-    let mut plan = match planner.plan(&ctx) {
-        PlannerDecision::Plan(p) => checked(p),
-        PlannerDecision::Stop => return outcome(outputs, 0, TaskStatus::Completed),
+    let mut plan = {
+        let _replan =
+            trace::span_args(Category::Replan, "initial_plan", Args::one("task", task_id));
+        match planner.plan(&ctx) {
+            PlannerDecision::Plan(p) => checked(p),
+            PlannerDecision::Stop => return outcome(outputs, 0, TaskStatus::Completed),
+        }
     };
     let mut x = request.input.clone();
     for i in 0..n {
         if let Some(cause) = guard.check() {
+            trace::instant(
+                Category::Preempt,
+                stop_name(cause),
+                Args::one("task", task_id),
+            );
             return outcome(outputs, blocks_run, cause.into());
         }
-        x = net.blocks_mut()[i].conv_part.forward(&x, Mode::Eval);
-        blocks_run += 1;
-        if !block_delay.is_zero() {
-            std::thread::sleep(block_delay);
+        {
+            let _block = trace::span_args(
+                Category::Block,
+                "block",
+                Args::two("exit", i as u64, "task", task_id),
+            );
+            x = net.blocks_mut()[i].conv_part.forward(&x, Mode::Eval);
+            blocks_run += 1;
+            if !block_delay.is_zero() {
+                std::thread::sleep(block_delay);
+            }
         }
         if !plan.get(i) {
             continue;
         }
         if let Some(cause) = guard.check() {
+            trace::instant(
+                Category::Preempt,
+                stop_name(cause),
+                Args::one("task", task_id),
+            );
             return outcome(outputs, blocks_run, cause.into());
         }
-        let logits = net.blocks_mut()[i].branch.forward(&x, Mode::Eval);
-        let probs = softmax_rows(&logits);
-        let predicted = probs.row_argmax(0);
-        let confidence = probs.at2(0, predicted);
-        outputs.push(ExitOutput {
-            exit: i,
-            predicted,
-            confidence,
-        });
-        executed[i] = Some(confidence);
-        history.set(i, true);
+        {
+            let _exit = trace::span_args(
+                Category::Exit,
+                "exit",
+                Args::two("exit", i as u64, "task", task_id),
+            );
+            let logits = net.blocks_mut()[i].branch.forward(&x, Mode::Eval);
+            let probs = softmax_rows(&logits);
+            let predicted = probs.row_argmax(0);
+            let confidence = probs.at2(0, predicted);
+            outputs.push(ExitOutput {
+                exit: i,
+                predicted,
+                confidence,
+            });
+            executed[i] = Some(confidence);
+            history.set(i, true);
+        }
         if i + 1 == n {
             break;
         }
@@ -358,6 +424,11 @@ pub(crate) fn run_elastic(
             history: &history,
             next_exit: i + 1,
         };
+        let _replan = trace::span_args(
+            Category::Replan,
+            "replan",
+            Args::two("after_exit", i as u64, "task", task_id),
+        );
         match planner.plan(&ctx) {
             PlannerDecision::Plan(p) => plan = checked(p).with_frozen_prefix(&history, i + 1),
             PlannerDecision::Stop => return outcome(outputs, blocks_run, TaskStatus::Completed),

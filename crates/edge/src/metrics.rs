@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use einet_trace::json::JsonWriter;
+
 /// Upper bounds (µs, inclusive) of the latency histogram buckets; the last
 /// bucket is unbounded. Roughly logarithmic from 100 µs to 1 s.
 pub const LATENCY_BUCKETS_US: [u64; 13] = [
@@ -75,15 +77,20 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper-bound estimate (ms) of the `q`-quantile (`0 < q <= 1`): the
-    /// bound of the first bucket at which the cumulative count reaches
-    /// `q * count`. Returns 0 when empty; the overflow bucket reports the
-    /// largest finite bound.
+    /// Upper-bound estimate (ms) of the `q`-quantile: the bound of the
+    /// first bucket at which the cumulative count reaches the rank
+    /// `clamp(ceil(q * count), 1, count)`. Returns 0 when empty; `q <= 0`
+    /// lands in the first non-empty bucket, `q >= 1` (and NaN) in the last;
+    /// the overflow bucket reports the largest finite bound.
     pub fn quantile_ms(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let target = (q * self.count as f64).ceil() as u64;
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        // Clamping the rank keeps q = 0 from targeting rank 0 (met before
+        // any bucket, i.e. at whatever bucket happens to be scanned first)
+        // and float rounding from asking for more observations than exist.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cumulative = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             cumulative += c;
@@ -93,6 +100,37 @@ impl HistogramSnapshot {
             }
         }
         *LATENCY_BUCKETS_US.last().expect("non-empty") as f64 / 1e3
+    }
+
+    /// Writes the histogram as a JSON object into `w` (bucket bounds plus
+    /// counts, total and sum).
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("count");
+        w.number_u64(self.count);
+        w.key("sum_us");
+        w.number_u64(self.sum_us);
+        w.key("mean_ms");
+        w.number_f64(self.mean_ms());
+        w.key("p50_ms");
+        w.number_f64(self.quantile_ms(0.50));
+        w.key("p95_ms");
+        w.number_f64(self.quantile_ms(0.95));
+        w.key("p99_ms");
+        w.number_f64(self.quantile_ms(0.99));
+        w.key("bucket_bounds_us");
+        w.begin_array();
+        for bound in LATENCY_BUCKETS_US {
+            w.number_u64(bound);
+        }
+        w.end_array();
+        w.key("bucket_counts");
+        w.begin_array();
+        for &c in &self.buckets {
+            w.number_u64(c);
+        }
+        w.end_array();
+        w.end_object();
     }
 }
 
@@ -105,6 +143,7 @@ pub struct ServeMetrics {
     completed: AtomicU64,
     preempted: AtomicU64,
     deadline_expired: AtomicU64,
+    shed_expired_at_dequeue: AtomicU64,
     panicked: AtomicU64,
     queue_depth: AtomicU64,
     queue_high_water: AtomicU64,
@@ -153,6 +192,15 @@ impl ServeMetrics {
         self.queue_wait.record(wait);
     }
 
+    /// One task was dropped at dequeue because its deadline had already
+    /// passed while it queued: it leaves the queue and records its wait,
+    /// but never reaches a worker's service path.
+    pub(crate) fn on_shed_expired(&self, wait: Duration) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_wait.record(wait);
+        self.shed_expired_at_dequeue.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One task finished with `status` after `service` on the worker.
     pub(crate) fn on_outcome(&self, status: crate::TaskStatus, service: Duration) {
         use crate::TaskStatus::*;
@@ -179,6 +227,7 @@ impl ServeMetrics {
             completed: self.completed.load(Ordering::Relaxed),
             preempted: self.preempted.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            shed_expired_at_dequeue: self.shed_expired_at_dequeue.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
@@ -201,6 +250,9 @@ pub struct MetricsSnapshot {
     pub preempted: u64,
     /// Tasks stopped by their own deadline.
     pub deadline_expired: u64,
+    /// Tasks dropped at dequeue because their deadline had already passed
+    /// while they queued (they never reached a worker).
+    pub shed_expired_at_dequeue: u64,
     /// Tasks lost to a worker panic.
     pub panicked: u64,
     /// Tasks currently waiting in the queue.
@@ -216,7 +268,52 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Tasks that have produced a terminal result (any kind).
     pub fn finished(&self) -> u64 {
-        self.completed + self.preempted + self.deadline_expired + self.panicked
+        self.completed
+            + self.preempted
+            + self.deadline_expired
+            + self.shed_expired_at_dequeue
+            + self.panicked
+    }
+
+    /// Tasks that actually ran on a worker (finished minus the ones shed
+    /// straight out of the queue) — the count the service histogram and the
+    /// per-task trace spans see.
+    pub fn serviced(&self) -> u64 {
+        self.finished() - self.shed_expired_at_dequeue
+    }
+
+    /// Serialises the snapshot as a JSON object (the `serve_metrics.json`
+    /// artifact), through the same hand-rolled writer as the trace
+    /// exporters.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("submitted");
+        w.number_u64(self.submitted);
+        w.key("rejected");
+        w.number_u64(self.rejected);
+        w.key("completed");
+        w.number_u64(self.completed);
+        w.key("preempted");
+        w.number_u64(self.preempted);
+        w.key("deadline_expired");
+        w.number_u64(self.deadline_expired);
+        w.key("shed_expired_at_dequeue");
+        w.number_u64(self.shed_expired_at_dequeue);
+        w.key("panicked");
+        w.number_u64(self.panicked);
+        w.key("finished");
+        w.number_u64(self.finished());
+        w.key("queue_depth");
+        w.number_u64(self.queue_depth);
+        w.key("queue_high_water");
+        w.number_u64(self.queue_high_water);
+        w.key("queue_wait");
+        self.queue_wait.write_json(&mut w);
+        w.key("service");
+        self.service.write_json(&mut w);
+        w.end_object();
+        w.finish()
     }
 
     /// At rest (queue drained, no task in flight) every admitted task must
@@ -230,11 +327,12 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "tasks: submitted {} | completed {} | preempted {} | deadline-expired {} | panicked {} | rejected {}",
+            "tasks: submitted {} | completed {} | preempted {} | deadline-expired {} | shed-at-dequeue {} | panicked {} | rejected {}",
             self.submitted,
             self.completed,
             self.preempted,
             self.deadline_expired,
+            self.shed_expired_at_dequeue,
             self.panicked,
             self.rejected,
         )?;
@@ -324,6 +422,91 @@ mod tests {
         for needle in ["submitted", "queue", "service", "p99"] {
             assert!(text.contains(needle), "display missing {needle}");
         }
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        // Empty histogram: every quantile is 0.
+        let empty = LatencyHistogram::default().snapshot();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile_ms(q), 0.0);
+        }
+        // Single observation in one bucket: every quantile is that bucket's
+        // bound — including q = 0, which used to scan to rank 0 and report
+        // the first bucket regardless of where the observation sat.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(40_000)); // bucket bound 50_000us
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 1.0] {
+            assert!((s.quantile_ms(q) - 50.0).abs() < 1e-9, "q={q}");
+        }
+        // Out-of-range and NaN q clamp instead of panicking or scanning
+        // past the end.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(80)); // first bucket
+        h.record(Duration::from_micros(40_000)); // <=50ms bucket
+        let s = h.snapshot();
+        assert!((s.quantile_ms(-3.0) - 0.1).abs() < 1e-9, "q<0 -> min");
+        assert!((s.quantile_ms(0.0) - 0.1).abs() < 1e-9, "q=0 -> min");
+        assert!((s.quantile_ms(7.0) - 50.0).abs() < 1e-9, "q>1 -> max");
+        assert!((s.quantile_ms(f64::NAN) - 50.0).abs() < 1e-9, "NaN -> max");
+        // The overflow bucket still reports the largest finite bound.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(30));
+        assert!((h.snapshot().quantile_ms(0.5) - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shed_tasks_count_as_finished_but_not_serviced() {
+        let m = ServeMetrics::new();
+        for _ in 0..2 {
+            m.begin_admission();
+            m.commit_admission();
+        }
+        m.on_dequeued(Duration::from_micros(10));
+        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(1));
+        m.on_shed_expired(Duration::from_millis(3));
+        let s = m.snapshot();
+        assert_eq!(s.shed_expired_at_dequeue, 1);
+        assert_eq!(s.finished(), 2);
+        assert_eq!(s.serviced(), 1);
+        assert!(s.reconciles());
+        // The shed task's wait is recorded, but no service time.
+        assert_eq!(s.queue_wait.count, 2);
+        assert_eq!(s.service.count, 1);
+        assert!(s.to_string().contains("shed-at-dequeue 1"));
+    }
+
+    #[test]
+    fn snapshot_serialises_to_parseable_json() {
+        let m = ServeMetrics::new();
+        for _ in 0..3 {
+            m.begin_admission();
+            m.commit_admission();
+            m.on_dequeued(Duration::from_micros(120));
+        }
+        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2));
+        m.on_outcome(crate::TaskStatus::Preempted, Duration::from_millis(1));
+        m.on_panicked(Duration::from_millis(4));
+        let snap = m.snapshot();
+        let v = einet_trace::json::parse(&snap.to_json()).expect("valid JSON");
+        assert_eq!(v.get("submitted").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("completed").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("panicked").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("finished").unwrap().as_u64(), Some(3));
+        let service = v.get("service").unwrap();
+        assert_eq!(service.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            service
+                .get("bucket_counts")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            LATENCY_BUCKETS_US.len() + 1
+        );
+        let sum = service.get("sum_us").unwrap().as_u64().unwrap();
+        assert_eq!(sum, snap.service.sum_us);
     }
 
     #[test]

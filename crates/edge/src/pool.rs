@@ -30,11 +30,13 @@ use std::time::{Duration, Instant};
 use einet_core::TimeDistribution;
 use einet_models::MultiExitNet;
 use einet_profile::{EdgePlatform, EtProfile};
+use einet_trace::{self as trace, Args, Category};
 
-use crate::executor::{run_elastic, InferenceRequest, SubmitError, TaskOutcome};
+use crate::executor::{next_task_id, run_elastic, InferenceRequest, SubmitError, TaskOutcome};
 use crate::gate::{PreemptionGate, TaskGuard};
 use crate::metrics::ServeMetrics;
 use crate::source::PlannerSource;
+use crate::TaskStatus;
 
 /// A task-level failure: the task is lost but the pool (and every other
 /// task) keeps running.
@@ -87,6 +89,7 @@ impl Default for PoolConfig {
 }
 
 struct PoolTask {
+    id: u64,
     request: InferenceRequest,
     deadline_at: Option<Instant>,
     admitted_at: Instant,
@@ -180,6 +183,7 @@ impl ExecutorPool {
         let (reply_tx, reply_rx) = channel();
         let now = Instant::now();
         let task = PoolTask {
+            id: next_task_id(),
             deadline_at: request.deadline.map(|d| now + d),
             admitted_at: now,
             request,
@@ -259,9 +263,32 @@ fn worker_loop(
                 Err(_) => break, // pool handle dropped and queue drained
             }
         };
+        trace::complete_span(
+            Category::Queue,
+            "queue_wait",
+            task.admitted_at,
+            Args::one("task", task.id),
+        );
+        // A task whose deadline already passed while it queued would only
+        // burn worker time to report "expired": shed it here, before it
+        // touches the network. It still answers its requester (with the
+        // same empty outcome an immediately-expired task would produce)
+        // and still records its queue wait — but not a service time.
+        if task.deadline_at.is_some_and(|d| Instant::now() >= d) {
+            metrics.on_shed_expired(task.admitted_at.elapsed());
+            trace::instant(Category::Queue, "shed_expired", Args::one("task", task.id));
+            let _ = task.reply.send(Ok(TaskOutcome {
+                outputs: Vec::new(),
+                status: TaskStatus::DeadlineExpired,
+                blocks_run: 0,
+                correct: None,
+            }));
+            continue;
+        }
         metrics.on_dequeued(task.admitted_at.elapsed());
         let task_guard = TaskGuard::new(gate.clone(), task.deadline_at);
         let started = Instant::now();
+        let service = trace::span_args(Category::Service, "task", Args::one("task", task.id));
         let result = catch_unwind(AssertUnwindSafe(|| {
             run_elastic(
                 &mut net,
@@ -271,8 +298,10 @@ fn worker_loop(
                 &task_guard,
                 &task.request,
                 cfg.block_delay,
+                task.id,
             )
         }));
+        drop(service);
         match result {
             Ok(outcome) => {
                 metrics.on_outcome(outcome.status, started.elapsed());
@@ -281,6 +310,11 @@ fn worker_loop(
             }
             Err(payload) => {
                 metrics.on_panicked(started.elapsed());
+                trace::instant(
+                    Category::Preempt,
+                    "task_panicked",
+                    Args::one("task", task.id),
+                );
                 let _ = task
                     .reply
                     .send(Err(TaskError::Panicked(panic_message(payload))));

@@ -1,0 +1,237 @@
+//! End-to-end trace correctness on the serving path: pool tasks leave
+//! balanced spans that reconcile with [`einet_edge::MetricsSnapshot`], even
+//! through panic isolation, mid-task preemption and shed-at-dequeue.
+//!
+//! Tracing state is process-global; every test serialises on [`lock`].
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use einet_core::ExitPlan;
+use einet_edge::{
+    ExecutorPool, FnSource, InferenceRequest, PoolConfig, PreemptionGate, StaticSource, TaskStatus,
+};
+use einet_models::{zoo, BranchSpec, MultiExitNet};
+use einet_tensor::Tensor;
+use einet_trace::{self as trace, Category, EventKind, TraceConfig, TraceSnapshot};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn net() -> MultiExitNet {
+    zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 5)
+}
+
+fn input() -> Tensor {
+    Tensor::filled(&[1, 1, 16, 16], 0.2)
+}
+
+fn spans_named<'a>(snap: &'a TraceSnapshot, name: &str) -> Vec<&'a einet_trace::TraceEvent> {
+    snap.events
+        .iter()
+        .filter(|e| e.name == name && matches!(e.kind, EventKind::Span { .. }))
+        .collect()
+}
+
+#[test]
+fn pool_spans_reconcile_with_metrics() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let pool = ExecutorPool::spawn(
+        net(),
+        |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+        PreemptionGate::new(),
+        PoolConfig {
+            workers: 2,
+            queue_capacity: 32,
+            ..PoolConfig::default()
+        },
+    );
+    let replies: Vec<_> = (0..6)
+        .map(|_| pool.submit(InferenceRequest::new(input())).unwrap())
+        .collect();
+    for r in replies {
+        assert!(r.recv().unwrap().unwrap().is_complete());
+    }
+    let metrics = pool.metrics().snapshot();
+    pool.shutdown();
+    let snap = trace::drain();
+    trace::init(TraceConfig::off());
+
+    // One queue-wait and one service span per task, tagged with unique ids.
+    let queue_waits = spans_named(&snap, "queue_wait");
+    let services = spans_named(&snap, "task");
+    assert_eq!(queue_waits.len() as u64, metrics.queue_wait.count);
+    assert_eq!(services.len() as u64, metrics.serviced());
+    let mut task_ids: Vec<u64> = services.iter().filter_map(|e| e.args.get("task")).collect();
+    task_ids.sort_unstable();
+    task_ids.dedup();
+    assert_eq!(task_ids.len(), 6, "every task id distinct");
+
+    // Each task executes 3 blocks and emits 3 exits under the full plan.
+    assert_eq!(spans_named(&snap, "block").len(), 18);
+    assert_eq!(spans_named(&snap, "exit").len(), 18);
+
+    // Summed service-span time must agree with the service histogram —
+    // both measure the same dequeue→outcome interval on the same worker.
+    let summary = snap.summary();
+    let service_cat = summary.category(Category::Service).unwrap();
+    let hist_us = metrics.service.sum_us.max(1) as f64;
+    let ratio = service_cat.total_us as f64 / hist_us;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "span total {} vs histogram {} us",
+        service_cat.total_us,
+        metrics.service.sum_us
+    );
+}
+
+#[test]
+fn panicking_task_leaves_balanced_trace() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let pool = ExecutorPool::spawn(
+        net(),
+        |_| Box::new(FnSource::new("poison", || panic!("poisoned planner"))),
+        PreemptionGate::new(),
+        PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        },
+    );
+    let reply = pool.submit(InferenceRequest::new(input())).unwrap();
+    assert!(reply.recv().unwrap().is_err(), "task must panic");
+    // The pool keeps serving; a healthy follow-up would need a non-panicking
+    // source, so just verify the worker survived by submitting again.
+    let reply = pool.submit(InferenceRequest::new(input())).unwrap();
+    assert!(reply.recv().unwrap().is_err());
+    let metrics = pool.metrics().snapshot();
+    pool.shutdown();
+    let snap = trace::drain();
+    trace::init(TraceConfig::off());
+
+    assert_eq!(metrics.panicked, 2);
+    // Unwinding closed the service span (and the replan span open at the
+    // panic): every recorded span is complete by construction, and the
+    // worker's depth returned to 0 — proven by the *second* task's service
+    // span sitting at depth 0 again.
+    let services = spans_named(&snap, "task");
+    assert_eq!(services.len(), 2);
+    for s in &services {
+        assert!(matches!(s.kind, EventKind::Span { depth: 0, .. }));
+    }
+    let panics: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "task_panicked")
+        .collect();
+    assert_eq!(panics.len(), 2);
+}
+
+#[test]
+fn preempted_task_traces_stop_and_balances() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let gate = PreemptionGate::new();
+    gate.raise(); // preempted before the first block
+    let pool = ExecutorPool::spawn(
+        net(),
+        |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+        gate.clone(),
+        PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        },
+    );
+    let outcome = pool
+        .submit(InferenceRequest::new(input()))
+        .unwrap()
+        .recv()
+        .unwrap()
+        .unwrap();
+    assert_eq!(outcome.status, TaskStatus::Preempted);
+    // Lower the gate; the next task completes and its spans nest cleanly
+    // after the preempted one.
+    gate.lower();
+    let outcome = pool
+        .submit(InferenceRequest::new(input()))
+        .unwrap()
+        .recv()
+        .unwrap()
+        .unwrap();
+    assert!(outcome.is_complete());
+    pool.shutdown();
+    let snap = trace::drain();
+    trace::init(TraceConfig::off());
+
+    let preempts: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "preempted" && matches!(e.kind, EventKind::Instant))
+        .collect();
+    assert_eq!(preempts.len(), 1);
+    let services = spans_named(&snap, "task");
+    assert_eq!(services.len(), 2);
+    for s in &services {
+        assert!(
+            matches!(s.kind, EventKind::Span { depth: 0, .. }),
+            "service spans reopen at depth 0 (no leaked parents)"
+        );
+    }
+    // The preempted task ran no blocks; the completed one ran three.
+    assert_eq!(spans_named(&snap, "block").len(), 3);
+}
+
+#[test]
+fn expired_task_is_shed_at_dequeue_and_traced() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let pool = ExecutorPool::spawn(
+        net(),
+        |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+        PreemptionGate::new(),
+        PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        },
+    );
+    // A zero deadline has always passed by dequeue time: the worker sheds
+    // the task without touching the network.
+    let outcome = pool
+        .submit(InferenceRequest::new(input()).with_deadline(Duration::ZERO))
+        .unwrap()
+        .recv()
+        .unwrap()
+        .unwrap();
+    assert_eq!(outcome.status, TaskStatus::DeadlineExpired);
+    assert!(outcome.outputs.is_empty());
+    assert_eq!(outcome.blocks_run, 0);
+    let metrics = pool.metrics().snapshot();
+    pool.shutdown();
+    let snap = trace::drain();
+    trace::init(TraceConfig::off());
+
+    assert_eq!(metrics.shed_expired_at_dequeue, 1);
+    assert_eq!(metrics.deadline_expired, 0, "shed is its own bucket");
+    assert_eq!(metrics.finished(), 1);
+    assert_eq!(metrics.serviced(), 0);
+    assert!(metrics.reconciles());
+    assert_eq!(metrics.queue_wait.count, 1, "wait still recorded");
+    assert_eq!(metrics.service.count, 0, "service not recorded");
+    // Trace: a queue-wait span and a shed instant, but no service span and
+    // no block spans.
+    assert_eq!(spans_named(&snap, "queue_wait").len(), 1);
+    assert_eq!(
+        snap.events
+            .iter()
+            .filter(|e| e.name == "shed_expired")
+            .count(),
+        1
+    );
+    assert!(spans_named(&snap, "task").is_empty());
+    assert!(spans_named(&snap, "block").is_empty());
+}

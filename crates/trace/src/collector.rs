@@ -1,0 +1,277 @@
+//! Global trace state: the enabled flag, the trace epoch, the registry of
+//! per-thread rings, and the emit/collect API.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::event::{Args, Category, EventKind, TraceEvent};
+use crate::ring::Ring;
+use crate::snapshot::TraceSnapshot;
+
+/// Default per-thread ring capacity (events). At 64 bytes per event this is
+/// ~4 MiB per tracing thread.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Tracing configuration handed to [`init`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether events are recorded at all.
+    pub enabled: bool,
+    /// Per-thread ring capacity in events (oldest events are overwritten
+    /// beyond it).
+    pub ring_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Tracing on, default ring capacity.
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Tracing off — every instrumentation site reduces to one relaxed
+    /// atomic load and the span guards are inert.
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Overrides the per-thread ring capacity.
+    #[must_use]
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity.max(1);
+        self
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct LocalBuf {
+    ring: Arc<Mutex<Ring>>,
+    tid: u64,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalBuf>> = const { RefCell::new(None) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// (Re)configures tracing. Clears any previously buffered events, so a run
+/// that calls `init(TraceConfig::on())` starts from an empty trace; call
+/// with [`TraceConfig::off`] to stop recording (buffered events remain
+/// collectable until the next `init` or [`drain`]).
+pub fn init(cfg: TraceConfig) {
+    // Freeze the epoch before anything records against it.
+    let _ = epoch();
+    RING_CAPACITY.store(cfg.ring_capacity.max(1), Ordering::Relaxed);
+    if cfg.enabled {
+        // Start from a clean slate so summaries reconcile with exactly the
+        // work performed while enabled.
+        let rings = registry().lock().unwrap_or_else(|p| p.into_inner());
+        for ring in rings.iter() {
+            let _ = ring.lock().unwrap_or_else(|p| p.into_inner()).take();
+        }
+    }
+    ENABLED.store(cfg.enabled, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently recording. One relaxed atomic load — this is
+/// the entire disabled-path cost of every instrumentation site.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the trace epoch for `at`.
+fn us_since_epoch(at: Instant) -> u64 {
+    u64::try_from(at.saturating_duration_since(epoch()).as_micros()).unwrap_or(u64::MAX)
+}
+
+fn push_event(event: TraceEvent) {
+    LOCAL.with(|local| {
+        let mut slot = local.borrow_mut();
+        let buf = slot.get_or_insert_with(|| {
+            let ring = Arc::new(Mutex::new(Ring::new(RING_CAPACITY.load(Ordering::Relaxed))));
+            registry()
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(Arc::clone(&ring));
+            LocalBuf {
+                ring,
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            }
+        });
+        let mut event = event;
+        event.tid = buf.tid;
+        buf.ring
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(event);
+    });
+}
+
+/// The current span nesting depth on the calling thread (0 outside any
+/// span). Only meaningful while tracing is enabled; used by balance tests.
+pub fn current_depth() -> u32 {
+    DEPTH.with(|d| d.get())
+}
+
+/// An RAII span: created by [`span`]/[`span_args`], records one completed
+/// span event when dropped. Dropping during a panic unwind still closes the
+/// span, so `catch_unwind` isolation can never leak open spans.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    cat: Category,
+    name: &'static str,
+    args: Args,
+    depth: u32,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return; // inert guard: tracing was off at creation
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if !enabled() {
+            return; // disabled mid-span: fix the depth, record nothing
+        }
+        let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        push_event(TraceEvent {
+            ts_us: us_since_epoch(start),
+            tid: 0, // assigned in push_event
+            cat: self.cat,
+            name: self.name,
+            kind: EventKind::Span {
+                dur_us,
+                depth: self.depth,
+            },
+            args: self.args,
+        });
+    }
+}
+
+/// Opens a span with no arguments. See [`span_args`].
+#[inline]
+pub fn span(cat: Category, name: &'static str) -> SpanGuard {
+    span_args(cat, name, Args::none())
+}
+
+/// Opens a span; it closes (and records one span event) when the returned
+/// guard drops. When tracing is disabled this is one atomic load and the
+/// guard is inert — no clock read, no allocation, no lock.
+#[inline]
+pub fn span_args(cat: Category, name: &'static str, args: Args) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            start: None,
+            cat,
+            name,
+            args,
+            depth: 0,
+        };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard {
+        start: Some(Instant::now()),
+        cat,
+        name,
+        args,
+        depth,
+    }
+}
+
+/// Records a completed span retroactively from an explicit start instant —
+/// for intervals that begin on another thread (e.g. queue wait measured from
+/// admission). Does not participate in the calling thread's nesting depth.
+pub fn complete_span(cat: Category, name: &'static str, start: Instant, args: Args) {
+    if !enabled() {
+        return;
+    }
+    let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    push_event(TraceEvent {
+        ts_us: us_since_epoch(start),
+        tid: 0,
+        cat,
+        name,
+        kind: EventKind::Span { dur_us, depth: 0 },
+        args,
+    });
+}
+
+/// Records a counter sample.
+pub fn counter(cat: Category, name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    push_event(TraceEvent {
+        ts_us: us_since_epoch(Instant::now()),
+        tid: 0,
+        cat,
+        name,
+        kind: EventKind::Counter { value },
+        args: Args::none(),
+    });
+}
+
+/// Records a point-in-time marker.
+pub fn instant(cat: Category, name: &'static str, args: Args) {
+    if !enabled() {
+        return;
+    }
+    push_event(TraceEvent {
+        ts_us: us_since_epoch(Instant::now()),
+        tid: 0,
+        cat,
+        name,
+        kind: EventKind::Instant,
+        args,
+    });
+}
+
+/// Collects (and removes) every buffered event from every thread's ring,
+/// merged and sorted by timestamp. Call after the traced workload has
+/// quiesced — events emitted concurrently with the drain may land in the
+/// next snapshot.
+pub fn drain() -> TraceSnapshot {
+    let rings: Vec<Arc<Mutex<Ring>>> = registry().lock().unwrap_or_else(|p| p.into_inner()).clone();
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for ring in rings {
+        let (mut evs, d) = ring.lock().unwrap_or_else(|p| p.into_inner()).take();
+        events.append(&mut evs);
+        dropped += d;
+    }
+    events.sort_by_key(|e| (e.ts_us, e.tid));
+    TraceSnapshot { events, dropped }
+}

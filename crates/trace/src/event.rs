@@ -1,0 +1,206 @@
+//! The trace event model: categories, argument lists, and the fixed-size
+//! event record stored in the per-thread rings.
+
+/// The event taxonomy. A closed enum (rather than free-form strings) keeps
+/// the hot path free of hashing/allocation and makes summaries exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Admission-queue wait and backpressure events.
+    Queue,
+    /// Whole-task service on a worker (dequeue → outcome).
+    Service,
+    /// One backbone block's conv part.
+    Block,
+    /// One executed branch / emitted exit.
+    Exit,
+    /// Exit-plan search (enumeration + greedy phases, candidate counters).
+    Search,
+    /// CS-Predictor calls (prior lookup or masked MLP forward).
+    Predictor,
+    /// Planner refresh between outputs.
+    Replan,
+    /// Preemption / deadline / shed / panic stop events.
+    Preempt,
+}
+
+impl Category {
+    /// Every category, in display order.
+    pub const ALL: [Category; 8] = [
+        Category::Queue,
+        Category::Service,
+        Category::Block,
+        Category::Exit,
+        Category::Search,
+        Category::Predictor,
+        Category::Replan,
+        Category::Preempt,
+    ];
+
+    /// The stable string id used in exported traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Queue => "queue",
+            Category::Service => "service",
+            Category::Block => "block",
+            Category::Exit => "exit",
+            Category::Search => "search",
+            Category::Predictor => "predictor",
+            Category::Replan => "replan",
+            Category::Preempt => "preempt",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Up to two `(&'static str, u64)` key/value pairs attached to an event —
+/// enough for `(task, block)`-style tagging without heap allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Args {
+    items: [(&'static str, u64); 2],
+    len: u8,
+}
+
+impl Args {
+    /// No arguments.
+    pub const fn none() -> Self {
+        Args {
+            items: [("", 0); 2],
+            len: 0,
+        }
+    }
+
+    /// One key/value pair.
+    pub const fn one(key: &'static str, value: u64) -> Self {
+        Args {
+            items: [(key, value), ("", 0)],
+            len: 1,
+        }
+    }
+
+    /// Two key/value pairs.
+    pub const fn two(k1: &'static str, v1: u64, k2: &'static str, v2: u64) -> Self {
+        Args {
+            items: [(k1, v1), (k2, v2)],
+            len: 2,
+        }
+    }
+
+    /// The attached pairs, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.items.iter().copied().take(self.len as usize)
+    }
+
+    /// Number of attached pairs.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no pairs are attached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks an argument up by key.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// What kind of event a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: `ts_us` is its start, `dur_us` its length, `depth`
+    /// its nesting level on the emitting thread when it was opened.
+    Span {
+        /// Span duration in microseconds.
+        dur_us: u64,
+        /// Nesting depth at open (0 = top-level on its thread).
+        depth: u32,
+    },
+    /// A monotonic/per-step counter sample.
+    Counter {
+        /// The sampled value.
+        value: u64,
+    },
+    /// A point-in-time marker.
+    Instant,
+}
+
+/// One timestamped trace record. `Copy` and fixed-size so the ring buffer
+/// never allocates per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the trace epoch (start for spans).
+    pub ts_us: u64,
+    /// Small sequential id of the emitting thread.
+    pub tid: u64,
+    /// Event category.
+    pub cat: Category,
+    /// Event name (static, no allocation).
+    pub name: &'static str,
+    /// Span / counter / instant payload.
+    pub kind: EventKind,
+    /// Up to two numeric arguments (task id, block index, ...).
+    pub args: Args,
+}
+
+impl TraceEvent {
+    /// The span duration, when this is a span event.
+    pub fn span_dur_us(&self) -> Option<u64> {
+        match self.kind {
+            EventKind::Span { dur_us, .. } => Some(dur_us),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_accessors() {
+        let a = Args::none();
+        assert!(a.is_empty());
+        assert_eq!(a.get("x"), None);
+        let b = Args::two("task", 7, "block", 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get("task"), Some(7));
+        assert_eq!(b.get("block"), Some(3));
+        assert_eq!(b.get("exit"), None);
+        let pairs: Vec<_> = b.iter().collect();
+        assert_eq!(pairs, vec![("task", 7), ("block", 3)]);
+    }
+
+    #[test]
+    fn category_strings_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in Category::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate id {c}");
+        }
+        assert_eq!(seen.len(), Category::ALL.len());
+    }
+
+    #[test]
+    fn span_duration_accessor() {
+        let mut e = TraceEvent {
+            ts_us: 1,
+            tid: 1,
+            cat: Category::Block,
+            name: "conv",
+            kind: EventKind::Span {
+                dur_us: 42,
+                depth: 1,
+            },
+            args: Args::none(),
+        };
+        assert_eq!(e.span_dur_us(), Some(42));
+        e.kind = EventKind::Instant;
+        assert_eq!(e.span_dur_us(), None);
+    }
+}

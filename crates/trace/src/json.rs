@@ -1,0 +1,554 @@
+//! A hand-rolled JSON writer and parser (no dependencies).
+//!
+//! The writer backs every machine-readable artifact the workspace emits —
+//! Chrome traces, trace summaries, serving-metrics snapshots — so they all
+//! share one escaping/formatting implementation. The parser is the
+//! validation side: small, strict enough for smoke tests
+//! (`trace_check`), and able to read back everything the writer produces.
+
+use std::fmt::Write as _;
+
+/// A streaming JSON writer with automatic comma placement.
+///
+/// # Example
+///
+/// ```
+/// use einet_trace::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.string("conv");
+/// w.key("dur");
+/// w.number_u64(42);
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"conv","dur":42}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One entry per open container: `true` once it has at least one element
+    /// (so the next element is comma-separated).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.buf.push(',');
+            }
+            *has_elems = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+
+    /// Writes an object key (`"key":`); the following call writes its value.
+    pub fn key(&mut self, key: &str) {
+        self.before_value();
+        write_escaped(&mut self.buf, key);
+        self.buf.push(':');
+        // The value that follows must not add its own comma.
+        if let Some(has_elems) = self.stack.last_mut() {
+            *has_elems = false;
+        }
+        // Re-arm after the value: handled because the value's before_value
+        // sets the flag back to true.
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, value: &str) {
+        self.before_value();
+        write_escaped(&mut self.buf, value);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn number_u64(&mut self, value: u64) {
+        self.before_value();
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Writes a float value (`null` for non-finite values, which JSON cannot
+    /// represent).
+    pub fn number_f64(&mut self, value: f64) {
+        self.before_value();
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, value: bool) {
+        self.before_value();
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+fn write_escaped(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order (duplicate keys keep the last).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (last occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().and_then(|f| {
+            if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 {
+                Some(f as u64)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Errors
+///
+/// Returns [`JsonParseError`] on any syntax violation.
+pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn parse_literal(
+        &mut self,
+        lit: &'static str,
+        value: JsonValue,
+    ) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {lit:?}")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(elems));
+        }
+        loop {
+            self.skip_ws();
+            elems.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(elems));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.error("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.error("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.error("invalid escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.error("raw control char in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_handles_nesting_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.number_u64(1);
+        w.number_u64(2);
+        w.begin_object();
+        w.key("b");
+        w.boolean(true);
+        w.end_object();
+        w.end_array();
+        w.key("c");
+        w.number_f64(1.5);
+        w.key("d");
+        w.number_f64(f64::NAN);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":[1,2,{"b":true}],"c":1.5,"d":null}"#);
+    }
+
+    #[test]
+    fn writer_escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("events");
+        w.begin_array();
+        w.begin_object();
+        w.key("name");
+        w.string("søk \"quoted\"");
+        w.key("ts");
+        w.number_u64(123);
+        w.end_object();
+        w.end_array();
+        w.key("ok");
+        w.boolean(true);
+        w.end_object();
+        let text = w.finish();
+        let v = parse(&text).unwrap();
+        let events = v.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("name").unwrap().as_str(),
+            Some("søk \"quoted\"")
+        );
+        assert_eq!(events[0].get("ts").unwrap().as_u64(), Some(123));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn parser_accepts_standard_forms() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" -12.5e2 ").unwrap(), JsonValue::Number(-1250.0));
+        assert_eq!(parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(vec![]));
+        let v = parse(r#"{"u":"\u0041\ud83d\ude00"}"#).unwrap();
+        assert_eq!(v.get("u").unwrap().as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"abc",
+            "{\"a\" 1}",
+            "[1]]",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn number_accessors() {
+        let v = parse("3").unwrap();
+        assert_eq!(v.as_u64(), Some(3));
+        assert_eq!(parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! # einet-trace
+//!
+//! A dependency-free, lock-light structured tracing layer for the EINet
+//! workspace: **where do a task's milliseconds go** between `submit()` and
+//! its outcome — queue wait, block forwards, branch executions, planner
+//! search, CS-Predictor calls, replans, preemptions.
+//!
+//! ## Design
+//!
+//! * **Thread-local rings.** Every tracing thread owns a bounded ring of
+//!   fixed-size [`TraceEvent`]s behind its *own* mutex; the hot path never
+//!   contends with other threads (the lock is only shared with the
+//!   collector). Full rings overwrite their oldest events and count the
+//!   drops — memory is bounded by construction.
+//! * **RAII spans.** [`span`] returns a guard that records one completed
+//!   span on drop. Unwinding drops the guard too, so `catch_unwind` panic
+//!   isolation and mid-task preemption can never leak open spans.
+//! * **Zero-cost when disabled.** Every instrumentation site starts with a
+//!   single relaxed atomic load ([`enabled`]); when tracing is off the span
+//!   guards are inert — no clock read, no lock, no allocation (asserted by
+//!   the `bench_trace` runner).
+//! * **Two exporters**, sharing one hand-rolled [`json`] writer: Chrome
+//!   `trace_event` JSON ([`TraceSnapshot::to_chrome_json`], loadable in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)) and a
+//!   per-category summary ([`TraceSnapshot::summary`]) with count, total,
+//!   mean, p95 and max span durations.
+//!
+//! ## Example
+//!
+//! ```
+//! use einet_trace::{self as trace, Args, Category, TraceConfig};
+//!
+//! trace::init(TraceConfig::on());
+//! {
+//!     let _task = trace::span_args(Category::Service, "task", Args::one("task", 1));
+//!     let _block = trace::span(Category::Block, "conv");
+//!     // ... work ...
+//! }
+//! trace::counter(Category::Search, "candidates_scored", 128);
+//! let snapshot = trace::drain();
+//! assert_eq!(snapshot.events.len(), 3);
+//! let summary = snapshot.summary();
+//! assert_eq!(summary.category(Category::Block).unwrap().spans, 1);
+//! let chrome = snapshot.to_chrome_json(); // open in Perfetto
+//! assert!(chrome.contains("traceEvents"));
+//! trace::init(TraceConfig::off());
+//! ```
+//!
+//! Tracing state is process-global (one trace per process), which is what a
+//! serving binary wants; tests that enable tracing serialise on a lock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod event;
+mod ring;
+mod snapshot;
+mod summary;
+
+pub mod json;
+
+pub use collector::{
+    complete_span, counter, current_depth, drain, enabled, init, instant, span, span_args,
+    SpanGuard, TraceConfig, DEFAULT_RING_CAPACITY,
+};
+pub use event::{Args, Category, EventKind, TraceEvent};
+pub use snapshot::TraceSnapshot;
+pub use summary::{CategorySummary, TraceSummary};

@@ -1,0 +1,126 @@
+//! The per-thread bounded event ring.
+//!
+//! Each tracing thread owns one [`Ring`] behind its own mutex; the hot path
+//! only ever locks its *own* ring (uncontended except during a collect), so
+//! tracing never serialises worker threads against each other. When the ring
+//! is full the **oldest** events are overwritten and counted in `dropped` —
+//! tracing is bounded-memory by construction and a long run keeps the most
+//! recent window.
+
+use crate::event::TraceEvent;
+
+/// A fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
+#[derive(Debug)]
+pub(crate) struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest element (only meaningful once full).
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// Creates an empty ring holding at most `cap` events (`cap >= 1`).
+    pub(crate) fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest when full.
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of buffered events.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Events dropped to overwriting since the last [`Ring::take`].
+    #[cfg(test)]
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all buffered events in append order, resetting
+    /// the dropped counter.
+    pub(crate) fn take(&mut self) -> (Vec<TraceEvent>, u64) {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        let dropped = self.dropped;
+        self.dropped = 0;
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Args, Category, EventKind};
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            tid: 1,
+            cat: Category::Block,
+            name: "e",
+            kind: EventKind::Instant,
+            args: Args::none(),
+        }
+    }
+
+    #[test]
+    fn push_below_capacity_keeps_order() {
+        let mut r = Ring::new(4);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        let (events, dropped) = r.take();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            events.iter().map(|e| e.ts_us).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut r = Ring::new(3);
+        for t in 0..7 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.dropped(), 4);
+        let (events, dropped) = r.take();
+        assert_eq!(dropped, 4);
+        assert_eq!(
+            events.iter().map(|e| e.ts_us).collect::<Vec<_>>(),
+            [4, 5, 6]
+        );
+        // Counter resets after take.
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = Ring::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

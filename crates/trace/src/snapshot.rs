@@ -1,0 +1,178 @@
+//! A drained set of trace events and its exporters.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json::JsonWriter;
+use crate::summary::TraceSummary;
+
+/// Everything [`crate::drain`] collected: the merged, time-sorted events and
+/// how many were lost to ring overwrites.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// All collected events, sorted by `(ts_us, tid)`.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten in full rings before collection.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Aggregates the events into a per-category summary.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary::from_events(&self.events, self.dropped)
+    }
+
+    /// Serialises the snapshot as a Chrome `trace_event` JSON document
+    /// (object format), loadable in `chrome://tracing` and
+    /// [Perfetto](https://ui.perfetto.dev). Spans become complete (`"X"`)
+    /// events, counters `"C"`, instants `"i"`; timestamps and durations are
+    /// microseconds since the trace epoch.
+    pub fn to_chrome_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("traceEvents");
+        w.begin_array();
+        for e in &self.events {
+            w.begin_object();
+            w.key("name");
+            w.string(e.name);
+            w.key("cat");
+            w.string(e.cat.as_str());
+            w.key("ph");
+            w.string(match e.kind {
+                EventKind::Span { .. } => "X",
+                EventKind::Counter { .. } => "C",
+                EventKind::Instant => "i",
+            });
+            w.key("ts");
+            w.number_u64(e.ts_us);
+            if let EventKind::Span { dur_us, .. } = e.kind {
+                w.key("dur");
+                w.number_u64(dur_us);
+            }
+            w.key("pid");
+            w.number_u64(1);
+            w.key("tid");
+            w.number_u64(e.tid);
+            if let EventKind::Instant = e.kind {
+                // Instant scope: thread.
+                w.key("s");
+                w.string("t");
+            }
+            let has_args = !e.args.is_empty()
+                || matches!(e.kind, EventKind::Counter { .. } | EventKind::Span { .. });
+            if has_args {
+                w.key("args");
+                w.begin_object();
+                if let EventKind::Counter { value } = e.kind {
+                    w.key("value");
+                    w.number_u64(value);
+                }
+                if let EventKind::Span { depth, .. } = e.kind {
+                    w.key("depth");
+                    w.number_u64(u64::from(depth));
+                }
+                for (k, v) in e.args.iter() {
+                    w.key(k);
+                    w.number_u64(v);
+                }
+                w.end_object();
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.key("displayTimeUnit");
+        w.string("ms");
+        w.key("otherData");
+        w.begin_object();
+        w.key("producer");
+        w.string("einet-trace");
+        w.key("dropped_events");
+        w.number_u64(self.dropped);
+        w.key("event_count");
+        w.number_u64(self.events.len() as u64);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Args, Category};
+    use crate::json;
+
+    fn snapshot() -> TraceSnapshot {
+        TraceSnapshot {
+            events: vec![
+                TraceEvent {
+                    ts_us: 10,
+                    tid: 2,
+                    cat: Category::Block,
+                    name: "conv",
+                    kind: EventKind::Span {
+                        dur_us: 30,
+                        depth: 1,
+                    },
+                    args: Args::two("task", 4, "block", 0),
+                },
+                TraceEvent {
+                    ts_us: 45,
+                    tid: 2,
+                    cat: Category::Search,
+                    name: "candidates_scored",
+                    kind: EventKind::Counter { value: 128 },
+                    args: Args::none(),
+                },
+                TraceEvent {
+                    ts_us: 50,
+                    tid: 3,
+                    cat: Category::Preempt,
+                    name: "preempted",
+                    kind: EventKind::Instant,
+                    args: Args::one("task", 4),
+                },
+            ],
+            dropped: 7,
+        }
+    }
+
+    #[test]
+    fn chrome_export_parses_and_carries_fields() {
+        let text = snapshot().to_chrome_json();
+        let v = json::parse(&text).expect("chrome export must be valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        let span = &events[0];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("cat").unwrap().as_str(), Some("block"));
+        assert_eq!(span.get("dur").unwrap().as_u64(), Some(30));
+        assert_eq!(
+            span.get("args").unwrap().get("task").unwrap().as_u64(),
+            Some(4)
+        );
+        let counter = &events[1];
+        assert_eq!(counter.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            counter.get("args").unwrap().get("value").unwrap().as_u64(),
+            Some(128)
+        );
+        let instant = &events[2];
+        assert_eq!(instant.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(instant.get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(
+            v.get("otherData")
+                .unwrap()
+                .get("dropped_events")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let text = TraceSnapshot::default().to_chrome_json();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

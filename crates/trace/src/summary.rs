@@ -1,0 +1,288 @@
+//! Per-category aggregation of a drained trace: span counts and duration
+//! statistics (total / mean / p95 / max), counter sums, instant counts.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Category, EventKind, TraceEvent};
+use crate::json::JsonWriter;
+
+/// Span statistics and counter totals for one [`Category`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategorySummary {
+    /// The category.
+    pub category: Category,
+    /// Completed spans.
+    pub spans: u64,
+    /// Summed span duration (µs).
+    pub total_us: u64,
+    /// 95th-percentile span duration (µs; nearest-rank over recorded
+    /// spans, 0 when none).
+    pub p95_us: u64,
+    /// Longest span (µs).
+    pub max_us: u64,
+    /// Instant markers recorded.
+    pub instants: u64,
+    /// Counter totals by name (summed over samples).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl CategorySummary {
+    /// Mean span duration in µs (0 when no spans).
+    pub fn mean_us(&self) -> f64 {
+        if self.spans == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.spans as f64
+        }
+    }
+
+    /// A counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The per-category rollup of one trace snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// One entry per category that recorded at least one event, in
+    /// [`Category::ALL`] order.
+    pub categories: Vec<CategorySummary>,
+    /// Events lost to ring overwrites before collection.
+    pub dropped: u64,
+}
+
+impl TraceSummary {
+    /// Aggregates raw events.
+    pub fn from_events(events: &[TraceEvent], dropped: u64) -> Self {
+        struct Acc {
+            spans: u64,
+            total_us: u64,
+            max_us: u64,
+            durs: Vec<u64>,
+            instants: u64,
+            counters: BTreeMap<&'static str, u64>,
+        }
+        let mut accs: BTreeMap<Category, Acc> = BTreeMap::new();
+        for e in events {
+            let acc = accs.entry(e.cat).or_insert_with(|| Acc {
+                spans: 0,
+                total_us: 0,
+                max_us: 0,
+                durs: Vec::new(),
+                instants: 0,
+                counters: BTreeMap::new(),
+            });
+            match e.kind {
+                EventKind::Span { dur_us, .. } => {
+                    acc.spans += 1;
+                    acc.total_us = acc.total_us.saturating_add(dur_us);
+                    acc.max_us = acc.max_us.max(dur_us);
+                    acc.durs.push(dur_us);
+                }
+                EventKind::Counter { value } => {
+                    *acc.counters.entry(e.name).or_insert(0) += value;
+                }
+                EventKind::Instant => acc.instants += 1,
+            }
+        }
+        let categories = Category::ALL
+            .iter()
+            .filter_map(|&cat| {
+                let mut acc = accs.remove(&cat)?;
+                acc.durs.sort_unstable();
+                let p95_us = if acc.durs.is_empty() {
+                    0
+                } else {
+                    // Nearest-rank: ceil(0.95 * n) observations lie at or
+                    // below this duration.
+                    let rank =
+                        ((0.95 * acc.durs.len() as f64).ceil() as usize).clamp(1, acc.durs.len());
+                    acc.durs[rank - 1]
+                };
+                Some(CategorySummary {
+                    category: cat,
+                    spans: acc.spans,
+                    total_us: acc.total_us,
+                    p95_us,
+                    max_us: acc.max_us,
+                    instants: acc.instants,
+                    counters: acc
+                        .counters
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect(),
+                })
+            })
+            .collect();
+        TraceSummary {
+            categories,
+            dropped,
+        }
+    }
+
+    /// The summary for one category, if it recorded anything.
+    pub fn category(&self, cat: Category) -> Option<&CategorySummary> {
+        self.categories.iter().find(|c| c.category == cat)
+    }
+
+    /// Serialises the summary as JSON (same hand-rolled writer as the
+    /// Chrome exporter).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("dropped_events");
+        w.number_u64(self.dropped);
+        w.key("categories");
+        w.begin_object();
+        for c in &self.categories {
+            w.key(c.category.as_str());
+            w.begin_object();
+            w.key("spans");
+            w.number_u64(c.spans);
+            w.key("total_us");
+            w.number_u64(c.total_us);
+            w.key("mean_us");
+            w.number_f64(c.mean_us());
+            w.key("p95_us");
+            w.number_u64(c.p95_us);
+            w.key("max_us");
+            w.number_u64(c.max_us);
+            w.key("instants");
+            w.number_u64(c.instants);
+            w.key("counters");
+            w.begin_object();
+            for (name, value) in &c.counters {
+                w.key(name);
+                w.number_u64(*value);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>9}",
+            "category", "spans", "total ms", "mean ms", "p95 ms", "max ms", "instants"
+        )?;
+        for c in &self.categories {
+            writeln!(
+                f,
+                "{:<10} {:>8} {:>12.3} {:>10.3} {:>10.3} {:>10.3} {:>9}",
+                c.category.as_str(),
+                c.spans,
+                c.total_us as f64 / 1e3,
+                c.mean_us() / 1e3,
+                c.p95_us as f64 / 1e3,
+                c.max_us as f64 / 1e3,
+                c.instants,
+            )?;
+            for (name, value) in &c.counters {
+                writeln!(f, "{:<10}   counter {name} = {value}", "")?;
+            }
+        }
+        write!(f, "dropped events: {}", self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Args;
+    use crate::json;
+
+    fn span(cat: Category, dur: u64) -> TraceEvent {
+        TraceEvent {
+            ts_us: 0,
+            tid: 1,
+            cat,
+            name: "s",
+            kind: EventKind::Span {
+                dur_us: dur,
+                depth: 0,
+            },
+            args: Args::none(),
+        }
+    }
+
+    #[test]
+    fn aggregates_per_category() {
+        let mut events: Vec<TraceEvent> = (1..=100).map(|d| span(Category::Block, d)).collect();
+        events.push(TraceEvent {
+            ts_us: 5,
+            tid: 1,
+            cat: Category::Search,
+            name: "candidates_scored",
+            kind: EventKind::Counter { value: 40 },
+            args: Args::none(),
+        });
+        events.push(TraceEvent {
+            ts_us: 6,
+            tid: 1,
+            cat: Category::Search,
+            name: "candidates_scored",
+            kind: EventKind::Counter { value: 2 },
+            args: Args::none(),
+        });
+        events.push(TraceEvent {
+            ts_us: 7,
+            tid: 1,
+            cat: Category::Preempt,
+            name: "preempted",
+            kind: EventKind::Instant,
+            args: Args::none(),
+        });
+        let s = TraceSummary::from_events(&events, 3);
+        let block = s.category(Category::Block).unwrap();
+        assert_eq!(block.spans, 100);
+        assert_eq!(block.total_us, 5050);
+        assert!((block.mean_us() - 50.5).abs() < 1e-9);
+        assert_eq!(block.p95_us, 95, "nearest-rank p95 of 1..=100");
+        assert_eq!(block.max_us, 100);
+        let search = s.category(Category::Search).unwrap();
+        assert_eq!(search.counter("candidates_scored"), Some(42));
+        assert_eq!(search.spans, 0);
+        let preempt = s.category(Category::Preempt).unwrap();
+        assert_eq!(preempt.instants, 1);
+        assert!(s.category(Category::Queue).is_none());
+        assert_eq!(s.dropped, 3);
+    }
+
+    #[test]
+    fn json_export_parses() {
+        let events = vec![span(Category::Service, 10)];
+        let s = TraceSummary::from_events(&events, 0);
+        let v = json::parse(&s.to_json()).unwrap();
+        let service = v.get("categories").unwrap().get("service").unwrap();
+        assert_eq!(service.get("spans").unwrap().as_u64(), Some(1));
+        assert_eq!(service.get("total_us").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn display_mentions_every_recorded_category() {
+        let events = vec![span(Category::Queue, 1), span(Category::Exit, 2)];
+        let text = TraceSummary::from_events(&events, 0).to_string();
+        assert!(text.contains("queue"));
+        assert!(text.contains("exit"));
+        assert!(text.contains("dropped events: 0"));
+    }
+
+    #[test]
+    fn single_span_percentiles() {
+        let s = TraceSummary::from_events(&[span(Category::Replan, 7)], 0);
+        let r = s.category(Category::Replan).unwrap();
+        assert_eq!(r.p95_us, 7);
+        assert_eq!(r.max_us, 7);
+        assert!((r.mean_us() - 7.0).abs() < 1e-12);
+    }
+}

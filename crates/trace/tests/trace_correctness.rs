@@ -1,0 +1,205 @@
+//! Trace correctness: spans nest and balance, including under panic
+//! unwinding; disabled tracing records nothing; rings stay bounded.
+//!
+//! Tracing state is process-global, so every test that flips it serialises
+//! on [`lock`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use einet_trace::{self as trace, Args, Category, EventKind, TraceConfig};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn spans_nest_and_record_depths() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    {
+        let _outer = trace::span_args(Category::Service, "outer", Args::one("task", 9));
+        assert_eq!(trace::current_depth(), 1);
+        {
+            let _inner = trace::span(Category::Block, "inner");
+            assert_eq!(trace::current_depth(), 2);
+        }
+        assert_eq!(trace::current_depth(), 1);
+    }
+    assert_eq!(trace::current_depth(), 0, "all spans closed");
+    let snap = trace::drain();
+    trace::init(TraceConfig::off());
+    // Inner closes first, so it is recorded first... but sorting is by start
+    // timestamp, which puts the outer span first.
+    let spans: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Span { .. }))
+        .collect();
+    assert_eq!(spans.len(), 2);
+    let outer = spans.iter().find(|e| e.name == "outer").unwrap();
+    let inner = spans.iter().find(|e| e.name == "inner").unwrap();
+    let (
+        EventKind::Span {
+            depth: od,
+            dur_us: odur,
+        },
+        EventKind::Span {
+            depth: id,
+            dur_us: idur,
+        },
+    ) = (outer.kind, inner.kind)
+    else {
+        panic!("both must be spans");
+    };
+    assert_eq!(od, 0);
+    assert_eq!(id, 1);
+    assert!(outer.ts_us <= inner.ts_us, "outer opens first");
+    assert!(
+        outer.ts_us + odur >= inner.ts_us + idur,
+        "outer closes last (nesting)"
+    );
+    assert_eq!(outer.args.get("task"), Some(9));
+}
+
+#[test]
+fn panic_unwinding_closes_open_spans() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _task = trace::span_args(Category::Service, "doomed_task", Args::one("task", 1));
+        let _block = trace::span(Category::Block, "doomed_block");
+        panic!("mid-span failure");
+    }));
+    assert!(result.is_err());
+    assert_eq!(
+        trace::current_depth(),
+        0,
+        "unwinding must close every open span, leaking none"
+    );
+    // The pool keeps serving after a caught panic; spans keep balancing.
+    {
+        let _next = trace::span(Category::Service, "next_task");
+        assert_eq!(trace::current_depth(), 1);
+    }
+    let snap = trace::drain();
+    trace::init(TraceConfig::off());
+    let names: Vec<_> = snap.events.iter().map(|e| e.name).collect();
+    assert!(names.contains(&"doomed_task"));
+    assert!(names.contains(&"doomed_block"));
+    assert!(names.contains(&"next_task"));
+    // Every recorded span is complete (has a duration); the post-panic span
+    // reopens at depth 0, proving the stack rebalanced.
+    let next = snap.events.iter().find(|e| e.name == "next_task").unwrap();
+    assert!(matches!(next.kind, EventKind::Span { depth: 0, .. }));
+}
+
+#[test]
+fn disabled_tracing_records_nothing_and_guards_are_inert() {
+    let _guard = lock();
+    trace::init(TraceConfig::off());
+    assert!(!trace::enabled());
+    {
+        let _s = trace::span(Category::Block, "ghost");
+        let _t = trace::span_args(Category::Exit, "ghost2", Args::one("task", 1));
+        assert_eq!(trace::current_depth(), 0, "inert guards never touch depth");
+        trace::counter(Category::Search, "ghost_counter", 7);
+        trace::instant(Category::Preempt, "ghost_instant", Args::none());
+        trace::complete_span(
+            Category::Queue,
+            "ghost_wait",
+            std::time::Instant::now(),
+            Args::none(),
+        );
+    }
+    let snap = trace::drain();
+    assert!(snap.events.is_empty(), "off means off: {:?}", snap.events);
+    assert_eq!(snap.dropped, 0);
+}
+
+#[test]
+fn disabling_mid_span_still_rebalances_depth() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let s = trace::span(Category::Service, "half_traced");
+    assert_eq!(trace::current_depth(), 1);
+    trace::init(TraceConfig::off());
+    drop(s);
+    assert_eq!(trace::current_depth(), 0);
+    let snap = trace::drain();
+    assert!(
+        snap.events.iter().all(|e| e.name != "half_traced"),
+        "span that outlived the trace window is not recorded"
+    );
+}
+
+#[test]
+fn rings_are_bounded_and_count_drops() {
+    let _guard = lock();
+    trace::init(TraceConfig::on().with_ring_capacity(8));
+    for i in 0..20 {
+        trace::counter(Category::Search, "tick", i);
+    }
+    let snap = trace::drain();
+    trace::init(TraceConfig::off());
+    assert_eq!(snap.events.len(), 8, "ring keeps the most recent window");
+    assert_eq!(snap.dropped, 12);
+    // The *newest* events survive.
+    let values: Vec<u64> = snap
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Counter { value } => Some(value),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(values, (12..20).collect::<Vec<u64>>());
+}
+
+#[test]
+fn cross_thread_events_merge_sorted() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let handles: Vec<_> = (0..3)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let _s = trace::span_args(Category::Block, "worker_block", Args::one("worker", t));
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = trace::drain();
+    trace::init(TraceConfig::off());
+    let spans: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "worker_block")
+        .collect();
+    assert_eq!(spans.len(), 3);
+    let tids: std::collections::BTreeSet<u64> = spans.iter().map(|e| e.tid).collect();
+    assert_eq!(tids.len(), 3, "each thread gets its own tid");
+    assert!(snap.events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    let summary = snap.summary();
+    let block = summary.category(Category::Block).unwrap();
+    assert_eq!(block.spans, 3);
+    assert!(block.total_us >= 3 * 1_000, "three ≥2ms sleeps recorded");
+}
+
+#[test]
+fn init_on_clears_stale_events() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    trace::counter(Category::Search, "stale", 1);
+    trace::init(TraceConfig::on());
+    trace::counter(Category::Search, "fresh", 1);
+    let snap = trace::drain();
+    trace::init(TraceConfig::off());
+    assert_eq!(snap.events.len(), 1);
+    assert_eq!(snap.events[0].name, "fresh");
+}

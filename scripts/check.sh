@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # Repo gate: formatting, lints, tests — and optionally the kernel speedup
-# runner that refreshes results/bench_kernels.json.
+# runner that refreshes results/bench_kernels.json, or the tracing smoke
+# that records a tiny traced demo and validates the artifacts.
 #
-#   scripts/check.sh          # fmt --check + clippy -D warnings + tests
-#   scripts/check.sh --bench  # also run the bench runner (release build)
+#   scripts/check.sh                # fmt --check + clippy -D warnings + tests
+#   scripts/check.sh --bench        # also run the bench runner (release build)
+#   scripts/check.sh --trace-smoke  # also run a traced demo + trace_check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_bench=0
+run_trace_smoke=0
 for arg in "$@"; do
     case "$arg" in
     --bench) run_bench=1 ;;
+    --trace-smoke) run_trace_smoke=1 ;;
     *)
-        echo "usage: scripts/check.sh [--bench]" >&2
+        echo "usage: scripts/check.sh [--bench] [--trace-smoke]" >&2
         exit 2
         ;;
     esac
@@ -31,6 +35,17 @@ if [ "$run_bench" -eq 1 ]; then
     echo "== bench runner (results/bench_kernels.json)"
     cargo build --release -p einet-bench --bin bench_kernels
     ./target/release/bench_kernels
+fi
+
+if [ "$run_trace_smoke" -eq 1 ]; then
+    echo "== trace smoke (results/trace.json, results/serve_metrics.json)"
+    cargo build --release -p einet-cli --bin einet
+    cargo build --release -p einet-bench --bin trace_check --bin bench_trace
+    ./target/release/einet demo --preemptions 0 --epochs 1 --serve-stats \
+        --trace-out results/trace.json --metrics-out results/serve_metrics.json
+    ./target/release/trace_check results/trace.json results/serve_metrics.json
+    echo "== trace overhead (results/bench_trace.json)"
+    ./target/release/bench_trace
 fi
 
 echo "== all checks passed"
