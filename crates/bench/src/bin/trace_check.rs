@@ -1,42 +1,124 @@
 //! Validates the observability artifacts the CLI writes: a Chrome
-//! `trace_event` JSON file and (optionally) a serving-metrics snapshot.
+//! `trace_event` JSON file and (optionally) a serving-metrics snapshot, or
+//! — with `--stream` — a whole `einet demo --stream-out` directory.
 //!
 //! ```text
 //! trace_check <trace.json> [serve_metrics.json]
+//! trace_check --stream <dir>
 //! ```
 //!
-//! Checks, exiting non-zero with a message on the first failure:
+//! Drain mode checks, exiting non-zero with a message on the first failure:
 //! * the trace parses and holds a non-empty `traceEvents` array;
 //! * every event has the `ph`/`ts`/`pid`/`tid`/`cat`/`name` fields Chrome
-//!   requires, with sane values (complete spans carry `dur >= 0`);
+//!   requires, with sane values (complete spans carry `dur >= 0`, flow
+//!   phases carry an `id`);
 //! * at least four categories appear, including `block`, `search` and one
 //!   of `predictor`/`exit` — the end-to-end coverage bar; `queue` too when
 //!   a metrics file is given (serving traces must show queue wait, but an
 //!   `einet eval` trace has no pool);
-//! * with a metrics file: the number of `service`/`task` spans equals the
-//!   snapshot's serviced-task count, and their summed duration lands within
-//!   5% of the service histogram's total (plus a small absolute floor for
-//!   sub-millisecond runs).
+//! * with a metrics file: the `service`/`task` span count equals the
+//!   snapshot's serviced-task count and their summed duration lands within
+//!   5% of the service histogram's total; the `shed_expired`,
+//!   `task_preempted` and `task_deadline_expired` instants equal the
+//!   snapshot's shed/preempt/expiry counters.
+//!
+//! Stream mode reads `DIR/trace.jsonl` (the JSONL stream) plus
+//! `DIR/serve_metrics.json`, checks the footer/sweep overflow accounting is
+//! consistent, every task flow is balanced (one start, one end), and the
+//! flow-linked spans reconcile with the same metrics counters as above.
 
 use std::collections::BTreeSet;
+use std::path::Path;
 use std::process::ExitCode;
 
 use einet_trace::json::{parse, JsonValue};
+use einet_trace::stream::read_stream;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("trace_check: FAIL: {msg}");
     ExitCode::FAILURE
 }
 
+/// Pulls the pool counters out of a serving-metrics JSON document.
+struct PoolCounters {
+    submitted: u64,
+    serviced: u64,
+    shed: u64,
+    preempted: u64,
+    deadline_expired: u64,
+    service_sum_us: u64,
+}
+
+fn read_pool_counters(path: &Path) -> Result<PoolCounters, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let m = parse(&raw).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    let counter = |key: &str| {
+        m.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("metrics missing counter {key:?}"))
+    };
+    let finished = counter("finished")?;
+    let shed = counter("shed_expired_at_dequeue")?;
+    Ok(PoolCounters {
+        submitted: counter("submitted")?,
+        serviced: finished - shed,
+        shed,
+        preempted: counter("preempted")?,
+        deadline_expired: counter("deadline_expired")?,
+        service_sum_us: m
+            .get("service")
+            .and_then(|s| s.get("sum_us"))
+            .and_then(JsonValue::as_u64)
+            .ok_or("metrics missing service.sum_us")?,
+    })
+}
+
+/// The instants that must reconcile one-to-one with pool counters. The
+/// pool emits `task_preempted`/`task_deadline_expired` (distinct from the
+/// solo executor's `preempted`/`deadline_expired`) exactly so this check
+/// can be exact even when a demo drives both executors in one trace.
+fn check_instants_against_metrics(
+    shed_instants: u64,
+    preempt_instants: u64,
+    expired_instants: u64,
+    pool: &PoolCounters,
+) -> Result<(), String> {
+    if shed_instants != pool.shed {
+        return Err(format!(
+            "trace has {shed_instants} shed_expired instants but metrics say {} shed tasks",
+            pool.shed
+        ));
+    }
+    if preempt_instants != pool.preempted {
+        return Err(format!(
+            "trace has {preempt_instants} task_preempted instants but metrics say {} preempted",
+            pool.preempted
+        ));
+    }
+    if expired_instants != pool.deadline_expired {
+        return Err(format!(
+            "trace has {expired_instants} task_deadline_expired instants but metrics say {} expired",
+            pool.deadline_expired
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (trace_path, metrics_path) = match args.as_slice() {
-        [t] => (t.clone(), None),
-        [t, m] => (t.clone(), Some(m.clone())),
-        _ => return fail("usage: trace_check <trace.json> [serve_metrics.json]"),
-    };
+    match args.as_slice() {
+        [flag, dir] if flag == "--stream" => check_stream(Path::new(dir)),
+        [t] => check_drain(t, None),
+        [t, m] => check_drain(t, Some(m)),
+        _ => fail(
+            "usage: trace_check <trace.json> [serve_metrics.json] | trace_check --stream <dir>",
+        ),
+    }
+}
 
-    let raw = match std::fs::read_to_string(&trace_path) {
+fn check_drain(trace_path: &str, metrics_path: Option<&String>) -> ExitCode {
+    let raw = match std::fs::read_to_string(trace_path) {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot read {trace_path}: {e}")),
     };
@@ -53,6 +135,9 @@ fn main() -> ExitCode {
     let mut cats: BTreeSet<String> = BTreeSet::new();
     let mut service_spans = 0u64;
     let mut service_dur_us = 0u64;
+    let mut shed_instants = 0u64;
+    let mut preempt_instants = 0u64;
+    let mut expired_instants = 0u64;
     for (i, ev) in events.iter().enumerate() {
         let ph = match ev.get("ph").and_then(JsonValue::as_str) {
             Some(p) => p,
@@ -83,7 +168,18 @@ fn main() -> ExitCode {
                     service_dur_us += dur;
                 }
             }
-            "C" | "i" => {}
+            "i" => match name {
+                "shed_expired" => shed_instants += 1,
+                "task_preempted" => preempt_instants += 1,
+                "task_deadline_expired" => expired_instants += 1,
+                _ => {}
+            },
+            "C" => {}
+            "s" | "t" | "f" => {
+                if ev.get("id").and_then(JsonValue::as_u64).is_none() {
+                    return fail(&format!("event {i}: flow phase {ph:?} without id"));
+                }
+            }
             other => return fail(&format!("event {i}: unexpected phase {other:?}")),
         }
     }
@@ -108,46 +204,130 @@ fn main() -> ExitCode {
     }
 
     if let Some(metrics_path) = metrics_path {
-        let raw = match std::fs::read_to_string(&metrics_path) {
-            Ok(s) => s,
-            Err(e) => return fail(&format!("cannot read {metrics_path}: {e}")),
+        let pool = match read_pool_counters(Path::new(metrics_path)) {
+            Ok(p) => p,
+            Err(e) => return fail(&e),
         };
-        let m = match parse(&raw) {
-            Ok(v) => v,
-            Err(e) => return fail(&format!("{metrics_path} is not valid JSON: {e}")),
-        };
-        let counter = |key: &str| m.get(key).and_then(JsonValue::as_u64);
-        let (finished, shed) = match (counter("finished"), counter("shed_expired_at_dequeue")) {
-            (Some(f), Some(s)) => (f, s),
-            _ => return fail("metrics missing finished / shed_expired_at_dequeue"),
-        };
-        let serviced = finished - shed;
-        if service_spans != serviced {
+        if service_spans != pool.serviced {
             return fail(&format!(
-                "trace has {service_spans} service spans but metrics say {serviced} serviced tasks"
+                "trace has {service_spans} service spans but metrics say {} serviced tasks",
+                pool.serviced
             ));
         }
-        let hist_sum_us = match m
-            .get("service")
-            .and_then(|s| s.get("sum_us"))
-            .and_then(JsonValue::as_u64)
+        if let Err(e) =
+            check_instants_against_metrics(shed_instants, preempt_instants, expired_instants, &pool)
         {
-            Some(v) => v,
-            None => return fail("metrics missing service.sum_us"),
-        };
-        let diff = service_dur_us.abs_diff(hist_sum_us);
-        let tolerance = (hist_sum_us as f64 * 0.05).max(500.0) as u64;
+            return fail(&e);
+        }
+        let diff = service_dur_us.abs_diff(pool.service_sum_us);
+        let tolerance = (pool.service_sum_us as f64 * 0.05).max(500.0) as u64;
         if diff > tolerance {
             return fail(&format!(
-                "service span time {service_dur_us} us vs histogram {hist_sum_us} us: \
-                 differ by {diff} us (> {tolerance} us)"
+                "service span time {service_dur_us} us vs histogram {} us: \
+                 differ by {diff} us (> {tolerance} us)",
+                pool.service_sum_us
             ));
         }
         println!(
-            "trace_check: {service_spans} service spans reconcile with metrics \
-             ({service_dur_us} us vs {hist_sum_us} us, tolerance {tolerance} us)"
+            "trace_check: {service_spans} service spans + {shed_instants} sheds + \
+             {preempt_instants} preempts + {expired_instants} expiries reconcile with metrics \
+             ({service_dur_us} us vs {} us, tolerance {tolerance} us)",
+            pool.service_sum_us
         );
     }
+    println!("trace_check: OK");
+    ExitCode::SUCCESS
+}
+
+fn check_stream(dir: &Path) -> ExitCode {
+    let stream_path = dir.join("trace.jsonl");
+    let streamed = match read_stream(&stream_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    if streamed.events.is_empty() {
+        return fail("stream holds no events");
+    }
+    // Overflow accounting must be internally consistent: the footer totals
+    // are the sum of what each sweep record reported.
+    let swept_dropped: u64 = streamed.sweeps.iter().map(|s| s.dropped).sum();
+    match &streamed.footer {
+        Some(f) => {
+            if f.dropped != swept_dropped {
+                return fail(&format!(
+                    "footer says {} dropped but sweep records sum to {swept_dropped}",
+                    f.dropped
+                ));
+            }
+            if f.events != streamed.events.len() as u64 {
+                return fail(&format!(
+                    "footer says {} events but the stream holds {}",
+                    f.events,
+                    streamed.events.len()
+                ));
+            }
+        }
+        None => println!("trace_check: note: no footer (stream still live or truncated)"),
+    }
+
+    let summary = streamed.summary();
+    if summary.flows.is_empty() {
+        return fail("stream recorded no task flows");
+    }
+    let unbalanced = summary.unbalanced_flows();
+    if !unbalanced.is_empty() {
+        return fail(&format!(
+            "{} of {} task flows are unbalanced (ids {:?})",
+            unbalanced.len(),
+            summary.flows.len(),
+            &unbalanced[..unbalanced.len().min(8)],
+        ));
+    }
+    println!(
+        "trace_check: stream {} — {} events over {} sweeps ({} dropped), {} balanced flows",
+        stream_path.display(),
+        streamed.events.len(),
+        streamed.sweeps.len(),
+        streamed.dropped(),
+        summary.flows.len(),
+    );
+
+    let pool = match read_pool_counters(&dir.join("serve_metrics.json")) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let (task_spans, _) = summary.spans_named("service", "task");
+    if task_spans != pool.serviced {
+        return fail(&format!(
+            "stream has {task_spans} service spans but metrics say {} serviced tasks",
+            pool.serviced
+        ));
+    }
+    if summary.flows.len() as u64 != pool.submitted {
+        return fail(&format!(
+            "stream has {} task flows but metrics say {} submitted tasks",
+            summary.flows.len(),
+            pool.submitted
+        ));
+    }
+    if let Err(e) = check_instants_against_metrics(
+        summary.instants_named("shed_expired"),
+        summary.instants_named("task_preempted"),
+        summary.instants_named("task_deadline_expired"),
+        &pool,
+    ) {
+        return fail(&e);
+    }
+    println!(
+        "trace_check: {} flows / {task_spans} service spans reconcile with pool metrics \
+         ({} submitted, {} serviced, {} shed, {} preempted, {} expired)",
+        pool.submitted,
+        pool.submitted,
+        pool.serviced,
+        pool.shed,
+        pool.preempted,
+        pool.deadline_expired
+    );
     println!("trace_check: OK");
     ExitCode::SUCCESS
 }

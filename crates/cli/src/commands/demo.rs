@@ -6,8 +6,8 @@ use std::time::Duration;
 use einet_core::{SearchEngine, TimeDistribution};
 use einet_data::{Dataset, SynthDigits};
 use einet_edge::{
-    EinetSource, ElasticExecutor, ExecutorPool, InferenceRequest, PoolConfig, PreemptionGate,
-    Preemptor, SubmitError,
+    EinetSource, ElasticExecutor, ExecutorPool, InferenceRequest, MetricsReporter, PoolConfig,
+    PreemptionGate, Preemptor, SubmitError,
 };
 use einet_models::{train_multi_exit, zoo, BranchSpec, MultiExitNet, TrainConfig};
 use einet_predictor::{build_training_set, train_predictor, CsPredictor, PredictorTrainConfig};
@@ -22,8 +22,36 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     let epochs: usize = args.get_parsed_or("epochs", 8)?;
     // Asking for a metrics artifact implies driving the pool.
     let metrics_out = args.get("metrics-out").map(std::path::PathBuf::from);
-    let serve_stats = args.has_flag("serve-stats") || metrics_out.is_some();
+    // Continuous-telemetry mode: stream the trace and report metrics into
+    // this directory while the pool serves (implies --serve-stats).
+    let stream_out = args.get("stream-out").map(std::path::PathBuf::from);
+    let report_every = Duration::from_millis(args.get_parsed_or("report-every", 200u64)?.max(1));
+    let serve_stats = args.has_flag("serve-stats") || metrics_out.is_some() || stream_out.is_some();
     let trace_out = start_tracing(args);
+    let streamer = match &stream_out {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            if trace_out.is_none() {
+                // Streaming needs the collector recording even when no
+                // one-shot --trace-out drain was requested.
+                einet_trace::init(einet_trace::TraceConfig::on());
+            }
+            let path = dir.join("trace.jsonl");
+            let s = einet_trace::TraceStreamer::start(
+                &path,
+                einet_trace::StreamConfig {
+                    period: report_every,
+                },
+            )?;
+            println!(
+                "streaming trace to {} (sweep every {} ms)",
+                path.display(),
+                report_every.as_millis()
+            );
+            Some(s)
+        }
+        None => None,
+    };
     println!("training a small 5-exit model for the demo...");
     let ds = SynthDigits::generate(300, 60, 5);
     let mut net = zoo::flex_vgg16(
@@ -95,7 +123,28 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     exec.shutdown();
     println!("\nelastic inference always hands over its best checkpoint; a classic model would return nothing when preempted.");
     if let Some((pool_net, predictor, prior)) = pool_net {
-        serve_with_stats(pool_net, predictor, prior, &ds, metrics_out.as_deref())?;
+        serve_with_stats(
+            pool_net,
+            predictor,
+            prior,
+            &ds,
+            metrics_out.as_deref(),
+            stream_out.as_deref(),
+            report_every,
+        )?;
+    }
+    if let Some(streamer) = streamer {
+        let stats = streamer.stop()?;
+        if trace_out.is_none() {
+            einet_trace::init(einet_trace::TraceConfig::off());
+        }
+        println!(
+            "streamed {} events over {} sweeps ({} dropped to ring overflow)",
+            stats.events, stats.sweeps, stats.dropped
+        );
+        if let Some(dir) = &stream_out {
+            println!("inspect with: einet report --dir {}", dir.display());
+        }
     }
     if let Some(path) = &trace_out {
         finish_tracing(path)?;
@@ -106,12 +155,17 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
 /// The `--serve-stats` section: drives the same trained model through an
 /// [`ExecutorPool`] — burst admission with backpressure, per-task deadlines
 /// and a mid-burst preemption — then prints the pool's metrics snapshot.
+/// With `--stream-out`, a [`MetricsReporter`] also rewrites
+/// `metrics.prom` + `serve_metrics.json` in the stream directory every
+/// `report_every` while the pool serves.
 fn serve_with_stats(
     net: MultiExitNet,
     predictor: Arc<CsPredictor>,
     prior: Vec<f32>,
     ds: &SynthDigits,
     metrics_out: Option<&std::path::Path>,
+    stream_dir: Option<&std::path::Path>,
+    report_every: Duration,
 ) -> CmdResult {
     println!("\nserving the same model through the executor pool (--serve-stats):");
     let gate = PreemptionGate::new();
@@ -132,6 +186,14 @@ fn serve_with_stats(
             ..PoolConfig::default()
         },
     );
+    let reporter = stream_dir.map(|dir| {
+        MetricsReporter::spawn(
+            pool.metrics_handle(),
+            dir.join("metrics.prom"),
+            Some(dir.join("serve_metrics.json")),
+            report_every,
+        )
+    });
     let test = ds.test();
     let mut replies = Vec::new();
     let mut rejected = 0u64;
@@ -159,6 +221,11 @@ fn serve_with_stats(
         let _ = rx.recv()?;
     }
     let snap = pool.metrics().snapshot();
+    if let Some(reporter) = reporter {
+        // The final write happens after every task has finished, so the
+        // on-disk artifacts agree with the snapshot printed below.
+        reporter.stop();
+    }
     pool.shutdown();
     println!("{snap}");
     println!("  ({rejected} submissions bounced by backpressure, never blocking the caller)");
@@ -196,6 +263,7 @@ mod tests {
 
     #[test]
     fn trace_and_metrics_artifacts_are_written_and_parse() {
+        let _tracing = crate::commands::tracing_test_lock();
         let dir = std::env::temp_dir().join("einet-cli-demo-trace-test");
         std::fs::create_dir_all(&dir).unwrap();
         let trace_path = dir.join("trace.json");

@@ -4,6 +4,7 @@ pub mod demo;
 pub mod eval;
 pub mod experiments;
 pub mod plan;
+pub mod report;
 pub mod train;
 
 use std::error::Error;
@@ -15,6 +16,18 @@ use einet_models::ModelKind;
 
 /// The boxed-error result every subcommand returns.
 pub type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Tracing state is process-global, and `cargo test` runs this crate's
+/// tests in parallel inside one process: every test that enables tracing
+/// (via `--trace-out` or `--stream-out`) must hold this lock, or a
+/// concurrent drain/sweep would steal its events.
+#[cfg(test)]
+pub(crate) fn tracing_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
 
 /// Enables process-wide tracing when the command was given
 /// `--trace-out PATH`, returning the path the Chrome trace will go to.

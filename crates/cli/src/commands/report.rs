@@ -1,0 +1,209 @@
+//! `einet report` — render a latency/SLO summary from streamed telemetry.
+//!
+//! Reads the artifacts a `einet demo --stream-out DIR` run leaves behind —
+//! `trace.jsonl` (the streaming trace) and `serve_metrics.json` (the final
+//! metrics snapshot) — and prints what an operator wants from a long run:
+//! per-category span statistics, flow balance, overflow accounting, and the
+//! cumulative + windowed latency/SLO numbers. `--chrome-out FILE` also
+//! converts the stream into one Chrome `trace_event` document for Perfetto.
+
+use std::path::PathBuf;
+
+use einet_edge::MetricsSnapshot;
+use einet_trace::stream::read_stream;
+
+use crate::args::ParsedArgs;
+use crate::commands::CmdResult;
+
+/// Runs the subcommand.
+pub fn run(args: &ParsedArgs) -> CmdResult {
+    let dir = PathBuf::from(args.require("dir")?);
+    let chrome_out = args.get("chrome-out").map(PathBuf::from);
+
+    let stream_path = dir.join("trace.jsonl");
+    let streamed = read_stream(&stream_path)?;
+    let summary = streamed.summary();
+
+    println!("trace stream: {}", stream_path.display());
+    println!(
+        "  {} events | {} sweeps every {} ms | {} dropped to ring overflow{}",
+        streamed.events.len(),
+        streamed.sweeps.len(),
+        streamed.period_ms,
+        streamed.dropped(),
+        if streamed.footer.is_some() {
+            ""
+        } else {
+            " | NO FOOTER (still being written or truncated)"
+        },
+    );
+
+    println!(
+        "\n{:<10} {:>8} {:>12} {:>10} {:>9} {:>6}",
+        "category", "spans", "total ms", "max ms", "instants", "flows"
+    );
+    for (cat, stat) in &summary.categories {
+        println!(
+            "{:<10} {:>8} {:>12.3} {:>10.3} {:>9} {:>6}",
+            cat,
+            stat.spans,
+            stat.total_us as f64 / 1e3,
+            stat.max_us as f64 / 1e3,
+            stat.instants,
+            stat.flow_points,
+        );
+    }
+
+    let unbalanced = summary.unbalanced_flows();
+    if summary.flows.is_empty() {
+        println!("\nflows: none recorded");
+    } else if unbalanced.is_empty() {
+        println!(
+            "\nflows: {} task flows, all balanced (submit -> worker -> end)",
+            summary.flows.len()
+        );
+    } else {
+        println!(
+            "\nflows: {} task flows, {} UNBALANCED (ids {:?})",
+            summary.flows.len(),
+            unbalanced.len(),
+            &unbalanced[..unbalanced.len().min(8)],
+        );
+    }
+
+    let metrics_path = dir.join("serve_metrics.json");
+    match std::fs::read_to_string(&metrics_path) {
+        Ok(text) => {
+            let snap = MetricsSnapshot::from_json(&text)?;
+            println!("\nserving metrics ({}):", metrics_path.display());
+            println!("{snap}");
+            println!(
+                "SLO: {:.1}% of deadline tasks met their deadline over the whole run \
+                 ({} met, {} missed in the final window)",
+                run_slo_percent(&snap),
+                snap.window.slo_met,
+                snap.window.slo_missed,
+            );
+            if !snap.reconciles() {
+                println!("WARNING: snapshot does not reconcile (tasks still in flight?)");
+            }
+        }
+        Err(_) => println!(
+            "\nno serving metrics at {} (run the demo with --stream-out to produce it)",
+            metrics_path.display()
+        ),
+    }
+
+    if let Some(path) = chrome_out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&path, streamed.to_chrome_json())?;
+        println!(
+            "\nwrote Chrome trace to {} — open it in chrome://tracing or https://ui.perfetto.dev",
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// Whole-run SLO attainment from the cumulative counters: in-time
+/// completions over all deadline outcomes the run recorded (in time,
+/// expired mid-service, or shed at dequeue).
+fn run_slo_percent(snap: &MetricsSnapshot) -> f64 {
+    let missed = snap.deadline_expired + snap.shed_expired_at_dequeue;
+    let met = snap.deadline_met;
+    let denom = met + missed;
+    if denom == 0 {
+        100.0
+    } else {
+        met as f64 / denom as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::{demo, tracing_test_lock};
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(
+            &args.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &["serve-stats"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stream_demo_then_report_round_trips() {
+        let _tracing = tracing_test_lock();
+        let dir = std::env::temp_dir().join("einet-cli-report-test");
+        std::fs::remove_dir_all(&dir).ok();
+        demo::run(&parsed(&[
+            "demo",
+            "--preemptions",
+            "0",
+            "--epochs",
+            "1",
+            "--stream-out",
+            dir.to_str().unwrap(),
+            "--report-every",
+            "50",
+        ]))
+        .unwrap();
+
+        // The demo left all three artifacts behind.
+        let streamed = read_stream(dir.join("trace.jsonl")).unwrap();
+        assert!(streamed.footer.is_some(), "stream was closed cleanly");
+        assert!(!streamed.events.is_empty());
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("einet_tasks_submitted_total"));
+        assert!(prom.contains("einet_window_slo_attainment"));
+        let snap = MetricsSnapshot::from_json(
+            &std::fs::read_to_string(dir.join("serve_metrics.json")).unwrap(),
+        )
+        .unwrap();
+        assert!(snap.reconciles(), "final reporter write is at rest");
+        assert!(snap.submitted > 0);
+
+        // The streamed trace reconciles with the metrics snapshot: one
+        // service span per serviced task, balanced flows for every
+        // admitted task that reached the queue.
+        let summary = streamed.summary();
+        let (task_spans, _) = summary.spans_named("service", "task");
+        assert_eq!(task_spans, snap.serviced());
+        assert_eq!(
+            summary.instants_named("shed_expired"),
+            snap.shed_expired_at_dequeue
+        );
+        assert_eq!(summary.unbalanced_flows(), Vec::<u64>::new());
+        assert_eq!(summary.flows.len() as u64, snap.submitted);
+
+        // The report command renders it all without error, and converts to
+        // Chrome JSON on request.
+        let chrome = dir.join("stream_chrome.json");
+        run(&parsed(&[
+            "report",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--chrome-out",
+            chrome.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let v = einet_trace::json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        assert_eq!(
+            v.get("traceEvents").unwrap().as_array().unwrap().len(),
+            streamed.events.len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_on_missing_dir_fails_cleanly() {
+        let err = run(&parsed(&["report", "--dir", "/nonexistent/einet-nowhere"]))
+            .expect_err("missing stream must fail");
+        assert!(err.to_string().contains("cannot read"));
+    }
+}

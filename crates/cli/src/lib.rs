@@ -8,7 +8,8 @@
 //! einet train   --model msdnet21 --dataset objects --out-dir einet-out
 //! einet eval    --dir einet-out [--dist uniform|gauss0.5|gauss1.0] [--trials 5]
 //! einet plan    --dir einet-out [--m 4] [--dist ...]
-//! einet demo    [--preemptions 6]
+//! einet demo    [--preemptions 6] [--stream-out DIR]
+//! einet report  --dir DIR [--chrome-out FILE]
 //! einet experiments <fig8|table2|...|all> [--quick|--full]
 //! ```
 //!
@@ -51,6 +52,7 @@ pub fn run(raw_args: &[String]) -> i32 {
         "eval" => commands::eval::run(&parsed),
         "plan" => commands::plan::run(&parsed),
         "demo" => commands::demo::run(&parsed),
+        "report" => commands::report::run(&parsed),
         "experiments" => commands::experiments::run(&parsed),
         other => {
             eprintln!("error: unknown subcommand {other:?}\n");
@@ -88,11 +90,20 @@ COMMANDS:
     demo         live preemption demo (threads, real forward passes)
                    [--preemptions N] [--serve-stats]
                    [--trace-out FILE] [--metrics-out FILE]
+                   [--stream-out DIR] [--report-every MS]
                    --serve-stats also drives the executor pool (bounded
                    admission, deadlines, panic isolation) and prints its
                    serving-metrics snapshot
                    --metrics-out writes that snapshot as JSON (implies
                    --serve-stats)
+                   --stream-out streams the trace as JSONL and rewrites
+                   metrics.prom + serve_metrics.json while serving, every
+                   --report-every ms (default 200; implies --serve-stats)
+    report       summarise a --stream-out directory after (or during) a run
+                   --dir DIR [--chrome-out FILE]
+                   prints stream/flow/overflow stats, the per-category span
+                   table and the latency/SLO summary; --chrome-out converts
+                   the stream into one Chrome trace_event JSON
     experiments  regenerate the paper's tables/figures
                    <fig4|table1|fig8|table2|fig9|fig10|fig11|fig12|fig13|table3|fig14a|fig14b|ablation|transformer|all>
                    [--quick|--full]
@@ -143,11 +154,15 @@ mod tests {
             "eval",
             "plan",
             "demo",
+            "report",
             "experiments",
             "--threads",
             "--serve-stats",
             "--trace-out",
             "--metrics-out",
+            "--stream-out",
+            "--report-every",
+            "--chrome-out",
         ] {
             assert!(u.contains(cmd), "usage missing {cmd}");
         }

@@ -59,7 +59,9 @@ mod source;
 pub use executor::{ElasticExecutor, InferenceRequest, SubmitError, TaskOutcome, TaskStatus};
 pub use gate::{PreemptionGate, StopCause, TaskGuard};
 pub use metrics::{
-    HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS_US,
+    HistogramSnapshot, LatencyHistogram, MetricsReporter, MetricsSnapshot, RollingWindow,
+    ServeMetrics, WindowSample, WindowSnapshot, DEFAULT_WINDOW_BUCKET_MS, LATENCY_BUCKETS_US,
+    NUM_WINDOW_SHARDS,
 };
 pub use pool::{ExecutorPool, PoolConfig, TaskError, TaskResult};
 pub use preemptor::Preemptor;

@@ -5,11 +5,22 @@
 //! across counters is only guaranteed *at rest* (after the queue drains),
 //! which is exactly when reconciliation matters — see
 //! [`MetricsSnapshot::reconciles`].
+//!
+//! Besides the cumulative counters the registry keeps a [`RollingWindow`]:
+//! sharded time-bucketed statistics over the last ~2 s of finished tasks,
+//! answering the questions a dashboard asks about *now* — windowed p50/p99
+//! service latency, throughput, and SLO attainment — which cumulative
+//! counters smear out over the whole run. [`MetricsSnapshot::to_prom_text`]
+//! renders everything in Prometheus exposition format; a
+//! [`MetricsReporter`] writes it to disk on a fixed cadence.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use einet_trace::json::JsonWriter;
+use einet_trace::json::{JsonValue, JsonWriter};
 
 /// Upper bounds (µs, inclusive) of the latency histogram buckets; the last
 /// bucket is unbounded. Roughly logarithmic from 100 µs to 1 s.
@@ -134,29 +145,281 @@ impl HistogramSnapshot {
     }
 }
 
+/// Number of time buckets in a [`RollingWindow`].
+pub const NUM_WINDOW_SHARDS: usize = 8;
+
+/// Default length of one window bucket in milliseconds (8 × 250 ms = a 2 s
+/// window).
+pub const DEFAULT_WINDOW_BUCKET_MS: u64 = 250;
+
+/// One time bucket of the rolling window. `epoch` holds the absolute bucket
+/// index + 1 the shard currently represents (0 = never used); a recorder
+/// whose bucket index maps here but whose epoch is newer rotates the shard
+/// by claiming the epoch via CAS and zeroing the fields.
+#[derive(Debug, Default)]
+struct WindowShard {
+    epoch: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    finished: AtomicU64,
+    slo_met: AtomicU64,
+    slo_missed: AtomicU64,
+}
+
+impl WindowShard {
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_us.store(0, Ordering::Relaxed);
+        self.finished.store(0, Ordering::Relaxed);
+        self.slo_met.store(0, Ordering::Relaxed);
+        self.slo_missed.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One finished task's contribution to the rolling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Service latency (µs) for tasks that ran on a worker; `None` for
+    /// tasks shed straight out of the queue.
+    pub service_us: Option<u64>,
+    /// SLO accounting for deadline-carrying tasks: `Some(true)` met,
+    /// `Some(false)` missed, `None` when the task had no deadline (or was
+    /// preempted — an operator decision, not an SLO failure).
+    pub slo: Option<bool>,
+}
+
+/// Sharded time-bucketed statistics over the last
+/// [`NUM_WINDOW_SHARDS`] × `bucket_ms` of finished tasks.
+///
+/// Time is injected as a [`Duration`] offset from the owner's start instant,
+/// which keeps rotation deterministic under test. Each offset maps to an
+/// absolute bucket index (`offset_ms / bucket_ms`); buckets recycle shards
+/// round-robin, so a sample and a snapshot only ever see data at most one
+/// window old. Rotation is claim-via-CAS: exact when recorders are
+/// quiesced (as in tests and at-rest snapshots) and best-effort under
+/// concurrency — a recorder racing a rotation can lose its one sample,
+/// never corrupt the structure.
+#[derive(Debug)]
+pub struct RollingWindow {
+    bucket_ms: u64,
+    shards: [WindowShard; NUM_WINDOW_SHARDS],
+}
+
+impl Default for RollingWindow {
+    fn default() -> Self {
+        RollingWindow::new(DEFAULT_WINDOW_BUCKET_MS)
+    }
+}
+
+impl RollingWindow {
+    /// A window of [`NUM_WINDOW_SHARDS`] buckets of `bucket_ms` each
+    /// (clamped to ≥ 1 ms).
+    pub fn new(bucket_ms: u64) -> Self {
+        RollingWindow {
+            bucket_ms: bucket_ms.max(1),
+            shards: Default::default(),
+        }
+    }
+
+    /// Total window span in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.bucket_ms * NUM_WINDOW_SHARDS as u64
+    }
+
+    fn bucket_index(&self, offset: Duration) -> u64 {
+        u64::try_from(offset.as_millis()).unwrap_or(u64::MAX) / self.bucket_ms
+    }
+
+    /// Records one finished task at `offset` since the window's time zero.
+    /// Samples older than the bucket currently occupying their shard are
+    /// dropped (they fell out of the window before being recorded).
+    pub fn record_at(&self, offset: Duration, sample: WindowSample) {
+        let idx = self.bucket_index(offset);
+        let shard = &self.shards[(idx % NUM_WINDOW_SHARDS as u64) as usize];
+        let want = idx + 1; // stored epoch is index + 1 so 0 means unused
+        loop {
+            let cur = shard.epoch.load(Ordering::Acquire);
+            if cur == want {
+                break;
+            }
+            if cur > want {
+                return; // stale: this bucket's shard was already recycled
+            }
+            if shard
+                .epoch
+                .compare_exchange(cur, want, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                shard.reset();
+                break;
+            }
+        }
+        shard.finished.fetch_add(1, Ordering::Relaxed);
+        match sample.slo {
+            Some(true) => shard.slo_met.fetch_add(1, Ordering::Relaxed),
+            Some(false) => shard.slo_missed.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        if let Some(us) = sample.service_us {
+            let bucket = LATENCY_BUCKETS_US
+                .iter()
+                .position(|&bound| us <= bound)
+                .unwrap_or(NUM_BUCKETS - 1);
+            shard.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            shard.count.fetch_add(1, Ordering::Relaxed);
+            shard.sum_us.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+
+    /// Sums the buckets still inside the window ending at `offset`.
+    pub fn snapshot_at(&self, offset: Duration) -> WindowSnapshot {
+        let now_idx = self.bucket_index(offset);
+        // Live epochs: (now_idx + 1) - (NUM_WINDOW_SHARDS - 1) ..= now_idx + 1.
+        let newest = now_idx + 1;
+        let oldest = newest.saturating_sub(NUM_WINDOW_SHARDS as u64 - 1);
+        let mut snap = WindowSnapshot {
+            window_ms: self.window_ms(),
+            finished: 0,
+            slo_met: 0,
+            slo_missed: 0,
+            service: HistogramSnapshot {
+                buckets: [0; NUM_BUCKETS],
+                count: 0,
+                sum_us: 0,
+            },
+        };
+        for shard in &self.shards {
+            let epoch = shard.epoch.load(Ordering::Acquire);
+            if epoch == 0 || epoch < oldest || epoch > newest {
+                continue;
+            }
+            snap.finished += shard.finished.load(Ordering::Relaxed);
+            snap.slo_met += shard.slo_met.load(Ordering::Relaxed);
+            snap.slo_missed += shard.slo_missed.load(Ordering::Relaxed);
+            snap.service.count += shard.count.load(Ordering::Relaxed);
+            snap.service.sum_us += shard.sum_us.load(Ordering::Relaxed);
+            for (out, b) in snap.service.buckets.iter_mut().zip(shard.buckets.iter()) {
+                *out += b.load(Ordering::Relaxed);
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time rollup of the live window: what happened in the last
+/// [`WindowSnapshot::window_ms`] milliseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Window span in ms.
+    pub window_ms: u64,
+    /// Tasks that reached any terminal outcome inside the window.
+    pub finished: u64,
+    /// Deadline-carrying tasks that completed in time.
+    pub slo_met: u64,
+    /// Deadline-carrying tasks that expired or were shed.
+    pub slo_missed: u64,
+    /// Windowed service-latency histogram (serviced tasks only).
+    pub service: HistogramSnapshot,
+}
+
+impl WindowSnapshot {
+    /// Finished tasks per second over the window span.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.window_ms == 0 {
+            0.0
+        } else {
+            self.finished as f64 * 1e3 / self.window_ms as f64
+        }
+    }
+
+    /// Fraction of deadline-carrying tasks that met their deadline
+    /// (1.0 when the window saw none — nothing violated the SLO).
+    pub fn slo_attainment(&self) -> f64 {
+        let denom = self.slo_met + self.slo_missed;
+        if denom == 0 {
+            1.0
+        } else {
+            self.slo_met as f64 / denom as f64
+        }
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("window_ms");
+        w.number_u64(self.window_ms);
+        w.key("finished");
+        w.number_u64(self.finished);
+        w.key("slo_met");
+        w.number_u64(self.slo_met);
+        w.key("slo_missed");
+        w.number_u64(self.slo_missed);
+        w.key("throughput_per_sec");
+        w.number_f64(self.throughput_per_sec());
+        w.key("slo_attainment");
+        w.number_f64(self.slo_attainment());
+        w.key("service");
+        self.service.write_json(w);
+        w.end_object();
+    }
+}
+
 /// The pool's serving metrics: task counters, queue gauges and latency
 /// histograms. Shared (`Arc`) between the pool handle and its workers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeMetrics {
     submitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
     preempted: AtomicU64,
     deadline_expired: AtomicU64,
+    deadline_met: AtomicU64,
     shed_expired_at_dequeue: AtomicU64,
     panicked: AtomicU64,
     queue_depth: AtomicU64,
     queue_high_water: AtomicU64,
+    started: Instant,
     /// Admission → dequeue.
     pub queue_wait: LatencyHistogram,
     /// Dequeue → outcome.
     pub service: LatencyHistogram,
+    /// Rolling window over finished tasks (last ~2 s by default).
+    pub window: RollingWindow,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            preempted: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            deadline_met: AtomicU64::new(0),
+            shed_expired_at_dequeue: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            started: Instant::now(),
+            queue_wait: LatencyHistogram::default(),
+            service: LatencyHistogram::default(),
+            window: RollingWindow::default(),
+        }
+    }
 }
 
 impl ServeMetrics {
-    /// Creates an all-zero registry.
+    /// Creates an all-zero registry; the rolling window's time zero is now.
     pub fn new() -> Self {
         ServeMetrics::default()
+    }
+
+    /// Time since the registry was created — the rolling window's clock.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// Accounts a task *before* it is offered to the queue. The increment
@@ -199,10 +462,27 @@ impl ServeMetrics {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
         self.queue_wait.record(wait);
         self.shed_expired_at_dequeue.fetch_add(1, Ordering::Relaxed);
+        // A shed task always carried a deadline (that is why it was shed):
+        // an SLO miss with no service latency.
+        self.window.record_at(
+            self.started.elapsed(),
+            WindowSample {
+                service_us: None,
+                slo: Some(false),
+            },
+        );
     }
 
     /// One task finished with `status` after `service` on the worker.
-    pub(crate) fn on_outcome(&self, status: crate::TaskStatus, service: Duration) {
+    /// `had_deadline` feeds the windowed SLO gauge: completed-in-time is a
+    /// met SLO, expired a missed one; preemption is an operator decision
+    /// and stays out of the attainment ratio.
+    pub(crate) fn on_outcome(
+        &self,
+        status: crate::TaskStatus,
+        service: Duration,
+        had_deadline: bool,
+    ) {
         use crate::TaskStatus::*;
         let counter = match status {
             Completed => &self.completed,
@@ -211,12 +491,34 @@ impl ServeMetrics {
         };
         counter.fetch_add(1, Ordering::Relaxed);
         self.service.record(service);
+        let slo = match status {
+            Completed if had_deadline => Some(true),
+            DeadlineExpired => Some(false),
+            _ => None,
+        };
+        if slo == Some(true) {
+            self.deadline_met.fetch_add(1, Ordering::Relaxed);
+        }
+        self.window.record_at(
+            self.started.elapsed(),
+            WindowSample {
+                service_us: Some(u64::try_from(service.as_micros()).unwrap_or(u64::MAX)),
+                slo,
+            },
+        );
     }
 
     /// One task died to a worker panic (after `service` on the worker).
     pub(crate) fn on_panicked(&self, service: Duration) {
         self.panicked.fetch_add(1, Ordering::Relaxed);
         self.service.record(service);
+        self.window.record_at(
+            self.started.elapsed(),
+            WindowSample {
+                service_us: Some(u64::try_from(service.as_micros()).unwrap_or(u64::MAX)),
+                slo: None,
+            },
+        );
     }
 
     /// A point-in-time copy of every counter and histogram.
@@ -227,12 +529,15 @@ impl ServeMetrics {
             completed: self.completed.load(Ordering::Relaxed),
             preempted: self.preempted.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            deadline_met: self.deadline_met.load(Ordering::Relaxed),
             shed_expired_at_dequeue: self.shed_expired_at_dequeue.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            uptime_us: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
             queue_wait: self.queue_wait.snapshot(),
             service: self.service.snapshot(),
+            window: self.window.snapshot_at(self.started.elapsed()),
         }
     }
 }
@@ -250,6 +555,10 @@ pub struct MetricsSnapshot {
     pub preempted: u64,
     /// Tasks stopped by their own deadline.
     pub deadline_expired: u64,
+    /// Deadline-carrying tasks that completed in time (the cumulative SLO
+    /// numerator; the denominator is this plus `deadline_expired` plus
+    /// `shed_expired_at_dequeue`).
+    pub deadline_met: u64,
     /// Tasks dropped at dequeue because their deadline had already passed
     /// while they queued (they never reached a worker).
     pub shed_expired_at_dequeue: u64,
@@ -259,10 +568,14 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Deepest the queue has ever been.
     pub queue_high_water: u64,
+    /// Registry age when the snapshot was taken (µs).
+    pub uptime_us: u64,
     /// Admission → dequeue latencies.
     pub queue_wait: HistogramSnapshot,
     /// Dequeue → outcome latencies.
     pub service: HistogramSnapshot,
+    /// The live rolling window at snapshot time.
+    pub window: WindowSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -298,6 +611,8 @@ impl MetricsSnapshot {
         w.number_u64(self.preempted);
         w.key("deadline_expired");
         w.number_u64(self.deadline_expired);
+        w.key("deadline_met");
+        w.number_u64(self.deadline_met);
         w.key("shed_expired_at_dequeue");
         w.number_u64(self.shed_expired_at_dequeue);
         w.key("panicked");
@@ -308,18 +623,301 @@ impl MetricsSnapshot {
         w.number_u64(self.queue_depth);
         w.key("queue_high_water");
         w.number_u64(self.queue_high_water);
+        w.key("uptime_us");
+        w.number_u64(self.uptime_us);
         w.key("queue_wait");
         self.queue_wait.write_json(&mut w);
         w.key("service");
         self.service.write_json(&mut w);
+        w.key("window");
+        self.window.write_json(&mut w);
         w.end_object();
         w.finish()
+    }
+
+    /// Parses a snapshot back from its [`MetricsSnapshot::to_json`] output
+    /// (the `serve_metrics.json` artifact). Derived fields (means,
+    /// quantiles, `finished`) are recomputed, not read, so
+    /// `from_json(to_json(s)) == s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on invalid JSON or a missing/mistyped field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = einet_trace::json::parse(text).map_err(|e| format!("invalid metrics JSON: {e}"))?;
+        let num = |obj: &JsonValue, key: &str| {
+            obj.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("metrics JSON missing numeric field {key:?}"))
+        };
+        let histogram = |obj: &JsonValue, key: &str| -> Result<HistogramSnapshot, String> {
+            let h = obj
+                .get(key)
+                .ok_or_else(|| format!("metrics JSON missing histogram {key:?}"))?;
+            let counts = h
+                .get("bucket_counts")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("histogram {key:?} missing bucket_counts"))?;
+            if counts.len() != NUM_BUCKETS {
+                return Err(format!(
+                    "histogram {key:?} has {} buckets, expected {NUM_BUCKETS}",
+                    counts.len()
+                ));
+            }
+            let mut buckets = [0u64; NUM_BUCKETS];
+            for (out, c) in buckets.iter_mut().zip(counts) {
+                *out = c
+                    .as_u64()
+                    .ok_or_else(|| format!("histogram {key:?} has a non-integer bucket count"))?;
+            }
+            Ok(HistogramSnapshot {
+                buckets,
+                count: num(h, "count")?,
+                sum_us: num(h, "sum_us")?,
+            })
+        };
+        let window = v
+            .get("window")
+            .ok_or_else(|| "metrics JSON missing window".to_string())?;
+        Ok(MetricsSnapshot {
+            submitted: num(&v, "submitted")?,
+            rejected: num(&v, "rejected")?,
+            completed: num(&v, "completed")?,
+            preempted: num(&v, "preempted")?,
+            deadline_expired: num(&v, "deadline_expired")?,
+            deadline_met: num(&v, "deadline_met")?,
+            shed_expired_at_dequeue: num(&v, "shed_expired_at_dequeue")?,
+            panicked: num(&v, "panicked")?,
+            queue_depth: num(&v, "queue_depth")?,
+            queue_high_water: num(&v, "queue_high_water")?,
+            uptime_us: num(&v, "uptime_us")?,
+            queue_wait: histogram(&v, "queue_wait")?,
+            service: histogram(&v, "service")?,
+            window: WindowSnapshot {
+                window_ms: num(window, "window_ms")?,
+                finished: num(window, "finished")?,
+                slo_met: num(window, "slo_met")?,
+                slo_missed: num(window, "slo_missed")?,
+                service: histogram(window, "service")?,
+            },
+        })
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format: task
+    /// counters, queue gauges, cumulative-bucket latency histograms, and
+    /// the windowed throughput/SLO/latency gauges.
+    pub fn to_prom_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            &mut out,
+            "einet_tasks_submitted_total",
+            "Tasks admitted into the queue.",
+            self.submitted,
+        );
+        counter(
+            &mut out,
+            "einet_tasks_rejected_total",
+            "Submissions bounced with QueueFull.",
+            self.rejected,
+        );
+        counter(
+            &mut out,
+            "einet_tasks_completed_total",
+            "Tasks that ran to the end of their plan.",
+            self.completed,
+        );
+        counter(
+            &mut out,
+            "einet_tasks_preempted_total",
+            "Tasks stopped by the shared gate.",
+            self.preempted,
+        );
+        counter(
+            &mut out,
+            "einet_tasks_deadline_expired_total",
+            "Tasks stopped by their own deadline.",
+            self.deadline_expired,
+        );
+        counter(
+            &mut out,
+            "einet_tasks_deadline_met_total",
+            "Deadline-carrying tasks that completed in time.",
+            self.deadline_met,
+        );
+        counter(
+            &mut out,
+            "einet_tasks_shed_total",
+            "Tasks dropped at dequeue with an already-expired deadline.",
+            self.shed_expired_at_dequeue,
+        );
+        counter(
+            &mut out,
+            "einet_tasks_panicked_total",
+            "Tasks lost to a worker panic.",
+            self.panicked,
+        );
+        let gauge = |out: &mut String, name: &str, help: &str, value: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            &mut out,
+            "einet_queue_depth",
+            "Tasks currently waiting in the queue.",
+            self.queue_depth as f64,
+        );
+        gauge(
+            &mut out,
+            "einet_queue_high_water",
+            "Deepest the queue has ever been.",
+            self.queue_high_water as f64,
+        );
+        gauge(
+            &mut out,
+            "einet_uptime_seconds",
+            "Registry age at scrape time.",
+            self.uptime_us as f64 / 1e6,
+        );
+        let histogram = |out: &mut String, name: &str, help: &str, h: &HistogramSnapshot| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cumulative += h.buckets[i];
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    *bound as f64 / 1e6
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum_us as f64 / 1e6);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        };
+        histogram(
+            &mut out,
+            "einet_queue_wait_seconds",
+            "Admission to dequeue.",
+            &self.queue_wait,
+        );
+        histogram(
+            &mut out,
+            "einet_service_seconds",
+            "Dequeue to outcome.",
+            &self.service,
+        );
+        gauge(
+            &mut out,
+            "einet_window_finished",
+            "Tasks finished inside the rolling window.",
+            self.window.finished as f64,
+        );
+        gauge(
+            &mut out,
+            "einet_window_throughput_per_sec",
+            "Finished tasks per second over the rolling window.",
+            self.window.throughput_per_sec(),
+        );
+        gauge(
+            &mut out,
+            "einet_window_slo_attainment",
+            "Fraction of deadline-carrying tasks meeting their deadline in the window.",
+            self.window.slo_attainment(),
+        );
+        gauge(
+            &mut out,
+            "einet_window_service_p50_seconds",
+            "Windowed service-latency p50 upper bound.",
+            self.window.service.quantile_ms(0.50) / 1e3,
+        );
+        gauge(
+            &mut out,
+            "einet_window_service_p99_seconds",
+            "Windowed service-latency p99 upper bound.",
+            self.window.service.quantile_ms(0.99) / 1e3,
+        );
+        out
     }
 
     /// At rest (queue drained, no task in flight) every admitted task must
     /// be accounted for exactly once.
     pub fn reconciles(&self) -> bool {
         self.queue_depth == 0 && self.finished() == self.submitted
+    }
+}
+
+/// A background thread that periodically writes a [`ServeMetrics`] snapshot
+/// to disk: always Prometheus text, optionally the JSON artifact too.
+///
+/// [`MetricsReporter::stop`] performs one final write and joins; dropping
+/// without `stop` does the same (errors discarded).
+#[derive(Debug)]
+pub struct MetricsReporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsReporter {
+    /// Spawns the reporter writing every `period` (clamped to ≥ 1 ms).
+    pub fn spawn(
+        metrics: Arc<ServeMetrics>,
+        prom_path: PathBuf,
+        json_path: Option<PathBuf>,
+        period: Duration,
+    ) -> Self {
+        let period = period.max(Duration::from_millis(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("einet-metrics-reporter".to_string())
+            .spawn(move || {
+                let write = |snapshot: &MetricsSnapshot| {
+                    let _ = std::fs::write(&prom_path, snapshot.to_prom_text());
+                    if let Some(json_path) = &json_path {
+                        let _ = std::fs::write(json_path, snapshot.to_json());
+                    }
+                };
+                loop {
+                    let wake = Instant::now() + period;
+                    while Instant::now() < wake && !stop_flag.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(5).min(period));
+                    }
+                    let stopping = stop_flag.load(Ordering::Relaxed);
+                    write(&metrics.snapshot());
+                    if stopping {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn metrics reporter");
+        MetricsReporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the reporter, waits for its final write, and joins.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsReporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -348,12 +946,22 @@ impl std::fmt::Display for MetricsSnapshot {
             self.queue_wait.quantile_ms(0.50),
             self.queue_wait.quantile_ms(0.99),
         )?;
-        write!(
+        writeln!(
             f,
             "service:    mean {:.2} ms | p50 <= {:.1} ms | p99 <= {:.1} ms",
             self.service.mean_ms(),
             self.service.quantile_ms(0.50),
             self.service.quantile_ms(0.99),
+        )?;
+        write!(
+            f,
+            "window({:.1}s): finished {} | {:.1}/s | SLO {:.0}% | p50 <= {:.1} ms | p99 <= {:.1} ms",
+            self.window.window_ms as f64 / 1e3,
+            self.window.finished,
+            self.window.throughput_per_sec(),
+            self.window.slo_attainment() * 100.0,
+            self.window.service.quantile_ms(0.50),
+            self.window.service.quantile_ms(0.99),
         )
     }
 }
@@ -404,9 +1012,21 @@ mod tests {
         for _ in 0..4 {
             m.on_dequeued(Duration::from_micros(10));
         }
-        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(1));
-        m.on_outcome(crate::TaskStatus::Preempted, Duration::from_millis(1));
-        m.on_outcome(crate::TaskStatus::DeadlineExpired, Duration::from_millis(1));
+        m.on_outcome(
+            crate::TaskStatus::Completed,
+            Duration::from_millis(1),
+            false,
+        );
+        m.on_outcome(
+            crate::TaskStatus::Preempted,
+            Duration::from_millis(1),
+            false,
+        );
+        m.on_outcome(
+            crate::TaskStatus::DeadlineExpired,
+            Duration::from_millis(1),
+            true,
+        );
         m.on_panicked(Duration::from_millis(1));
         let s = m.snapshot();
         assert_eq!(s.submitted, 4);
@@ -464,7 +1084,7 @@ mod tests {
             m.commit_admission();
         }
         m.on_dequeued(Duration::from_micros(10));
-        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(1));
+        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(1), true);
         m.on_shed_expired(Duration::from_millis(3));
         let s = m.snapshot();
         assert_eq!(s.shed_expired_at_dequeue, 1);
@@ -485,8 +1105,12 @@ mod tests {
             m.commit_admission();
             m.on_dequeued(Duration::from_micros(120));
         }
-        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2));
-        m.on_outcome(crate::TaskStatus::Preempted, Duration::from_millis(1));
+        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        m.on_outcome(
+            crate::TaskStatus::Preempted,
+            Duration::from_millis(1),
+            false,
+        );
         m.on_panicked(Duration::from_millis(4));
         let snap = m.snapshot();
         let v = einet_trace::json::parse(&snap.to_json()).expect("valid JSON");
@@ -517,7 +1141,194 @@ mod tests {
         assert!(!m.snapshot().reconciles());
         m.on_dequeued(Duration::ZERO);
         assert!(!m.snapshot().reconciles(), "in flight, not yet finished");
-        m.on_outcome(crate::TaskStatus::Completed, Duration::ZERO);
+        m.on_outcome(crate::TaskStatus::Completed, Duration::ZERO, false);
         assert!(m.snapshot().reconciles());
+    }
+
+    fn serviced_sample(us: u64, slo: Option<bool>) -> WindowSample {
+        WindowSample {
+            service_us: Some(us),
+            slo,
+        }
+    }
+
+    #[test]
+    fn window_rotates_out_old_buckets_at_boundaries() {
+        let w = RollingWindow::new(100); // 8 × 100 ms window
+        let at = |ms: u64| Duration::from_millis(ms);
+        // One sample in bucket 0, one in bucket 3.
+        w.record_at(at(50), serviced_sample(200, Some(true)));
+        w.record_at(at(350), serviced_sample(200, Some(false)));
+        // Both inside the window at t = 700 ms (buckets 0..=7 live).
+        let s = w.snapshot_at(at(700));
+        assert_eq!(s.finished, 2);
+        assert_eq!((s.slo_met, s.slo_missed), (1, 1));
+        assert_eq!(s.service.count, 2);
+        // At t = 800 ms the window is buckets 1..=8: bucket 0 just aged out.
+        let s = w.snapshot_at(at(800));
+        assert_eq!(s.finished, 1, "bucket 0 left the window exactly at 800ms");
+        assert_eq!((s.slo_met, s.slo_missed), (0, 1));
+        // At t = 1150 ms bucket 3 has aged out too.
+        let s = w.snapshot_at(at(1150));
+        assert_eq!(s.finished, 0);
+        // A new sample recycles bucket 0's shard (index 16 maps to shard 0):
+        // the stale contents must not resurface.
+        w.record_at(at(1_600), serviced_sample(400, None));
+        let s = w.snapshot_at(at(1_600));
+        assert_eq!(s.finished, 1);
+        assert_eq!(s.service.count, 1);
+        assert_eq!((s.slo_met, s.slo_missed), (0, 0));
+        // Stale recording into an already-recycled bucket is dropped.
+        w.record_at(at(50), serviced_sample(999, Some(true)));
+        assert_eq!(w.snapshot_at(at(1_600)).finished, 1, "stale sample dropped");
+    }
+
+    #[test]
+    fn empty_window_has_zero_quantiles_and_full_slo() {
+        let w = RollingWindow::new(100);
+        let s = w.snapshot_at(Duration::from_millis(5_000));
+        assert_eq!(s.finished, 0);
+        assert_eq!(s.service.count, 0);
+        assert_eq!(s.service.quantile_ms(0.50), 0.0);
+        assert_eq!(s.service.quantile_ms(0.99), 0.0);
+        assert_eq!(s.service.mean_ms(), 0.0);
+        assert_eq!(s.throughput_per_sec(), 0.0);
+        assert_eq!(s.slo_attainment(), 1.0, "no deadline tasks: SLO holds");
+    }
+
+    #[test]
+    fn window_agrees_with_cumulative_histogram_over_one_window() {
+        // Every sample lands inside a single window span, so the windowed
+        // histogram must equal a cumulative LatencyHistogram fed the same
+        // observations.
+        let w = RollingWindow::new(250);
+        let cumulative = LatencyHistogram::default();
+        let latencies_us = [80, 300, 1_500, 9_000, 40_000, 700_000, 2_000_000];
+        for (i, &us) in latencies_us.iter().enumerate() {
+            let offset = Duration::from_millis(i as u64 * 200); // all < 2s window
+            w.record_at(offset, serviced_sample(us, None));
+            cumulative.record(Duration::from_micros(us));
+        }
+        let windowed = w.snapshot_at(Duration::from_millis(1_400)).service;
+        let reference = cumulative.snapshot();
+        assert_eq!(windowed, reference, "same buckets, count and sum");
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(windowed.quantile_ms(q), reference.quantile_ms(q));
+        }
+    }
+
+    #[test]
+    fn window_slo_attainment_ratio() {
+        let w = RollingWindow::new(250);
+        let at = Duration::from_millis(10);
+        w.record_at(at, serviced_sample(100, Some(true)));
+        w.record_at(at, serviced_sample(100, Some(true)));
+        w.record_at(at, serviced_sample(100, Some(false)));
+        w.record_at(at, serviced_sample(100, None)); // no deadline: excluded
+        let s = w.snapshot_at(at);
+        assert_eq!(s.finished, 4);
+        assert!((s.slo_attainment() - 2.0 / 3.0).abs() < 1e-12);
+        // Throughput covers the whole window span.
+        assert!((s.throughput_per_sec() - 4.0 * 1e3 / s.window_ms as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let m = ServeMetrics::new();
+        for _ in 0..5 {
+            m.begin_admission();
+            m.commit_admission();
+        }
+        m.begin_admission();
+        m.abort_admission(true);
+        for _ in 0..4 {
+            m.on_dequeued(Duration::from_micros(300));
+        }
+        m.on_shed_expired(Duration::from_millis(8));
+        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        m.on_outcome(
+            crate::TaskStatus::Preempted,
+            Duration::from_millis(1),
+            false,
+        );
+        m.on_outcome(
+            crate::TaskStatus::DeadlineExpired,
+            Duration::from_millis(7),
+            true,
+        );
+        m.on_panicked(Duration::from_micros(500));
+        let snap = m.snapshot();
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).expect("round-trip parses");
+        assert_eq!(parsed, snap);
+        // Malformed inputs fail with a message, not a panic.
+        assert!(MetricsSnapshot::from_json("not json").is_err());
+        assert!(MetricsSnapshot::from_json("{}").is_err());
+        let truncated = snap.to_json().replace("\"window\"", "\"not_window\"");
+        assert!(MetricsSnapshot::from_json(&truncated).is_err());
+    }
+
+    #[test]
+    fn prom_text_exposition_is_well_formed() {
+        let m = ServeMetrics::new();
+        m.begin_admission();
+        m.commit_admission();
+        m.on_dequeued(Duration::from_micros(120));
+        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        let text = m.snapshot().to_prom_text();
+        for needle in [
+            "# TYPE einet_tasks_submitted_total counter",
+            "einet_tasks_submitted_total 1",
+            "einet_tasks_completed_total 1",
+            "# TYPE einet_queue_depth gauge",
+            "einet_queue_depth 0",
+            "# TYPE einet_service_seconds histogram",
+            "einet_service_seconds_bucket{le=\"+Inf\"} 1",
+            "einet_service_seconds_count 1",
+            "einet_window_slo_attainment 1",
+            "einet_window_throughput_per_sec",
+            "einet_window_service_p99_seconds",
+        ] {
+            assert!(
+                text.contains(needle),
+                "prom text missing {needle:?}:\n{text}"
+            );
+        }
+        // Histogram buckets are cumulative: the service sample (2 ms) is
+        // present from the 2.5 ms bound onward.
+        assert!(text.contains("einet_service_seconds_bucket{le=\"0.001\"} 0"));
+        assert!(text.contains("einet_service_seconds_bucket{le=\"0.0025\"} 1"));
+        assert!(text.contains("einet_service_seconds_bucket{le=\"1\"} 1"));
+    }
+
+    #[test]
+    fn reporter_writes_and_rewrites_artifacts() {
+        let dir = std::env::temp_dir().join(format!("einet-reporter-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prom = dir.join("metrics.prom");
+        let json = dir.join("metrics.json");
+        let metrics = Arc::new(ServeMetrics::new());
+        let reporter = MetricsReporter::spawn(
+            Arc::clone(&metrics),
+            prom.clone(),
+            Some(json.clone()),
+            Duration::from_millis(10),
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(prom.exists(), "reporter wrote the prom artifact");
+        metrics.begin_admission();
+        metrics.commit_admission();
+        metrics.on_dequeued(Duration::ZERO);
+        metrics.on_outcome(
+            crate::TaskStatus::Completed,
+            Duration::from_millis(1),
+            false,
+        );
+        reporter.stop(); // final write sees the completed task
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("einet_tasks_completed_total 1"));
+        let parsed = MetricsSnapshot::from_json(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(parsed.completed, 1);
+        assert!(parsed.reconciles());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

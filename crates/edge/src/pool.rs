@@ -189,10 +189,14 @@ impl ExecutorPool {
             request,
             reply: reply_tx,
         };
+        let task_id = task.id;
         self.metrics.begin_admission();
         match tx.try_send(task) {
             Ok(()) => {
                 self.metrics.commit_admission();
+                // Open the task's cross-thread flow on the submitting
+                // thread; the worker that picks it up steps and ends it.
+                trace::flow_start(Category::Service, "task_flow", task_id);
                 Ok(reply_rx)
             }
             Err(TrySendError::Full(_)) => {
@@ -210,6 +214,12 @@ impl ExecutorPool {
     /// [`crate::MetricsSnapshot`] to read consistently).
     pub fn metrics(&self) -> &ServeMetrics {
         &self.metrics
+    }
+
+    /// An owned handle to the metrics registry, for consumers that outlive
+    /// borrows of the pool — e.g. a [`crate::MetricsReporter`].
+    pub fn metrics_handle(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The shared preemption gate all workers poll.
@@ -277,6 +287,8 @@ fn worker_loop(
         if task.deadline_at.is_some_and(|d| Instant::now() >= d) {
             metrics.on_shed_expired(task.admitted_at.elapsed());
             trace::instant(Category::Queue, "shed_expired", Args::one("task", task.id));
+            // The task never reaches a worker slice; its flow ends here.
+            trace::flow_end(Category::Service, "task_flow", task.id);
             let _ = task.reply.send(Ok(TaskOutcome {
                 outputs: Vec::new(),
                 status: TaskStatus::DeadlineExpired,
@@ -289,6 +301,9 @@ fn worker_loop(
         let task_guard = TaskGuard::new(gate.clone(), task.deadline_at);
         let started = Instant::now();
         let service = trace::span_args(Category::Service, "task", Args::one("task", task.id));
+        // Land the flow on this worker inside the service slice so the
+        // causal arrow points submit → service.
+        trace::flow_step(Category::Service, "task_flow", task.id);
         let result = catch_unwind(AssertUnwindSafe(|| {
             run_elastic(
                 &mut net,
@@ -301,10 +316,34 @@ fn worker_loop(
                 task.id,
             )
         }));
+        // End the flow while the service slice is still open: the "f"
+        // point binds to this slice's end (bp = "e").
+        trace::flow_end(Category::Service, "task_flow", task.id);
         drop(service);
         match result {
             Ok(outcome) => {
-                metrics.on_outcome(outcome.status, started.elapsed());
+                metrics.on_outcome(
+                    outcome.status,
+                    started.elapsed(),
+                    task.deadline_at.is_some(),
+                );
+                // Pool-scoped outcome markers, distinct from the
+                // executor-level "preempted"/"deadline_expired" instants
+                // (which solo runs also emit): these count pool tasks only,
+                // so trace ↔ metrics reconciliation can be exact.
+                match outcome.status {
+                    TaskStatus::Preempted => trace::instant(
+                        Category::Preempt,
+                        "task_preempted",
+                        Args::one("task", task.id),
+                    ),
+                    TaskStatus::DeadlineExpired => trace::instant(
+                        Category::Preempt,
+                        "task_deadline_expired",
+                        Args::one("task", task.id),
+                    ),
+                    TaskStatus::Completed => {}
+                }
                 // The requester may have given up; that is fine.
                 let _ = task.reply.send(Ok(outcome));
             }

@@ -13,7 +13,23 @@ use einet_edge::{
 };
 use einet_models::{zoo, BranchSpec, MultiExitNet};
 use einet_tensor::Tensor;
-use einet_trace::{self as trace, Category, EventKind, TraceConfig, TraceSnapshot};
+use einet_trace::{self as trace, Category, EventKind, FlowPhase, TraceConfig, TraceSnapshot};
+
+/// (starts, steps, ends) per flow id.
+fn flow_trails(snap: &TraceSnapshot) -> std::collections::BTreeMap<u64, (u64, u64, u64)> {
+    let mut flows: std::collections::BTreeMap<u64, (u64, u64, u64)> = Default::default();
+    for e in &snap.events {
+        if let EventKind::Flow { phase, id } = e.kind {
+            let entry = flows.entry(id).or_default();
+            match phase {
+                FlowPhase::Start => entry.0 += 1,
+                FlowPhase::Step => entry.1 += 1,
+                FlowPhase::End => entry.2 += 1,
+            }
+        }
+    }
+    flows
+}
 
 fn lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -71,6 +87,23 @@ fn pool_spans_reconcile_with_metrics() {
     task_ids.sort_unstable();
     task_ids.dedup();
     assert_eq!(task_ids.len(), 6, "every task id distinct");
+
+    // Cross-thread flows: each task's flow starts once on the submitting
+    // thread, steps once onto its worker, and ends once — keyed by the
+    // task id, so the arrows line up with the service spans.
+    let flows = flow_trails(&snap);
+    assert_eq!(flows.len(), 6);
+    for (id, trail) in &flows {
+        assert_eq!(*trail, (1, 1, 1), "flow {id} balanced");
+        assert!(task_ids.contains(id), "flow id {id} is a task id");
+    }
+
+    // Everything finished moments ago, so the rolling window still holds
+    // the whole run; no task carried a deadline, so the SLO gauge is clean.
+    assert_eq!(metrics.window.finished, 6);
+    assert_eq!(metrics.window.service.count, 6);
+    assert_eq!((metrics.window.slo_met, metrics.window.slo_missed), (0, 0));
+    assert_eq!(metrics.window.slo_attainment(), 1.0);
 
     // Each task executes 3 blocks and emits 3 exits under the full plan.
     assert_eq!(spans_named(&snap, "block").len(), 18);
@@ -234,4 +267,14 @@ fn expired_task_is_shed_at_dequeue_and_traced() {
     );
     assert!(spans_named(&snap, "task").is_empty());
     assert!(spans_named(&snap, "block").is_empty());
+    // The flow still terminates — started at submit, ended at the shed —
+    // but never stepped onto a worker.
+    let flows = flow_trails(&snap);
+    assert_eq!(flows.len(), 1);
+    assert_eq!(flows.values().next(), Some(&(1, 0, 1)));
+    // Windowed SLO: the shed task is a deadline miss with no service time.
+    assert_eq!(metrics.window.finished, 1);
+    assert_eq!(metrics.window.service.count, 0);
+    assert_eq!((metrics.window.slo_met, metrics.window.slo_missed), (0, 1));
+    assert_eq!(metrics.window.slo_attainment(), 0.0);
 }

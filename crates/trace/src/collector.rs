@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::event::{Args, Category, EventKind, TraceEvent};
+use crate::event::{Args, Category, EventKind, FlowPhase, TraceEvent};
 use crate::ring::Ring;
 use crate::snapshot::TraceSnapshot;
 
@@ -115,15 +115,16 @@ fn push_event(event: TraceEvent) {
     LOCAL.with(|local| {
         let mut slot = local.borrow_mut();
         let buf = slot.get_or_insert_with(|| {
-            let ring = Arc::new(Mutex::new(Ring::new(RING_CAPACITY.load(Ordering::Relaxed))));
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let ring = Arc::new(Mutex::new(Ring::new(
+                RING_CAPACITY.load(Ordering::Relaxed),
+                tid,
+            )));
             registry()
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
                 .push(Arc::clone(&ring));
-            LocalBuf {
-                ring,
-                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
-            }
+            LocalBuf { ring, tid }
         });
         let mut event = event;
         event.tid = buf.tid;
@@ -259,19 +260,105 @@ pub fn instant(cat: Category, name: &'static str, args: Args) {
     });
 }
 
-/// Collects (and removes) every buffered event from every thread's ring,
-/// merged and sorted by timestamp. Call after the traced workload has
-/// quiesced — events emitted concurrently with the drain may land in the
-/// next snapshot.
-pub fn drain() -> TraceSnapshot {
+fn flow(cat: Category, name: &'static str, phase: FlowPhase, id: u64) {
+    if !enabled() {
+        return;
+    }
+    push_event(TraceEvent {
+        ts_us: us_since_epoch(Instant::now()),
+        tid: 0,
+        cat,
+        name,
+        kind: EventKind::Flow { phase, id },
+        args: Args::none(),
+    });
+}
+
+/// Opens a cross-thread flow (Chrome `"s"` phase). Every point of the flow
+/// shares `id` — a process-unique value such as a task id — and Perfetto
+/// draws causal arrows between the slices enclosing each point.
+pub fn flow_start(cat: Category, name: &'static str, id: u64) {
+    flow(cat, name, FlowPhase::Start, id);
+}
+
+/// Records an intermediate hop of flow `id` on the calling thread (Chrome
+/// `"t"` phase) — e.g. a task landing on a worker.
+pub fn flow_step(cat: Category, name: &'static str, id: u64) {
+    flow(cat, name, FlowPhase::Step, id);
+}
+
+/// Terminates flow `id` (Chrome `"f"` phase, binding to the enclosing
+/// slice's end).
+pub fn flow_end(cat: Category, name: &'static str, id: u64) {
+    flow(cat, name, FlowPhase::End, id);
+}
+
+/// Per-ring accounting of one [`sweep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingSweep {
+    /// Trace id of the thread owning the ring.
+    pub tid: u64,
+    /// Events taken from the ring by this sweep.
+    pub taken: usize,
+    /// Events lost to overwriting since the previous sweep of this ring.
+    pub dropped: u64,
+}
+
+/// What one [`sweep`] collected: the merged, time-sorted events plus
+/// per-ring overflow accounting.
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    /// All collected events, sorted by `(ts_us, tid)`.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrites since the previous sweep (sum over
+    /// rings).
+    pub dropped: u64,
+    /// Per-ring take/drop counts, in registration order.
+    pub rings: Vec<RingSweep>,
+}
+
+/// Collects (and removes) every buffered event from every thread's ring
+/// **without pausing workers**: each ring's mutex is held only for its own
+/// `take`, and the hot path only ever touches its own ring, so a sweep
+/// never serialises worker threads against each other. This is the
+/// streaming-collector primitive ([`crate::stream::TraceStreamer`] calls it
+/// periodically); events emitted concurrently with a sweep simply land in
+/// the next one.
+pub fn sweep() -> Sweep {
     let rings: Vec<Arc<Mutex<Ring>>> = registry().lock().unwrap_or_else(|p| p.into_inner()).clone();
     let mut events = Vec::new();
     let mut dropped = 0u64;
+    let mut per_ring = Vec::with_capacity(rings.len());
     for ring in rings {
-        let (mut evs, d) = ring.lock().unwrap_or_else(|p| p.into_inner()).take();
+        let mut guard = ring.lock().unwrap_or_else(|p| p.into_inner());
+        let tid = guard.tid();
+        let (mut evs, d) = guard.take();
+        drop(guard);
+        per_ring.push(RingSweep {
+            tid,
+            taken: evs.len(),
+            dropped: d,
+        });
         events.append(&mut evs);
         dropped += d;
     }
     events.sort_by_key(|e| (e.ts_us, e.tid));
-    TraceSnapshot { events, dropped }
+    Sweep {
+        events,
+        dropped,
+        rings: per_ring,
+    }
+}
+
+/// Collects (and removes) every buffered event from every thread's ring,
+/// merged and sorted by timestamp. Call after the traced workload has
+/// quiesced — events emitted concurrently with the drain may land in the
+/// next snapshot. (One-shot wrapper over [`sweep`]; long-running servers
+/// stream instead — see [`crate::stream`].)
+pub fn drain() -> TraceSnapshot {
+    let s = sweep();
+    TraceSnapshot {
+        events: s.events,
+        dropped: s.dropped,
+    }
 }

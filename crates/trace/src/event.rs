@@ -21,11 +21,14 @@ pub enum Category {
     Replan,
     /// Preemption / deadline / shed / panic stop events.
     Preempt,
+    /// Streaming-collector self-instrumentation (sweep spans, overflow
+    /// counters).
+    Stream,
 }
 
 impl Category {
     /// Every category, in display order.
-    pub const ALL: [Category; 8] = [
+    pub const ALL: [Category; 9] = [
         Category::Queue,
         Category::Service,
         Category::Block,
@@ -34,6 +37,7 @@ impl Category {
         Category::Predictor,
         Category::Replan,
         Category::Preempt,
+        Category::Stream,
     ];
 
     /// The stable string id used in exported traces.
@@ -47,6 +51,7 @@ impl Category {
             Category::Predictor => "predictor",
             Category::Replan => "replan",
             Category::Preempt => "preempt",
+            Category::Stream => "stream",
         }
     }
 }
@@ -111,6 +116,33 @@ impl Args {
     }
 }
 
+/// The position of a flow event within its flow (Chrome `s`/`t`/`f`
+/// phases). A flow is a causal chain of points across threads sharing one
+/// process-unique id — Perfetto draws arrows between the slices enclosing
+/// each point, which is how one task's `submit → dequeue → outcome` path
+/// stays visually connected across the pool's worker lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The flow's origin (Chrome `"s"`) — e.g. task submission.
+    Start,
+    /// An intermediate hop (Chrome `"t"`) — e.g. dequeue onto a worker.
+    Step,
+    /// The flow's terminus (Chrome `"f"`, binding point `"e"`) — e.g. the
+    /// task's outcome.
+    End,
+}
+
+impl FlowPhase {
+    /// The Chrome `trace_event` phase character.
+    pub fn chrome_ph(self) -> &'static str {
+        match self {
+            FlowPhase::Start => "s",
+            FlowPhase::Step => "t",
+            FlowPhase::End => "f",
+        }
+    }
+}
+
 /// What kind of event a [`TraceEvent`] records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -129,6 +161,13 @@ pub enum EventKind {
     },
     /// A point-in-time marker.
     Instant,
+    /// One point of a cross-thread flow (causal arrow in Perfetto).
+    Flow {
+        /// Where in the flow this point sits.
+        phase: FlowPhase,
+        /// The process-unique flow id shared by every point of the flow.
+        id: u64,
+    },
 }
 
 /// One timestamped trace record. `Copy` and fixed-size so the ring buffer

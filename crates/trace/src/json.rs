@@ -114,6 +114,12 @@ impl JsonWriter {
         self.buf.push_str(if value { "true" } else { "false" });
     }
 
+    /// Writes a `null` value.
+    pub fn null(&mut self) {
+        self.before_value();
+        self.buf.push_str("null");
+    }
+
     /// Returns the accumulated JSON text.
     pub fn finish(self) -> String {
         self.buf
@@ -199,6 +205,40 @@ impl JsonValue {
                 None
             }
         })
+    }
+
+    /// Writes this value into `w` (as the next value of the open
+    /// container). Integral numbers print without a fractional part, so a
+    /// parse → write round trip keeps `ts`/`dur`-style fields readable.
+    pub fn write_into(&self, w: &mut JsonWriter) {
+        match self {
+            JsonValue::Null => w.null(),
+            JsonValue::Bool(b) => w.boolean(*b),
+            JsonValue::Number(n) => w.number_f64(*n),
+            JsonValue::String(s) => w.string(s),
+            JsonValue::Array(elems) => {
+                w.begin_array();
+                for e in elems {
+                    e.write_into(w);
+                }
+                w.end_array();
+            }
+            JsonValue::Object(members) => {
+                w.begin_object();
+                for (k, v) in members {
+                    w.key(k);
+                    v.write_into(w);
+                }
+                w.end_object();
+            }
+        }
+    }
+
+    /// Serialises this value back to JSON text.
+    pub fn to_json_string(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_into(&mut w);
+        w.finish()
     }
 }
 
@@ -542,6 +582,18 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn value_reserialisation_round_trips() {
+        let text = r#"{"name":"søk","ts":123,"ok":true,"x":null,"a":[1,2.5,{"b":false}]}"#;
+        let v = parse(text).unwrap();
+        let out = v.to_json_string();
+        // Round trip is stable: parsing the re-serialisation gives the same
+        // value, and integral numbers stay integral.
+        assert_eq!(parse(&out).unwrap(), v);
+        assert!(out.contains("\"ts\":123"), "{out}");
+        assert!(out.contains("2.5"), "{out}");
     }
 
     #[test]

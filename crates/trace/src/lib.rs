@@ -24,6 +24,15 @@
 //!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)) and a
 //!   per-category summary ([`TraceSnapshot::summary`]) with count, total,
 //!   mean, p95 and max span durations.
+//! * **Streaming for long runs.** [`drain`] is one-shot; a serving loop
+//!   instead runs a [`stream::TraceStreamer`], whose background thread
+//!   periodically [`sweep`]s the rings (per-ring brief locks — workers are
+//!   never paused) into an append-only JSONL stream with per-ring overflow
+//!   accounting. See the [`stream`] module.
+//! * **Cross-thread flows.** [`flow_start`]/[`flow_step`]/[`flow_end`]
+//!   link one logical task's spans across threads (submitter → worker) by a
+//!   shared id; exported as Chrome flow phases, Perfetto draws the causal
+//!   arrows.
 //!
 //! ## Example
 //!
@@ -59,11 +68,14 @@ mod snapshot;
 mod summary;
 
 pub mod json;
+pub mod stream;
 
 pub use collector::{
-    complete_span, counter, current_depth, drain, enabled, init, instant, span, span_args,
-    SpanGuard, TraceConfig, DEFAULT_RING_CAPACITY,
+    complete_span, counter, current_depth, drain, enabled, flow_end, flow_start, flow_step, init,
+    instant, span, span_args, sweep, RingSweep, SpanGuard, Sweep, TraceConfig,
+    DEFAULT_RING_CAPACITY,
 };
-pub use event::{Args, Category, EventKind, TraceEvent};
+pub use event::{Args, Category, EventKind, FlowPhase, TraceEvent};
 pub use snapshot::TraceSnapshot;
+pub use stream::{StreamConfig, StreamStats, TraceStreamer};
 pub use summary::{CategorySummary, TraceSummary};

@@ -17,17 +17,26 @@ pub(crate) struct Ring {
     /// Index of the oldest element (only meaningful once full).
     head: usize,
     dropped: u64,
+    /// Trace id of the owning thread (for per-ring sweep accounting).
+    tid: u64,
 }
 
 impl Ring {
-    /// Creates an empty ring holding at most `cap` events (`cap >= 1`).
-    pub(crate) fn new(cap: usize) -> Self {
+    /// Creates an empty ring holding at most `cap` events (`cap >= 1`),
+    /// owned by trace thread `tid`.
+    pub(crate) fn new(cap: usize, tid: u64) -> Self {
         Ring {
             buf: Vec::new(),
             cap: cap.max(1),
             head: 0,
             dropped: 0,
+            tid,
         }
+    }
+
+    /// The trace id of the thread that owns this ring.
+    pub(crate) fn tid(&self) -> u64 {
+        self.tid
     }
 
     /// Appends an event, overwriting the oldest when full.
@@ -85,7 +94,7 @@ mod tests {
 
     #[test]
     fn push_below_capacity_keeps_order() {
-        let mut r = Ring::new(4);
+        let mut r = Ring::new(4, 1);
         for t in 0..3 {
             r.push(ev(t));
         }
@@ -100,7 +109,7 @@ mod tests {
 
     #[test]
     fn overflow_drops_oldest_and_counts() {
-        let mut r = Ring::new(3);
+        let mut r = Ring::new(3, 1);
         for t in 0..7 {
             r.push(ev(t));
         }
@@ -117,7 +126,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_is_clamped() {
-        let mut r = Ring::new(0);
+        let mut r = Ring::new(0, 1);
         r.push(ev(1));
         r.push(ev(2));
         assert_eq!(r.len(), 1);

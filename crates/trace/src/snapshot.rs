@@ -32,50 +32,7 @@ impl TraceSnapshot {
         w.begin_array();
         for e in &self.events {
             w.begin_object();
-            w.key("name");
-            w.string(e.name);
-            w.key("cat");
-            w.string(e.cat.as_str());
-            w.key("ph");
-            w.string(match e.kind {
-                EventKind::Span { .. } => "X",
-                EventKind::Counter { .. } => "C",
-                EventKind::Instant => "i",
-            });
-            w.key("ts");
-            w.number_u64(e.ts_us);
-            if let EventKind::Span { dur_us, .. } = e.kind {
-                w.key("dur");
-                w.number_u64(dur_us);
-            }
-            w.key("pid");
-            w.number_u64(1);
-            w.key("tid");
-            w.number_u64(e.tid);
-            if let EventKind::Instant = e.kind {
-                // Instant scope: thread.
-                w.key("s");
-                w.string("t");
-            }
-            let has_args = !e.args.is_empty()
-                || matches!(e.kind, EventKind::Counter { .. } | EventKind::Span { .. });
-            if has_args {
-                w.key("args");
-                w.begin_object();
-                if let EventKind::Counter { value } = e.kind {
-                    w.key("value");
-                    w.number_u64(value);
-                }
-                if let EventKind::Span { depth, .. } = e.kind {
-                    w.key("depth");
-                    w.number_u64(u64::from(depth));
-                }
-                for (k, v) in e.args.iter() {
-                    w.key(k);
-                    w.number_u64(v);
-                }
-                w.end_object();
-            }
+            write_chrome_event_fields(&mut w, e);
             w.end_object();
         }
         w.end_array();
@@ -92,6 +49,70 @@ impl TraceSnapshot {
         w.end_object();
         w.end_object();
         w.finish()
+    }
+}
+
+/// Writes one event's Chrome `trace_event` fields (everything between the
+/// `{` and `}`) into `w`. Shared by [`TraceSnapshot::to_chrome_json`] and
+/// the streaming JSONL writer so both artifacts speak the same schema:
+/// spans are complete (`"X"`) events, counters `"C"`, instants `"i"`, flow
+/// points `"s"`/`"t"`/`"f"` carrying their flow `id` (`"f"` binds to the
+/// enclosing slice's end via `bp: "e"`).
+pub(crate) fn write_chrome_event_fields(w: &mut JsonWriter, e: &TraceEvent) {
+    w.key("name");
+    w.string(e.name);
+    w.key("cat");
+    w.string(e.cat.as_str());
+    w.key("ph");
+    w.string(match e.kind {
+        EventKind::Span { .. } => "X",
+        EventKind::Counter { .. } => "C",
+        EventKind::Instant => "i",
+        EventKind::Flow { phase, .. } => phase.chrome_ph(),
+    });
+    w.key("ts");
+    w.number_u64(e.ts_us);
+    if let EventKind::Span { dur_us, .. } = e.kind {
+        w.key("dur");
+        w.number_u64(dur_us);
+    }
+    w.key("pid");
+    w.number_u64(1);
+    w.key("tid");
+    w.number_u64(e.tid);
+    if let EventKind::Instant = e.kind {
+        // Instant scope: thread.
+        w.key("s");
+        w.string("t");
+    }
+    if let EventKind::Flow { phase, id } = e.kind {
+        w.key("id");
+        w.number_u64(id);
+        if phase == crate::event::FlowPhase::End {
+            // Bind the arrow head to the enclosing slice rather than the
+            // next slice on the thread.
+            w.key("bp");
+            w.string("e");
+        }
+    }
+    let has_args =
+        !e.args.is_empty() || matches!(e.kind, EventKind::Counter { .. } | EventKind::Span { .. });
+    if has_args {
+        w.key("args");
+        w.begin_object();
+        if let EventKind::Counter { value } = e.kind {
+            w.key("value");
+            w.number_u64(value);
+        }
+        if let EventKind::Span { depth, .. } = e.kind {
+            w.key("depth");
+            w.number_u64(u64::from(depth));
+        }
+        for (k, v) in e.args.iter() {
+            w.key(k);
+            w.number_u64(v);
+        }
+        w.end_object();
     }
 }
 
@@ -167,6 +188,61 @@ mod tests {
                 .as_u64(),
             Some(7)
         );
+    }
+
+    #[test]
+    fn flow_events_export_with_id_and_binding_point() {
+        use crate::event::FlowPhase;
+        let snap = TraceSnapshot {
+            events: vec![
+                TraceEvent {
+                    ts_us: 1,
+                    tid: 1,
+                    cat: Category::Service,
+                    name: "task_flow",
+                    kind: EventKind::Flow {
+                        phase: FlowPhase::Start,
+                        id: 9,
+                    },
+                    args: Args::none(),
+                },
+                TraceEvent {
+                    ts_us: 2,
+                    tid: 2,
+                    cat: Category::Service,
+                    name: "task_flow",
+                    kind: EventKind::Flow {
+                        phase: FlowPhase::Step,
+                        id: 9,
+                    },
+                    args: Args::none(),
+                },
+                TraceEvent {
+                    ts_us: 3,
+                    tid: 2,
+                    cat: Category::Service,
+                    name: "task_flow",
+                    kind: EventKind::Flow {
+                        phase: FlowPhase::End,
+                        id: 9,
+                    },
+                    args: Args::none(),
+                },
+            ],
+            dropped: 0,
+        };
+        let v = json::parse(&snap.to_chrome_json()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, ["s", "t", "f"]);
+        for e in events {
+            assert_eq!(e.get("id").unwrap().as_u64(), Some(9));
+        }
+        assert_eq!(events[2].get("bp").unwrap().as_str(), Some("e"));
+        assert!(events[0].get("bp").is_none());
     }
 
     #[test]

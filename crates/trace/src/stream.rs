@@ -1,0 +1,531 @@
+//! The streaming collector: continuous export for long-running servers.
+//!
+//! [`crate::drain`] is a one-shot exporter — fine for a bounded demo, but a
+//! serving loop that runs for hours would either pause to drain or lose
+//! everything beyond the ring windows. [`TraceStreamer`] fixes that: a
+//! background thread periodically [`crate::sweep`]s the per-thread rings
+//! (each ring's mutex is held only for its own `take`, so workers are never
+//! paused, let alone serialised against each other) and appends what it
+//! finds to a **JSONL stream file**. The file only ever grows; ring
+//! overflow between sweeps is accounted per ring and surfaced both in the
+//! stream (`sweep` records) and as a `stream`/`ring_dropped` trace counter.
+//!
+//! ## Stream format
+//!
+//! One JSON object per line, discriminated by `"type"`:
+//!
+//! * `header` — first line: producer, format version, sweep period.
+//! * `event` — one Chrome `trace_event` object (same schema as
+//!   [`crate::TraceSnapshot::to_chrome_json`], including flow phases), plus
+//!   the `"type"` tag.
+//! * `sweep` — one per collector pass: sequence number, events taken,
+//!   events dropped since the previous pass, and per-ring detail.
+//! * `footer` — last line: totals, written by [`TraceStreamer::stop`].
+//!
+//! Each line is a complete JSON document, so a validator (or `tail -f`) can
+//! consume the stream while it is still being written. [`read_stream`]
+//! parses a finished (or truncated) stream back; [`StreamedTrace`] can
+//! re-emit a Chrome JSON document for Perfetto and aggregate a
+//! [`StreamSummary`] for reports and reconciliation checks.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::collector::{sweep, Sweep};
+use crate::event::Category;
+use crate::json::{parse, JsonValue, JsonWriter};
+use crate::snapshot::write_chrome_event_fields;
+
+/// Streaming-collector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// How often the collector sweeps the rings and appends to the stream.
+    pub period: Duration,
+}
+
+impl StreamConfig {
+    /// The default sweep cadence (200 ms): frequent enough that default
+    /// rings (64 Ki events/thread) essentially never overflow, rare enough
+    /// that sweep cost is noise.
+    pub fn default_period() -> Duration {
+        Duration::from_millis(200)
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            period: Self::default_period(),
+        }
+    }
+}
+
+/// Totals over a finished stream, returned by [`TraceStreamer::stop`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Collector passes performed (including the final flush).
+    pub sweeps: u64,
+    /// Events written to the stream.
+    pub events: u64,
+    /// Events lost to ring overwrites between sweeps.
+    pub dropped: u64,
+}
+
+/// A background thread that continuously exports the trace to a JSONL file.
+///
+/// Create with [`TraceStreamer::start`] after enabling tracing; call
+/// [`TraceStreamer::stop`] to perform a final sweep, write the footer and
+/// join the thread. Dropping without `stop` also joins (the stream stays
+/// valid) but discards the stats and any I/O error.
+#[derive(Debug)]
+pub struct TraceStreamer {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<std::io::Result<StreamStats>>>,
+    path: PathBuf,
+}
+
+impl TraceStreamer {
+    /// Opens (truncating) the stream file, writes the header and spawns the
+    /// collector thread sweeping every `cfg.period`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation errors (parent directories are created).
+    pub fn start(path: impl Into<PathBuf>, cfg: StreamConfig) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut out = BufWriter::new(File::create(&path)?);
+        let period = cfg.period.max(Duration::from_millis(1));
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("type");
+        w.string("header");
+        w.key("producer");
+        w.string("einet-trace");
+        w.key("version");
+        w.number_u64(1);
+        w.key("period_ms");
+        w.number_u64(period.as_millis() as u64);
+        w.end_object();
+        writeln!(out, "{}", w.finish())?;
+        out.flush()?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("einet-trace-stream".to_string())
+            .spawn(move || stream_loop(out, period, &stop_flag))
+            .expect("spawn trace streamer");
+        Ok(TraceStreamer {
+            stop,
+            handle: Some(handle),
+            path,
+        })
+    }
+
+    /// The stream file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Signals the collector, waits for its final sweep + footer, and
+    /// returns the stream totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error the collector thread hit.
+    pub fn stop(mut self) -> std::io::Result<StreamStats> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("trace streamer thread panicked"))),
+            None => Ok(StreamStats::default()),
+        }
+    }
+}
+
+impl Drop for TraceStreamer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn write_sweep_pass(
+    out: &mut BufWriter<File>,
+    s: &Sweep,
+    seq: u64,
+    stats: &mut StreamStats,
+) -> std::io::Result<()> {
+    for e in &s.events {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("type");
+        w.string("event");
+        write_chrome_event_fields(&mut w, e);
+        w.end_object();
+        writeln!(out, "{}", w.finish())?;
+    }
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("type");
+    w.string("sweep");
+    w.key("seq");
+    w.number_u64(seq);
+    w.key("events");
+    w.number_u64(s.events.len() as u64);
+    w.key("dropped");
+    w.number_u64(s.dropped);
+    w.key("rings");
+    w.begin_array();
+    for r in &s.rings {
+        w.begin_object();
+        w.key("tid");
+        w.number_u64(r.tid);
+        w.key("taken");
+        w.number_u64(r.taken as u64);
+        w.key("dropped");
+        w.number_u64(r.dropped);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    writeln!(out, "{}", w.finish())?;
+    out.flush()?;
+    stats.sweeps += 1;
+    stats.events += s.events.len() as u64;
+    stats.dropped += s.dropped;
+    Ok(())
+}
+
+fn stream_loop(
+    mut out: BufWriter<File>,
+    period: Duration,
+    stop: &AtomicBool,
+) -> std::io::Result<StreamStats> {
+    let mut stats = StreamStats::default();
+    let mut seq = 0u64;
+    loop {
+        // Sleep in short slices so stop() returns promptly even with a
+        // long sweep period.
+        let wake = Instant::now() + period;
+        while Instant::now() < wake && !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(5).min(period));
+        }
+        let stopping = stop.load(Ordering::Relaxed);
+        let pass = {
+            // Dogfood: the sweep itself is traced, and overflow between
+            // sweeps is surfaced as a counter (both land in the *next*
+            // sweep — this thread has its own ring like any other).
+            let _sweep_span = crate::collector::span(Category::Stream, "sweep");
+            sweep()
+        };
+        if pass.dropped > 0 {
+            crate::collector::counter(Category::Stream, "ring_dropped", pass.dropped);
+        }
+        write_sweep_pass(&mut out, &pass, seq, &mut stats)?;
+        seq += 1;
+        if stopping {
+            // One more pass picks up anything recorded during the final
+            // sweep (including this thread's own sweep span/counter).
+            let pass = sweep();
+            write_sweep_pass(&mut out, &pass, seq, &mut stats)?;
+            break;
+        }
+    }
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("type");
+    w.string("footer");
+    w.key("sweeps");
+    w.number_u64(stats.sweeps);
+    w.key("events");
+    w.number_u64(stats.events);
+    w.key("dropped");
+    w.number_u64(stats.dropped);
+    w.end_object();
+    writeln!(out, "{}", w.finish())?;
+    out.flush()?;
+    Ok(stats)
+}
+
+/// One `sweep` record read back from a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRecord {
+    /// Sequence number of the pass.
+    pub seq: u64,
+    /// Events the pass exported.
+    pub events: u64,
+    /// Events lost to ring overwrites since the previous pass.
+    pub dropped: u64,
+}
+
+/// A parsed trace stream: the header, every Chrome event object (as parsed
+/// JSON), the sweep records and the footer (absent when the stream was
+/// truncated, e.g. read while still being written).
+#[derive(Debug, Clone, Default)]
+pub struct StreamedTrace {
+    /// The stream's sweep period in ms, from the header.
+    pub period_ms: u64,
+    /// Every `event` record, in stream order (Chrome `trace_event` objects).
+    pub events: Vec<JsonValue>,
+    /// Every `sweep` record, in stream order.
+    pub sweeps: Vec<SweepRecord>,
+    /// Stream totals, when the footer was written.
+    pub footer: Option<StreamStats>,
+}
+
+/// Reads a JSONL trace stream back.
+///
+/// # Errors
+///
+/// Returns a message on I/O failure, a malformed line, a missing header or
+/// an unknown record type. A missing footer is not an error (the stream may
+/// still be growing) — [`StreamedTrace::footer`] is simply `None`.
+pub fn read_stream(path: impl AsRef<Path>) -> Result<StreamedTrace, String> {
+    let path = path.as_ref();
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut trace = StreamedTrace::default();
+    let mut saw_header = false;
+    for (lineno, line) in raw.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = v
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {}: record without type", lineno + 1))?;
+        match kind {
+            "header" => {
+                trace.period_ms = v.get("period_ms").and_then(JsonValue::as_u64).unwrap_or(0);
+                saw_header = true;
+            }
+            "event" => trace.events.push(v),
+            "sweep" => {
+                let num = |key: &str| {
+                    v.get(key)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("line {}: sweep missing {key}", lineno + 1))
+                };
+                trace.sweeps.push(SweepRecord {
+                    seq: num("seq")?,
+                    events: num("events")?,
+                    dropped: num("dropped")?,
+                });
+            }
+            "footer" => {
+                let num = |key: &str| {
+                    v.get(key)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("line {}: footer missing {key}", lineno + 1))
+                };
+                trace.footer = Some(StreamStats {
+                    sweeps: num("sweeps")?,
+                    events: num("events")?,
+                    dropped: num("dropped")?,
+                });
+            }
+            other => {
+                return Err(format!(
+                    "line {}: unknown record type {other:?}",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    if !saw_header {
+        return Err(format!("{}: stream has no header line", path.display()));
+    }
+    Ok(trace)
+}
+
+/// Per-category span statistics aggregated from a stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamCatStat {
+    /// Completed spans.
+    pub spans: u64,
+    /// Summed span duration (µs).
+    pub total_us: u64,
+    /// Longest span (µs).
+    pub max_us: u64,
+    /// Instant markers.
+    pub instants: u64,
+    /// Flow points (starts + steps + ends).
+    pub flow_points: u64,
+}
+
+/// Start/step/end accounting for one flow id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowTrail {
+    /// `"s"` records seen for this id.
+    pub starts: u64,
+    /// `"t"` records seen for this id.
+    pub steps: u64,
+    /// `"f"` records seen for this id.
+    pub ends: u64,
+}
+
+impl FlowTrail {
+    /// A flow is balanced when it was started exactly once and terminated
+    /// exactly once (steps are optional — a task shed straight out of the
+    /// queue never hops onto a worker).
+    pub fn balanced(&self) -> bool {
+        self.starts == 1 && self.ends == 1
+    }
+}
+
+/// Aggregates computed by [`StreamedTrace::summary`]: what reports and the
+/// stream validator consume.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSummary {
+    /// Per-category span/instant/flow statistics, keyed by category id.
+    pub categories: std::collections::BTreeMap<String, StreamCatStat>,
+    /// Counts of spans by `(category, name)`, with summed durations — the
+    /// reconciliation source for `service`/`task` and friends.
+    pub named_spans: std::collections::BTreeMap<(String, String), (u64, u64)>,
+    /// Counts of instant markers by name.
+    pub named_instants: std::collections::BTreeMap<String, u64>,
+    /// Counter totals by name.
+    pub counter_totals: std::collections::BTreeMap<String, u64>,
+    /// Flow accounting by flow id.
+    pub flows: std::collections::BTreeMap<u64, FlowTrail>,
+}
+
+impl StreamSummary {
+    /// `(count, total_us)` of spans with this category and name.
+    pub fn spans_named(&self, cat: &str, name: &str) -> (u64, u64) {
+        self.named_spans
+            .get(&(cat.to_string(), name.to_string()))
+            .copied()
+            .unwrap_or((0, 0))
+    }
+
+    /// Number of instant markers with this name.
+    pub fn instants_named(&self, name: &str) -> u64 {
+        self.named_instants.get(name).copied().unwrap_or(0)
+    }
+
+    /// Flow ids whose trail is not balanced (missing start or end).
+    pub fn unbalanced_flows(&self) -> Vec<u64> {
+        self.flows
+            .iter()
+            .filter(|(_, t)| !t.balanced())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+impl StreamedTrace {
+    /// Re-emits the streamed events as one Chrome `trace_event` JSON
+    /// document (object format) for `chrome://tracing` / Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("traceEvents");
+        w.begin_array();
+        for e in &self.events {
+            if let JsonValue::Object(members) = e {
+                w.begin_object();
+                for (k, v) in members {
+                    if k == "type" {
+                        continue; // stream framing, not a Chrome field
+                    }
+                    w.key(k);
+                    v.write_into(&mut w);
+                }
+                w.end_object();
+            }
+        }
+        w.end_array();
+        w.key("displayTimeUnit");
+        w.string("ms");
+        w.key("otherData");
+        w.begin_object();
+        w.key("producer");
+        w.string("einet-trace");
+        w.key("dropped_events");
+        w.number_u64(self.dropped());
+        w.key("event_count");
+        w.number_u64(self.events.len() as u64);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Total events dropped to ring overwrites (footer when present,
+    /// otherwise summed over sweep records).
+    pub fn dropped(&self) -> u64 {
+        self.footer
+            .map(|f| f.dropped)
+            .unwrap_or_else(|| self.sweeps.iter().map(|s| s.dropped).sum())
+    }
+
+    /// Aggregates the streamed events for reporting and validation.
+    pub fn summary(&self) -> StreamSummary {
+        let mut s = StreamSummary::default();
+        for e in &self.events {
+            let cat = e
+                .get("cat")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let name = e
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let ph = e.get("ph").and_then(JsonValue::as_str).unwrap_or("?");
+            let stat = s.categories.entry(cat.clone()).or_default();
+            match ph {
+                "X" => {
+                    let dur = e.get("dur").and_then(JsonValue::as_u64).unwrap_or(0);
+                    stat.spans += 1;
+                    stat.total_us = stat.total_us.saturating_add(dur);
+                    stat.max_us = stat.max_us.max(dur);
+                    let entry = s.named_spans.entry((cat, name)).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 = entry.1.saturating_add(dur);
+                }
+                "C" => {
+                    let value = e
+                        .get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0);
+                    *s.counter_totals.entry(name).or_insert(0) += value;
+                }
+                "i" => {
+                    stat.instants += 1;
+                    *s.named_instants.entry(name).or_insert(0) += 1;
+                }
+                "s" | "t" | "f" => {
+                    stat.flow_points += 1;
+                    if let Some(id) = e.get("id").and_then(JsonValue::as_u64) {
+                        let trail = s.flows.entry(id).or_default();
+                        match ph {
+                            "s" => trail.starts += 1,
+                            "t" => trail.steps += 1,
+                            _ => trail.ends += 1,
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+}

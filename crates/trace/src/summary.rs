@@ -22,6 +22,8 @@ pub struct CategorySummary {
     pub max_us: u64,
     /// Instant markers recorded.
     pub instants: u64,
+    /// Cross-thread flow points recorded (starts + steps + ends).
+    pub flow_points: u64,
     /// Counter totals by name (summed over samples).
     pub counters: Vec<(String, u64)>,
 }
@@ -64,6 +66,7 @@ impl TraceSummary {
             max_us: u64,
             durs: Vec<u64>,
             instants: u64,
+            flow_points: u64,
             counters: BTreeMap<&'static str, u64>,
         }
         let mut accs: BTreeMap<Category, Acc> = BTreeMap::new();
@@ -74,6 +77,7 @@ impl TraceSummary {
                 max_us: 0,
                 durs: Vec::new(),
                 instants: 0,
+                flow_points: 0,
                 counters: BTreeMap::new(),
             });
             match e.kind {
@@ -87,6 +91,7 @@ impl TraceSummary {
                     *acc.counters.entry(e.name).or_insert(0) += value;
                 }
                 EventKind::Instant => acc.instants += 1,
+                EventKind::Flow { .. } => acc.flow_points += 1,
             }
         }
         let categories = Category::ALL
@@ -110,6 +115,7 @@ impl TraceSummary {
                     p95_us,
                     max_us: acc.max_us,
                     instants: acc.instants,
+                    flow_points: acc.flow_points,
                     counters: acc
                         .counters
                         .into_iter()
@@ -153,6 +159,8 @@ impl TraceSummary {
             w.number_u64(c.max_us);
             w.key("instants");
             w.number_u64(c.instants);
+            w.key("flow_points");
+            w.number_u64(c.flow_points);
             w.key("counters");
             w.begin_object();
             for (name, value) in &c.counters {
@@ -189,6 +197,9 @@ impl std::fmt::Display for TraceSummary {
             )?;
             for (name, value) in &c.counters {
                 writeln!(f, "{:<10}   counter {name} = {value}", "")?;
+            }
+            if c.flow_points > 0 {
+                writeln!(f, "{:<10}   flow points = {}", "", c.flow_points)?;
             }
         }
         write!(f, "dropped events: {}", self.dropped)

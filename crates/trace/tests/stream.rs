@@ -1,0 +1,175 @@
+//! Streaming-collector correctness: continuous export while workers keep
+//! recording, per-ring overflow accounting, flow balance, stream → Chrome
+//! re-export, and truncated-stream reads.
+//!
+//! Tracing state is process-global, so every test serialises on [`lock`].
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use einet_trace::stream::read_stream;
+use einet_trace::{self as trace, Args, Category, StreamConfig, TraceConfig, TraceStreamer};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("einet-stream-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn stream_exports_continuously_without_pausing_workers() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let path = temp_path("continuous.jsonl");
+    let streamer = TraceStreamer::start(
+        &path,
+        StreamConfig {
+            period: Duration::from_millis(10),
+        },
+    )
+    .unwrap();
+
+    // Workers keep emitting across several sweep periods.
+    let handles: Vec<_> = (0..2)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for i in 0..30 {
+                    let _s =
+                        trace::span_args(Category::Service, "stream_task", Args::one("task", i));
+                    trace::flow_start(Category::Service, "task_flow", w * 1000 + i);
+                    trace::flow_end(Category::Service, "task_flow", w * 1000 + i);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        })
+        .collect();
+
+    // The file must grow while work is still in flight — that is the whole
+    // point of streaming vs drain.
+    std::thread::sleep(Duration::from_millis(25));
+    let mid_size = std::fs::metadata(&path).unwrap().len();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = streamer.stop().unwrap();
+    trace::init(TraceConfig::off());
+    let final_size = std::fs::metadata(&path).unwrap().len();
+    assert!(mid_size > 0, "stream already has content mid-run");
+    assert!(final_size > mid_size, "stream grew after the mid-run check");
+    assert!(stats.sweeps >= 2, "multiple sweeps ran: {stats:?}");
+    assert_eq!(stats.dropped, 0, "ample rings: nothing dropped");
+
+    let streamed = read_stream(&path).unwrap();
+    assert_eq!(streamed.footer, Some(stats));
+    assert_eq!(streamed.events.len() as u64, stats.events);
+    assert_eq!(streamed.sweeps.len() as u64, stats.sweeps);
+    let summary = streamed.summary();
+    let (task_spans, _) = summary.spans_named("service", "stream_task");
+    assert_eq!(task_spans, 60, "every worker span reached the stream");
+    assert_eq!(summary.unbalanced_flows(), Vec::<u64>::new());
+    assert_eq!(summary.flows.len(), 60);
+    // The collector traces itself; its spans land in subsequent sweeps.
+    let (sweep_spans, _) = summary.spans_named("stream", "sweep");
+    assert!(sweep_spans >= 1, "collector self-instrumentation recorded");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn overflow_between_sweeps_is_accounted_per_ring() {
+    let _guard = lock();
+    trace::init(TraceConfig::on().with_ring_capacity(16));
+    let path = temp_path("overflow.jsonl");
+    // Slow sweeps + a burst far beyond the ring: drops are guaranteed.
+    let streamer = TraceStreamer::start(
+        &path,
+        StreamConfig {
+            period: Duration::from_millis(400),
+        },
+    )
+    .unwrap();
+    for i in 0..500 {
+        trace::counter(Category::Search, "burst", i);
+    }
+    let stats = streamer.stop().unwrap();
+    trace::init(TraceConfig::off());
+    assert!(stats.dropped >= 400, "burst overflowed the ring: {stats:?}");
+
+    let streamed = read_stream(&path).unwrap();
+    assert_eq!(streamed.dropped(), stats.dropped);
+    let swept: u64 = streamed.sweeps.iter().map(|s| s.dropped).sum();
+    assert_eq!(swept, stats.dropped, "sweep records account every drop");
+    // Overflow is also surfaced in-band as a trace counter.
+    let summary = streamed.summary();
+    assert_eq!(
+        summary.counter_totals.get("ring_dropped").copied(),
+        Some(stats.dropped),
+        "ring_dropped counter mirrors the overflow"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn streamed_trace_reexports_chrome_json() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let path = temp_path("chrome.jsonl");
+    let streamer = TraceStreamer::start(&path, StreamConfig::default()).unwrap();
+    {
+        let _s = trace::span(Category::Block, "conv");
+        trace::flow_start(Category::Service, "task_flow", 7);
+        trace::flow_end(Category::Service, "task_flow", 7);
+    }
+    let stats = streamer.stop().unwrap();
+    trace::init(TraceConfig::off());
+    assert!(stats.events >= 3);
+
+    let streamed = read_stream(&path).unwrap();
+    let chrome = streamed.to_chrome_json();
+    let v = einet_trace::json::parse(&chrome).expect("chrome re-export is valid JSON");
+    let events = v.get("traceEvents").unwrap().as_array().unwrap();
+    assert_eq!(events.len() as u64, stats.events);
+    // The stream framing tag must not leak into Chrome events.
+    assert!(events.iter().all(|e| e.get("type").is_none()));
+    let phases: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+        .collect();
+    assert!(phases.contains(&"X"));
+    assert!(phases.contains(&"s"));
+    assert!(phases.contains(&"f"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_stream_reads_without_footer() {
+    let _guard = lock();
+    trace::init(TraceConfig::on());
+    let path = temp_path("truncated.jsonl");
+    let streamer = TraceStreamer::start(
+        &path,
+        StreamConfig {
+            period: Duration::from_millis(5),
+        },
+    )
+    .unwrap();
+    trace::counter(Category::Search, "tick", 1);
+    std::thread::sleep(Duration::from_millis(20));
+    // Simulate a reader racing the writer: snapshot the file before stop.
+    let partial = std::fs::read_to_string(&path).unwrap();
+    let partial_path = temp_path("truncated-copy.jsonl");
+    std::fs::write(&partial_path, &partial).unwrap();
+    let streamed = read_stream(&partial_path).unwrap();
+    assert!(streamed.footer.is_none(), "no footer before stop");
+    assert!(!streamed.sweeps.is_empty(), "sweep records already present");
+    let _ = streamer.stop().unwrap();
+    trace::init(TraceConfig::off());
+    let finished = read_stream(&path).unwrap();
+    assert!(finished.footer.is_some(), "stop writes the footer");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&partial_path).ok();
+}

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Repo gate: formatting, lints, tests — and optionally the kernel speedup
 # runner that refreshes results/bench_kernels.json, or the tracing smoke
-# that records a tiny traced demo and validates the artifacts.
+# that records a tiny traced demo (one-shot drain AND continuous streaming)
+# and validates the artifacts with trace_check + einet report.
 #
 #   scripts/check.sh                # fmt --check + clippy -D warnings + tests
 #   scripts/check.sh --bench        # also run the bench runner (release build)
-#   scripts/check.sh --trace-smoke  # also run a traced demo + trace_check
+#   scripts/check.sh --trace-smoke  # also run traced demos + trace_check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +45,13 @@ if [ "$run_trace_smoke" -eq 1 ]; then
     ./target/release/einet demo --preemptions 0 --epochs 1 --serve-stats \
         --trace-out results/trace.json --metrics-out results/serve_metrics.json
     ./target/release/trace_check results/trace.json results/serve_metrics.json
+    echo "== streaming smoke (results/stream/)"
+    rm -rf results/stream
+    ./target/release/einet demo --preemptions 0 --epochs 1 \
+        --stream-out results/stream --report-every 50
+    ./target/release/trace_check --stream results/stream
+    ./target/release/einet report --dir results/stream \
+        --chrome-out results/stream/chrome.json
     echo "== trace overhead (results/bench_trace.json)"
     ./target/release/bench_trace
 fi
