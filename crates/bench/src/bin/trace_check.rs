@@ -20,12 +20,16 @@
 //!   snapshot's serviced-task count and their summed duration lands within
 //!   5% of the service histogram's total; the `shed_expired`,
 //!   `task_preempted` and `task_deadline_expired` instants equal the
-//!   snapshot's shed/preempt/expiry counters.
+//!   snapshot's shed/preempt/expiry counters; when the snapshot carries
+//!   batch-occupancy data, the `batch` spans' `batch_size` args sum to the
+//!   serviced-task count and their count equals the dispatch count.
 //!
 //! Stream mode reads `DIR/trace.jsonl` (the JSONL stream) plus
 //! `DIR/serve_metrics.json`, checks the footer/sweep overflow accounting is
 //! consistent, every task flow is balanced (one start, one end), and the
-//! flow-linked spans reconcile with the same metrics counters as above.
+//! flow-linked spans reconcile with the same metrics counters as above —
+//! including the batch-occupancy reconciliation when the snapshot carries
+//! batch data.
 
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -47,6 +51,9 @@ struct PoolCounters {
     preempted: u64,
     deadline_expired: u64,
     service_sum_us: u64,
+    /// Batch dispatch count and summed occupancy, when the snapshot carries
+    /// the batch histogram (older snapshots may predate it).
+    batch: Option<(u64, u64)>,
 }
 
 fn read_pool_counters(path: &Path) -> Result<PoolCounters, String> {
@@ -71,7 +78,43 @@ fn read_pool_counters(path: &Path) -> Result<PoolCounters, String> {
             .and_then(|s| s.get("sum_us"))
             .and_then(JsonValue::as_u64)
             .ok_or("metrics missing service.sum_us")?,
+        batch: m.get("batch").and_then(|b| {
+            Some((
+                b.get("count").and_then(JsonValue::as_u64)?,
+                b.get("sum").and_then(JsonValue::as_u64)?,
+            ))
+        }),
     })
+}
+
+/// Batch-occupancy reconciliation: every dispatch emits exactly one `batch`
+/// span whose `batch_size` arg is its live-member count, so the spans must
+/// sum to the serviced-task count and tally with the dispatch counter.
+fn check_batch_spans_against_metrics(
+    batch_spans: u64,
+    batch_size_sum: u64,
+    pool: &PoolCounters,
+) -> Result<(), String> {
+    let Some((dispatches, occupancy_sum)) = pool.batch else {
+        return Ok(()); // snapshot predates batch telemetry
+    };
+    if batch_spans != dispatches {
+        return Err(format!(
+            "trace has {batch_spans} batch spans but metrics say {dispatches} dispatches"
+        ));
+    }
+    if batch_size_sum != occupancy_sum {
+        return Err(format!(
+            "batch spans sum to {batch_size_sum} members but metrics say {occupancy_sum}"
+        ));
+    }
+    if batch_size_sum != pool.serviced {
+        return Err(format!(
+            "batch spans cover {batch_size_sum} members but metrics say {} serviced tasks",
+            pool.serviced
+        ));
+    }
+    Ok(())
 }
 
 /// The instants that must reconcile one-to-one with pool counters. The
@@ -138,6 +181,8 @@ fn check_drain(trace_path: &str, metrics_path: Option<&String>) -> ExitCode {
     let mut shed_instants = 0u64;
     let mut preempt_instants = 0u64;
     let mut expired_instants = 0u64;
+    let mut batch_spans = 0u64;
+    let mut batch_size_sum = 0u64;
     for (i, ev) in events.iter().enumerate() {
         let ph = match ev.get("ph").and_then(JsonValue::as_str) {
             Some(p) => p,
@@ -166,6 +211,20 @@ fn check_drain(trace_path: &str, metrics_path: Option<&String>) -> ExitCode {
                 if cat == "service" && name == "task" {
                     service_spans += 1;
                     service_dur_us += dur;
+                }
+                if cat == "queue" && name == "batch" {
+                    let size = match ev
+                        .get("args")
+                        .and_then(|a| a.get("batch_size"))
+                        .and_then(JsonValue::as_u64)
+                    {
+                        Some(s) => s,
+                        None => {
+                            return fail(&format!("event {i}: batch span without batch_size arg"))
+                        }
+                    };
+                    batch_spans += 1;
+                    batch_size_sum += size;
                 }
             }
             "i" => match name {
@@ -219,6 +278,9 @@ fn check_drain(trace_path: &str, metrics_path: Option<&String>) -> ExitCode {
         {
             return fail(&e);
         }
+        if let Err(e) = check_batch_spans_against_metrics(batch_spans, batch_size_sum, &pool) {
+            return fail(&e);
+        }
         let diff = service_dur_us.abs_diff(pool.service_sum_us);
         let tolerance = (pool.service_sum_us as f64 * 0.05).max(500.0) as u64;
         if diff > tolerance {
@@ -234,6 +296,12 @@ fn check_drain(trace_path: &str, metrics_path: Option<&String>) -> ExitCode {
              ({service_dur_us} us vs {} us, tolerance {tolerance} us)",
             pool.service_sum_us
         );
+        if pool.batch.is_some() {
+            println!(
+                "trace_check: {batch_spans} batch spans covering {batch_size_sum} members \
+                 reconcile with dispatch metrics"
+            );
+        }
     }
     println!("trace_check: OK");
     ExitCode::SUCCESS
@@ -317,6 +385,35 @@ fn check_stream(dir: &Path) -> ExitCode {
         &pool,
     ) {
         return fail(&e);
+    }
+    // The summary doesn't keep span args, so walk the raw event records for
+    // the batch-occupancy reconciliation.
+    let mut batch_spans = 0u64;
+    let mut batch_size_sum = 0u64;
+    for ev in &streamed.events {
+        let is_batch = ev.get("ph").and_then(JsonValue::as_str) == Some("X")
+            && ev.get("cat").and_then(JsonValue::as_str) == Some("queue")
+            && ev.get("name").and_then(JsonValue::as_str) == Some("batch");
+        if is_batch {
+            let Some(size) = ev
+                .get("args")
+                .and_then(|a| a.get("batch_size"))
+                .and_then(JsonValue::as_u64)
+            else {
+                return fail("stream batch span without batch_size arg");
+            };
+            batch_spans += 1;
+            batch_size_sum += size;
+        }
+    }
+    if let Err(e) = check_batch_spans_against_metrics(batch_spans, batch_size_sum, &pool) {
+        return fail(&e);
+    }
+    if pool.batch.is_some() {
+        println!(
+            "trace_check: {batch_spans} batch spans covering {batch_size_sum} members \
+             reconcile with dispatch metrics"
+        );
     }
     println!(
         "trace_check: {} flows / {task_spans} service spans reconcile with pool metrics \

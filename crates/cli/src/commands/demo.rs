@@ -26,6 +26,11 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     // this directory while the pool serves (implies --serve-stats).
     let stream_out = args.get("stream-out").map(std::path::PathBuf::from);
     let report_every = Duration::from_millis(args.get_parsed_or("report-every", 200u64)?.max(1));
+    // Serving-pool batching knobs: how many compatible requests one worker
+    // may coalesce into a stacked forward, and the admission-window cap on
+    // how long it may hold the batch open waiting for company.
+    let max_batch: usize = args.get_parsed_or("max-batch", 4usize)?.max(1);
+    let batch_window = Duration::from_millis(args.get_parsed_or("batch-window", 2u64)?);
     let serve_stats = args.has_flag("serve-stats") || metrics_out.is_some() || stream_out.is_some();
     let trace_out = start_tracing(args);
     let streamer = match &stream_out {
@@ -131,6 +136,8 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
             metrics_out.as_deref(),
             stream_out.as_deref(),
             report_every,
+            max_batch,
+            batch_window,
         )?;
     }
     if let Some(streamer) = streamer {
@@ -157,7 +164,9 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
 /// and a mid-burst preemption — then prints the pool's metrics snapshot.
 /// With `--stream-out`, a [`MetricsReporter`] also rewrites
 /// `metrics.prom` + `serve_metrics.json` in the stream directory every
-/// `report_every` while the pool serves.
+/// `report_every` while the pool serves. `--max-batch`/`--batch-window`
+/// control the pool's adaptive coalescing.
+#[allow(clippy::too_many_arguments)]
 fn serve_with_stats(
     net: MultiExitNet,
     predictor: Arc<CsPredictor>,
@@ -166,6 +175,8 @@ fn serve_with_stats(
     metrics_out: Option<&std::path::Path>,
     stream_dir: Option<&std::path::Path>,
     report_every: Duration,
+    max_batch: usize,
+    batch_window: Duration,
 ) -> CmdResult {
     println!("\nserving the same model through the executor pool (--serve-stats):");
     let gate = PreemptionGate::new();
@@ -183,6 +194,8 @@ fn serve_with_stats(
             workers: 2,
             queue_capacity: 4,
             block_delay: Duration::from_millis(2),
+            max_batch,
+            batch_window,
             ..PoolConfig::default()
         },
     );

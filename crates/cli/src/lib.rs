@@ -91,9 +91,13 @@ COMMANDS:
                    [--preemptions N] [--serve-stats]
                    [--trace-out FILE] [--metrics-out FILE]
                    [--stream-out DIR] [--report-every MS]
+                   [--max-batch N] [--batch-window MS]
                    --serve-stats also drives the executor pool (bounded
-                   admission, deadlines, panic isolation) and prints its
-                   serving-metrics snapshot
+                   admission, EDF dispatch, adaptive batching, deadlines,
+                   panic isolation) and prints its serving-metrics snapshot
+                   --max-batch caps how many compatible requests a worker
+                   coalesces into one stacked forward (default 4);
+                   --batch-window caps the batch hold time in ms (default 2)
                    --metrics-out writes that snapshot as JSON (implies
                    --serve-stats)
                    --stream-out streams the trace as JSONL and rewrites
@@ -162,6 +166,8 @@ mod tests {
             "--metrics-out",
             "--stream-out",
             "--report-every",
+            "--max-batch",
+            "--batch-window",
             "--chrome-out",
         ] {
             assert!(u.contains(cmd), "usage missing {cmd}");

@@ -1,0 +1,230 @@
+//! Online cost model for adaptive batch coalescing.
+//!
+//! The serving pool can hold the queue head briefly to let compatible
+//! requests accumulate into one batched forward. Holding is only worth it
+//! when the per-sample service-time saving from a larger batch exceeds the
+//! queue delay the hold adds. [`BatchGainModel`] learns both sides of that
+//! trade-off online from observed service times and inter-arrival gaps, and
+//! answers one question: *given `b` tasks in hand, how long may I wait for
+//! a `(b+1)`-th?*
+//!
+//! The model is deliberately tiny — EWMAs only, no allocation after
+//! construction — because it is consulted under the scheduler lock.
+
+/// EWMA smoothing factor: new observations carry 20% weight.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Maximum batch size the model keeps statistics for. Larger batches are
+/// clamped; extrapolation covers the tail.
+pub const MAX_TRACKED_BATCH: usize = 32;
+
+/// Learns batch service-time curves and arrival rates online, and converts
+/// them into a hold budget for the batch coalescer.
+#[derive(Debug, Clone)]
+pub struct BatchGainModel {
+    /// `service_us[b-1]` = EWMA of *total* wall time for a batch of `b`,
+    /// in microseconds. `None` until first observation.
+    service_us: [Option<f64>; MAX_TRACKED_BATCH],
+    /// EWMA of the gap between consecutive task arrivals, microseconds.
+    arrival_gap_us: Option<f64>,
+}
+
+impl Default for BatchGainModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchGainModel {
+    /// Creates an empty model. With no observations the model never holds:
+    /// cold-start is conservative, and batches still form naturally from
+    /// queue backlog under load, which in turn warms the model.
+    pub fn new() -> Self {
+        Self {
+            service_us: [None; MAX_TRACKED_BATCH],
+            arrival_gap_us: None,
+        }
+    }
+
+    /// Records that a batch of `batch` samples took `total_us` of service
+    /// time end to end.
+    pub fn observe_service(&mut self, batch: usize, total_us: u64) {
+        if batch == 0 {
+            return;
+        }
+        let slot = batch.min(MAX_TRACKED_BATCH) - 1;
+        let x = total_us as f64;
+        self.service_us[slot] = Some(match self.service_us[slot] {
+            Some(prev) => prev + EWMA_ALPHA * (x - prev),
+            None => x,
+        });
+    }
+
+    /// Records the gap since the previous task arrival.
+    pub fn observe_arrival_gap(&mut self, gap_us: u64) {
+        let x = gap_us as f64;
+        self.arrival_gap_us = Some(match self.arrival_gap_us {
+            Some(prev) => prev + EWMA_ALPHA * (x - prev),
+            None => x,
+        });
+    }
+
+    /// Expected total service time for a batch of `batch`, in µs.
+    ///
+    /// Uses the nearest observed sizes: exact slot if seen, otherwise
+    /// linear inter-/extrapolation from the observed curve, falling back to
+    /// proportional scaling from the closest single point. Returns `None`
+    /// when nothing has been observed yet.
+    pub fn expected_service_us(&self, batch: usize) -> Option<f64> {
+        if batch == 0 {
+            return Some(0.0);
+        }
+        let b = batch.min(MAX_TRACKED_BATCH);
+        if let Some(v) = self.service_us[b - 1] {
+            return Some(v);
+        }
+        // Gather observed (size, time) points.
+        let pts: Vec<(f64, f64)> = self
+            .service_us
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|t| ((i + 1) as f64, t)))
+            .collect();
+        match pts.len() {
+            0 => None,
+            1 => {
+                // One point: scale linearly through the origin offset —
+                // assume per-sample cost is constant (no batching gain
+                // assumed until proven).
+                let (sz, t) = pts[0];
+                Some(t / sz * b as f64)
+            }
+            _ => {
+                // Interpolate between the two nearest observed sizes, or
+                // extrapolate from the closest pair at either end.
+                let bf = b as f64;
+                let (lo, hi) = match pts.iter().position(|&(sz, _)| sz > bf) {
+                    Some(0) => (pts[0], pts[1]),
+                    Some(i) => (pts[i - 1], pts[i]),
+                    None => (pts[pts.len() - 2], pts[pts.len() - 1]),
+                };
+                let slope = (hi.1 - lo.1) / (hi.0 - lo.0);
+                Some((lo.1 + slope * (bf - lo.0)).max(0.0))
+            }
+        }
+    }
+
+    /// Expected arrival gap in µs, if any arrivals have been observed.
+    pub fn expected_arrival_gap_us(&self) -> Option<f64> {
+        self.arrival_gap_us
+    }
+
+    /// How long the coalescer may hold `in_hand` runnable tasks waiting for
+    /// one more, in µs. Zero means "dispatch now".
+    ///
+    /// The rule: adding a sample to the batch is worth at most the service
+    /// time it saves versus running that sample alone,
+    /// `saving = t(1) + t(b) − t(b+1)`. Holding delays all `in_hand` tasks,
+    /// so the budget is `saving / in_hand` — total added queue delay never
+    /// exceeds the expected saving. The budget is further gated on the
+    /// arrival process: if the expected gap exceeds the budget, the next
+    /// task likely won't arrive in time and we don't hold at all.
+    pub fn hold_budget_us(&self, in_hand: usize) -> u64 {
+        if in_hand == 0 || in_hand >= MAX_TRACKED_BATCH {
+            return 0;
+        }
+        let (Some(t1), Some(tb), Some(tb1)) = (
+            self.expected_service_us(1),
+            self.expected_service_us(in_hand),
+            self.expected_service_us(in_hand + 1),
+        ) else {
+            return 0;
+        };
+        let saving = t1 + tb - tb1;
+        if saving <= 0.0 {
+            return 0;
+        }
+        let budget = saving / in_hand as f64;
+        match self.arrival_gap_us {
+            Some(gap) if gap <= budget => budget as u64,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_model_never_holds() {
+        let m = BatchGainModel::new();
+        assert_eq!(m.hold_budget_us(1), 0);
+        assert_eq!(m.hold_budget_us(4), 0);
+        assert_eq!(m.expected_service_us(3), None);
+    }
+
+    #[test]
+    fn single_point_scales_linearly() {
+        let mut m = BatchGainModel::new();
+        m.observe_service(2, 1000);
+        assert_eq!(m.expected_service_us(1), Some(500.0));
+        assert_eq!(m.expected_service_us(4), Some(2000.0));
+        // Linear curve ⇒ zero saving ⇒ no hold.
+        m.observe_arrival_gap(10);
+        assert_eq!(m.hold_budget_us(1), 0);
+    }
+
+    #[test]
+    fn sublinear_curve_yields_hold_budget() {
+        let mut m = BatchGainModel::new();
+        // Strongly sublinear: t(1)=1000, t(2)=1200, t(3)=1400.
+        m.observe_service(1, 1000);
+        m.observe_service(2, 1200);
+        m.observe_service(3, 1400);
+        m.observe_arrival_gap(100);
+        // saving for 1→2 = t(1)+t(1)−t(2) = 800; budget = 800/1 = 800.
+        assert_eq!(m.hold_budget_us(1), 800);
+        // saving for 2→3 = t(1)+t(2)−t(3) = 800; budget = 800/2 = 400.
+        assert_eq!(m.hold_budget_us(2), 400);
+    }
+
+    #[test]
+    fn slow_arrivals_disable_holding() {
+        let mut m = BatchGainModel::new();
+        m.observe_service(1, 1000);
+        m.observe_service(2, 1200);
+        m.observe_arrival_gap(50_000); // arrivals far slower than any gain
+        assert_eq!(m.hold_budget_us(1), 0);
+    }
+
+    #[test]
+    fn interpolates_between_observed_sizes() {
+        let mut m = BatchGainModel::new();
+        m.observe_service(1, 1000);
+        m.observe_service(4, 2500);
+        // b=2 interpolated: 1000 + (2500-1000)/3 = 1500.
+        assert_eq!(m.expected_service_us(2), Some(1500.0));
+        // b=8 extrapolated along the same slope: 2500 + 4*500 = 4500.
+        assert_eq!(m.expected_service_us(8), Some(4500.0));
+    }
+
+    #[test]
+    fn ewma_tracks_shifting_service_times() {
+        let mut m = BatchGainModel::new();
+        m.observe_service(1, 1000);
+        for _ in 0..50 {
+            m.observe_service(1, 2000);
+        }
+        let t = m.expected_service_us(1).unwrap();
+        assert!((t - 2000.0).abs() < 50.0, "EWMA should converge: {t}");
+    }
+
+    #[test]
+    fn oversized_batches_clamp_to_tracked_range() {
+        let mut m = BatchGainModel::new();
+        m.observe_service(MAX_TRACKED_BATCH + 10, 5000);
+        assert_eq!(m.expected_service_us(MAX_TRACKED_BATCH), Some(5000.0));
+        assert_eq!(m.hold_budget_us(MAX_TRACKED_BATCH), 0);
+    }
+}

@@ -27,10 +27,13 @@
 //!   ([`ElasticOutcome`]).
 //! * [`eval`] — overall-accuracy evaluation harnesses used by every
 //!   experiment binary.
+//! * [`BatchGainModel`] — the online service-time/arrival cost model behind
+//!   the serving layer's adaptive batch coalescing (`einet-edge`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batching;
 mod expectation;
 mod plan;
 mod planner;
@@ -40,6 +43,7 @@ mod time_dist;
 pub mod eval;
 pub mod search;
 
+pub use batching::{BatchGainModel, MAX_TRACKED_BATCH};
 pub use expectation::{expectation, expectation_reference, AccuracyExpectation};
 pub use plan::ExitPlan;
 pub use planner::{

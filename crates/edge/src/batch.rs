@@ -1,0 +1,228 @@
+//! The batched elastic execution loop.
+//!
+//! Runs one exit plan over a *stacked* batch of compatible requests —
+//! one conv pass per block for the whole batch, exits evaluated
+//! per-sample — while keeping the elastic-inference guarantee **per
+//! member**:
+//!
+//! * every member carries its own [`TaskGuard`]; a member whose deadline
+//!   expires mid-batch is finalized right there with its latest
+//!   checkpointed outputs, while the rest of the batch keeps running;
+//! * raising the shared gate finalizes every still-active member within
+//!   one block, exactly like the single-task loop;
+//! * planning is **leader-driven**: the most urgent member (the EDF head,
+//!   index 0) feeds its confidences to the planner; when the leader is
+//!   finalized mid-batch, leadership passes to the next active member and
+//!   the planner context is rebuilt from that member's own outputs.
+//!
+//! Per-sample results are bit-identical to the single-task loop under the
+//! same plan: convolution processes batch samples independently, the linear
+//! layers accumulate in the same k-order regardless of the row count, batch
+//! norm runs in `Eval` mode on running statistics, and softmax/argmax are
+//! row-local. `crates/models/tests/batch_equivalence.rs` pins this.
+
+use std::time::Duration;
+
+use einet_core::{ExitPlan, PlanContext, PlannerDecision, TimeDistribution};
+use einet_models::{exit_outputs_from_logits, ExitOutput, MultiExitNet};
+use einet_profile::EtProfile;
+use einet_tensor::{Layer, Mode, Tensor};
+use einet_trace::{self as trace, Args, Category};
+
+use crate::executor::{stop_name, InferenceRequest, TaskOutcome, TaskStatus};
+use crate::gate::TaskGuard;
+use crate::source::PlannerSource;
+
+/// One member of a batched dispatch.
+pub(crate) struct BatchMember<'a> {
+    /// Pool-wide task id (for trace instants).
+    pub id: u64,
+    /// The member's request (input row, label, deadline).
+    pub request: &'a InferenceRequest,
+    /// The member's stop condition (shared gate ∪ own deadline).
+    pub guard: TaskGuard,
+}
+
+/// Per-member execution state while the batch runs.
+struct MemberState {
+    outputs: Vec<ExitOutput>,
+    blocks_run: usize,
+    /// `Some(status)` once the member has been finalized (stopped early or
+    /// ran to plan end); its row still flows through remaining conv parts
+    /// but receives no further outputs.
+    done: Option<TaskStatus>,
+}
+
+/// Runs `plan`-driven elastic inference over all members as one stacked
+/// forward. Returns one [`TaskOutcome`] per member, in input order.
+///
+/// # Panics
+///
+/// Panics when the planner returns a plan whose length differs from the
+/// network's exit count — the same contract as the single-task loop. Inside
+/// [`crate::ExecutorPool`] this surfaces as a task error, not a dead worker.
+pub(crate) fn run_elastic_batch(
+    net: &mut MultiExitNet,
+    et: &EtProfile,
+    dist: &TimeDistribution,
+    source: &dyn PlannerSource,
+    members: &[BatchMember<'_>],
+    block_delay: Duration,
+) -> Vec<TaskOutcome> {
+    let n = net.num_exits();
+    let b = members.len();
+    assert!(b > 0, "batch must be non-empty");
+    let mut planner = source.make();
+    let mut states: Vec<MemberState> = (0..b)
+        .map(|_| MemberState {
+            outputs: Vec::new(),
+            blocks_run: 0,
+            done: None,
+        })
+        .collect();
+    let checked = |p: ExitPlan| {
+        assert_eq!(p.len(), n, "planner returned wrong plan length");
+        p
+    };
+    // Poll every active member's guard; finalize the ones whose stop
+    // condition fired. Returns true while at least one member is active.
+    let poll = |states: &mut [MemberState]| -> bool {
+        let mut any_active = false;
+        for (m, st) in members.iter().zip(states.iter_mut()) {
+            if st.done.is_some() {
+                continue;
+            }
+            if let Some(cause) = m.guard.check() {
+                trace::instant(Category::Preempt, stop_name(cause), Args::one("task", m.id));
+                st.done = Some(cause.into());
+            } else {
+                any_active = true;
+            }
+        }
+        any_active
+    };
+    // Leadership: the planner follows the most urgent still-active member.
+    let leader = |states: &[MemberState]| states.iter().position(|s| s.done.is_none());
+    // The planner context is rebuilt from the leader's own outputs so a
+    // leadership handover mid-batch keeps confidences consistent.
+    let ctx_fields = |state: &MemberState| {
+        let mut executed: Vec<Option<f32>> = vec![None; n];
+        let mut history = ExitPlan::empty(n);
+        for o in &state.outputs {
+            executed[o.exit] = Some(o.confidence);
+            history.set(o.exit, true);
+        }
+        (executed, history)
+    };
+    let finish = |states: Vec<MemberState>| -> Vec<TaskOutcome> {
+        members
+            .iter()
+            .zip(states)
+            .map(|(m, st)| {
+                let correct = m
+                    .request
+                    .label
+                    .and_then(|l| st.outputs.last().map(|o| o.predicted == l));
+                TaskOutcome {
+                    outputs: st.outputs,
+                    status: st.done.unwrap_or(TaskStatus::Completed),
+                    blocks_run: st.blocks_run,
+                    correct,
+                }
+            })
+            .collect()
+    };
+    if !poll(&mut states) {
+        return finish(states);
+    }
+    let lead = leader(&states).expect("poll said a member is active");
+    let (executed, history) = ctx_fields(&states[lead]);
+    let ctx = PlanContext {
+        et,
+        dist,
+        executed: &executed,
+        history: &history,
+        next_exit: 0,
+    };
+    let mut plan = {
+        let _replan = trace::span_args(
+            Category::Replan,
+            "initial_plan",
+            Args::one("task", members[lead].id),
+        );
+        match planner.plan(&ctx) {
+            PlannerDecision::Plan(p) => checked(p),
+            PlannerDecision::Stop => return finish(states),
+        }
+    };
+    let mut x = Tensor::stack_batch(&members.iter().map(|m| &m.request.input).collect::<Vec<_>>());
+    for i in 0..n {
+        if !poll(&mut states) {
+            return finish(states);
+        }
+        {
+            let _block = trace::span_args(
+                Category::Block,
+                "block",
+                Args::two("exit", i as u64, "batch_size", b as u64),
+            );
+            // The full stacked tensor advances even when some rows are
+            // already finalized: slicing survivors out would break row
+            // alignment and re-stacking costs more than the wasted FLOPs
+            // for the rare mid-batch stop.
+            x = net.blocks_mut()[i].conv_part.forward(&x, Mode::Eval);
+            for st in states.iter_mut().filter(|s| s.done.is_none()) {
+                st.blocks_run += 1;
+            }
+            if !block_delay.is_zero() {
+                std::thread::sleep(block_delay);
+            }
+        }
+        if !plan.get(i) {
+            continue;
+        }
+        if !poll(&mut states) {
+            return finish(states);
+        }
+        {
+            let _exit = trace::span_args(
+                Category::Exit,
+                "exit",
+                Args::two("exit", i as u64, "batch_size", b as u64),
+            );
+            let logits = net.blocks_mut()[i].branch.forward(&x, Mode::Eval);
+            for (row, st) in exit_outputs_from_logits(i, &logits)
+                .into_iter()
+                .zip(states.iter_mut())
+            {
+                if st.done.is_none() {
+                    st.outputs.push(row);
+                }
+            }
+        }
+        if i + 1 == n {
+            break;
+        }
+        let Some(lead) = leader(&states) else {
+            return finish(states);
+        };
+        let (executed, history) = ctx_fields(&states[lead]);
+        let ctx = PlanContext {
+            et,
+            dist,
+            executed: &executed,
+            history: &history,
+            next_exit: i + 1,
+        };
+        let _replan = trace::span_args(
+            Category::Replan,
+            "replan",
+            Args::two("after_exit", i as u64, "task", members[lead].id),
+        );
+        match planner.plan(&ctx) {
+            PlannerDecision::Plan(p) => plan = checked(p).with_frozen_prefix(&history, i + 1),
+            PlannerDecision::Stop => return finish(states),
+        }
+    }
+    finish(states)
+}

@@ -20,11 +20,15 @@
 //! * [`Preemptor`] drives a gate from a kill-time distribution, emulating an
 //!   unpredictable high-priority workload;
 //! * [`ExecutorPool`] is the serving substrate: N workers (each owning a
-//!   clone of the trained network) behind a **bounded admission queue** with
-//!   explicit backpressure ([`SubmitError::QueueFull`]), per-task deadlines
-//!   unified with preemption ([`TaskStatus::DeadlineExpired`]), panic
-//!   isolation ([`TaskError::Panicked`]) and a lock-free metrics registry
-//!   ([`ServeMetrics`]).
+//!   clone of the trained network) behind a **bounded, deadline-aware
+//!   scheduler queue** ([`SchedQueue`]) — earliest-deadline-first dispatch,
+//!   adaptive batch coalescing of compatible requests into one stacked
+//!   forward (capped by [`PoolConfig::max_batch`], held open only while an
+//!   online [`einet_core::BatchGainModel`] predicts the wait pays off) —
+//!   with explicit backpressure ([`SubmitError::QueueFull`]), per-task
+//!   deadlines unified with preemption ([`TaskStatus::DeadlineExpired`]),
+//!   panic isolation ([`TaskError::Panicked`]) and a lock-free metrics
+//!   registry ([`ServeMetrics`]).
 //!
 //! # Example
 //!
@@ -49,20 +53,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod executor;
 mod gate;
 mod metrics;
 mod pool;
 mod preemptor;
+mod sched;
 mod source;
 
 pub use executor::{ElasticExecutor, InferenceRequest, SubmitError, TaskOutcome, TaskStatus};
 pub use gate::{PreemptionGate, StopCause, TaskGuard};
 pub use metrics::{
-    HistogramSnapshot, LatencyHistogram, MetricsReporter, MetricsSnapshot, RollingWindow,
-    ServeMetrics, WindowSample, WindowSnapshot, DEFAULT_WINDOW_BUCKET_MS, LATENCY_BUCKETS_US,
-    NUM_WINDOW_SHARDS,
+    BatchHistogram, BatchSnapshot, HistogramSnapshot, LatencyHistogram, MetricsReporter,
+    MetricsSnapshot, RollingWindow, ServeMetrics, WindowSample, WindowSnapshot, BATCH_BUCKETS,
+    DEFAULT_WINDOW_BUCKET_MS, LATENCY_BUCKETS_US, NUM_WINDOW_SHARDS,
 };
 pub use pool::{ExecutorPool, PoolConfig, TaskError, TaskResult};
 pub use preemptor::Preemptor;
+pub use sched::{PushError, SchedQueue, SchedTask};
 pub use source::{EinetSource, FnSource, PlannerSource, StaticSource};

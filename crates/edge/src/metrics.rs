@@ -31,6 +31,95 @@ pub const LATENCY_BUCKETS_US: [u64; 13] = [
 
 const NUM_BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
 
+/// Upper bounds (inclusive) of the batch-occupancy histogram buckets; the
+/// last bucket is unbounded.
+pub const BATCH_BUCKETS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+const NUM_BATCH_BUCKETS: usize = BATCH_BUCKETS.len() + 1;
+
+/// A fixed-bucket batch-occupancy histogram with atomic counters: one
+/// observation per worker dispatch, weighted by how many tasks the dispatch
+/// coalesced.
+#[derive(Debug, Default)]
+pub struct BatchHistogram {
+    buckets: [AtomicU64; NUM_BATCH_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl BatchHistogram {
+    /// Records one dispatch of `size` coalesced tasks.
+    pub fn record(&self, size: usize) {
+        let size = size as u64;
+        let idx = BATCH_BUCKETS
+            .iter()
+            .position(|&bound| size <= bound)
+            .unwrap_or(NUM_BATCH_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(size, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> BatchSnapshot {
+        let mut buckets = [0u64; NUM_BATCH_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        BatchSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`BatchHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSnapshot {
+    /// Per-bucket dispatch counts ([`BATCH_BUCKETS`] bounds plus an
+    /// overflow bucket).
+    pub buckets: [u64; NUM_BATCH_BUCKETS],
+    /// Worker dispatches (batches, including size-1 singletons).
+    pub count: u64,
+    /// Total tasks across all dispatches (Σ batch sizes).
+    pub sum: u64,
+}
+
+impl BatchSnapshot {
+    /// Mean tasks per dispatch (0 when no dispatch has happened).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("count");
+        w.number_u64(self.count);
+        w.key("sum");
+        w.number_u64(self.sum);
+        w.key("mean_occupancy");
+        w.number_f64(self.mean_occupancy());
+        w.key("bucket_bounds");
+        w.begin_array();
+        for bound in BATCH_BUCKETS {
+            w.number_u64(bound);
+        }
+        w.end_array();
+        w.key("bucket_counts");
+        w.begin_array();
+        for &c in &self.buckets {
+            w.number_u64(c);
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
 /// A fixed-bucket latency histogram with atomic counters.
 #[derive(Debug, Default)]
 pub struct LatencyHistogram {
@@ -165,6 +254,8 @@ struct WindowShard {
     finished: AtomicU64,
     slo_met: AtomicU64,
     slo_missed: AtomicU64,
+    batches: AtomicU64,
+    batch_samples: AtomicU64,
 }
 
 impl WindowShard {
@@ -177,6 +268,8 @@ impl WindowShard {
         self.finished.store(0, Ordering::Relaxed);
         self.slo_met.store(0, Ordering::Relaxed);
         self.slo_missed.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batch_samples.store(0, Ordering::Relaxed);
     }
 }
 
@@ -234,20 +327,20 @@ impl RollingWindow {
         u64::try_from(offset.as_millis()).unwrap_or(u64::MAX) / self.bucket_ms
     }
 
-    /// Records one finished task at `offset` since the window's time zero.
-    /// Samples older than the bucket currently occupying their shard are
-    /// dropped (they fell out of the window before being recorded).
-    pub fn record_at(&self, offset: Duration, sample: WindowSample) {
+    /// Claims the shard for the bucket `offset` maps to, rotating it if it
+    /// still holds an older bucket's data. `None` when the bucket's shard
+    /// was already recycled by a newer bucket (the sample is stale).
+    fn claim_shard(&self, offset: Duration) -> Option<&WindowShard> {
         let idx = self.bucket_index(offset);
         let shard = &self.shards[(idx % NUM_WINDOW_SHARDS as u64) as usize];
         let want = idx + 1; // stored epoch is index + 1 so 0 means unused
         loop {
             let cur = shard.epoch.load(Ordering::Acquire);
             if cur == want {
-                break;
+                return Some(shard);
             }
             if cur > want {
-                return; // stale: this bucket's shard was already recycled
+                return None; // stale: this bucket's shard was already recycled
             }
             if shard
                 .epoch
@@ -255,9 +348,18 @@ impl RollingWindow {
                 .is_ok()
             {
                 shard.reset();
-                break;
+                return Some(shard);
             }
         }
+    }
+
+    /// Records one finished task at `offset` since the window's time zero.
+    /// Samples older than the bucket currently occupying their shard are
+    /// dropped (they fell out of the window before being recorded).
+    pub fn record_at(&self, offset: Duration, sample: WindowSample) {
+        let Some(shard) = self.claim_shard(offset) else {
+            return;
+        };
         shard.finished.fetch_add(1, Ordering::Relaxed);
         match sample.slo {
             Some(true) => shard.slo_met.fetch_add(1, Ordering::Relaxed),
@@ -275,6 +377,18 @@ impl RollingWindow {
         }
     }
 
+    /// Records one worker dispatch of `size` coalesced tasks at `offset`
+    /// since the window's time zero — the windowed occupancy gauge.
+    pub fn record_batch_at(&self, offset: Duration, size: usize) {
+        let Some(shard) = self.claim_shard(offset) else {
+            return;
+        };
+        shard.batches.fetch_add(1, Ordering::Relaxed);
+        shard
+            .batch_samples
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
     /// Sums the buckets still inside the window ending at `offset`.
     pub fn snapshot_at(&self, offset: Duration) -> WindowSnapshot {
         let now_idx = self.bucket_index(offset);
@@ -286,6 +400,8 @@ impl RollingWindow {
             finished: 0,
             slo_met: 0,
             slo_missed: 0,
+            batches: 0,
+            batch_samples: 0,
             service: HistogramSnapshot {
                 buckets: [0; NUM_BUCKETS],
                 count: 0,
@@ -300,6 +416,8 @@ impl RollingWindow {
             snap.finished += shard.finished.load(Ordering::Relaxed);
             snap.slo_met += shard.slo_met.load(Ordering::Relaxed);
             snap.slo_missed += shard.slo_missed.load(Ordering::Relaxed);
+            snap.batches += shard.batches.load(Ordering::Relaxed);
+            snap.batch_samples += shard.batch_samples.load(Ordering::Relaxed);
             snap.service.count += shard.count.load(Ordering::Relaxed);
             snap.service.sum_us += shard.sum_us.load(Ordering::Relaxed);
             for (out, b) in snap.service.buckets.iter_mut().zip(shard.buckets.iter()) {
@@ -322,11 +440,24 @@ pub struct WindowSnapshot {
     pub slo_met: u64,
     /// Deadline-carrying tasks that expired or were shed.
     pub slo_missed: u64,
+    /// Worker dispatches inside the window (including size-1 singletons).
+    pub batches: u64,
+    /// Total tasks across those dispatches (Σ batch sizes).
+    pub batch_samples: u64,
     /// Windowed service-latency histogram (serviced tasks only).
     pub service: HistogramSnapshot,
 }
 
 impl WindowSnapshot {
+    /// Mean tasks per dispatch inside the window (0 with no dispatches).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_samples as f64 / self.batches as f64
+        }
+    }
+
     /// Finished tasks per second over the window span.
     pub fn throughput_per_sec(&self) -> f64 {
         if self.window_ms == 0 {
@@ -357,6 +488,12 @@ impl WindowSnapshot {
         w.number_u64(self.slo_met);
         w.key("slo_missed");
         w.number_u64(self.slo_missed);
+        w.key("batches");
+        w.number_u64(self.batches);
+        w.key("batch_samples");
+        w.number_u64(self.batch_samples);
+        w.key("mean_occupancy");
+        w.number_f64(self.mean_occupancy());
         w.key("throughput_per_sec");
         w.number_f64(self.throughput_per_sec());
         w.key("slo_attainment");
@@ -386,6 +523,8 @@ pub struct ServeMetrics {
     pub queue_wait: LatencyHistogram,
     /// Dequeue → outcome.
     pub service: LatencyHistogram,
+    /// Tasks per worker dispatch (batch occupancy).
+    pub batch: BatchHistogram,
     /// Rolling window over finished tasks (last ~2 s by default).
     pub window: RollingWindow,
 }
@@ -406,6 +545,7 @@ impl Default for ServeMetrics {
             started: Instant::now(),
             queue_wait: LatencyHistogram::default(),
             service: LatencyHistogram::default(),
+            batch: BatchHistogram::default(),
             window: RollingWindow::default(),
         }
     }
@@ -508,6 +648,12 @@ impl ServeMetrics {
         );
     }
 
+    /// One worker dispatch coalesced `size` tasks (1 = unbatched).
+    pub(crate) fn on_batch(&self, size: usize) {
+        self.batch.record(size);
+        self.window.record_batch_at(self.started.elapsed(), size);
+    }
+
     /// One task died to a worker panic (after `service` on the worker).
     pub(crate) fn on_panicked(&self, service: Duration) {
         self.panicked.fetch_add(1, Ordering::Relaxed);
@@ -537,6 +683,7 @@ impl ServeMetrics {
             uptime_us: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
             queue_wait: self.queue_wait.snapshot(),
             service: self.service.snapshot(),
+            batch: self.batch.snapshot(),
             window: self.window.snapshot_at(self.started.elapsed()),
         }
     }
@@ -574,6 +721,8 @@ pub struct MetricsSnapshot {
     pub queue_wait: HistogramSnapshot,
     /// Dequeue → outcome latencies.
     pub service: HistogramSnapshot,
+    /// Batch-occupancy histogram (tasks per worker dispatch).
+    pub batch: BatchSnapshot,
     /// The live rolling window at snapshot time.
     pub window: WindowSnapshot,
 }
@@ -629,6 +778,8 @@ impl MetricsSnapshot {
         self.queue_wait.write_json(&mut w);
         w.key("service");
         self.service.write_json(&mut w);
+        w.key("batch");
+        self.batch.write_json(&mut w);
         w.key("window");
         self.window.write_json(&mut w);
         w.end_object();
@@ -676,6 +827,32 @@ impl MetricsSnapshot {
                 sum_us: num(h, "sum_us")?,
             })
         };
+        let batch_histogram = |obj: &JsonValue, key: &str| -> Result<BatchSnapshot, String> {
+            let h = obj
+                .get(key)
+                .ok_or_else(|| format!("metrics JSON missing batch histogram {key:?}"))?;
+            let counts = h
+                .get("bucket_counts")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("batch histogram {key:?} missing bucket_counts"))?;
+            if counts.len() != NUM_BATCH_BUCKETS {
+                return Err(format!(
+                    "batch histogram {key:?} has {} buckets, expected {NUM_BATCH_BUCKETS}",
+                    counts.len()
+                ));
+            }
+            let mut buckets = [0u64; NUM_BATCH_BUCKETS];
+            for (out, c) in buckets.iter_mut().zip(counts) {
+                *out = c.as_u64().ok_or_else(|| {
+                    format!("batch histogram {key:?} has a non-integer bucket count")
+                })?;
+            }
+            Ok(BatchSnapshot {
+                buckets,
+                count: num(h, "count")?,
+                sum: num(h, "sum")?,
+            })
+        };
         let window = v
             .get("window")
             .ok_or_else(|| "metrics JSON missing window".to_string())?;
@@ -693,11 +870,14 @@ impl MetricsSnapshot {
             uptime_us: num(&v, "uptime_us")?,
             queue_wait: histogram(&v, "queue_wait")?,
             service: histogram(&v, "service")?,
+            batch: batch_histogram(&v, "batch")?,
             window: WindowSnapshot {
                 window_ms: num(window, "window_ms")?,
                 finished: num(window, "finished")?,
                 slo_met: num(window, "slo_met")?,
                 slo_missed: num(window, "slo_missed")?,
+                batches: num(window, "batches")?,
+                batch_samples: num(window, "batch_samples")?,
                 service: histogram(window, "service")?,
             },
         })
@@ -813,6 +993,26 @@ impl MetricsSnapshot {
             "Dequeue to outcome.",
             &self.service,
         );
+        // Batch occupancy: a histogram over dispatch sizes, not latencies.
+        {
+            let name = "einet_batch_size";
+            let _ = writeln!(out, "# HELP {name} Tasks coalesced per worker dispatch.");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, bound) in BATCH_BUCKETS.iter().enumerate() {
+                cumulative += self.batch.buckets[i];
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.batch.count);
+            let _ = writeln!(out, "{name}_sum {}", self.batch.sum);
+            let _ = writeln!(out, "{name}_count {}", self.batch.count);
+        }
+        gauge(
+            &mut out,
+            "einet_batch_mean_occupancy",
+            "Mean tasks per worker dispatch since start.",
+            self.batch.mean_occupancy(),
+        );
         gauge(
             &mut out,
             "einet_window_finished",
@@ -842,6 +1042,12 @@ impl MetricsSnapshot {
             "einet_window_service_p99_seconds",
             "Windowed service-latency p99 upper bound.",
             self.window.service.quantile_ms(0.99) / 1e3,
+        );
+        gauge(
+            &mut out,
+            "einet_window_batch_occupancy",
+            "Mean tasks per worker dispatch over the rolling window.",
+            self.window.mean_occupancy(),
         );
         out
     }
@@ -952,6 +1158,13 @@ impl std::fmt::Display for MetricsSnapshot {
             self.service.mean_ms(),
             self.service.quantile_ms(0.50),
             self.service.quantile_ms(0.99),
+        )?;
+        writeln!(
+            f,
+            "batch: {} dispatches | mean occupancy {:.2} | window occupancy {:.2}",
+            self.batch.count,
+            self.batch.mean_occupancy(),
+            self.window.mean_occupancy(),
         )?;
         write!(
             f,
@@ -1298,6 +1511,51 @@ mod tests {
         assert!(text.contains("einet_service_seconds_bucket{le=\"0.001\"} 0"));
         assert!(text.contains("einet_service_seconds_bucket{le=\"0.0025\"} 1"));
         assert!(text.contains("einet_service_seconds_bucket{le=\"1\"} 1"));
+    }
+
+    #[test]
+    fn batch_occupancy_feeds_histogram_window_prom_and_display() {
+        let m = ServeMetrics::new();
+        m.on_batch(1);
+        m.on_batch(4);
+        m.on_batch(3);
+        let s = m.snapshot();
+        assert_eq!(s.batch.count, 3);
+        assert_eq!(s.batch.sum, 8);
+        assert!((s.batch.mean_occupancy() - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.batch.buckets[0], 1, "size 1 in the first bucket");
+        assert_eq!(s.batch.buckets[2], 2, "sizes 3 and 4 share the <=4 bucket");
+        assert_eq!(s.window.batches, 3);
+        assert_eq!(s.window.batch_samples, 8);
+        assert!((s.window.mean_occupancy() - 8.0 / 3.0).abs() < 1e-12);
+        let text = s.to_prom_text();
+        for needle in [
+            "# TYPE einet_batch_size histogram",
+            "einet_batch_size_bucket{le=\"4\"} 3",
+            "einet_batch_size_sum 8",
+            "einet_batch_size_count 3",
+            "einet_batch_mean_occupancy",
+            "einet_window_batch_occupancy",
+        ] {
+            assert!(text.contains(needle), "prom text missing {needle:?}");
+        }
+        assert!(s.to_string().contains("mean occupancy"));
+        // Empty registries read as zero occupancy, not NaN.
+        let empty = ServeMetrics::new().snapshot();
+        assert_eq!(empty.batch.mean_occupancy(), 0.0);
+        assert_eq!(empty.window.mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn batch_occupancy_round_trips_through_json() {
+        let m = ServeMetrics::new();
+        m.on_batch(2);
+        m.on_batch(33); // overflow bucket
+        let snap = m.snapshot();
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).expect("round-trip parses");
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.batch.buckets[NUM_BATCH_BUCKETS - 1], 1);
+        assert_eq!(parsed.window.batch_samples, 35);
     }
 
     #[test]

@@ -1,29 +1,40 @@
-//! The multi-worker serving substrate: N elastic workers behind a bounded
-//! admission queue.
+//! The multi-worker serving substrate: N elastic workers behind a bounded,
+//! deadline-aware scheduler queue.
 //!
 //! [`crate::ElasticExecutor`] is the single-worker primitive; this module is
 //! what a deployment actually runs:
 //!
-//! * **Bounded admission.** Submissions go through a fixed-capacity queue;
-//!   when it is full, [`ExecutorPool::submit`] returns
-//!   [`SubmitError::QueueFull`] immediately (backpressure, never blocking
-//!   and never unbounded memory).
+//! * **Bounded admission.** Submissions go through a fixed-capacity
+//!   [`crate::SchedQueue`]; when it is full, [`ExecutorPool::submit`]
+//!   returns [`SubmitError::QueueFull`] immediately (backpressure, never
+//!   blocking and never unbounded memory).
+//! * **EDF dispatch.** Runnable tasks leave the queue earliest-deadline
+//!   first; tasks without deadlines go FIFO after every deadline-carrying
+//!   task.
+//! * **Adaptive batching.** A worker wakeup coalesces compatible queued
+//!   requests (same input shape) into one stacked elastic forward, up to
+//!   [`PoolConfig::max_batch`]; an online gain model decides when holding
+//!   the queue head briefly for one more arrival pays for itself
+//!   ([`einet_core::BatchGainModel`]).
 //! * **Deadlines are preemptions.** A request's deadline is fused with the
 //!   shared [`PreemptionGate`] into one per-task
 //!   [`crate::gate::TaskGuard`], so an expired deadline stops a task
 //!   exactly like the paper's unpredictable exit — within one block,
-//!   keeping its latest checkpointed answer.
-//! * **Panic isolation.** Each task runs under `catch_unwind`; a panicking
-//!   planner (or any other task-level fault) surfaces as
-//!   [`TaskError::Panicked`] on that task's reply channel, the worker
+//!   keeping its latest checkpointed answer. In a batch this holds **per
+//!   member**: one member expiring finalizes that member only.
+//! * **Panic isolation.** Each dispatch runs under `catch_unwind`; a
+//!   panicking planner (or any other task-level fault) surfaces as
+//!   [`TaskError::Panicked`] on the affected reply channels, the worker
 //!   rebuilds its network from the pristine template, and the pool keeps
 //!   serving.
-//! * **Metrics.** Every admission, rejection, dequeue and outcome feeds the
-//!   shared [`ServeMetrics`] registry.
+//! * **Metrics.** Every admission, rejection, dequeue, outcome and batch
+//!   occupancy feeds the shared [`ServeMetrics`] registry.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -32,9 +43,11 @@ use einet_models::MultiExitNet;
 use einet_profile::{EdgePlatform, EtProfile};
 use einet_trace::{self as trace, Args, Category};
 
+use crate::batch::{run_elastic_batch, BatchMember};
 use crate::executor::{next_task_id, run_elastic, InferenceRequest, SubmitError, TaskOutcome};
 use crate::gate::{PreemptionGate, TaskGuard};
 use crate::metrics::ServeMetrics;
+use crate::sched::{PushError, SchedQueue, SchedTask};
 use crate::source::PlannerSource;
 use crate::TaskStatus;
 
@@ -74,6 +87,13 @@ pub struct PoolConfig {
     pub dist: TimeDistribution,
     /// Artificial per-block delay (slow-device emulation; demos/tests).
     pub block_delay: Duration,
+    /// Most compatible tasks one worker wakeup may coalesce into a single
+    /// stacked forward (≥ 1; 1 disables batching).
+    pub max_batch: usize,
+    /// Upper bound on how long a worker may hold an under-filled batch
+    /// waiting for one more compatible arrival. The adaptive gain model
+    /// usually stops far earlier; this caps its worst case.
+    pub batch_window: Duration,
 }
 
 impl Default for PoolConfig {
@@ -84,11 +104,13 @@ impl Default for PoolConfig {
             platform: EdgePlatform::JetsonClass,
             dist: TimeDistribution::Uniform,
             block_delay: Duration::ZERO,
+            max_batch: 1,
+            batch_window: Duration::from_millis(2),
         }
     }
 }
 
-struct PoolTask {
+pub(crate) struct PoolTask {
     id: u64,
     request: InferenceRequest,
     deadline_at: Option<Instant>,
@@ -96,8 +118,23 @@ struct PoolTask {
     reply: std::sync::mpsc::Sender<TaskResult>,
 }
 
-/// N elastic workers behind a bounded admission queue — the serving-side
-/// entry point of the crate.
+impl SchedTask for PoolTask {
+    fn deadline_at(&self) -> Option<Instant> {
+        self.deadline_at
+    }
+
+    fn compat_key(&self) -> u64 {
+        // Tasks can share a stacked forward iff their inputs stack: same
+        // [c, h, w]. Every worker runs a clone of the same network, so the
+        // shape is the whole story.
+        let mut h = DefaultHasher::new();
+        self.request.input.shape().hash(&mut h);
+        h.finish()
+    }
+}
+
+/// N elastic workers behind a bounded, deadline-aware scheduler queue — the
+/// serving-side entry point of the crate.
 ///
 /// # Example
 ///
@@ -112,7 +149,7 @@ struct PoolTask {
 ///     net,
 ///     |_worker| Box::new(StaticSource::new(ExitPlan::full(3))),
 ///     PreemptionGate::new(),
-///     PoolConfig { workers: 2, ..PoolConfig::default() },
+///     PoolConfig { workers: 2, max_batch: 4, ..PoolConfig::default() },
 /// );
 /// let reply = pool.submit(InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16]))).unwrap();
 /// let outcome = reply.recv().unwrap().unwrap();
@@ -122,7 +159,7 @@ struct PoolTask {
 /// ```
 #[derive(Debug)]
 pub struct ExecutorPool {
-    tx: Option<SyncSender<PoolTask>>,
+    queue: Arc<SchedQueue<PoolTask>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<ServeMetrics>,
     gate: PreemptionGate,
@@ -135,7 +172,8 @@ impl ExecutorPool {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.workers` or `cfg.queue_capacity` is zero.
+    /// Panics if `cfg.workers`, `cfg.queue_capacity` or `cfg.max_batch` is
+    /// zero.
     pub fn spawn(
         net: MultiExitNet,
         mut make_source: impl FnMut(usize) -> Box<dyn PlannerSource>,
@@ -143,14 +181,14 @@ impl ExecutorPool {
         cfg: PoolConfig,
     ) -> Self {
         assert!(cfg.workers >= 1, "pool needs at least one worker");
-        assert!(cfg.queue_capacity >= 1, "queue capacity must be positive");
-        let (tx, rx) = std::sync::mpsc::sync_channel::<PoolTask>(cfg.queue_capacity);
-        let rx = Arc::new(Mutex::new(rx));
+        assert!(cfg.max_batch >= 1, "max_batch must be positive");
+        // Capacity ≥ 1 is asserted by the queue itself.
+        let queue = Arc::new(SchedQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(ServeMetrics::new());
         let template = Arc::new(net);
         let workers = (0..cfg.workers)
             .map(|w| {
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
                 let gate = gate.clone();
                 let source = make_source(w);
@@ -158,12 +196,12 @@ impl ExecutorPool {
                 let cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("einet-pool-{w}"))
-                    .spawn(move || worker_loop(&template, source, &gate, &rx, &metrics, &cfg))
+                    .spawn(move || worker_loop(&template, source, &gate, &queue, &metrics, &cfg))
                     .expect("spawn pool worker")
             })
             .collect();
         ExecutorPool {
-            tx: Some(tx),
+            queue,
             workers,
             metrics,
             gate,
@@ -179,7 +217,6 @@ impl ExecutorPool {
     /// the backpressure signal — and [`SubmitError::WorkerGone`] when the
     /// pool is shutting down.
     pub fn submit(&self, request: InferenceRequest) -> Result<Receiver<TaskResult>, SubmitError> {
-        let tx = self.tx.as_ref().ok_or(SubmitError::WorkerGone)?;
         let (reply_tx, reply_rx) = channel();
         let now = Instant::now();
         let task = PoolTask {
@@ -191,7 +228,7 @@ impl ExecutorPool {
         };
         let task_id = task.id;
         self.metrics.begin_admission();
-        match tx.try_send(task) {
+        match self.queue.push(task) {
             Ok(()) => {
                 self.metrics.commit_admission();
                 // Open the task's cross-thread flow on the submitting
@@ -199,11 +236,11 @@ impl ExecutorPool {
                 trace::flow_start(Category::Service, "task_flow", task_id);
                 Ok(reply_rx)
             }
-            Err(TrySendError::Full(_)) => {
+            Err(PushError::Full) => {
                 self.metrics.abort_admission(true);
                 Err(SubmitError::QueueFull)
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(PushError::Closed) => {
                 self.metrics.abort_admission(false);
                 Err(SubmitError::WorkerGone)
             }
@@ -239,7 +276,7 @@ impl ExecutorPool {
     }
 
     fn shutdown_in_place(&mut self) {
-        drop(self.tx.take());
+        self.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -256,107 +293,152 @@ fn worker_loop(
     template: &Arc<MultiExitNet>,
     source: Box<dyn PlannerSource>,
     gate: &PreemptionGate,
-    rx: &Arc<Mutex<Receiver<PoolTask>>>,
+    queue: &Arc<SchedQueue<PoolTask>>,
     metrics: &Arc<ServeMetrics>,
     cfg: &PoolConfig,
 ) {
     let mut net = (**template).clone();
     let et = EtProfile::from_cost_model(&net, cfg.platform);
-    loop {
-        // Hold the lock only for the dequeue itself. A poisoned lock can
-        // only mean a sibling panicked *between* catch_unwind regions, so
-        // the queue state is still sound: keep serving.
-        let task = {
-            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
-            match guard.recv() {
-                Ok(task) => task,
-                Err(_) => break, // pool handle dropped and queue drained
+    while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.batch_window) {
+        // Close out each member's queue wait, shedding the ones whose
+        // deadline already passed while they queued: they would only burn
+        // worker time to report "expired". A shed task still answers its
+        // requester (with the same empty outcome an immediately-expired
+        // task would produce) and still records its queue wait — but not a
+        // service time.
+        let mut live: Vec<PoolTask> = Vec::with_capacity(batch.len());
+        for task in batch {
+            trace::complete_span(
+                Category::Queue,
+                "queue_wait",
+                task.admitted_at,
+                Args::one("task", task.id),
+            );
+            if task.deadline_at.is_some_and(|d| Instant::now() >= d) {
+                metrics.on_shed_expired(task.admitted_at.elapsed());
+                trace::instant(Category::Queue, "shed_expired", Args::one("task", task.id));
+                // The task never reaches a worker slice; its flow ends here.
+                trace::flow_end(Category::Service, "task_flow", task.id);
+                let _ = task.reply.send(Ok(TaskOutcome {
+                    outputs: Vec::new(),
+                    status: TaskStatus::DeadlineExpired,
+                    blocks_run: 0,
+                    correct: None,
+                }));
+            } else {
+                metrics.on_dequeued(task.admitted_at.elapsed());
+                live.push(task);
             }
-        };
-        trace::complete_span(
-            Category::Queue,
-            "queue_wait",
-            task.admitted_at,
-            Args::one("task", task.id),
-        );
-        // A task whose deadline already passed while it queued would only
-        // burn worker time to report "expired": shed it here, before it
-        // touches the network. It still answers its requester (with the
-        // same empty outcome an immediately-expired task would produce)
-        // and still records its queue wait — but not a service time.
-        if task.deadline_at.is_some_and(|d| Instant::now() >= d) {
-            metrics.on_shed_expired(task.admitted_at.elapsed());
-            trace::instant(Category::Queue, "shed_expired", Args::one("task", task.id));
-            // The task never reaches a worker slice; its flow ends here.
-            trace::flow_end(Category::Service, "task_flow", task.id);
-            let _ = task.reply.send(Ok(TaskOutcome {
-                outputs: Vec::new(),
-                status: TaskStatus::DeadlineExpired,
-                blocks_run: 0,
-                correct: None,
-            }));
+        }
+        if live.is_empty() {
             continue;
         }
-        metrics.on_dequeued(task.admitted_at.elapsed());
-        let task_guard = TaskGuard::new(gate.clone(), task.deadline_at);
+        let size = live.len();
+        metrics.on_batch(size);
         let started = Instant::now();
-        let service = trace::span_args(Category::Service, "task", Args::one("task", task.id));
-        // Land the flow on this worker inside the service slice so the
-        // causal arrow points submit → service.
-        trace::flow_step(Category::Service, "task_flow", task.id);
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            run_elastic(
-                &mut net,
-                &et,
-                &cfg.dist,
-                source.as_ref(),
-                &task_guard,
-                &task.request,
-                cfg.block_delay,
-                task.id,
-            )
-        }));
-        // End the flow while the service slice is still open: the "f"
-        // point binds to this slice's end (bp = "e").
-        trace::flow_end(Category::Service, "task_flow", task.id);
-        drop(service);
+        // Per-member service spans cover the same interval as the dispatch —
+        // that is exactly what each member's service-histogram entry
+        // records, keeping trace ↔ metrics duration reconciliation exact.
+        // (Members of one batch nest on this thread; the outermost span
+        // carries the true interval, inner ones are within microseconds.)
+        let member_spans: Vec<_> = live
+            .iter()
+            .map(|t| trace::span_args(Category::Service, "task", Args::one("task", t.id)))
+            .collect();
+        for t in &live {
+            // Land the flow on this worker inside the service slice so the
+            // causal arrow points submit → service.
+            trace::flow_step(Category::Service, "task_flow", t.id);
+        }
+        let result = if size == 1 {
+            let task = &live[0];
+            let task_guard = TaskGuard::new(gate.clone(), task.deadline_at);
+            catch_unwind(AssertUnwindSafe(|| {
+                vec![run_elastic(
+                    &mut net,
+                    &et,
+                    &cfg.dist,
+                    source.as_ref(),
+                    &task_guard,
+                    &task.request,
+                    cfg.block_delay,
+                    task.id,
+                )]
+            }))
+        } else {
+            let members: Vec<BatchMember<'_>> = live
+                .iter()
+                .map(|t| BatchMember {
+                    id: t.id,
+                    request: &t.request,
+                    guard: TaskGuard::new(gate.clone(), t.deadline_at),
+                })
+                .collect();
+            catch_unwind(AssertUnwindSafe(|| {
+                run_elastic_batch(
+                    &mut net,
+                    &et,
+                    &cfg.dist,
+                    source.as_ref(),
+                    &members,
+                    cfg.block_delay,
+                )
+            }))
+        };
+        let service_time = started.elapsed();
+        // End each flow while the service slices are still open: the "f"
+        // point binds to the slice's end (bp = "e").
+        for t in &live {
+            trace::flow_end(Category::Service, "task_flow", t.id);
+        }
+        drop(member_spans);
+        // One batch-scoped span per dispatch (size 1 included), carrying the
+        // occupancy; trace_check reconciles Σ batch_size == serviced. Queue
+        // category, so the Service span total still equals the service
+        // histogram's.
+        trace::complete_span(
+            Category::Queue,
+            "batch",
+            started,
+            Args::two("batch_size", size as u64, "task", live[0].id),
+        );
         match result {
-            Ok(outcome) => {
-                metrics.on_outcome(
-                    outcome.status,
-                    started.elapsed(),
-                    task.deadline_at.is_some(),
-                );
-                // Pool-scoped outcome markers, distinct from the
-                // executor-level "preempted"/"deadline_expired" instants
-                // (which solo runs also emit): these count pool tasks only,
-                // so trace ↔ metrics reconciliation can be exact.
-                match outcome.status {
-                    TaskStatus::Preempted => trace::instant(
-                        Category::Preempt,
-                        "task_preempted",
-                        Args::one("task", task.id),
-                    ),
-                    TaskStatus::DeadlineExpired => trace::instant(
-                        Category::Preempt,
-                        "task_deadline_expired",
-                        Args::one("task", task.id),
-                    ),
-                    TaskStatus::Completed => {}
+            Ok(outcomes) => {
+                queue.observe_service(size, service_time);
+                for (task, outcome) in live.into_iter().zip(outcomes) {
+                    metrics.on_outcome(outcome.status, service_time, task.deadline_at.is_some());
+                    // Pool-scoped outcome markers, distinct from the
+                    // executor-level "preempted"/"deadline_expired" instants
+                    // (which solo runs also emit): these count pool tasks
+                    // only, so trace ↔ metrics reconciliation can be exact.
+                    match outcome.status {
+                        TaskStatus::Preempted => trace::instant(
+                            Category::Preempt,
+                            "task_preempted",
+                            Args::one("task", task.id),
+                        ),
+                        TaskStatus::DeadlineExpired => trace::instant(
+                            Category::Preempt,
+                            "task_deadline_expired",
+                            Args::one("task", task.id),
+                        ),
+                        TaskStatus::Completed => {}
+                    }
+                    // The requester may have given up; that is fine.
+                    let _ = task.reply.send(Ok(outcome));
                 }
-                // The requester may have given up; that is fine.
-                let _ = task.reply.send(Ok(outcome));
             }
             Err(payload) => {
-                metrics.on_panicked(started.elapsed());
-                trace::instant(
-                    Category::Preempt,
-                    "task_panicked",
-                    Args::one("task", task.id),
-                );
-                let _ = task
-                    .reply
-                    .send(Err(TaskError::Panicked(panic_message(payload))));
+                let msg = panic_message(payload);
+                for task in live {
+                    metrics.on_panicked(service_time);
+                    trace::instant(
+                        Category::Preempt,
+                        "task_panicked",
+                        Args::one("task", task.id),
+                    );
+                    let _ = task.reply.send(Err(TaskError::Panicked(msg.clone())));
+                }
                 // The unwound network may hold half-written caches; respawn
                 // the worker state from the pristine template.
                 net = (**template).clone();
@@ -419,6 +501,68 @@ mod tests {
     }
 
     #[test]
+    fn batched_pool_serves_and_accounts_every_task() {
+        let pool = ExecutorPool::spawn(
+            net(),
+            |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+            PreemptionGate::new(),
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch: 4,
+                ..PoolConfig::default()
+            },
+        );
+        let replies: Vec<_> = (0..16)
+            .map(|_| pool.submit(InferenceRequest::new(input())).unwrap())
+            .collect();
+        for r in replies {
+            let outcome = r.recv().unwrap().unwrap();
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.outputs.len(), 3);
+        }
+        let snap = pool.metrics().snapshot();
+        assert_eq!(snap.completed, 16);
+        assert!(snap.reconciles());
+        // Every serviced task is accounted to exactly one batch.
+        assert_eq!(snap.batch.sum, 16);
+        assert!(snap.batch.count <= 16);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn incompatible_shapes_are_served_in_separate_batches() {
+        // A network over [1, 16, 16] accepts only that shape, so use two
+        // pools... no — the compat key is about shapes *within* one queue.
+        // Two different shapes cannot share a net; instead assert the key
+        // directly.
+        let (tx, _rx) = channel();
+        let a = PoolTask {
+            id: 1,
+            request: InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16])),
+            deadline_at: None,
+            admitted_at: Instant::now(),
+            reply: tx.clone(),
+        };
+        let b = PoolTask {
+            id: 2,
+            request: InferenceRequest::new(Tensor::zeros(&[1, 3, 16, 16])),
+            deadline_at: None,
+            admitted_at: Instant::now(),
+            reply: tx.clone(),
+        };
+        let c = PoolTask {
+            id: 3,
+            request: InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16])),
+            deadline_at: None,
+            admitted_at: Instant::now(),
+            reply: tx,
+        };
+        assert_eq!(a.compat_key(), c.compat_key());
+        assert_ne!(a.compat_key(), b.compat_key());
+    }
+
+    #[test]
     fn shutdown_drains_admitted_tasks() {
         let pool = ExecutorPool::spawn(
             net(),
@@ -451,5 +595,113 @@ mod tests {
                 ..PoolConfig::default()
             },
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_queue_capacity_is_rejected() {
+        let _ = ExecutorPool::spawn(
+            net(),
+            |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+            PreemptionGate::new(),
+            PoolConfig {
+                queue_capacity: 0,
+                ..PoolConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be positive")]
+    fn zero_max_batch_is_rejected() {
+        let _ = ExecutorPool::spawn(
+            net(),
+            |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+            PreemptionGate::new(),
+            PoolConfig {
+                max_batch: 0,
+                ..PoolConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn mid_batch_gate_raise_finalizes_every_member_with_checkpoints() {
+        let gate = PreemptionGate::new();
+        let pool = ExecutorPool::spawn(
+            net(),
+            |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+            gate.clone(),
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 16,
+                max_batch: 4,
+                block_delay: Duration::from_millis(40),
+                ..PoolConfig::default()
+            },
+        );
+        let replies: Vec<_> = (0..4)
+            .map(|_| pool.submit(InferenceRequest::new(input())).unwrap())
+            .collect();
+        // Let the batch get past the first block, then preempt.
+        std::thread::sleep(Duration::from_millis(60));
+        gate.raise();
+        let outcomes: Vec<TaskOutcome> =
+            replies.iter().map(|r| r.recv().unwrap().unwrap()).collect();
+        assert!(
+            outcomes.iter().any(|o| o.status == TaskStatus::Preempted),
+            "at least the in-flight batch must observe the raise"
+        );
+        // Every preempted member keeps whatever checkpoints it had and a
+        // consistent blocks_run, and no member is lost.
+        for o in &outcomes {
+            assert!(o.blocks_run <= 3);
+            assert!(o.outputs.len() <= 3);
+        }
+        gate.lower();
+        let snap = pool.metrics().snapshot();
+        assert_eq!(snap.finished(), 4);
+        assert!(snap.reconciles());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn mid_batch_deadline_finalizes_only_the_expiring_member() {
+        // 3 blocks × 30 ms delay ≈ 90 ms total. One member's deadline lands
+        // mid-batch; the others run to completion.
+        let pool = ExecutorPool::spawn(
+            net(),
+            |_| Box::new(StaticSource::new(ExitPlan::full(3))),
+            PreemptionGate::new(),
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 16,
+                max_batch: 4,
+                block_delay: Duration::from_millis(30),
+                ..PoolConfig::default()
+            },
+        );
+        let hurried = pool
+            .submit(InferenceRequest::new(input()).with_deadline(Duration::from_millis(45)))
+            .unwrap();
+        let relaxed: Vec<_> = (0..3)
+            .map(|_| pool.submit(InferenceRequest::new(input())).unwrap())
+            .collect();
+        let hurried = hurried.recv().unwrap().unwrap();
+        assert_eq!(hurried.status, TaskStatus::DeadlineExpired);
+        assert!(
+            hurried.blocks_run < 3,
+            "the deadline must land mid-batch, ran {} blocks",
+            hurried.blocks_run
+        );
+        for r in relaxed {
+            let o = r.recv().unwrap().unwrap();
+            assert!(o.is_complete(), "relaxed members finish: {:?}", o.status);
+            assert_eq!(o.outputs.len(), 3);
+        }
+        let snap = pool.metrics().snapshot();
+        assert_eq!(snap.finished(), 4);
+        assert!(snap.reconciles());
+        pool.shutdown();
     }
 }

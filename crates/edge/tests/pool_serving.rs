@@ -217,8 +217,11 @@ fn deadline_already_expired_in_queue_never_touches_the_network() {
         },
     );
     // The first task occupies the worker for ~60 ms; the second's 1 ms
-    // deadline expires while it waits in the queue.
+    // deadline expires while it waits in the queue. EDF would dispatch the
+    // deadline-carrying task first if both were queued, so wait for the
+    // worker to pick up the first task before submitting the stale one.
     let first = pool.submit(InferenceRequest::new(input())).unwrap();
+    std::thread::sleep(Duration::from_millis(15));
     let stale = pool
         .submit(InferenceRequest::new(input()).with_deadline(Duration::from_millis(1)))
         .unwrap();

@@ -1,0 +1,136 @@
+//! Property-based tests for the deadline-aware scheduler queue: under any
+//! permutation of deadlines and submission orders, dequeue order is exactly
+//! earliest-deadline-first with FIFO tiebreak, deadline-free tasks trail in
+//! submission order, and no task is lost or duplicated.
+
+use std::time::{Duration, Instant};
+
+use einet_edge::{SchedQueue, SchedTask};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Probe {
+    id: usize,
+    /// Deadline offset in ms from the shared epoch; `None` = no deadline.
+    deadline_ms: Option<u64>,
+    deadline_at: Option<Instant>,
+    key: u64,
+}
+
+impl SchedTask for Probe {
+    fn deadline_at(&self) -> Option<Instant> {
+        self.deadline_at
+    }
+    fn compat_key(&self) -> u64 {
+        self.key
+    }
+}
+
+fn arb_deadlines() -> impl Strategy<Value = Vec<Option<u64>>> {
+    // Roughly 3:1 deadline-carrying to deadline-free (the shim's
+    // `prop_oneof!` has no weight syntax, so the arm is repeated).
+    proptest::collection::vec(
+        prop_oneof![
+            (1_000u64..1_000_000).prop_map(Some),
+            (1_000u64..1_000_000).prop_map(Some),
+            (1_000u64..1_000_000).prop_map(Some),
+            Just(None),
+        ],
+        1..24,
+    )
+}
+
+fn probes(deadlines: &[Option<u64>], keys: &[u64]) -> Vec<Probe> {
+    // One shared epoch far in the future so no deadline can expire while
+    // the test shuffles tasks around.
+    let epoch = Instant::now() + Duration::from_secs(3600);
+    deadlines
+        .iter()
+        .zip(keys)
+        .enumerate()
+        .map(|(id, (d, &key))| Probe {
+            id,
+            deadline_ms: *d,
+            deadline_at: d.map(|ms| epoch + Duration::from_millis(ms)),
+            key,
+        })
+        .collect()
+}
+
+/// The order EDF must produce: deadline-carrying tasks by (deadline,
+/// submission index), then deadline-free tasks by submission index.
+fn expected_order(tasks: &[Probe]) -> Vec<usize> {
+    let mut order: Vec<&Probe> = tasks.iter().collect();
+    order.sort_by_key(|p| match p.deadline_ms {
+        Some(ms) => (0u8, ms, p.id),
+        None => (1u8, 0, p.id),
+    });
+    order.iter().map(|p| p.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Singleton pops drain any deadline permutation in exact EDF order.
+    #[test]
+    fn dequeue_order_is_edf_with_fifo_tiebreak(deadlines in arb_deadlines()) {
+        let tasks = probes(&deadlines, &vec![7; deadlines.len()]);
+        let q = SchedQueue::new(tasks.len());
+        for t in &tasks {
+            q.push(t.clone()).unwrap();
+        }
+        let mut popped = Vec::new();
+        while !q.is_empty() {
+            let batch = q.pop_batch(1, Duration::ZERO).unwrap();
+            prop_assert_eq!(batch.len(), 1);
+            popped.push(batch[0].id);
+        }
+        prop_assert_eq!(popped, expected_order(&tasks));
+    }
+
+    /// Batched pops preserve EDF priority: each batch is led by the current
+    /// EDF head, batches only mix compatible tasks, and the concatenation
+    /// of batch members covers every task exactly once in EDF order
+    /// (within one compatibility class).
+    #[test]
+    fn batched_dequeue_loses_nothing_and_leads_with_the_head(
+        deadlines in arb_deadlines(),
+        max_batch in 1usize..6,
+        key_bits in proptest::collection::vec(0u64..2, 1..24),
+    ) {
+        let keys: Vec<u64> = (0..deadlines.len())
+            .map(|i| key_bits[i % key_bits.len()])
+            .collect();
+        let tasks = probes(&deadlines, &keys);
+        let q = SchedQueue::new(tasks.len());
+        for t in &tasks {
+            q.push(t.clone()).unwrap();
+        }
+        let expected = expected_order(&tasks);
+        let mut cursor = 0;
+        let mut seen = vec![false; tasks.len()];
+        while !q.is_empty() {
+            let batch = q.pop_batch(max_batch, Duration::ZERO).unwrap();
+            prop_assert!(batch.len() <= max_batch);
+            // The leader is the most urgent not-yet-served task.
+            while seen[expected[cursor]] {
+                cursor += 1;
+            }
+            prop_assert_eq!(batch[0].id, expected[cursor], "batch led by EDF head");
+            let lead_key = batch[0].key;
+            let mut last_pos = None;
+            for member in &batch {
+                prop_assert_eq!(member.key, lead_key, "batches never mix keys");
+                prop_assert!(!seen[member.id], "no duplicates");
+                seen[member.id] = true;
+                // Members are drawn in EDF order within the class.
+                let pos = expected.iter().position(|&e| e == member.id).unwrap();
+                if let Some(prev) = last_pos {
+                    prop_assert!(pos > prev, "batch preserves EDF order");
+                }
+                last_pos = Some(pos);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every task served exactly once");
+    }
+}

@@ -43,6 +43,6 @@ pub use checkpoint::{load_params, save_params, CheckpointError};
 pub use config::ModelKind;
 pub use dense::DenseConv;
 pub use encoder::{EncoderBlock, SqueezeChannel};
-pub use multi_exit::{Block, ExitOutput, MultiExitNet};
+pub use multi_exit::{exit_outputs_from_logits, Block, ExitOutput, MultiExitNet};
 pub use residual::ResidualUnit;
 pub use trainer::{evaluate_exits, train_multi_exit, OptimizerKind, TrainConfig, TrainReport};

@@ -212,6 +212,50 @@ impl MultiExitNet {
         self.forward_plan(input, &all)
     }
 
+    /// Runs **one plan over a whole `[b, c, h, w]` batch**, evaluating each
+    /// executed branch per sample. Returns one `Vec<ExitOutput>` per batch
+    /// item, each in depth order — `result[j]` is exactly what
+    /// [`MultiExitNet::forward_plan`] would return for sample `j` alone
+    /// (bit-identical: every layer computes each sample's activations with
+    /// the same accumulation order regardless of batch size).
+    ///
+    /// This is the serving-side coalescing primitive: the backbone and each
+    /// executed branch run once for the whole batch instead of once per
+    /// sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `execute_branch.len()` differs from the number of exits or
+    /// the input batch is empty.
+    pub fn forward_plan_batch(
+        &mut self,
+        input: &Tensor,
+        execute_branch: &[bool],
+    ) -> Vec<Vec<ExitOutput>> {
+        assert_eq!(
+            execute_branch.len(),
+            self.blocks.len(),
+            "plan length must equal exit count"
+        );
+        let batch = input.shape()[0];
+        assert!(batch > 0, "forward_plan_batch needs a non-empty batch");
+        let mut per_sample: Vec<Vec<ExitOutput>> = vec![Vec::new(); batch];
+        let mut x = input.clone();
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            x = block.conv_part.forward(&x, Mode::Eval);
+            if execute_branch[i] {
+                let logits = block.branch.forward(&x, Mode::Eval);
+                for (row, outs) in exit_outputs_from_logits(i, &logits)
+                    .into_iter()
+                    .zip(per_sample.iter_mut())
+                {
+                    outs.push(row);
+                }
+            }
+        }
+        per_sample
+    }
+
     /// Clears gradients on every parameter.
     pub fn zero_grad(&mut self) {
         for block in &mut self.blocks {
@@ -245,6 +289,24 @@ fn exit_output(exit: usize, logits: &Tensor, row: usize) -> ExitOutput {
         predicted,
         confidence: probs.at2(row, predicted),
     }
+}
+
+/// Builds one [`ExitOutput`] per batch row from a `[b, classes]` logits
+/// tensor — the softmax runs once for the whole batch. Row `j`'s output is
+/// bit-identical to what a single-sample forward of row `j` would produce
+/// (softmax and argmax are strictly row-local).
+pub fn exit_outputs_from_logits(exit: usize, logits: &Tensor) -> Vec<ExitOutput> {
+    let probs = softmax_rows(logits);
+    (0..logits.shape()[0])
+        .map(|row| {
+            let predicted = probs.row_argmax(row);
+            ExitOutput {
+                exit,
+                predicted,
+                confidence: probs.at2(row, predicted),
+            }
+        })
+        .collect()
 }
 
 /// A [`Layer`]-style adapter so an entire multi-exit net can be treated as an

@@ -279,6 +279,32 @@ impl Tensor {
             data: self.data[lo * per..hi * per].to_vec(),
         }
     }
+
+    /// Concatenates tensors along the batch dimension: item `j` of the
+    /// result is item `j'` of the input it came from, bit-for-bit. Every
+    /// input must share the same trailing (non-batch) shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or mismatched trailing shapes.
+    pub fn stack_batch(items: &[&Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "stack_batch needs at least one tensor");
+        let trailing = &items[0].shape[1..];
+        let mut batch = 0;
+        let mut data = Vec::with_capacity(items.iter().map(|t| t.data.len()).sum());
+        for t in items {
+            assert_eq!(
+                &t.shape[1..],
+                trailing,
+                "stack_batch requires matching trailing shapes"
+            );
+            batch += t.shape[0];
+            data.extend_from_slice(&t.data);
+        }
+        let mut shape = vec![batch];
+        shape.extend_from_slice(trailing);
+        Tensor { shape, data }
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -368,6 +394,25 @@ mod tests {
         let s = t.batch_slice(1, 3);
         assert_eq!(s.shape(), &[2, 2]);
         assert_eq!(s.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn stack_batch_concatenates_and_round_trips_with_batch_slice() {
+        let a = Tensor::new(&[1, 2], vec![0.5, 1.5]).unwrap();
+        let b = Tensor::new(&[2, 2], vec![2.5, 3.5, 4.5, 5.5]).unwrap();
+        let s = Tensor::stack_batch(&[&a, &b]);
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.as_slice(), &[0.5, 1.5, 2.5, 3.5, 4.5, 5.5]);
+        assert_eq!(s.batch_slice(0, 1).as_slice(), a.as_slice());
+        assert_eq!(s.batch_slice(1, 3).as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "matching trailing shapes")]
+    fn stack_batch_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[1, 2]);
+        let b = Tensor::zeros(&[1, 3]);
+        let _ = Tensor::stack_batch(&[&a, &b]);
     }
 
     #[test]

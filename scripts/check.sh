@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
 # Repo gate: formatting, lints, tests — and optionally the kernel speedup
-# runner that refreshes results/bench_kernels.json, or the tracing smoke
+# runner that refreshes results/bench_kernels.json, the tracing smoke
 # that records a tiny traced demo (one-shot drain AND continuous streaming)
-# and validates the artifacts with trace_check + einet report.
+# and validates the artifacts with trace_check + einet report, or the
+# serving smoke that saturates the batched pool and fails on a
+# throughput/deadline-miss regression against the batch=1 baseline.
 #
 #   scripts/check.sh                # fmt --check + clippy -D warnings + tests
 #   scripts/check.sh --bench        # also run the bench runner (release build)
 #   scripts/check.sh --trace-smoke  # also run traced demos + trace_check
+#   scripts/check.sh --serve-smoke  # also run the gated serving benchmark
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_bench=0
 run_trace_smoke=0
+run_serve_smoke=0
 for arg in "$@"; do
     case "$arg" in
     --bench) run_bench=1 ;;
     --trace-smoke) run_trace_smoke=1 ;;
+    --serve-smoke) run_serve_smoke=1 ;;
     *)
-        echo "usage: scripts/check.sh [--bench] [--trace-smoke]" >&2
+        echo "usage: scripts/check.sh [--bench] [--trace-smoke] [--serve-smoke]" >&2
         exit 2
         ;;
     esac
@@ -54,6 +59,15 @@ if [ "$run_trace_smoke" -eq 1 ]; then
         --chrome-out results/stream/chrome.json
     echo "== trace overhead (results/bench_trace.json)"
     ./target/release/bench_trace
+fi
+
+if [ "$run_serve_smoke" -eq 1 ]; then
+    echo "== serving smoke (results/bench_serving.json)"
+    cargo build --release -p einet-bench --bin bench_serving
+    # A short saturation pass: 60 tasks per configuration keeps CI fast
+    # while leaving plenty of backlog for batches to form; --gate fails the
+    # run if batching stops paying (speedup < 1.5x) or gives back SLO.
+    EINET_SERVE_TASKS="${EINET_SERVE_TASKS:-60}" ./target/release/bench_serving --gate
 fi
 
 echo "== all checks passed"
