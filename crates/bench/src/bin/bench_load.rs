@@ -1,0 +1,471 @@
+//! Closed-loop load generator for the multi-tenant TCP front-end: drives
+//! two registered models over real sockets with three arrival processes
+//! (Poisson, bursty on/off, diurnal ramp), tallies every response code,
+//! reconciles shed accounting end to end, cross-checks the measured mean
+//! queue delay against the M/D/1 analytic, and writes
+//! `results/bench_load.json`. With `--gate` the cross-checks *assert*.
+//!
+//! The Poisson scenario is quasi-open: `EINET_LOAD_CLIENTS` clients each
+//! sample exponential think times at `1/N`-th of the target rate, so their
+//! superposition approximates a Poisson arrival stream while every client
+//! still waits for its response (no unbounded in-flight buildup). The
+//! target model serves with one worker, no batching and a deterministic
+//! per-block throttle, so the queue is M/D/1-like and
+//! `Wq = λ / (2 μ (μ − λ))` applies. Both λ and μ are *measured* (sent
+//! requests over send-window, inverse mean service time), so the
+//! closed-loop approximation error cancels out of the comparison.
+//!
+//! Environment:
+//! * `EINET_LOAD_REQUESTS` — Poisson-scenario requests (default 300).
+//! * `EINET_LOAD_CLIENTS` — concurrent client connections (default 8).
+//! * `EINET_LOAD_RHO` — nominal utilisation for the Poisson scenario
+//!   (default 0.6; keep well under 1).
+//! * `EINET_LOAD_BLOCK_DELAY_MS` — per-block throttle on the M/D/1 model
+//!   (default 4; dominates service time, making it near-deterministic).
+//! * `EINET_LOAD_BURST` / `EINET_LOAD_RAMP` — request counts for the
+//!   bursty and ramp scenarios (defaults 120 each).
+//! * `EINET_LOAD_TOL` — `--gate` tolerance on |measured − analytic| /
+//!   analytic for the mean queue delay (default 0.25).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use einet_core::ExitPlan;
+use einet_edge::{PoolConfig, StaticSource};
+use einet_models::{zoo, BranchSpec};
+use einet_server::{ModelRegistry, ModelSpec, Server};
+use einet_trace::json::{self, JsonWriter};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SIDE: usize = 16;
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// An inter-arrival process, evaluated per client (each client runs the
+/// process at `1/N`-th of the aggregate rate so the superposition matches).
+#[derive(Clone, Copy)]
+enum Arrival {
+    /// Exponential gaps: a Poisson stream at `rate_hz` aggregate.
+    Poisson { rate_hz: f64 },
+    /// On/off bursts: Poisson at `on_rate_hz` for `on_ms`, silent for
+    /// `off_ms`, repeating.
+    OnOff {
+        on_rate_hz: f64,
+        on_ms: u64,
+        off_ms: u64,
+    },
+    /// A diurnal-style triangle: the rate climbs linearly from
+    /// `low_hz` to `high_hz` over the first half of `period_ms` and back
+    /// down over the second half.
+    Ramp {
+        low_hz: f64,
+        high_hz: f64,
+        period_ms: u64,
+    },
+}
+
+impl Arrival {
+    /// The next think-time for one of `clients` concurrent clients,
+    /// `elapsed` into the run.
+    fn gap(&self, rng: &mut SmallRng, clients: usize, elapsed: Duration) -> Duration {
+        let exp = |rng: &mut SmallRng, rate_hz: f64| {
+            let u: f64 = rng.gen();
+            Duration::from_secs_f64((-(1.0 - u).ln()) / (rate_hz / clients as f64))
+        };
+        match *self {
+            Arrival::Poisson { rate_hz } => exp(rng, rate_hz),
+            Arrival::OnOff {
+                on_rate_hz,
+                on_ms,
+                off_ms,
+            } => {
+                let cycle = on_ms + off_ms;
+                let pos = elapsed.as_millis() as u64 % cycle;
+                if pos < on_ms {
+                    exp(rng, on_rate_hz)
+                } else {
+                    // Sleep to the start of the next burst, then a first
+                    // sample of the burst's own process.
+                    Duration::from_millis(cycle - pos) + exp(rng, on_rate_hz)
+                }
+            }
+            Arrival::Ramp {
+                low_hz,
+                high_hz,
+                period_ms,
+            } => {
+                let pos = elapsed.as_millis() as u64 % period_ms;
+                let half = period_ms as f64 / 2.0;
+                let frac = 1.0 - ((pos as f64 - half).abs() / half); // 0→1→0
+                exp(rng, low_hz + (high_hz - low_hz) * frac)
+            }
+        }
+    }
+}
+
+/// What one request should look like: the tenant mix and deadline policy.
+#[derive(Clone, Copy)]
+struct RequestMix {
+    /// Probability of targeting the primary model (the rest goes to the
+    /// secondary).
+    primary_share: f64,
+    /// Deadline attached to every request, if any.
+    deadline_ms: Option<u64>,
+}
+
+/// Per-scenario response-code tallies, summed over clients.
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    sent: u64,
+    ok: u64,                // 200 — an answer, possibly from an early stop
+    expired_no_answer: u64, // 504 — deadline hit before the first exit
+    shed_queue_full: u64,   // 429 reason=queue_full
+    shed_expired: u64,      // 429 reason=expired_in_queue
+    errors: u64,            // anything else (should stay 0)
+}
+
+impl Tally {
+    fn add(&mut self, other: &Tally) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.expired_no_answer += other.expired_no_answer;
+        self.shed_queue_full += other.shed_queue_full;
+        self.shed_expired += other.shed_expired;
+        self.errors += other.errors;
+    }
+
+    fn answered(&self) -> u64 {
+        self.ok + self.expired_no_answer + self.shed_queue_full + self.shed_expired + self.errors
+    }
+}
+
+/// Runs one scenario: `clients` connections, `total` requests split
+/// between them, arrivals from `arrival`, targets from `mix`. Returns the
+/// summed tally and the duration of the send window (first send → last
+/// send), which is the denominator for the measured arrival rate.
+fn run_scenario(
+    addr: std::net::SocketAddr,
+    models: (&'static str, &'static str),
+    clients: usize,
+    total: usize,
+    arrival: Arrival,
+    mix: RequestMix,
+    seed: u64,
+) -> (Tally, Duration) {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let n = total / clients + usize::from(c < total % clients);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(seed * 1000 + c as u64);
+            let stream = TcpStream::connect(addr).expect("connect to load target");
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            let mut tally = Tally::default();
+            let mut last_send = start;
+            let mut line = String::new();
+            for i in 0..n {
+                std::thread::sleep(arrival.gap(&mut rng, clients, start.elapsed()));
+                let model = if rng.gen::<f64>() < mix.primary_share {
+                    models.0
+                } else {
+                    models.1
+                };
+                let deadline = mix
+                    .deadline_ms
+                    .map(|ms| format!(r#""deadline_ms": {ms}, "#))
+                    .unwrap_or_default();
+                let request = format!(
+                    r#"{{"id": {i}, "model": "{model}", {deadline}"input": {{"shape": [1, 1, {SIDE}, {SIDE}], "fill": 0.2}}}}"#
+                );
+                writer.write_all(request.as_bytes()).expect("send");
+                writer.write_all(b"\n").expect("send");
+                writer.flush().expect("flush");
+                last_send = Instant::now();
+                tally.sent += 1;
+                line.clear();
+                reader.read_line(&mut line).expect("response");
+                let v = json::parse(line.trim()).expect("JSON response");
+                let code = v.get("code").and_then(|c| c.as_u64()).unwrap_or(0);
+                let reason = v.get("reason").and_then(|r| r.as_str()).unwrap_or("");
+                match (code, reason) {
+                    (200, _) => tally.ok += 1,
+                    (504, _) => tally.expired_no_answer += 1,
+                    (429, "queue_full") => tally.shed_queue_full += 1,
+                    (429, "expired_in_queue") => tally.shed_expired += 1,
+                    _ => tally.errors += 1,
+                }
+            }
+            (tally, last_send)
+        }));
+    }
+    let mut tally = Tally::default();
+    let mut last_send = start;
+    for h in handles {
+        let (t, ls) = h.join().expect("client thread");
+        tally.add(&t);
+        last_send = last_send.max(ls);
+    }
+    (tally, last_send.duration_since(start))
+}
+
+fn write_tally(w: &mut JsonWriter, t: &Tally) {
+    w.begin_object();
+    w.key("sent");
+    w.number_u64(t.sent);
+    w.key("ok");
+    w.number_u64(t.ok);
+    w.key("expired_no_answer");
+    w.number_u64(t.expired_no_answer);
+    w.key("shed_queue_full");
+    w.number_u64(t.shed_queue_full);
+    w.key("shed_expired_in_queue");
+    w.number_u64(t.shed_expired);
+    w.key("errors");
+    w.number_u64(t.errors);
+    w.end_object();
+}
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
+    let requests: usize = env_or("EINET_LOAD_REQUESTS", 300);
+    let clients: usize = env_or("EINET_LOAD_CLIENTS", 8).max(1);
+    let rho: f64 = env_or("EINET_LOAD_RHO", 0.6);
+    let block_delay_ms: u64 = env_or("EINET_LOAD_BLOCK_DELAY_MS", 4);
+    let burst_requests: usize = env_or("EINET_LOAD_BURST", 120);
+    let ramp_requests: usize = env_or("EINET_LOAD_RAMP", 120);
+    let tol: f64 = env_or("EINET_LOAD_TOL", 0.25);
+
+    // The M/D/1 tenant: one worker, no batching, service dominated by the
+    // deterministic per-block throttle (3 blocks).
+    let mut registry = ModelRegistry::new();
+    registry.register(
+        "alexnet",
+        zoo::b_alexnet([1, SIDE, SIDE], 10, &BranchSpec::paper_default(), 11),
+        |_r, _w| Box::new(StaticSource::new(ExitPlan::full(3))),
+        ModelSpec {
+            pool: PoolConfig {
+                workers: 1,
+                queue_capacity: 64,
+                block_delay: Duration::from_millis(block_delay_ms),
+                max_batch: 1,
+                ..PoolConfig::default()
+            },
+            ..ModelSpec::default()
+        },
+    );
+    // The second tenant: a deeper model behind a shallow queue, so the
+    // bursty scenario actually sheds.
+    registry.register(
+        "vgg",
+        zoo::flex_vgg16([1, SIDE, SIDE], 10, &BranchSpec::paper_default(), 12),
+        |_r, _w| Box::new(StaticSource::new(ExitPlan::full(5))),
+        ModelSpec {
+            pool: PoolConfig {
+                workers: 1,
+                queue_capacity: 3,
+                block_delay: Duration::from_millis(2),
+                max_batch: 1,
+                ..PoolConfig::default()
+            },
+            ..ModelSpec::default()
+        },
+    );
+    let registry = Arc::new(registry);
+    let server = Server::start(Arc::clone(&registry), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Nominal service rate from the throttle (3 blocks + compute slack);
+    // only used to pick the offered load — the analytic comparison below
+    // uses measured rates exclusively.
+    let nominal_service = Duration::from_millis(3 * block_delay_ms + 2);
+    let lambda_target = rho / nominal_service.as_secs_f64();
+
+    println!(
+        "bench_load: {clients} clients against {addr} | poisson {requests} reqs at \
+         ~{lambda_target:.0}/s (nominal rho {rho}), burst {burst_requests}, ramp {ramp_requests}"
+    );
+
+    // Scenario 1 — Poisson onto the M/D/1 tenant.
+    let (poisson, send_window) = run_scenario(
+        addr,
+        ("alexnet", "vgg"),
+        clients,
+        requests,
+        Arrival::Poisson {
+            rate_hz: lambda_target,
+        },
+        RequestMix {
+            primary_share: 1.0,
+            deadline_ms: None,
+        },
+        1,
+    );
+    // Snapshot *now*: later scenarios add traffic to the same histograms.
+    let md1 = registry.model_snapshot("alexnet").expect("registered");
+    let lambda = poisson.sent as f64 / send_window.as_secs_f64();
+    let mu = 1e3 / md1.service.mean_ms();
+    let wq_measured_ms = md1.queue_wait.mean_ms();
+    // M/D/1 mean wait: Wq = λ / (2 μ (μ − λ)).
+    let wq_analytic_ms = 1e3 * lambda / (2.0 * mu * (mu - lambda).max(1e-9));
+    let wq_error = (wq_measured_ms - wq_analytic_ms).abs() / wq_analytic_ms.max(1e-9);
+    println!(
+        "  poisson: lambda {lambda:.1}/s, mu {mu:.1}/s (rho {:.2}) | mean wait measured \
+         {wq_measured_ms:.2} ms vs M/D/1 {wq_analytic_ms:.2} ms ({:+.0}%)",
+        lambda / mu,
+        100.0 * (wq_measured_ms - wq_analytic_ms) / wq_analytic_ms.max(1e-9),
+    );
+
+    // Scenario 2 — bursty on/off onto the shallow-queue tenant, with
+    // deadlines, so both shed reasons (queue_full, expired_in_queue) show
+    // up as explicit 429s at the client.
+    let (bursty, _) = run_scenario(
+        addr,
+        ("vgg", "alexnet"),
+        clients,
+        burst_requests,
+        Arrival::OnOff {
+            on_rate_hz: 400.0,
+            on_ms: 300,
+            off_ms: 200,
+        },
+        RequestMix {
+            primary_share: 1.0,
+            deadline_ms: Some(60),
+        },
+        2,
+    );
+    println!(
+        "  bursty: {} sent | {} ok, {} shed(queue_full), {} shed(expired), {} expired(504)",
+        bursty.sent,
+        bursty.ok,
+        bursty.shed_queue_full,
+        bursty.shed_expired,
+        bursty.expired_no_answer
+    );
+
+    // Scenario 3 — diurnal ramp across a 70/30 tenant mix.
+    let (ramp, _) = run_scenario(
+        addr,
+        ("alexnet", "vgg"),
+        clients,
+        ramp_requests,
+        Arrival::Ramp {
+            low_hz: 10.0,
+            high_hz: lambda_target,
+            period_ms: 4000,
+        },
+        RequestMix {
+            primary_share: 0.7,
+            deadline_ms: None,
+        },
+        3,
+    );
+    println!("  ramp: {} sent, {} ok", ramp.sent, ramp.ok);
+
+    server.shutdown();
+
+    // End-to-end shed accounting: every 429 the clients saw must match a
+    // registry- or pool-level shed counter, tenant by tenant in aggregate.
+    let mut total = Tally::default();
+    total.add(&poisson);
+    total.add(&bursty);
+    total.add(&ramp);
+    let mut routed = 0u64;
+    let mut shed_full = 0u64;
+    let mut shed_expired = 0u64;
+    let mut all_reconcile = true;
+    for name in ["alexnet", "vgg"] {
+        let rs = registry.route_stats(name).expect("registered");
+        let snap = registry.model_snapshot(name).expect("registered");
+        routed += rs.routed;
+        shed_full += rs.shed_queue_full;
+        shed_expired += snap.shed_expired_at_dequeue;
+        all_reconcile &= snap.reconciles();
+    }
+    let accounting_ok = total.answered() == total.sent
+        && total.errors == 0
+        && shed_full == total.shed_queue_full
+        && shed_expired == total.shed_expired
+        && routed == total.sent - total.shed_queue_full
+        && all_reconcile;
+    println!(
+        "  accounting: {} sent = {} answered | sheds client {}+{} vs server {}+{} | \
+         reconciles {all_reconcile}",
+        total.sent,
+        total.answered(),
+        total.shed_queue_full,
+        total.shed_expired,
+        shed_full,
+        shed_expired,
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("clients");
+    w.number_u64(clients as u64);
+    w.key("poisson");
+    write_tally(&mut w, &poisson);
+    w.key("bursty");
+    write_tally(&mut w, &bursty);
+    w.key("ramp");
+    write_tally(&mut w, &ramp);
+    w.key("md1");
+    w.begin_object();
+    w.key("lambda_per_sec");
+    w.number_f64(lambda);
+    w.key("mu_per_sec");
+    w.number_f64(mu);
+    w.key("rho");
+    w.number_f64(lambda / mu);
+    w.key("wq_measured_ms");
+    w.number_f64(wq_measured_ms);
+    w.key("wq_analytic_ms");
+    w.number_f64(wq_analytic_ms);
+    w.key("relative_error");
+    w.number_f64(wq_error);
+    w.key("tolerance");
+    w.number_f64(tol);
+    w.end_object();
+    w.key("accounting_ok");
+    w.boolean(accounting_ok);
+    w.end_object();
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/bench_load.json", w.finish()).expect("write results/bench_load.json");
+    println!("wrote results/bench_load.json");
+
+    if gate {
+        assert!(
+            accounting_ok,
+            "shed accounting does not reconcile end to end"
+        );
+        assert!(
+            bursty.shed_queue_full + bursty.shed_expired > 0,
+            "the bursty scenario should provoke at least one shed"
+        );
+        assert!(
+            lambda < mu,
+            "offered load must stay under capacity for the M/D/1 check (lambda \
+             {lambda:.1}/s, mu {mu:.1}/s)"
+        );
+        assert!(
+            wq_error <= tol,
+            "measured mean queue delay {wq_measured_ms:.2} ms deviates \
+             {:.0}% from the M/D/1 analytic {wq_analytic_ms:.2} ms (limit {:.0}%)",
+            wq_error * 100.0,
+            tol * 100.0
+        );
+        println!(
+            "load gate passed: M/D/1 within {:.0}%, accounting exact",
+            tol * 100.0
+        );
+    }
+}

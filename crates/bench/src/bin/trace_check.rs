@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! trace_check <trace.json> [serve_metrics.json]
+//! trace_check --serve <trace.json> <serve_metrics.json>
 //! trace_check --stream <dir>
 //! ```
 //!
@@ -16,6 +17,10 @@
 //!   of `predictor`/`exit` — the end-to-end coverage bar; `queue` too when
 //!   a metrics file is given (serving traces must show queue wait, but an
 //!   `einet eval` trace has no pool);
+//! * `--serve` applies the same structural and metrics checks to a trace
+//!   from the serving front-end, where a static exit plan is legitimate:
+//!   `queue`, `service` and `block` must appear, but no planner categories
+//!   (`search`/`predictor`) are required;
 //! * with a metrics file: the `service`/`task` span count equals the
 //!   snapshot's serviced-task count and their summed duration lands within
 //!   5% of the service histogram's total; the `shed_expired`,
@@ -152,15 +157,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [flag, dir] if flag == "--stream" => check_stream(Path::new(dir)),
-        [t] => check_drain(t, None),
-        [t, m] => check_drain(t, Some(m)),
+        [flag, t, m] if flag == "--serve" => check_drain(t, Some(m), true),
+        [t] => check_drain(t, None, false),
+        [t, m] => check_drain(t, Some(m), false),
         _ => fail(
-            "usage: trace_check <trace.json> [serve_metrics.json] | trace_check --stream <dir>",
+            "usage: trace_check <trace.json> [serve_metrics.json] | \
+             trace_check --serve <trace.json> <serve_metrics.json> | \
+             trace_check --stream <dir>",
         ),
     }
 }
 
-fn check_drain(trace_path: &str, metrics_path: Option<&String>) -> ExitCode {
+fn check_drain(trace_path: &str, metrics_path: Option<&String>, serve_mode: bool) -> ExitCode {
     let raw = match std::fs::read_to_string(trace_path) {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot read {trace_path}: {e}")),
@@ -247,19 +255,29 @@ fn check_drain(trace_path: &str, metrics_path: Option<&String>) -> ExitCode {
         events.len(),
         cats
     );
-    if cats.len() < 4 {
-        return fail(&format!("only {} categories, need >= 4", cats.len()));
-    }
-    for required in ["block", "search"] {
-        if !cats.contains(required) {
-            return fail(&format!("missing required category {required:?}"));
+    if serve_mode {
+        // A serving trace under a static plan never touches the planner, so
+        // the coverage bar is the serving path itself.
+        for required in ["queue", "service", "block"] {
+            if !cats.contains(required) {
+                return fail(&format!("missing required serving category {required:?}"));
+            }
         }
-    }
-    if !cats.contains("predictor") && !cats.contains("exit") {
-        return fail("missing both predictor and exit categories");
-    }
-    if metrics_path.is_some() && !cats.contains("queue") {
-        return fail("serving trace missing the queue category");
+    } else {
+        if cats.len() < 4 {
+            return fail(&format!("only {} categories, need >= 4", cats.len()));
+        }
+        for required in ["block", "search"] {
+            if !cats.contains(required) {
+                return fail(&format!("missing required category {required:?}"));
+            }
+        }
+        if !cats.contains("predictor") && !cats.contains("exit") {
+            return fail("missing both predictor and exit categories");
+        }
+        if metrics_path.is_some() && !cats.contains("queue") {
+            return fail("serving trace missing the queue category");
+        }
     }
 
     if let Some(metrics_path) = metrics_path {

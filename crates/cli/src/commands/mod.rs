@@ -5,6 +5,7 @@ pub mod eval;
 pub mod experiments;
 pub mod plan;
 pub mod report;
+pub mod serve;
 pub mod train;
 
 use std::error::Error;

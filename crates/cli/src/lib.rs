@@ -10,6 +10,8 @@
 //! einet plan    --dir einet-out [--m 4] [--dist ...]
 //! einet demo    [--preemptions 6] [--stream-out DIR]
 //! einet report  --dir DIR [--chrome-out FILE]
+//! einet serve   [--models b-alexnet,flex-vgg16] [--addr HOST:PORT]
+//!               [--self-test N] [--metrics-out FILE] [--prom-out FILE]
 //! einet experiments <fig8|table2|...|all> [--quick|--full]
 //! ```
 //!
@@ -53,6 +55,7 @@ pub fn run(raw_args: &[String]) -> i32 {
         "plan" => commands::plan::run(&parsed),
         "demo" => commands::demo::run(&parsed),
         "report" => commands::report::run(&parsed),
+        "serve" => commands::serve::run(&parsed),
         "experiments" => commands::experiments::run(&parsed),
         other => {
             eprintln!("error: unknown subcommand {other:?}\n");
@@ -103,6 +106,17 @@ COMMANDS:
                    --stream-out streams the trace as JSONL and rewrites
                    metrics.prom + serve_metrics.json while serving, every
                    --report-every ms (default 200; implies --serve-stats)
+    serve        multi-tenant TCP serving front-end (line-oriented JSON)
+                   [--models b-alexnet,flex-vgg16] [--addr HOST:PORT]
+                   [--replicas N] [--workers N] [--queue-capacity N]
+                   [--max-batch N] [--block-delay-ms N]
+                   [--self-test N] [--metrics-out FILE] [--prom-out FILE]
+                   registers each model behind its own replicated executor
+                   pool; queue-full and expired-in-queue backpressure comes
+                   back as explicit 429-style JSON responses
+                   --self-test drives N loopback requests, verifies the
+                   shed accounting reconciles end to end, then exits
+                   --prom-out writes the per-model labeled Prometheus text
     report       summarise a --stream-out directory after (or during) a run
                    --dir DIR [--chrome-out FILE]
                    prints stream/flow/overflow stats, the per-category span
@@ -159,6 +173,7 @@ mod tests {
             "plan",
             "demo",
             "report",
+            "serve",
             "experiments",
             "--threads",
             "--serve-stats",

@@ -15,8 +15,19 @@
 const EWMA_ALPHA: f64 = 0.2;
 
 /// Maximum batch size the model keeps statistics for. Larger batches are
-/// clamped; extrapolation covers the tail.
+/// rescaled into the last slot; extrapolation covers the tail.
 pub const MAX_TRACKED_BATCH: usize = 32;
+
+/// Arrival gaps larger than `IDLE_GAP_FACTOR ×` the current EWMA are treated
+/// as idle-period boundaries rather than arrival-rate evidence and discarded.
+const IDLE_GAP_FACTOR: f64 = 8.0;
+
+/// Absolute ceiling (µs) below which a gap is always admitted, so the model
+/// can still learn genuinely slow-but-steady streams from a cold start and
+/// recover after its EWMA has drifted low. Several × the default batch
+/// window: no hold budget ever approaches this, so admitting such gaps can
+/// only *disable* holding, never cause a bad hold.
+const IDLE_GAP_FLOOR_US: f64 = 5_000.0;
 
 /// Learns batch service-time curves and arrival rates online, and converts
 /// them into a hold budget for the batch coalescer.
@@ -48,12 +59,20 @@ impl BatchGainModel {
 
     /// Records that a batch of `batch` samples took `total_us` of service
     /// time end to end.
+    ///
+    /// Batches beyond [`MAX_TRACKED_BATCH`] are rescaled proportionally into
+    /// the last slot (a 42-sample batch's time is recorded as 32/42 of it)
+    /// rather than written verbatim, which would inflate the tail of the
+    /// curve and skew every interpolation anchored on it.
     pub fn observe_service(&mut self, batch: usize, total_us: u64) {
         if batch == 0 {
             return;
         }
+        let mut x = total_us as f64;
+        if batch > MAX_TRACKED_BATCH {
+            x *= MAX_TRACKED_BATCH as f64 / batch as f64;
+        }
         let slot = batch.min(MAX_TRACKED_BATCH) - 1;
-        let x = total_us as f64;
         self.service_us[slot] = Some(match self.service_us[slot] {
             Some(prev) => prev + EWMA_ALPHA * (x - prev),
             None => x,
@@ -61,8 +80,21 @@ impl BatchGainModel {
     }
 
     /// Records the gap since the previous task arrival.
+    ///
+    /// Gaps that look like idle-period boundaries — more than
+    /// [`IDLE_GAP_FACTOR`]× the learned gap, and above [`IDLE_GAP_FLOOR_US`]
+    /// — are discarded: one long lull would otherwise drag the EWMA up and
+    /// disable batch holding for many requests after traffic resumes, even
+    /// though the underlying arrival rate is unchanged.
     pub fn observe_arrival_gap(&mut self, gap_us: u64) {
         let x = gap_us as f64;
+        let bound = match self.arrival_gap_us {
+            Some(prev) => (prev * IDLE_GAP_FACTOR).max(IDLE_GAP_FLOOR_US),
+            None => IDLE_GAP_FLOOR_US,
+        };
+        if x > bound {
+            return;
+        }
         self.arrival_gap_us = Some(match self.arrival_gap_us {
             Some(prev) => prev + EWMA_ALPHA * (x - prev),
             None => x,
@@ -221,10 +253,69 @@ mod tests {
     }
 
     #[test]
-    fn oversized_batches_clamp_to_tracked_range() {
+    fn oversized_batches_rescale_into_tracked_range() {
         let mut m = BatchGainModel::new();
-        m.observe_service(MAX_TRACKED_BATCH + 10, 5000);
-        assert_eq!(m.expected_service_us(MAX_TRACKED_BATCH), Some(5000.0));
+        let batch = MAX_TRACKED_BATCH + 10;
+        m.observe_service(batch, 5000);
+        // The 42-sample total is recorded as its 32-sample proportional
+        // share, not verbatim — verbatim would make every interpolation
+        // anchored on the last slot overestimate.
+        let expect = 5000.0 * MAX_TRACKED_BATCH as f64 / batch as f64;
+        let got = m.expected_service_us(MAX_TRACKED_BATCH).unwrap();
+        assert!((got - expect).abs() < 1e-9, "got {got}, want {expect}");
         assert_eq!(m.hold_budget_us(MAX_TRACKED_BATCH), 0);
+    }
+
+    #[test]
+    fn oversized_batch_does_not_corrupt_interpolation() {
+        let mut m = BatchGainModel::new();
+        // Perfectly linear true curve: 100 µs/sample.
+        m.observe_service(1, 100);
+        m.observe_service(42, 4200);
+        // With verbatim clamping the last slot would read 4200 for b=32 and
+        // b=16 would interpolate to ~2078; with rescaling the curve stays
+        // linear and b=16 reads 1600.
+        let got = m.expected_service_us(16).unwrap();
+        assert!((got - 1600.0).abs() < 1.0, "corrupted curve: {got}");
+    }
+
+    #[test]
+    fn idle_gap_does_not_poison_arrival_rate() {
+        let mut m = BatchGainModel::new();
+        m.observe_service(1, 1000);
+        m.observe_service(2, 1200);
+        for _ in 0..20 {
+            m.observe_arrival_gap(100);
+        }
+        let before = m.hold_budget_us(1);
+        assert!(before > 0, "steady stream should enable holding");
+        // A 10-second lull (queue drained, no traffic) must not erase the
+        // learned arrival rate.
+        m.observe_arrival_gap(10_000_000);
+        assert_eq!(m.hold_budget_us(1), before);
+        assert!((m.expected_arrival_gap_us().unwrap() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn first_gap_observation_ignores_idle_boundary() {
+        let mut m = BatchGainModel::new();
+        // Cold model whose very first "gap" is an idle period: discarded,
+        // so the EWMA starts from the first real inter-arrival gap instead.
+        m.observe_arrival_gap(60_000_000);
+        assert_eq!(m.expected_arrival_gap_us(), None);
+        m.observe_arrival_gap(200);
+        assert_eq!(m.expected_arrival_gap_us(), Some(200.0));
+    }
+
+    #[test]
+    fn moderately_slow_gaps_still_update_the_model() {
+        let mut m = BatchGainModel::new();
+        for _ in 0..10 {
+            m.observe_arrival_gap(100);
+        }
+        // 4 ms is slow but under the idle floor: it must be admitted so the
+        // model can track genuine slowdowns (which correctly disable holds).
+        m.observe_arrival_gap(4_000);
+        assert!(m.expected_arrival_gap_us().unwrap() > 100.0);
     }
 }

@@ -89,6 +89,12 @@ pub enum TaskStatus {
     Preempted,
     /// Its own deadline stopped it mid-flight.
     DeadlineExpired,
+    /// Its deadline had already passed when a worker dequeued it, so the
+    /// pool shed it without ever touching the network. Distinct from
+    /// [`TaskStatus::DeadlineExpired`] (which ran and may carry a partial
+    /// answer) and from a worker crash (which is a `TaskError`): a shed is
+    /// an explicit, zero-work refusal the requester can retry elsewhere.
+    ShedExpiredInQueue,
 }
 
 impl From<StopCause> for TaskStatus {
@@ -124,6 +130,11 @@ impl TaskOutcome {
     /// Whether the task ran to the end of its plan.
     pub fn is_complete(&self) -> bool {
         self.status == TaskStatus::Completed
+    }
+
+    /// Whether the task was shed from the queue without running at all.
+    pub fn was_shed(&self) -> bool {
+        self.status == TaskStatus::ShedExpiredInQueue
     }
 }
 

@@ -628,6 +628,14 @@ impl ServeMetrics {
             Completed => &self.completed,
             Preempted => &self.preempted,
             DeadlineExpired => &self.deadline_expired,
+            // Queue sheds never run on a worker; they are accounted by
+            // `on_shed_expired` (which records a wait but no service time).
+            // Routing one here would inflate the service histogram and break
+            // the serviced() ↔ trace-span reconciliation.
+            ShedExpiredInQueue => {
+                debug_assert!(false, "shed outcomes go through on_shed_expired");
+                return;
+            }
         };
         counter.fetch_add(1, Ordering::Relaxed);
         self.service.record(service);
@@ -883,112 +891,269 @@ impl MetricsSnapshot {
         })
     }
 
+    /// Returns an all-zero snapshot — the identity for
+    /// [`MetricsSnapshot::merge`].
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            submitted: 0,
+            rejected: 0,
+            completed: 0,
+            preempted: 0,
+            deadline_expired: 0,
+            deadline_met: 0,
+            shed_expired_at_dequeue: 0,
+            panicked: 0,
+            queue_depth: 0,
+            queue_high_water: 0,
+            uptime_us: 0,
+            queue_wait: HistogramSnapshot {
+                buckets: [0; NUM_BUCKETS],
+                count: 0,
+                sum_us: 0,
+            },
+            service: HistogramSnapshot {
+                buckets: [0; NUM_BUCKETS],
+                count: 0,
+                sum_us: 0,
+            },
+            batch: BatchSnapshot {
+                buckets: [0; NUM_BATCH_BUCKETS],
+                count: 0,
+                sum: 0,
+            },
+            window: WindowSnapshot {
+                window_ms: 0,
+                finished: 0,
+                slo_met: 0,
+                slo_missed: 0,
+                batches: 0,
+                batch_samples: 0,
+                service: HistogramSnapshot {
+                    buckets: [0; NUM_BUCKETS],
+                    count: 0,
+                    sum_us: 0,
+                },
+            },
+        }
+    }
+
+    /// Folds `other` into `self`, counter by counter and bucket by bucket —
+    /// how a registry aggregates the replicas of one model (or every model
+    /// of a registry) into a single fleet-level snapshot.
+    ///
+    /// Additive fields (counters, histogram buckets, window totals,
+    /// `queue_depth`) sum exactly. Two fields are approximations by nature:
+    /// `uptime_us` takes the maximum (the age of the oldest constituent),
+    /// and `queue_high_water` sums — per-replica high-water marks need not
+    /// have coincided in time, so the sum is an upper bound on the true
+    /// aggregate high water.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let add_hist = |a: &mut HistogramSnapshot, b: &HistogramSnapshot| {
+            for (x, y) in a.buckets.iter_mut().zip(b.buckets.iter()) {
+                *x += y;
+            }
+            a.count += b.count;
+            a.sum_us += b.sum_us;
+        };
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.preempted += other.preempted;
+        self.deadline_expired += other.deadline_expired;
+        self.deadline_met += other.deadline_met;
+        self.shed_expired_at_dequeue += other.shed_expired_at_dequeue;
+        self.panicked += other.panicked;
+        self.queue_depth += other.queue_depth;
+        self.queue_high_water += other.queue_high_water;
+        self.uptime_us = self.uptime_us.max(other.uptime_us);
+        add_hist(&mut self.queue_wait, &other.queue_wait);
+        add_hist(&mut self.service, &other.service);
+        for (x, y) in self
+            .batch
+            .buckets
+            .iter_mut()
+            .zip(other.batch.buckets.iter())
+        {
+            *x += y;
+        }
+        self.batch.count += other.batch.count;
+        self.batch.sum += other.batch.sum;
+        self.window.window_ms = self.window.window_ms.max(other.window.window_ms);
+        self.window.finished += other.window.finished;
+        self.window.slo_met += other.window.slo_met;
+        self.window.slo_missed += other.window.slo_missed;
+        self.window.batches += other.window.batches;
+        self.window.batch_samples += other.window.batch_samples;
+        add_hist(&mut self.window.service, &other.window.service);
+    }
+
+    /// Merges any number of snapshots into one (see
+    /// [`MetricsSnapshot::merge`] for the semantics of each field).
+    pub fn merged<'a>(snaps: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::empty();
+        for s in snaps {
+            out.merge(s);
+        }
+        out
+    }
+
     /// Renders the snapshot in Prometheus text exposition format: task
     /// counters, queue gauges, cumulative-bucket latency histograms, and
     /// the windowed throughput/SLO/latency gauges.
     pub fn to_prom_text(&self) -> String {
-        use std::fmt::Write as _;
         let mut out = String::with_capacity(2048);
+        self.write_prom_into(&mut out, &[], true);
+        out
+    }
+
+    /// Like [`MetricsSnapshot::to_prom_text`], attaching `labels` (e.g.
+    /// `[("model", "resnet")]`) to every emitted series — the per-model
+    /// exposition of a multi-tenant registry.
+    pub fn to_prom_text_labeled(&self, labels: &[(&str, &str)]) -> String {
+        let mut out = String::with_capacity(2048);
+        self.write_prom_into(&mut out, labels, true);
+        out
+    }
+
+    /// Appends this snapshot's exposition to `out` with the given labels.
+    /// `headers` controls the `# HELP`/`# TYPE` comment lines: when
+    /// concatenating several labeled snapshots of the *same* metric family
+    /// (one per model), emit headers for the first block only.
+    pub fn write_prom_into(&self, out: &mut String, labels: &[(&str, &str)], headers: bool) {
+        use std::fmt::Write as _;
+        // `model="a",tier="b"` — no surrounding braces, so histogram series
+        // can append their own `le` label.
+        let base: String = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect::<Vec<_>>()
+            .join(",");
+        let series = |name: &str| -> String {
+            if base.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}{{{base}}}")
+            }
+        };
+        let series_with = |name: &str, extra: &str| -> String {
+            if base.is_empty() {
+                format!("{name}{{{extra}}}")
+            } else {
+                format!("{name}{{{base},{extra}}}")
+            }
+        };
         let counter = |out: &mut String, name: &str, help: &str, value: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+            if headers {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} counter");
+            }
+            let _ = writeln!(out, "{} {value}", series(name));
         };
         counter(
-            &mut out,
+            out,
             "einet_tasks_submitted_total",
             "Tasks admitted into the queue.",
             self.submitted,
         );
         counter(
-            &mut out,
+            out,
             "einet_tasks_rejected_total",
             "Submissions bounced with QueueFull.",
             self.rejected,
         );
         counter(
-            &mut out,
+            out,
             "einet_tasks_completed_total",
             "Tasks that ran to the end of their plan.",
             self.completed,
         );
         counter(
-            &mut out,
+            out,
             "einet_tasks_preempted_total",
             "Tasks stopped by the shared gate.",
             self.preempted,
         );
         counter(
-            &mut out,
+            out,
             "einet_tasks_deadline_expired_total",
             "Tasks stopped by their own deadline.",
             self.deadline_expired,
         );
         counter(
-            &mut out,
+            out,
             "einet_tasks_deadline_met_total",
             "Deadline-carrying tasks that completed in time.",
             self.deadline_met,
         );
         counter(
-            &mut out,
+            out,
             "einet_tasks_shed_total",
             "Tasks dropped at dequeue with an already-expired deadline.",
             self.shed_expired_at_dequeue,
         );
         counter(
-            &mut out,
+            out,
             "einet_tasks_panicked_total",
             "Tasks lost to a worker panic.",
             self.panicked,
         );
         let gauge = |out: &mut String, name: &str, help: &str, value: f64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
+            if headers {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} gauge");
+            }
+            let _ = writeln!(out, "{} {value}", series(name));
         };
         gauge(
-            &mut out,
+            out,
             "einet_queue_depth",
             "Tasks currently waiting in the queue.",
             self.queue_depth as f64,
         );
         gauge(
-            &mut out,
+            out,
             "einet_queue_high_water",
             "Deepest the queue has ever been.",
             self.queue_high_water as f64,
         );
         gauge(
-            &mut out,
+            out,
             "einet_uptime_seconds",
             "Registry age at scrape time.",
             self.uptime_us as f64 / 1e6,
         );
         let histogram = |out: &mut String, name: &str, help: &str, h: &HistogramSnapshot| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            if headers {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} histogram");
+            }
+            let bucket = format!("{name}_bucket");
             let mut cumulative = 0u64;
             for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
                 cumulative += h.buckets[i];
                 let _ = writeln!(
                     out,
-                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
-                    *bound as f64 / 1e6
+                    "{} {cumulative}",
+                    series_with(&bucket, &format!("le=\"{}\"", *bound as f64 / 1e6))
                 );
             }
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
-            let _ = writeln!(out, "{name}_sum {}", h.sum_us as f64 / 1e6);
-            let _ = writeln!(out, "{name}_count {}", h.count);
+            let _ = writeln!(out, "{} {}", series_with(&bucket, "le=\"+Inf\""), h.count);
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series(&format!("{name}_sum")),
+                h.sum_us as f64 / 1e6
+            );
+            let _ = writeln!(out, "{} {}", series(&format!("{name}_count")), h.count);
         };
         histogram(
-            &mut out,
+            out,
             "einet_queue_wait_seconds",
             "Admission to dequeue.",
             &self.queue_wait,
         );
         histogram(
-            &mut out,
+            out,
             "einet_service_seconds",
             "Dequeue to outcome.",
             &self.service,
@@ -996,60 +1161,76 @@ impl MetricsSnapshot {
         // Batch occupancy: a histogram over dispatch sizes, not latencies.
         {
             let name = "einet_batch_size";
-            let _ = writeln!(out, "# HELP {name} Tasks coalesced per worker dispatch.");
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            if headers {
+                let _ = writeln!(out, "# HELP {name} Tasks coalesced per worker dispatch.");
+                let _ = writeln!(out, "# TYPE {name} histogram");
+            }
+            let bucket = format!("{name}_bucket");
             let mut cumulative = 0u64;
             for (i, bound) in BATCH_BUCKETS.iter().enumerate() {
                 cumulative += self.batch.buckets[i];
-                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                let _ = writeln!(
+                    out,
+                    "{} {cumulative}",
+                    series_with(&bucket, &format!("le=\"{bound}\""))
+                );
             }
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.batch.count);
-            let _ = writeln!(out, "{name}_sum {}", self.batch.sum);
-            let _ = writeln!(out, "{name}_count {}", self.batch.count);
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series_with(&bucket, "le=\"+Inf\""),
+                self.batch.count
+            );
+            let _ = writeln!(out, "{} {}", series(&format!("{name}_sum")), self.batch.sum);
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series(&format!("{name}_count")),
+                self.batch.count
+            );
         }
         gauge(
-            &mut out,
+            out,
             "einet_batch_mean_occupancy",
             "Mean tasks per worker dispatch since start.",
             self.batch.mean_occupancy(),
         );
         gauge(
-            &mut out,
+            out,
             "einet_window_finished",
             "Tasks finished inside the rolling window.",
             self.window.finished as f64,
         );
         gauge(
-            &mut out,
+            out,
             "einet_window_throughput_per_sec",
             "Finished tasks per second over the rolling window.",
             self.window.throughput_per_sec(),
         );
         gauge(
-            &mut out,
+            out,
             "einet_window_slo_attainment",
             "Fraction of deadline-carrying tasks meeting their deadline in the window.",
             self.window.slo_attainment(),
         );
         gauge(
-            &mut out,
+            out,
             "einet_window_service_p50_seconds",
             "Windowed service-latency p50 upper bound.",
             self.window.service.quantile_ms(0.50) / 1e3,
         );
         gauge(
-            &mut out,
+            out,
             "einet_window_service_p99_seconds",
             "Windowed service-latency p99 upper bound.",
             self.window.service.quantile_ms(0.99) / 1e3,
         );
         gauge(
-            &mut out,
+            out,
             "einet_window_batch_occupancy",
             "Mean tasks per worker dispatch over the rolling window.",
             self.window.mean_occupancy(),
         );
-        out
     }
 
     /// At rest (queue drained, no task in flight) every admitted task must
@@ -1511,6 +1692,96 @@ mod tests {
         assert!(text.contains("einet_service_seconds_bucket{le=\"0.001\"} 0"));
         assert!(text.contains("einet_service_seconds_bucket{le=\"0.0025\"} 1"));
         assert!(text.contains("einet_service_seconds_bucket{le=\"1\"} 1"));
+    }
+
+    #[test]
+    fn labeled_prom_text_tags_every_series() {
+        let m = ServeMetrics::new();
+        m.begin_admission();
+        m.commit_admission();
+        m.on_dequeued(Duration::from_micros(120));
+        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        let text = m.snapshot().to_prom_text_labeled(&[("model", "alexnet")]);
+        for needle in [
+            "einet_tasks_submitted_total{model=\"alexnet\"} 1",
+            "einet_queue_depth{model=\"alexnet\"} 0",
+            "einet_service_seconds_bucket{model=\"alexnet\",le=\"+Inf\"} 1",
+            "einet_service_seconds_count{model=\"alexnet\"} 1",
+            "einet_batch_size_sum{model=\"alexnet\"}",
+            "einet_window_slo_attainment{model=\"alexnet\"} 1",
+        ] {
+            assert!(
+                text.contains(needle),
+                "labeled prom text missing {needle:?}:\n{text}"
+            );
+        }
+        // Unlabeled series never leak into a labeled exposition.
+        assert!(!text.contains("einet_tasks_submitted_total 1"));
+        // Quote characters in label values are escaped, not emitted raw.
+        let tricky = m.snapshot().to_prom_text_labeled(&[("model", "a\"b")]);
+        assert!(tricky.contains("model=\"a\\\"b\""));
+        // Header suppression: a second block of the same family carries
+        // samples only.
+        let mut out = String::new();
+        let snap = m.snapshot();
+        snap.write_prom_into(&mut out, &[("model", "a")], true);
+        snap.write_prom_into(&mut out, &[("model", "b")], false);
+        assert_eq!(out.matches("# TYPE einet_queue_depth gauge").count(), 1);
+        assert!(out.contains("einet_queue_depth{model=\"a\"}"));
+        assert!(out.contains("einet_queue_depth{model=\"b\"}"));
+    }
+
+    #[test]
+    fn snapshots_merge_counter_by_counter() {
+        let a = ServeMetrics::new();
+        a.begin_admission();
+        a.commit_admission();
+        a.on_dequeued(Duration::from_micros(100));
+        a.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        a.on_batch(1);
+        let b = ServeMetrics::new();
+        for _ in 0..2 {
+            b.begin_admission();
+            b.commit_admission();
+        }
+        b.on_dequeued(Duration::from_micros(900));
+        b.begin_admission();
+        b.abort_admission(true);
+        b.on_outcome(
+            crate::TaskStatus::DeadlineExpired,
+            Duration::from_millis(7),
+            true,
+        );
+        b.on_shed_expired(Duration::from_millis(3));
+        b.on_batch(2);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let merged = MetricsSnapshot::merged([&sa, &sb]);
+        assert_eq!(merged.submitted, 3);
+        assert_eq!(merged.rejected, 1);
+        assert_eq!(merged.completed, 1);
+        assert_eq!(merged.deadline_expired, 1);
+        assert_eq!(merged.shed_expired_at_dequeue, 1);
+        assert_eq!(merged.finished(), 3);
+        assert!(merged.reconciles());
+        assert_eq!(merged.queue_wait.count, 3, "2 dequeues + 1 shed wait");
+        assert_eq!(
+            merged.queue_wait.sum_us,
+            sa.queue_wait.sum_us + sb.queue_wait.sum_us
+        );
+        assert_eq!(merged.service.count, 2);
+        assert_eq!(merged.batch.sum, 3);
+        assert_eq!(merged.window.finished, 3);
+        assert_eq!(merged.uptime_us, sa.uptime_us.max(sb.uptime_us));
+        // Bucket-level addition, not just totals.
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(
+                merged.service.buckets[i],
+                sa.service.buckets[i] + sb.service.buckets[i]
+            );
+        }
+        // The identity element really is one.
+        let id = MetricsSnapshot::merged([&merged, &MetricsSnapshot::empty()]);
+        assert_eq!(id, merged);
     }
 
     #[test]

@@ -303,9 +303,10 @@ fn worker_loop(
         // Close out each member's queue wait, shedding the ones whose
         // deadline already passed while they queued: they would only burn
         // worker time to report "expired". A shed task still answers its
-        // requester (with the same empty outcome an immediately-expired
-        // task would produce) and still records its queue wait — but not a
-        // service time.
+        // requester — with the explicit `ShedExpiredInQueue` status, so the
+        // caller can tell "refused without running" apart from both a
+        // mid-service expiry and a worker crash — and still records its
+        // queue wait, but not a service time.
         let mut live: Vec<PoolTask> = Vec::with_capacity(batch.len());
         for task in batch {
             trace::complete_span(
@@ -321,7 +322,7 @@ fn worker_loop(
                 trace::flow_end(Category::Service, "task_flow", task.id);
                 let _ = task.reply.send(Ok(TaskOutcome {
                     outputs: Vec::new(),
-                    status: TaskStatus::DeadlineExpired,
+                    status: TaskStatus::ShedExpiredInQueue,
                     blocks_run: 0,
                     correct: None,
                 }));
@@ -422,7 +423,9 @@ fn worker_loop(
                             "task_deadline_expired",
                             Args::one("task", task.id),
                         ),
-                        TaskStatus::Completed => {}
+                        // `run_elastic` never sheds — that happens at
+                        // dequeue, above — so this arm is unreachable here.
+                        TaskStatus::Completed | TaskStatus::ShedExpiredInQueue => {}
                     }
                     // The requester may have given up; that is fine.
                     let _ = task.reply.send(Ok(outcome));

@@ -460,6 +460,37 @@ mod tests {
     }
 
     #[test]
+    fn idle_gap_between_pushes_does_not_disable_holding() {
+        let q = SchedQueue::new(64);
+        // A warm model: sublinear service curve, steady ~2 ms arrivals.
+        q.observe_service(1, Duration::from_millis(20));
+        q.observe_service(2, Duration::from_millis(22));
+        let before = {
+            let mut inner = q.lock();
+            for _ in 0..8 {
+                inner.gain.observe_arrival_gap(2_000);
+            }
+            let budget = inner.gain.hold_budget_us(1);
+            assert!(budget > 0, "warm model must hold");
+            // Simulate a long lull: the previous arrival was 30 s ago, so
+            // the next push observes a ~30 s inter-arrival gap.
+            inner.last_arrival = Instant::now().checked_sub(Duration::from_secs(30));
+            budget
+        };
+        q.push(plain(1)).unwrap();
+        let inner = q.lock();
+        assert_eq!(
+            inner.gain.hold_budget_us(1),
+            before,
+            "one idle period must not erase the learned arrival rate"
+        );
+        assert!(
+            inner.gain.expected_arrival_gap_us().unwrap() < 5_000.0,
+            "the EWMA still reflects the steady stream"
+        );
+    }
+
+    #[test]
     fn close_wakes_blocked_poppers() {
         let q = std::sync::Arc::new(SchedQueue::<Fake>::new(4));
         let q2 = std::sync::Arc::clone(&q);

@@ -227,9 +227,80 @@ fn deadline_already_expired_in_queue_never_touches_the_network() {
         .unwrap();
     assert!(first.recv().unwrap().unwrap().is_complete());
     let outcome = stale.recv().unwrap().unwrap();
-    assert_eq!(outcome.status, TaskStatus::DeadlineExpired);
+    // The shed is an explicit outcome on the reply channel — not a
+    // mid-service expiry, and above all not a dropped sender (which would
+    // be indistinguishable from a worker crash).
+    assert_eq!(outcome.status, TaskStatus::ShedExpiredInQueue);
+    assert!(outcome.was_shed());
     assert_eq!(outcome.blocks_run, 0, "expired before execution started");
     assert!(outcome.outputs.is_empty());
+    let snap = pool.metrics().snapshot();
+    assert_eq!(snap.shed_expired_at_dequeue, 1);
+    assert_eq!(snap.deadline_expired, 0, "shed ≠ mid-service expiry");
+    assert!(snap.reconciles(), "{snap}");
+    pool.shutdown();
+}
+
+#[test]
+fn shed_and_crash_are_distinguishable_on_the_reply_channel() {
+    // One pool, three fates: a task shed expired-at-dequeue yields
+    // Ok(ShedExpiredInQueue); a task whose deadline lands mid-service yields
+    // Ok(DeadlineExpired) with partial work; a task that panics its worker
+    // yields Err(Panicked). A consumer can tell all three apart.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let calls_in_source = Arc::clone(&calls);
+    let pool = ExecutorPool::spawn(
+        net(),
+        move |_| {
+            let calls = Arc::clone(&calls_in_source);
+            Box::new(FnSource::new("poison-second", move || {
+                // Planner call #2 (0-indexed 1) panics; the first and later
+                // tasks plan normally.
+                if calls.fetch_add(1, Ordering::SeqCst) == 1 {
+                    panic!("poisoned task");
+                }
+                Box::new(StaticPlanner::new(ExitPlan::full(3), "full"))
+            }))
+        },
+        PreemptionGate::new(),
+        PoolConfig {
+            workers: 1,
+            queue_capacity: 8,
+            block_delay: Duration::from_millis(20),
+            ..PoolConfig::default()
+        },
+    );
+    // Task 1 occupies the worker (~60 ms) and plans fine.
+    let busy = pool.submit(InferenceRequest::new(input())).unwrap();
+    std::thread::sleep(Duration::from_millis(15));
+    // Task 2 expires in the queue → shed without planning (so it never
+    // consumes a planner call; the poisoned call lands on task 3).
+    let shed = pool
+        .submit(InferenceRequest::new(input()).with_deadline(Duration::from_millis(1)))
+        .unwrap();
+    // Task 3 panics its worker.
+    let crashed = pool.submit(InferenceRequest::new(input())).unwrap();
+    assert!(busy.recv().unwrap().unwrap().is_complete());
+    let shed = shed.recv().unwrap().unwrap();
+    assert!(shed.was_shed());
+    assert!(shed.outputs.is_empty());
+    match crashed.recv().unwrap() {
+        Err(TaskError::Panicked(msg)) => assert!(msg.contains("poisoned task"), "got: {msg}"),
+        other => panic!("expected a panic error, got {other:?}"),
+    }
+    // And the pool still serves (worker respawned from the template).
+    let after = pool
+        .submit(InferenceRequest::new(input()).with_deadline(Duration::from_secs(30)))
+        .unwrap()
+        .recv()
+        .unwrap()
+        .unwrap();
+    assert!(after.is_complete());
+    let snap = pool.metrics().snapshot();
+    assert_eq!(snap.shed_expired_at_dequeue, 1);
+    assert_eq!(snap.panicked, 1);
+    assert_eq!(snap.completed, 2);
+    assert!(snap.reconciles(), "{snap}");
     pool.shutdown();
 }
 
@@ -272,7 +343,9 @@ fn concurrent_preemption_upholds_the_elastic_guarantee_and_metrics_reconcile() {
                 sorted.sort_unstable();
                 assert_eq!(exits, sorted);
             }
-            TaskStatus::DeadlineExpired => panic!("no deadlines were set"),
+            TaskStatus::DeadlineExpired | TaskStatus::ShedExpiredInQueue => {
+                panic!("no deadlines were set")
+            }
         }
     }
     preemptor.join();

@@ -5,6 +5,7 @@
 
 use std::time::{Duration, Instant};
 
+use einet_core::BatchGainModel;
 use einet_edge::{SchedQueue, SchedTask};
 use proptest::prelude::*;
 
@@ -132,5 +133,53 @@ proptest! {
             }
         }
         prop_assert!(seen.iter().all(|&s| s), "every task served exactly once");
+    }
+
+    /// Idle-gap robustness of the gain model: no matter how bursts of
+    /// steady sub-millisecond arrivals are interleaved with arbitrarily
+    /// long idle gaps, the idle gaps are discarded as boundaries (not fed
+    /// into the arrival EWMA), so the hold budget that makes batching pay
+    /// never collapses to zero and the gap estimate stays in the burst
+    /// regime.
+    #[test]
+    fn idle_gaps_never_poison_the_hold_budget(
+        // Each burst: 1..12 short gaps (µs), then one idle gap (µs) well
+        // above both the 5 ms floor and 8x the largest possible EWMA.
+        bursts in proptest::collection::vec(
+            (
+                proptest::collection::vec(50u64..1_500, 1..12),
+                20_000u64..10_000_000,
+            ),
+            1..16,
+        ),
+    ) {
+        let mut m = BatchGainModel::new();
+        // A service curve where coalescing clearly pays: a pair costs 22 ms
+        // against 20 ms solo, so saving = t(1) + t(1) - t(2) = 18 ms and
+        // the budget for one task in hand is the full saving.
+        m.observe_service(1, 20_000);
+        m.observe_service(2, 22_000);
+        // Prime the arrival EWMA inside the burst regime.
+        m.observe_arrival_gap(800);
+        let warm_budget = m.hold_budget_us(1);
+        prop_assert!(warm_budget > 0, "warm model must hold");
+
+        for (short_gaps, idle_gap) in &bursts {
+            m.observe_arrival_gap(*idle_gap);
+            for g in short_gaps {
+                m.observe_arrival_gap(*g);
+            }
+            let gap = m.expected_arrival_gap_us().expect("gap observed");
+            prop_assert!(
+                gap < 1_500.0,
+                "gap estimate {gap} µs escaped the burst regime (idle gap {idle_gap} leaked in)"
+            );
+            prop_assert_eq!(
+                m.hold_budget_us(1),
+                warm_budget,
+                "hold budget must survive an injected idle gap of {} µs",
+                idle_gap
+            );
+        }
     }
 }

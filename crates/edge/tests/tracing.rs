@@ -240,7 +240,8 @@ fn expired_task_is_shed_at_dequeue_and_traced() {
         .recv()
         .unwrap()
         .unwrap();
-    assert_eq!(outcome.status, TaskStatus::DeadlineExpired);
+    assert_eq!(outcome.status, TaskStatus::ShedExpiredInQueue);
+    assert!(outcome.was_shed());
     assert!(outcome.outputs.is_empty());
     assert_eq!(outcome.blocks_run, 0);
     let metrics = pool.metrics().snapshot();

@@ -1,0 +1,56 @@
+//! # einet-server
+//!
+//! The multi-tenant serving front-end over [`einet_edge::ExecutorPool`]:
+//! what stands between "millions of users" and the elastic executor.
+//!
+//! * [`ModelRegistry`] owns every registered model: one pool per replica
+//!   (replicas minted by cloning the trained [`einet_models::MultiExitNet`]),
+//!   a smooth **weighted round-robin** schedule across replicas, spillover
+//!   to sibling replicas when the scheduled one is at capacity, and an
+//!   explicit [`RouteError::Shed`] only when *every* replica refuses —
+//!   backpressure surfaces as a typed response, never as a blocked caller.
+//! * [`Server`] is a dependency-free, line-oriented TCP/JSON ingest loop:
+//!   one JSON request per line in, one JSON response per line out, thread
+//!   per connection (see [`wire`] for the exact format). Queue-full and
+//!   expired-in-queue sheds map to 429-style responses; a worker panic to a
+//!   500; an unknown model to a 404.
+//! * Per-model [`einet_edge::ServeMetrics`] stay per-pool and are merged on
+//!   demand ([`ModelRegistry::model_snapshot`]); the registry renders one
+//!   Prometheus exposition with a `model` label per series
+//!   ([`ModelRegistry::to_prom_text`]). Trace spans and cross-thread flows
+//!   keep flowing from the pools, so `trace_check` reconciliation holds
+//!   per model.
+//!
+//! # Example
+//!
+//! ```
+//! use einet_server::{ModelRegistry, ModelSpec, Server};
+//! use einet_edge::{InferenceRequest, PoolConfig, StaticSource};
+//! use einet_models::{zoo, BranchSpec};
+//! use einet_core::ExitPlan;
+//! use einet_tensor::Tensor;
+//!
+//! let mut registry = ModelRegistry::new();
+//! let net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 1);
+//! registry.register(
+//!     "alexnet",
+//!     net,
+//!     |_replica, _worker| Box::new(StaticSource::new(ExitPlan::full(3))),
+//!     ModelSpec { pool: PoolConfig { workers: 1, ..PoolConfig::default() }, ..ModelSpec::default() },
+//! );
+//! let reply = registry
+//!     .submit("alexnet", InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16])))
+//!     .unwrap();
+//! assert!(reply.recv().unwrap().unwrap().is_complete());
+//! assert!(registry.model_snapshot("alexnet").unwrap().reconciles());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod server;
+pub mod wire;
+
+pub use registry::{ModelRegistry, ModelSpec, RouteError, RouteStats};
+pub use server::Server;

@@ -1,0 +1,372 @@
+//! The model registry: named models, replicated pools, weighted routing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+
+use einet_edge::{
+    ExecutorPool, InferenceRequest, MetricsSnapshot, PlannerSource, PoolConfig, PreemptionGate,
+    SubmitError, TaskResult,
+};
+use einet_models::MultiExitNet;
+use einet_trace::{self as trace, Args, Category};
+
+/// How a model is deployed: how many pool replicas, their relative routing
+/// weights, and the per-pool sizing.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Independent [`ExecutorPool`]s for this model, each owning its own
+    /// clone of the network (≥ 1).
+    pub replicas: usize,
+    /// Relative routing weight per replica. Empty means equal weights;
+    /// otherwise the length must equal `replicas` and every weight must be
+    /// positive. A weight-3 replica receives 3× the requests of a weight-1
+    /// one, interleaved smoothly (never 3 in a row when avoidable).
+    pub weights: Vec<u32>,
+    /// Sizing and cost-model configuration applied to every replica.
+    pub pool: PoolConfig,
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec {
+            replicas: 1,
+            weights: Vec::new(),
+            pool: PoolConfig::default(),
+        }
+    }
+}
+
+/// Why the registry could not place a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No model with that name is registered (a 404, not a shed).
+    UnknownModel,
+    /// Every replica's admission queue is at capacity: the request is shed
+    /// with backpressure — the 429-style signal the wire layer reports.
+    Shed,
+    /// The model's pools are shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::UnknownModel => write!(f, "unknown model"),
+            RouteError::Shed => write!(f, "all replicas at capacity"),
+            RouteError::Closed => write!(f, "model is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Registry-level routing counters for one model. These count *logical*
+/// requests, one per [`ModelRegistry::submit`] call — unlike the pool-level
+/// `rejected` counter, which counts per-replica attempts and therefore
+/// grows by more than one when a request spills over several full replicas
+/// before being shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteStats {
+    /// Requests accepted by some replica.
+    pub routed: u64,
+    /// Requests shed because every replica was at capacity.
+    pub shed_queue_full: u64,
+}
+
+struct ModelEntry {
+    name: String,
+    replicas: Vec<ExecutorPool>,
+    gates: Vec<PreemptionGate>,
+    /// Smooth weighted-round-robin schedule over replica indices; the
+    /// cursor walks it forever. Precomputed so the hot path is one
+    /// `fetch_add` and an index.
+    schedule: Vec<u32>,
+    cursor: AtomicU64,
+    routed: AtomicU64,
+    shed_queue_full: AtomicU64,
+}
+
+/// Named models, each backed by one or more [`ExecutorPool`] replicas, with
+/// weighted round-robin routing and per-model metrics. See the crate docs
+/// for the full picture.
+///
+/// Registration is a build-time concern (`&mut self`); routing is
+/// lock-free (`&self`), so the registry is shared behind an `Arc` once
+/// serving starts.
+pub struct ModelRegistry {
+    models: Vec<ModelEntry>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry { models: Vec::new() }
+    }
+
+    /// Registers `net` under `name`, spawning `spec.replicas` pools, each
+    /// with its own clone of the network and its own [`PreemptionGate`].
+    /// `make_source` mints a planner source per `(replica, worker)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name, zero replicas, a weight vector whose
+    /// length differs from `replicas`, or a zero weight — all configuration
+    /// bugs, not runtime conditions.
+    pub fn register(
+        &mut self,
+        name: &str,
+        net: MultiExitNet,
+        mut make_source: impl FnMut(usize, usize) -> Box<dyn PlannerSource>,
+        spec: ModelSpec,
+    ) {
+        assert!(
+            self.models.iter().all(|m| m.name != name),
+            "model {name:?} is already registered"
+        );
+        assert!(spec.replicas >= 1, "a model needs at least one replica");
+        let weights = if spec.weights.is_empty() {
+            vec![1; spec.replicas]
+        } else {
+            assert_eq!(spec.weights.len(), spec.replicas, "one weight per replica");
+            assert!(
+                spec.weights.iter().all(|&w| w > 0),
+                "weights must be positive"
+            );
+            spec.weights.clone()
+        };
+        let mut replicas = Vec::with_capacity(spec.replicas);
+        let mut gates = Vec::with_capacity(spec.replicas);
+        for r in 0..spec.replicas {
+            let gate = PreemptionGate::new();
+            // Every replica owns its own copy of the network
+            // (`MultiExitNet: Clone` via `Layer::clone_box`).
+            let pool = ExecutorPool::spawn(
+                net.clone(),
+                |w| make_source(r, w),
+                gate.clone(),
+                spec.pool.clone(),
+            );
+            replicas.push(pool);
+            gates.push(gate);
+        }
+        self.models.push(ModelEntry {
+            name: name.to_string(),
+            replicas,
+            gates,
+            schedule: smooth_wrr_schedule(&weights),
+            cursor: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+        });
+    }
+
+    /// The registered model names, in registration order.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.models.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// Number of replicas behind `name` (`None` for an unknown model).
+    pub fn replica_count(&self, name: &str) -> Option<usize> {
+        self.entry(name).map(|m| m.replicas.len())
+    }
+
+    /// The preemption gate of one replica, for operators that emulate a
+    /// high-priority claim on a specific device.
+    pub fn gate(&self, name: &str, replica: usize) -> Option<PreemptionGate> {
+        self.entry(name)?.gates.get(replica).cloned()
+    }
+
+    fn entry(&self, name: &str) -> Option<&ModelEntry> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Routes `request` to a replica of `name`: the weighted-round-robin
+    /// pick first, then spillover through the remaining replicas when it is
+    /// full. The returned channel yields the task's [`TaskResult`].
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnknownModel`] for an unregistered name;
+    /// [`RouteError::Shed`] when every replica refused with `QueueFull`
+    /// (the explicit 429-style outcome); [`RouteError::Closed`] when the
+    /// pools are shutting down.
+    pub fn submit(
+        &self,
+        name: &str,
+        request: InferenceRequest,
+    ) -> Result<Receiver<TaskResult>, RouteError> {
+        let Some(entry) = self.entry(name) else {
+            return Err(RouteError::UnknownModel);
+        };
+        let slot = entry.cursor.fetch_add(1, Ordering::Relaxed) as usize % entry.schedule.len();
+        let first = entry.schedule[slot] as usize;
+        let n = entry.replicas.len();
+        let mut closed = false;
+        // The scheduled replica, then the others in ring order: a full
+        // queue on one replica spills to its siblings before shedding.
+        // Requests are cheap to clone (the tensor buffer is the payload and
+        // spillover is the cold path).
+        for offset in 0..n {
+            let idx = (first + offset) % n;
+            match entry.replicas[idx].submit(request.clone()) {
+                Ok(rx) => {
+                    entry.routed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(rx);
+                }
+                Err(SubmitError::QueueFull) => {}
+                Err(SubmitError::WorkerGone) => closed = true,
+            }
+        }
+        if closed {
+            return Err(RouteError::Closed);
+        }
+        entry.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+        trace::instant(Category::Queue, "route_shed", Args::none());
+        Err(RouteError::Shed)
+    }
+
+    /// Registry-level routing counters for `name`.
+    pub fn route_stats(&self, name: &str) -> Option<RouteStats> {
+        self.entry(name).map(|m| RouteStats {
+            routed: m.routed.load(Ordering::Relaxed),
+            shed_queue_full: m.shed_queue_full.load(Ordering::Relaxed),
+        })
+    }
+
+    /// The metrics snapshot of one replica of `name` — the unmerged view,
+    /// for per-replica dashboards and routing-distribution checks.
+    pub fn replica_snapshot(&self, name: &str, replica: usize) -> Option<MetricsSnapshot> {
+        let entry = self.entry(name)?;
+        Some(entry.replicas.get(replica)?.metrics().snapshot())
+    }
+
+    /// The merged metrics snapshot of every replica of `name` (see
+    /// [`MetricsSnapshot::merge`] for per-field semantics).
+    pub fn model_snapshot(&self, name: &str) -> Option<MetricsSnapshot> {
+        let entry = self.entry(name)?;
+        let snaps: Vec<MetricsSnapshot> = entry
+            .replicas
+            .iter()
+            .map(|p| p.metrics().snapshot())
+            .collect();
+        Some(MetricsSnapshot::merged(snaps.iter()))
+    }
+
+    /// The merged snapshot across every model and replica — the fleet view.
+    pub fn aggregate_snapshot(&self) -> MetricsSnapshot {
+        let snaps: Vec<MetricsSnapshot> = self
+            .models
+            .iter()
+            .flat_map(|m| m.replicas.iter().map(|p| p.metrics().snapshot()))
+            .collect();
+        MetricsSnapshot::merged(snaps.iter())
+    }
+
+    /// One Prometheus exposition for the whole registry: every serving
+    /// series labeled `model="<name>"` (headers emitted once per family),
+    /// plus registry-level routing counters.
+    pub fn to_prom_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096 * self.models.len().max(1));
+        for (i, m) in self.models.iter().enumerate() {
+            let snap = self.model_snapshot(&m.name).expect("registered model");
+            snap.write_prom_into(&mut out, &[("model", m.name.as_str())], i == 0);
+        }
+        let _ = writeln!(
+            out,
+            "# HELP einet_route_requests_total Logical requests accepted by some replica."
+        );
+        let _ = writeln!(out, "# TYPE einet_route_requests_total counter");
+        for m in &self.models {
+            let _ = writeln!(
+                out,
+                "einet_route_requests_total{{model=\"{}\"}} {}",
+                m.name,
+                m.routed.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP einet_route_shed_total Logical requests shed with every replica at capacity."
+        );
+        let _ = writeln!(out, "# TYPE einet_route_shed_total counter");
+        for m in &self.models {
+            let _ = writeln!(
+                out,
+                "einet_route_shed_total{{model=\"{}\"}} {}",
+                m.name,
+                m.shed_queue_full.load(Ordering::Relaxed)
+            );
+        }
+        out
+    }
+
+    /// Shuts every pool down: stops admissions, drains queued tasks (their
+    /// replies still arrive) and joins every worker.
+    pub fn shutdown(self) {
+        for m in self.models {
+            for pool in m.replicas {
+                pool.shutdown();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("models", &self.model_names())
+            .finish()
+    }
+}
+
+/// Smooth weighted round-robin: a schedule of `Σ weights` slots where
+/// replica `i` appears `weights[i]` times, interleaved (the classic
+/// nginx-style algorithm), so bursts to one replica are avoided even with
+/// skewed weights.
+fn smooth_wrr_schedule(weights: &[u32]) -> Vec<u32> {
+    let total: i64 = weights.iter().map(|&w| i64::from(w)).sum();
+    let mut credit = vec![0i64; weights.len()];
+    let mut schedule = Vec::with_capacity(total as usize);
+    for _ in 0..total {
+        for (c, &w) in credit.iter_mut().zip(weights) {
+            *c += i64::from(w);
+        }
+        let best = credit
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .expect("non-empty weights");
+        credit[best] -= total;
+        schedule.push(best as u32);
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_wrr_interleaves_rather_than_bursts() {
+        assert_eq!(smooth_wrr_schedule(&[1, 1]), vec![0, 1]);
+        // Weight 3:1 → a appears 3 times in 4 slots, never 3 in a row.
+        let s = smooth_wrr_schedule(&[3, 1]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().filter(|&&r| r == 0).count(), 3);
+        // The classic smooth-WRR order: a a b a.
+        assert_eq!(s, vec![0, 0, 1, 0]);
+        // 5:1:1 spreads the heavy replica across the cycle.
+        let s = smooth_wrr_schedule(&[5, 1, 1]);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.iter().filter(|&&r| r == 0).count(), 5);
+        assert_ne!(&s[0..3], &[0, 0, 0], "no opening burst");
+    }
+}

@@ -1,0 +1,162 @@
+//! The TCP ingest loop: line-oriented JSON over plain `std::net`.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use einet_trace::{self as trace, Args, Category};
+
+use crate::registry::ModelRegistry;
+use crate::wire;
+
+/// How often a blocked connection reader wakes up to check for shutdown.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// A running TCP front-end over a shared [`ModelRegistry`].
+///
+/// One thread accepts connections; each connection gets its own thread
+/// reading one JSON request per line and writing one JSON response per
+/// line, in order. Responses are synchronous per connection — clients that
+/// want concurrency open several connections (the registry underneath is
+/// lock-free either way).
+///
+/// Dropping the server (or calling [`Server::shutdown`]) stops the accept
+/// loop and unblocks every connection thread; in-flight requests still get
+/// their responses.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned port; see
+    /// [`Server::local_addr`]) and starts serving `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(registry: Arc<ModelRegistry>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::spawn(move || {
+            let mut conn_handles = Vec::new();
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let registry = Arc::clone(&registry);
+                let stop = Arc::clone(&accept_stop);
+                conn_handles.push(std::thread::spawn(move || {
+                    serve_connection(stream, &registry, &stop);
+                }));
+            }
+            for h in conn_handles {
+                let _ = h.join();
+            }
+        });
+        Ok(Server {
+            addr: local,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address — what clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks connection readers and joins the serving
+    /// threads. The registry itself stays alive (shut it down separately).
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // The accept loop blocks in `incoming()`; a throwaway local
+        // connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn serve_connection(stream: TcpStream, registry: &ModelRegistry, stop: &AtomicBool) {
+    // A read timeout turns the blocking reader into a poll loop so the
+    // thread notices shutdown even on an idle connection.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !stop.load(Ordering::Acquire) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let response = handle_line(trimmed, registry);
+                if writer.write_all(response.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                {
+                    break;
+                }
+                let _ = writer.flush();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue; // poll tick: re-check the stop flag
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parses, routes and waits for one request; always returns a response
+/// line (never hangs up without answering a parsed request).
+fn handle_line(line: &str, registry: &ModelRegistry) -> String {
+    let parsed = match wire::parse_request(line) {
+        Ok(p) => p,
+        Err(e) => {
+            // Best effort: salvage the id for correlation even when the
+            // request is rejected.
+            let id = einet_trace::json::parse(line)
+                .ok()
+                .and_then(|v| v.get("id").and_then(|i| i.as_u64()))
+                .unwrap_or(0);
+            return wire::render_bad_request(id, &e);
+        }
+    };
+    let _ingest = trace::span_args(Category::Queue, "ingest", Args::one("req", parsed.id));
+    match registry.submit(&parsed.model, parsed.request) {
+        Ok(reply) => match reply.recv() {
+            Ok(Ok(outcome)) => wire::render_outcome(parsed.id, &outcome),
+            // A worker panic on this task, or a dropped reply channel —
+            // either way the task died inside the server.
+            Ok(Err(_)) | Err(_) => wire::render_worker_crashed(parsed.id),
+        },
+        Err(err) => wire::render_route_error(parsed.id, err),
+    }
+}

@@ -1,0 +1,314 @@
+//! The line-oriented JSON wire format.
+//!
+//! One request per line in, one response per line out. The format is
+//! hand-parsed with the workspace's own JSON module (no external
+//! dependencies), mirroring the trace exporter.
+//!
+//! # Request
+//!
+//! ```json
+//! {"id": 7, "model": "alexnet", "deadline_ms": 50, "label": 3,
+//!  "input": {"shape": [1, 1, 16, 16], "fill": 0.5}}
+//! ```
+//!
+//! * `model` (string, required) — registered model name.
+//! * `input.shape` (required) — `[1, c, h, w]`, one sample per request.
+//! * `input.fill` *or* `input.data` (required, exclusive) — a constant
+//!   fill value, or the full row-major element list (`c*h*w` values).
+//! * `id` (optional, default 0) — echoed back so clients can pipeline.
+//! * `deadline_ms` (optional) — admission-to-answer deadline.
+//! * `label` (optional) — true class, enabling server-side accuracy
+//!   accounting.
+//!
+//! # Response
+//!
+//! Always `{"id", "code", "status", ...}`. `code` follows HTTP idiom:
+//!
+//! | code | status                    | meaning                                        |
+//! |------|---------------------------|------------------------------------------------|
+//! | 200  | `completed`               | full plan ran; `prediction`/`exit`/`confidence`|
+//! | 200  | `preempted`, `deadline_expired` | stopped early **with** a checkpointed answer |
+//! | 400  | `bad_request`             | unparseable line or invalid input spec         |
+//! | 404  | `unknown_model`           | model not registered                           |
+//! | 429  | `shed`                    | backpressure; `reason` is `queue_full` or `expired_in_queue` |
+//! | 500  | `worker_crashed`          | the worker panicked on this task               |
+//! | 503  | `closed` / `preempted`    | shutting down, or preempted before any exit    |
+//! | 504  | `deadline_expired`        | deadline hit before any exit produced output   |
+//!
+//! A 200 with status `preempted` or `deadline_expired` is the elastic
+//! contract of the paper: the task was stopped mid-flight but still hands
+//! back its latest checkpointed answer.
+
+use std::time::Duration;
+
+use einet_edge::{InferenceRequest, TaskOutcome, TaskStatus};
+use einet_tensor::Tensor;
+use einet_trace::json::{self, JsonValue, JsonWriter};
+
+use crate::registry::RouteError;
+
+/// A parsed request line: where it goes and what to run.
+#[derive(Debug, Clone)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed in the response (0 if absent).
+    pub id: u64,
+    /// Target model name.
+    pub model: String,
+    /// The executor-level request (input, label, deadline).
+    pub request: InferenceRequest,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message describing the first problem found; the
+/// server maps it to a 400 response.
+pub fn parse_request(line: &str) -> Result<WireRequest, String> {
+    let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let id = value.get("id").and_then(JsonValue::as_u64).unwrap_or(0);
+    let model = value
+        .get("model")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"model\" (string)")?
+        .to_string();
+    let input = value.get("input").ok_or("missing \"input\" (object)")?;
+    let shape_val = input
+        .get("shape")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"input.shape\" (array)")?;
+    let mut shape = Vec::with_capacity(shape_val.len());
+    for d in shape_val {
+        let d = d
+            .as_u64()
+            .ok_or("\"input.shape\" entries must be non-negative integers")?;
+        shape.push(d as usize);
+    }
+    if shape.len() != 4 || shape[0] != 1 || shape.contains(&0) {
+        return Err(format!(
+            "\"input.shape\" must be [1, c, h, w] with positive dims, got {shape:?}"
+        ));
+    }
+    let elems: usize = shape.iter().product();
+    let tensor = match (input.get("fill"), input.get("data")) {
+        (Some(fill), None) => {
+            let x = fill.as_f64().ok_or("\"input.fill\" must be a number")? as f32;
+            Tensor::filled(&shape, x)
+        }
+        (None, Some(data)) => {
+            let items = data
+                .as_array()
+                .ok_or("\"input.data\" must be an array of numbers")?;
+            if items.len() != elems {
+                return Err(format!(
+                    "\"input.data\" has {} elements, shape {:?} needs {}",
+                    items.len(),
+                    shape,
+                    elems
+                ));
+            }
+            let mut buf = Vec::with_capacity(elems);
+            for v in items {
+                buf.push(v.as_f64().ok_or("\"input.data\" entries must be numbers")? as f32);
+            }
+            Tensor::new(&shape, buf).map_err(|e| e.to_string())?
+        }
+        (Some(_), Some(_)) => {
+            return Err("give \"input.fill\" or \"input.data\", not both".to_string())
+        }
+        (None, None) => return Err("missing \"input.fill\" or \"input.data\"".to_string()),
+    };
+    let mut request = InferenceRequest::new(tensor);
+    if let Some(label) = value.get("label").and_then(JsonValue::as_u64) {
+        request = request.with_label(label as usize);
+    }
+    if let Some(ms) = value.get("deadline_ms").and_then(JsonValue::as_f64) {
+        if ms < 0.0 {
+            return Err("\"deadline_ms\" must be non-negative".to_string());
+        }
+        request = request.with_deadline(Duration::from_micros((ms * 1000.0) as u64));
+    }
+    Ok(WireRequest { id, model, request })
+}
+
+fn response_head(id: u64, code: u64, status: &str) -> JsonWriter {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("id");
+    w.number_u64(id);
+    w.key("code");
+    w.number_u64(code);
+    w.key("status");
+    w.string(status);
+    w
+}
+
+fn finish(mut w: JsonWriter) -> String {
+    w.end_object();
+    w.finish()
+}
+
+/// A 400 for an unparseable or invalid request line.
+pub fn render_bad_request(id: u64, error: &str) -> String {
+    let mut w = response_head(id, 400, "bad_request");
+    w.key("error");
+    w.string(error);
+    finish(w)
+}
+
+/// The response for a routing failure: 404 unknown model, 429 shed with
+/// `reason: "queue_full"`, 503 shutting down.
+pub fn render_route_error(id: u64, err: RouteError) -> String {
+    match err {
+        RouteError::UnknownModel => finish(response_head(id, 404, "unknown_model")),
+        RouteError::Shed => {
+            let mut w = response_head(id, 429, "shed");
+            w.key("reason");
+            w.string("queue_full");
+            finish(w)
+        }
+        RouteError::Closed => finish(response_head(id, 503, "closed")),
+    }
+}
+
+/// A 500 for a worker that crashed on this task (or a reply channel that
+/// vanished, which amounts to the same thing for the client).
+pub fn render_worker_crashed(id: u64) -> String {
+    let mut w = response_head(id, 500, "worker_crashed");
+    w.key("error");
+    w.string("worker panicked while executing this task");
+    finish(w)
+}
+
+/// The response for a delivered [`TaskOutcome`].
+///
+/// A queue shed renders as 429 with `reason: "expired_in_queue"` — the
+/// same family as a queue-full shed, distinguishable by reason. An
+/// outcome that carries an answer renders as 200 even when it was stopped
+/// early (`status` says how it ended); only an answerless early stop
+/// degrades to 503/504.
+pub fn render_outcome(id: u64, outcome: &TaskOutcome) -> String {
+    if outcome.was_shed() {
+        let mut w = response_head(id, 429, "shed");
+        w.key("reason");
+        w.string("expired_in_queue");
+        return finish(w);
+    }
+    let status = match outcome.status {
+        TaskStatus::Completed => "completed",
+        TaskStatus::Preempted => "preempted",
+        TaskStatus::DeadlineExpired => "deadline_expired",
+        TaskStatus::ShedExpiredInQueue => unreachable!("handled above"),
+    };
+    match outcome.answer() {
+        Some(answer) => {
+            let mut w = response_head(id, 200, status);
+            w.key("prediction");
+            w.number_u64(answer.predicted as u64);
+            w.key("exit");
+            w.number_u64(answer.exit as u64);
+            w.key("confidence");
+            w.number_f64(f64::from(answer.confidence));
+            w.key("outputs");
+            w.number_u64(outcome.outputs.len() as u64);
+            w.key("blocks_run");
+            w.number_u64(outcome.blocks_run as u64);
+            if let Some(correct) = outcome.correct {
+                w.key("correct");
+                w.boolean(correct);
+            }
+            finish(w)
+        }
+        None => {
+            // Stopped before any exit branch ran: no answer to hand over.
+            let code = match outcome.status {
+                TaskStatus::DeadlineExpired => 504,
+                _ => 503,
+            };
+            let mut w = response_head(id, code, status);
+            w.key("blocks_run");
+            w.number_u64(outcome.blocks_run as u64);
+            finish(w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_request() {
+        let req =
+            parse_request(r#"{"model": "m", "input": {"shape": [1, 1, 4, 4], "fill": 0.25}}"#)
+                .unwrap();
+        assert_eq!(req.id, 0);
+        assert_eq!(req.model, "m");
+        assert_eq!(req.request.deadline(), None);
+    }
+
+    #[test]
+    fn parses_ids_deadlines_and_explicit_data() {
+        let req = parse_request(
+            r#"{"id": 9, "model": "m", "deadline_ms": 12.5, "label": 2,
+                "input": {"shape": [1, 1, 1, 3], "data": [1.0, 2.0, 3.0]}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, 9);
+        assert_eq!(req.request.deadline(), Some(Duration::from_micros(12_500)));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            (r#"{"input": {"shape": [1,1,2,2], "fill": 0}}"#, "model"),
+            (r#"{"model": "m"}"#, "input"),
+            (
+                r#"{"model": "m", "input": {"shape": [2,1,2,2], "fill": 0}}"#,
+                "[1, c, h, w]",
+            ),
+            (
+                r#"{"model": "m", "input": {"shape": [1,1,2,2], "data": [1.0]}}"#,
+                "needs 4",
+            ),
+            (
+                r#"{"model": "m", "input": {"shape": [1,1,2,2], "fill": 0, "data": [1,2,3,4]}}"#,
+                "not both",
+            ),
+            (r#"{"model": "m", "input": {"shape": [1,1,2,2]}}"#, "fill"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{line}: {err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_carry_code_status_and_reason() {
+        let shed = render_route_error(3, RouteError::Shed);
+        let v = json::parse(&shed).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("code").unwrap().as_u64(), Some(429));
+        assert_eq!(v.get("reason").unwrap().as_str(), Some("queue_full"));
+        let unknown = render_route_error(1, RouteError::UnknownModel);
+        assert!(unknown.contains("404"));
+        let crashed = render_worker_crashed(2);
+        assert!(crashed.contains("500"));
+    }
+
+    #[test]
+    fn shed_outcome_renders_as_429_not_an_error() {
+        let outcome = TaskOutcome {
+            outputs: Vec::new(),
+            status: TaskStatus::ShedExpiredInQueue,
+            blocks_run: 0,
+            correct: None,
+        };
+        let v = json::parse(&render_outcome(5, &outcome)).unwrap();
+        assert_eq!(v.get("code").unwrap().as_u64(), Some(429));
+        assert_eq!(v.get("reason").unwrap().as_str(), Some("expired_in_queue"));
+    }
+}

@@ -4,7 +4,10 @@
 # that records a tiny traced demo (one-shot drain AND continuous streaming)
 # and validates the artifacts with trace_check + einet report, or the
 # serving smoke that saturates the batched pool and fails on a
-# throughput/deadline-miss regression against the batch=1 baseline.
+# throughput/deadline-miss regression against the batch=1 baseline, then
+# drives the multi-tenant TCP front-end (bench_load + einet serve
+# --self-test) and fails unless shed accounting and the M/D/1 queue-delay
+# cross-check reconcile.
 #
 #   scripts/check.sh                # fmt --check + clippy -D warnings + tests
 #   scripts/check.sh --bench        # also run the bench runner (release build)
@@ -68,6 +71,29 @@ if [ "$run_serve_smoke" -eq 1 ]; then
     # while leaving plenty of backlog for batches to form; --gate fails the
     # run if batching stops paying (speedup < 1.5x) or gives back SLO.
     EINET_SERVE_TASKS="${EINET_SERVE_TASKS:-60}" ./target/release/bench_serving --gate
+    echo "== multi-tenant front-end smoke (results/bench_load.json)"
+    cargo build --release -p einet-cli --bin einet
+    cargo build --release -p einet-bench --bin bench_load --bin trace_check
+    # A few hundred requests over real loopback TCP across two models:
+    # --gate fails the run unless the shed accounting reconciles end to end
+    # (client 429s == registry/pool shed counters, per tenant) and the
+    # measured mean queue delay lands within tolerance of the M/D/1
+    # analytic. The smoke sizes down and widens the tolerance (mean-wait
+    # estimates are noisy at ~200 samples); the default-size run holds the
+    # paper-grade 25%.
+    EINET_LOAD_REQUESTS="${EINET_LOAD_REQUESTS:-200}" \
+    EINET_LOAD_BURST="${EINET_LOAD_BURST:-100}" \
+    EINET_LOAD_RAMP="${EINET_LOAD_RAMP:-60}" \
+    EINET_LOAD_TOL="${EINET_LOAD_TOL:-0.5}" \
+        ./target/release/bench_load --gate
+    echo "== serve self-test (trace_check --serve reconciliation)"
+    rm -rf results/serve
+    ./target/release/einet serve --models b-alexnet,flex-vgg16 --workers 1 \
+        --self-test 40 --trace-out results/serve/trace.json \
+        --metrics-out results/serve/serve_metrics.json \
+        --prom-out results/serve/metrics.prom
+    ./target/release/trace_check --serve results/serve/trace.json \
+        results/serve/serve_metrics.json
 fi
 
 echo "== all checks passed"
