@@ -26,6 +26,21 @@
 //!   bursty and ramp scenarios (defaults 120 each).
 //! * `EINET_LOAD_TOL` — `--gate` tolerance on |measured − analytic| /
 //!   analytic for the mean queue delay (default 0.25).
+//!
+//! After the arrival-process scenarios, a **connection-scaling sweep**
+//! compares the thread-per-connection front-end against the readiness
+//! reactor: at each level of open-but-idle connections (default
+//! 100 → 1000 → 5000) it records the process thread count, the VmRSS
+//! proxy, and the p50/p99 of a fixed closed-loop load driven over a
+//! handful of active connections. With `--gate` the sweep asserts the
+//! reactor holds the top level without adding a single thread and that
+//! its low-connection latency stays comparable to the baseline.
+//!
+//! * `EINET_LOAD_SWEEP_CONNS` — comma list of idle-connection levels
+//!   (default `100,1000,5000`; the fd budget is 2 per connection since
+//!   client and server share the process).
+//! * `EINET_LOAD_SWEEP_REQUESTS` — fixed-load requests per level
+//!   (default 120).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -35,7 +50,7 @@ use std::time::{Duration, Instant};
 use einet_core::ExitPlan;
 use einet_edge::{PoolConfig, StaticSource};
 use einet_models::{zoo, BranchSpec};
-use einet_server::{ModelRegistry, ModelSpec, Server};
+use einet_server::{ModelRegistry, ModelSpec, ReactorConfig, ReactorServer, Server};
 use einet_trace::json::{self, JsonWriter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -217,6 +232,145 @@ fn run_scenario(
     (tally, last_send.duration_since(start))
 }
 
+/// Reads `Threads:` and `VmRSS:` (kB) from `/proc/self/status`. Returns
+/// zeros on platforms without procfs — the sweep still runs, the
+/// resource columns just stay empty.
+fn proc_threads_and_rss_kb() -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let field = |key: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    (field("Threads:"), field("VmRSS:"))
+}
+
+/// One measurement of a fixed closed-loop load: `total` sequential
+/// round-trips spread over `conns` connections, every response required.
+/// Returns (throughput rps, p50 ms, p99 ms).
+fn fixed_load(addr: std::net::SocketAddr, total: usize, conns: usize) -> (f64, f64, f64) {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..conns {
+        let n = total / conns + usize::from(c < total % conns);
+        handles.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect fixed-load");
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            let mut lat_us = Vec::with_capacity(n);
+            for i in 0..n {
+                let request = format!(
+                    r#"{{"id": {i}, "model": "alexnet", "input": {{"shape": [1, 1, {SIDE}, {SIDE}], "fill": 0.2}}}}"#
+                );
+                let t0 = Instant::now();
+                writer.write_all(request.as_bytes()).expect("send");
+                writer.write_all(b"\n").expect("send");
+                writer.flush().expect("flush");
+                line.clear();
+                assert!(reader.read_line(&mut line).expect("response") > 0);
+                lat_us.push(t0.elapsed().as_micros() as u64);
+                let v = json::parse(line.trim()).expect("JSON response");
+                assert_eq!(
+                    v.get("code").and_then(|c| c.as_u64()),
+                    Some(200),
+                    "fixed load must be fully served"
+                );
+            }
+            lat_us
+        }));
+    }
+    let mut lat_us: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("fixed-load client"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    let q = |f: f64| lat_us[((lat_us.len() - 1) as f64 * f) as usize] as f64 / 1e3;
+    (total as f64 / elapsed, q(0.50), q(0.99))
+}
+
+/// One row of the connection-scaling sweep.
+struct SweepRow {
+    front_end: &'static str,
+    idle_conns: usize,
+    threads: u64,
+    vm_rss_kb: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Opens `level` idle connections, waits until the front-end has actually
+/// registered them (via the `open_connections` gauge when available),
+/// measures resources, then drives the fixed load over separate active
+/// connections. The idle pool is dropped before returning.
+fn sweep_level(
+    addr: std::net::SocketAddr,
+    front_end: &'static str,
+    level: usize,
+    requests: usize,
+    open_gauge: Option<&dyn Fn() -> u64>,
+) -> SweepRow {
+    let mut idle = Vec::with_capacity(level);
+    for _ in 0..level {
+        idle.push(TcpStream::connect(addr).expect("idle connection"));
+    }
+    if let Some(gauge) = open_gauge {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while gauge() < level as u64 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            gauge() >= level as u64,
+            "front-end never registered all {level} idle connections"
+        );
+    } else {
+        // No gauge (legacy baseline): give the accept loop a beat.
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    let (threads, vm_rss_kb) = proc_threads_and_rss_kb();
+    let (throughput_rps, p50_ms, p99_ms) = fixed_load(addr, requests, 2);
+    println!(
+        "  sweep[{front_end}]: {level} idle conns | {threads} threads, {vm_rss_kb} kB RSS | \
+         {throughput_rps:.0} rps, p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms"
+    );
+    drop(idle);
+    SweepRow {
+        front_end,
+        idle_conns: level,
+        threads,
+        vm_rss_kb,
+        throughput_rps,
+        p50_ms,
+        p99_ms,
+    }
+}
+
+fn write_sweep_row(w: &mut JsonWriter, row: &SweepRow) {
+    w.begin_object();
+    w.key("front_end");
+    w.string(row.front_end);
+    w.key("idle_conns");
+    w.number_u64(row.idle_conns as u64);
+    w.key("threads");
+    w.number_u64(row.threads);
+    w.key("vm_rss_kb");
+    w.number_u64(row.vm_rss_kb);
+    w.key("throughput_rps");
+    w.number_f64(row.throughput_rps);
+    w.key("p50_ms");
+    w.number_f64(row.p50_ms);
+    w.key("p99_ms");
+    w.number_f64(row.p99_ms);
+    w.end_object();
+}
+
 fn write_tally(w: &mut JsonWriter, t: &Tally) {
     w.begin_object();
     w.key("sent");
@@ -371,10 +525,10 @@ fn main() {
     );
     println!("  ramp: {} sent, {} ok", ramp.sent, ramp.ok);
 
-    server.shutdown();
-
     // End-to-end shed accounting: every 429 the clients saw must match a
     // registry- or pool-level shed counter, tenant by tenant in aggregate.
+    // Taken *now*, before the connection sweep adds its own traffic to the
+    // same route counters.
     let mut total = Tally::default();
     total.add(&poisson);
     total.add(&bursty);
@@ -408,6 +562,58 @@ fn main() {
         shed_expired,
     );
 
+    // --- connection-scaling sweep -------------------------------------
+    let sweep_levels: Vec<usize> = std::env::var("EINET_LOAD_SWEEP_CONNS")
+        .unwrap_or_else(|_| "100,1000,5000".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    let sweep_requests: usize = env_or("EINET_LOAD_SWEEP_REQUESTS", 120);
+
+    // Baseline: the thread-per-connection front-end at the lowest level
+    // (it spends a thread per idle connection, so the top levels are the
+    // reactor's to demonstrate).
+    let baseline_level = sweep_levels.first().copied().unwrap_or(100);
+    let baseline = sweep_level(addr, "threaded", baseline_level, sweep_requests, None);
+
+    server.shutdown();
+
+    let reactor = ReactorServer::start(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ReactorConfig {
+            max_conns: sweep_levels.iter().copied().max().unwrap_or(5000) + 64,
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("bind reactor");
+    println!(
+        "bench_load: connection sweep on {} backend at {}",
+        reactor.backend(),
+        reactor.local_addr()
+    );
+    let ingest = reactor.metrics_handle();
+    let (threads_before_sweep, _) = proc_threads_and_rss_kb();
+    let gauge = || ingest.snapshot().open_connections;
+    let mut sweep_rows = Vec::new();
+    for &level in &sweep_levels {
+        // Let the previous level's closed connections drain out of the
+        // gauge so each level's readiness wait counts only its own.
+        let drained = Instant::now() + Duration::from_secs(30);
+        while gauge() > 0 && Instant::now() < drained {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sweep_rows.push(sweep_level(
+            reactor.local_addr(),
+            "reactor",
+            level,
+            sweep_requests,
+            Some(&gauge),
+        ));
+    }
+    reactor.shutdown();
+
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("clients");
@@ -437,6 +643,19 @@ fn main() {
     w.end_object();
     w.key("accounting_ok");
     w.boolean(accounting_ok);
+    w.key("conn_sweep");
+    w.begin_object();
+    w.key("baseline");
+    write_sweep_row(&mut w, &baseline);
+    w.key("reactor_threads_before_sweep");
+    w.number_u64(threads_before_sweep);
+    w.key("levels");
+    w.begin_array();
+    for row in &sweep_rows {
+        write_sweep_row(&mut w, row);
+    }
+    w.end_array();
+    w.end_object();
     w.end_object();
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/bench_load.json", w.finish()).expect("write results/bench_load.json");
@@ -463,9 +682,41 @@ fn main() {
             wq_error * 100.0,
             tol * 100.0
         );
+        // Connection-scaling gates. Thread counts from /proc are exact;
+        // skip on platforms without procfs (both reads return 0).
+        let top = sweep_rows.last().expect("at least one sweep level");
+        if threads_before_sweep > 0 && top.threads > 0 {
+            assert!(
+                top.threads <= threads_before_sweep,
+                "reactor grew threads under load: {} before sweep, {} while holding {} \
+                 connections — idle connections must not cost threads",
+                threads_before_sweep,
+                top.threads,
+                top.idle_conns
+            );
+        }
+        // Low-connection latency parity: the reactor's p99 at the lowest
+        // level must stay comparable to the thread-per-connection
+        // baseline (generous bound — the shared 1-core CI box is noisy,
+        // and the service time dominates both).
+        let low = &sweep_rows[0];
+        let p99_limit = (baseline.p99_ms * 2.5).max(baseline.p99_ms + 20.0);
+        assert!(
+            low.p99_ms <= p99_limit,
+            "reactor p99 {:.2} ms at {} conns regressed past the threaded baseline \
+             {:.2} ms (limit {:.2} ms)",
+            low.p99_ms,
+            low.idle_conns,
+            baseline.p99_ms,
+            p99_limit
+        );
         println!(
-            "load gate passed: M/D/1 within {:.0}%, accounting exact",
-            tol * 100.0
+            "load gate passed: M/D/1 within {:.0}%, accounting exact, reactor held {} conns \
+             with no thread growth and p99 {:.2} ms (baseline {:.2} ms)",
+            tol * 100.0,
+            top.idle_conns,
+            low.p99_ms,
+            baseline.p99_ms
         );
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! trace_check <trace.json> [serve_metrics.json]
-//! trace_check --serve <trace.json> <serve_metrics.json>
+//! trace_check --serve <trace.json> <serve_metrics.json> [metrics.prom]
 //! trace_check --stream <dir>
 //! ```
 //!
@@ -20,7 +20,14 @@
 //! * `--serve` applies the same structural and metrics checks to a trace
 //!   from the serving front-end, where a static exit plan is legitimate:
 //!   `queue`, `service` and `block` must appear, but no planner categories
-//!   (`search`/`predictor`) are required;
+//!   (`search`/`predictor`) are required; the serving snapshot's
+//!   `open_connections`/`inflight_requests` gauges must both be zero (a
+//!   drained front-end owes nothing), and every `task_flow` start must be
+//!   matched by exactly one end — multiplexed completions, wherever their
+//!   out-of-order responses went, all terminate. With the optional
+//!   `metrics.prom` third argument, the `ingest` span count must equal the
+//!   routed + shed route counters summed over models (every request the
+//!   front-end parsed was either routed to a pool or explicitly shed);
 //! * with a metrics file: the `service`/`task` span count equals the
 //!   snapshot's serviced-task count and their summed duration lands within
 //!   5% of the service histogram's total; the `shed_expired`,
@@ -59,6 +66,10 @@ struct PoolCounters {
     /// Batch dispatch count and summed occupancy, when the snapshot carries
     /// the batch histogram (older snapshots may predate it).
     batch: Option<(u64, u64)>,
+    /// Ingest gauges (0 when the snapshot predates them): a drained
+    /// front-end must leave both at zero.
+    open_connections: u64,
+    inflight_requests: u64,
 }
 
 fn read_pool_counters(path: &Path) -> Result<PoolCounters, String> {
@@ -89,6 +100,14 @@ fn read_pool_counters(path: &Path) -> Result<PoolCounters, String> {
                 b.get("sum").and_then(JsonValue::as_u64)?,
             ))
         }),
+        open_connections: m
+            .get("open_connections")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        inflight_requests: m
+            .get("inflight_requests")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
     })
 }
 
@@ -157,18 +176,46 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [flag, dir] if flag == "--stream" => check_stream(Path::new(dir)),
-        [flag, t, m] if flag == "--serve" => check_drain(t, Some(m), true),
-        [t] => check_drain(t, None, false),
-        [t, m] => check_drain(t, Some(m), false),
+        [flag, t, m] if flag == "--serve" => check_drain(t, Some(m), true, None),
+        [flag, t, m, p] if flag == "--serve" => check_drain(t, Some(m), true, Some(p)),
+        [t] => check_drain(t, None, false, None),
+        [t, m] => check_drain(t, Some(m), false, None),
         _ => fail(
             "usage: trace_check <trace.json> [serve_metrics.json] | \
-             trace_check --serve <trace.json> <serve_metrics.json> | \
+             trace_check --serve <trace.json> <serve_metrics.json> [metrics.prom] | \
              trace_check --stream <dir>",
         ),
     }
 }
 
-fn check_drain(trace_path: &str, metrics_path: Option<&String>, serve_mode: bool) -> ExitCode {
+/// Sums every sample of a counter family (`name{labels} value`) in a
+/// Prometheus exposition, skipping `# HELP`/`# TYPE` lines.
+fn prom_counter_sum(text: &str, metric: &str) -> u64 {
+    let mut sum = 0u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('#') || !line.starts_with(metric) {
+            continue;
+        }
+        // The name must end exactly at a label block or a space, so
+        // `einet_route_requests_total` never matches a longer name.
+        let rest = &line[metric.len()..];
+        if !(rest.starts_with('{') || rest.starts_with(' ')) {
+            continue;
+        }
+        if let Some(value) = line.rsplit(' ').next() {
+            sum += value.parse::<f64>().unwrap_or(0.0) as u64;
+        }
+    }
+    sum
+}
+
+fn check_drain(
+    trace_path: &str,
+    metrics_path: Option<&String>,
+    serve_mode: bool,
+    prom_path: Option<&String>,
+) -> ExitCode {
     let raw = match std::fs::read_to_string(trace_path) {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot read {trace_path}: {e}")),
@@ -191,6 +238,9 @@ fn check_drain(trace_path: &str, metrics_path: Option<&String>, serve_mode: bool
     let mut expired_instants = 0u64;
     let mut batch_spans = 0u64;
     let mut batch_size_sum = 0u64;
+    let mut ingest_spans = 0u64;
+    let mut flow_starts = 0u64;
+    let mut flow_ends = 0u64;
     for (i, ev) in events.iter().enumerate() {
         let ph = match ev.get("ph").and_then(JsonValue::as_str) {
             Some(p) => p,
@@ -220,6 +270,9 @@ fn check_drain(trace_path: &str, metrics_path: Option<&String>, serve_mode: bool
                     service_spans += 1;
                     service_dur_us += dur;
                 }
+                if cat == "queue" && name == "ingest" {
+                    ingest_spans += 1;
+                }
                 if cat == "queue" && name == "batch" {
                     let size = match ev
                         .get("args")
@@ -245,6 +298,13 @@ fn check_drain(trace_path: &str, metrics_path: Option<&String>, serve_mode: bool
             "s" | "t" | "f" => {
                 if ev.get("id").and_then(JsonValue::as_u64).is_none() {
                     return fail(&format!("event {i}: flow phase {ph:?} without id"));
+                }
+                if name == "task_flow" {
+                    match ph {
+                        "s" => flow_starts += 1,
+                        "f" => flow_ends += 1,
+                        _ => {}
+                    }
                 }
             }
             other => return fail(&format!("event {i}: unexpected phase {other:?}")),
@@ -320,6 +380,55 @@ fn check_drain(trace_path: &str, metrics_path: Option<&String>, serve_mode: bool
                  reconcile with dispatch metrics"
             );
         }
+        if serve_mode {
+            // A drained front-end owes nothing: both ingest gauges zero.
+            if pool.open_connections != 0 || pool.inflight_requests != 0 {
+                return fail(&format!(
+                    "front-end not drained: {} open connections, {} inflight requests",
+                    pool.open_connections, pool.inflight_requests
+                ));
+            }
+            // Multiplexed completions: every task flow that started ended,
+            // wherever its out-of-order response was written.
+            if flow_starts != pool.submitted {
+                return fail(&format!(
+                    "trace has {flow_starts} task_flow starts but metrics say {} submitted",
+                    pool.submitted
+                ));
+            }
+            if flow_ends != flow_starts {
+                return fail(&format!(
+                    "{flow_starts} task_flow starts but {flow_ends} ends — \
+                     some completions never landed"
+                ));
+            }
+            println!(
+                "trace_check: {flow_starts} task flows all terminated; \
+                 ingest gauges drained to zero"
+            );
+        }
+    }
+    if let Some(prom_path) = prom_path {
+        let prom = match std::fs::read_to_string(prom_path) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("cannot read {prom_path}: {e}")),
+        };
+        // Every request the front-end parsed (one `ingest` span each) was
+        // either routed into a pool or explicitly shed at the route layer.
+        // (Unknown-model requests would break this — the self-test and
+        // smoke harness never send any.)
+        let routed = prom_counter_sum(&prom, "einet_route_requests_total");
+        let shed = prom_counter_sum(&prom, "einet_route_shed_total");
+        if ingest_spans != routed + shed {
+            return fail(&format!(
+                "trace has {ingest_spans} ingest spans but route counters say \
+                 {routed} routed + {shed} shed"
+            ));
+        }
+        println!(
+            "trace_check: {ingest_spans} ingest spans reconcile with route counters \
+             ({routed} routed + {shed} shed)"
+        );
     }
     println!("trace_check: OK");
     ExitCode::SUCCESS

@@ -6,16 +6,26 @@
 //! process is interrupted or — with `--self-test N` — drives `N` requests
 //! through a real loopback client, prints the per-model serving report and
 //! exits, failing if any accounting check breaks.
+//!
+//! `--reactor` swaps the thread-per-connection ingest loop for the
+//! readiness-driven [`ReactorServer`] (one epoll/poll thread for every
+//! connection; clients may pipeline and multiplex by `id`). Under
+//! `--reactor`, the self-test adds a multiplexed-pipelining phase and a
+//! shutdown-under-load phase on top of the sequential sweep. `--autoscale`
+//! starts the [`ReplicaScaler`] control loop, growing and shrinking each
+//! model's replica set from the windowed SLO metrics.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
 use einet_core::ExitPlan;
-use einet_edge::{PoolConfig, StaticSource};
+use einet_edge::{PoolConfig, ServeMetrics, StaticSource};
 use einet_models::BranchSpec;
-use einet_server::{ModelRegistry, ModelSpec, Server};
+use einet_server::{
+    ModelRegistry, ModelSpec, ReactorConfig, ReactorServer, ReplicaScaler, ScalerConfig, Server,
+};
 use einet_trace::json::{self, JsonValue};
 
 use super::{parse_model, CmdResult};
@@ -23,6 +33,36 @@ use crate::args::ParsedArgs;
 
 const SIDE: usize = 16;
 const CLASSES: usize = 10;
+
+/// Either ingest front-end behind one surface, so the serving logic and
+/// self-test phases don't care which one is running.
+enum FrontEnd {
+    Threaded(Server),
+    Reactor(ReactorServer),
+}
+
+impl FrontEnd {
+    fn local_addr(&self) -> SocketAddr {
+        match self {
+            FrontEnd::Threaded(s) => s.local_addr(),
+            FrontEnd::Reactor(s) => s.local_addr(),
+        }
+    }
+
+    fn metrics_handle(&self) -> Arc<ServeMetrics> {
+        match self {
+            FrontEnd::Threaded(s) => s.metrics_handle(),
+            FrontEnd::Reactor(s) => s.metrics_handle(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            FrontEnd::Threaded(s) => s.shutdown(),
+            FrontEnd::Reactor(s) => s.shutdown(),
+        }
+    }
+}
 
 /// Runs `einet serve`.
 pub fn run(args: &ParsedArgs) -> CmdResult {
@@ -33,6 +73,11 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     let max_batch: usize = args.get_parsed_or("max-batch", 4)?;
     let block_delay = Duration::from_millis(args.get_parsed_or("block-delay-ms", 0)?);
     let self_test: usize = args.get_parsed_or("self-test", 0)?;
+    let reactor = args.has_flag("reactor");
+    let autoscale = args.has_flag("autoscale");
+    let max_conns: usize = args.get_parsed_or("max-conns", 8192)?;
+    let idle_timeout = Duration::from_millis(args.get_parsed_or("idle-timeout-ms", 0)?);
+    let max_replicas: usize = args.get_parsed_or("max-replicas", 4)?;
     let metrics_out = args.get("metrics-out").map(std::path::PathBuf::from);
     let prom_out = args.get("prom-out").map(std::path::PathBuf::from);
 
@@ -77,21 +122,68 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     }
 
     let registry = Arc::new(registry);
-    let server = Server::start(Arc::clone(&registry), &addr)?;
+    let scaler = if autoscale {
+        Some(ReplicaScaler::spawn(
+            Arc::clone(&registry),
+            ScalerConfig {
+                max_replicas,
+                ..ScalerConfig::default()
+            },
+        ))
+    } else {
+        None
+    };
+    let front = if reactor {
+        let server = ReactorServer::start(
+            Arc::clone(&registry),
+            &addr,
+            ReactorConfig {
+                max_conns,
+                idle_timeout,
+                ..ReactorConfig::default()
+            },
+        )?;
+        println!(
+            "reactor ingest: {} backend, max {} connections{}",
+            server.backend(),
+            max_conns,
+            if idle_timeout.is_zero() {
+                String::new()
+            } else {
+                format!(", idle timeout {} ms", idle_timeout.as_millis())
+            }
+        );
+        FrontEnd::Reactor(server)
+    } else {
+        FrontEnd::Threaded(Server::start(Arc::clone(&registry), &addr)?)
+    };
     println!(
-        "serving {} model(s) [{}] on {} — {} replica(s) × {} worker(s), queue {}, max-batch {}",
+        "serving {} model(s) [{}] on {} — {} replica(s) × {} worker(s), queue {}, max-batch {}{}",
         names.len(),
         names.join(", "),
-        server.local_addr(),
+        front.local_addr(),
         replicas,
         workers,
         queue_capacity,
-        max_batch
+        max_batch,
+        if autoscale {
+            format!(", autoscaling up to {max_replicas} replicas")
+        } else {
+            String::new()
+        }
     );
 
+    let ingest_metrics = front.metrics_handle();
     if self_test > 0 {
-        self_test_loop(&registry, &server, &names, self_test)?;
-        server.shutdown();
+        self_test_loop(&registry, front.local_addr(), &names, self_test)?;
+        if reactor {
+            // The reactor's contract goes beyond one-in-one-out: pipelined
+            // multiplexing and a graceful drain under load.
+            self_test_multiplexed(front.local_addr(), &names, self_test.clamp(8, 64))?;
+            self_test_shutdown_under_load(front, &names, ingest_metrics.clone())?;
+        } else {
+            front.shutdown();
+        }
     } else {
         println!("send one JSON request per line (see DESIGN.md §10); ctrl-c to stop");
         // Park this thread forever; the listener threads do the work. The
@@ -100,10 +192,14 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
             std::thread::sleep(Duration::from_secs(3600));
         }
     }
+    if let Some(scaler) = scaler {
+        scaler.stop();
+    }
 
     report(
         &registry,
         &names,
+        &ingest_metrics.snapshot(),
         metrics_out.as_deref(),
         prom_out.as_deref(),
     )?;
@@ -120,11 +216,11 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
 #[allow(clippy::needless_range_loop)]
 fn self_test_loop(
     registry: &Arc<ModelRegistry>,
-    server: &Server,
+    addr: SocketAddr,
     names: &[String],
     total: usize,
 ) -> CmdResult {
-    let stream = TcpStream::connect(server.local_addr())?;
+    let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -196,12 +292,114 @@ fn self_test_loop(
     Ok(())
 }
 
+/// Reads `expect` response lines and checks off each id against `pending`
+/// (id → times still owed). Fails on an id that was never sent or already
+/// fully answered.
+fn read_and_check_ids(
+    reader: &mut BufReader<TcpStream>,
+    expect: usize,
+    pending: &mut std::collections::HashMap<u64, i64>,
+) -> CmdResult {
+    let mut line = String::new();
+    for _ in 0..expect {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err("connection closed with responses still owed".into());
+        }
+        let v = json::parse(line.trim()).map_err(|e| format!("bad response JSON: {e}"))?;
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or("response without id")?;
+        match pending.get_mut(&id) {
+            Some(owed) if *owed > 0 => *owed -= 1,
+            _ => return Err(format!("id {id} answered more times than sent").into()),
+        }
+    }
+    Ok(())
+}
+
+/// Multiplexing phase: pipelines `burst` requests down one connection
+/// without reading a single response, then collects them all — every id
+/// must come back exactly once, in whatever order completions arrived.
+fn self_test_multiplexed(addr: SocketAddr, names: &[String], burst: usize) -> CmdResult {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut pending = std::collections::HashMap::new();
+    let mut lines = String::new();
+    for i in 0..burst {
+        let id = 100_000 + i as u64;
+        let model = &names[i % names.len()];
+        pending.insert(id, 1i64);
+        lines.push_str(&format!(
+            r#"{{"id": {id}, "model": "{model}", "input": {{"shape": [1, 1, {SIDE}, {SIDE}], "fill": 0.3}}}}"#
+        ));
+        lines.push('\n');
+    }
+    writer.write_all(lines.as_bytes())?;
+    writer.flush()?;
+    read_and_check_ids(&mut reader, burst, &mut pending)?;
+    if pending.values().any(|&owed| owed != 0) {
+        return Err("multiplexed phase: some ids were never answered".into());
+    }
+    println!("self-test: {burst} multiplexed ids round-tripped exactly once");
+    Ok(())
+}
+
+/// Shutdown-under-load phase: pipelines a burst, shuts the front-end down
+/// mid-flight, and verifies the graceful drain still answers every id
+/// before closing — and that the ingest gauges land back at zero.
+fn self_test_shutdown_under_load(
+    front: FrontEnd,
+    names: &[String],
+    metrics: Arc<ServeMetrics>,
+) -> CmdResult {
+    let burst = 16usize;
+    let stream = TcpStream::connect(front.local_addr())?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut pending = std::collections::HashMap::new();
+    let mut lines = String::new();
+    for i in 0..burst {
+        let id = 200_000 + i as u64;
+        let model = &names[i % names.len()];
+        pending.insert(id, 1i64);
+        lines.push_str(&format!(
+            r#"{{"id": {id}, "model": "{model}", "input": {{"shape": [1, 1, {SIDE}, {SIDE}], "fill": 0.3}}}}"#
+        ));
+        lines.push('\n');
+    }
+    writer.write_all(lines.as_bytes())?;
+    writer.flush()?;
+    // One response first proves the reactor swept the burst (a single
+    // loopback write lands whole) — then pull the rug.
+    read_and_check_ids(&mut reader, 1, &mut pending)?;
+    front.shutdown();
+    read_and_check_ids(&mut reader, burst - 1, &mut pending)?;
+    if pending.values().any(|&owed| owed != 0) {
+        return Err("shutdown-under-load: some ids were never answered".into());
+    }
+    let snap = metrics.snapshot();
+    if snap.open_connections != 0 || snap.inflight_requests != 0 {
+        return Err(format!(
+            "shutdown-under-load: gauges not drained ({} connections, {} inflight)",
+            snap.open_connections, snap.inflight_requests
+        )
+        .into());
+    }
+    println!("self-test: graceful drain answered all {burst} in-flight ids and zeroed the gauges");
+    Ok(())
+}
+
 /// Prints the per-model serving table and writes the optional artifacts:
-/// the merged-snapshot JSON (`--metrics-out`) and the labeled Prometheus
-/// exposition (`--prom-out`).
+/// the merged-snapshot JSON (`--metrics-out`, with the ingest gauges
+/// folded in) and the labeled Prometheus exposition (`--prom-out`, with an
+/// ingest-scoped section appended).
 fn report(
     registry: &Arc<ModelRegistry>,
     names: &[String],
+    ingest: &einet_edge::MetricsSnapshot,
     metrics_out: Option<&std::path::Path>,
     prom_out: Option<&std::path::Path>,
 ) -> CmdResult {
@@ -228,7 +426,10 @@ fn report(
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let merged = einet_edge::MetricsSnapshot::merged(snaps.iter());
+        let mut merged = einet_edge::MetricsSnapshot::merged(snaps.iter());
+        // Pool snapshots carry zero connection gauges; the ingest registry
+        // owns them, so the merge grafts them into the one artifact.
+        merged.merge(ingest);
         std::fs::write(path, merged.to_json())?;
         println!("wrote serving metrics to {}", path.display());
     }
@@ -238,7 +439,11 @@ fn report(
                 std::fs::create_dir_all(parent)?;
             }
         }
-        std::fs::write(path, registry.to_prom_text())?;
+        let mut text = registry.to_prom_text();
+        // The connection/inflight gauges live on the ingest front-end, not
+        // on any model pool: append them under their own scope label.
+        ingest.write_prom_into(&mut text, &[("scope", "ingest")], false);
+        std::fs::write(path, text)?;
         println!("wrote Prometheus exposition to {}", path.display());
     }
     Ok(())
@@ -284,6 +489,39 @@ mod tests {
         assert!(std::fs::read_to_string(&trace)
             .unwrap()
             .contains("traceEvents"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reactor_self_test_with_autoscale_and_artifacts() {
+        let _guard = super::super::tracing_test_lock();
+        let dir = std::env::temp_dir().join(format!("einet-reactor-test-{}", std::process::id()));
+        let metrics = dir.join("serve_metrics.json");
+        let prom = dir.join("metrics.prom");
+        let code = crate::run(&v(&[
+            "serve",
+            "--models",
+            "b-alexnet",
+            "--workers",
+            "1",
+            "--reactor",
+            "--autoscale",
+            "--self-test",
+            "12",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--prom-out",
+            prom.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        let m = einet_trace::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        // The drained front-end leaves both ingest gauges at zero in the
+        // merged artifact — present, not merely defaulted.
+        assert_eq!(m.get("open_connections").unwrap().as_u64(), Some(0));
+        assert_eq!(m.get("inflight_requests").unwrap().as_u64(), Some(0));
+        let prom_raw = std::fs::read_to_string(&prom).unwrap();
+        assert!(prom_raw.contains("einet_server_open_connections{scope=\"ingest\"} 0"));
+        assert!(prom_raw.contains("einet_replicas{model=\"b-alexnet\"}"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -11,7 +11,8 @@
 //! einet demo    [--preemptions 6] [--stream-out DIR]
 //! einet report  --dir DIR [--chrome-out FILE]
 //! einet serve   [--models b-alexnet,flex-vgg16] [--addr HOST:PORT]
-//!               [--self-test N] [--metrics-out FILE] [--prom-out FILE]
+//!               [--reactor] [--autoscale] [--self-test N]
+//!               [--metrics-out FILE] [--prom-out FILE]
 //! einet experiments <fig8|table2|...|all> [--quick|--full]
 //! ```
 //!
@@ -29,7 +30,17 @@ pub use args::{ArgsError, ParsedArgs};
 /// Entry point shared by the binary and the tests: parses `argv[1..]` and
 /// dispatches. Returns the process exit code.
 pub fn run(raw_args: &[String]) -> i32 {
-    let parsed = match ParsedArgs::parse(raw_args, &["quick", "full", "help", "serve-stats"]) {
+    let parsed = match ParsedArgs::parse(
+        raw_args,
+        &[
+            "quick",
+            "full",
+            "help",
+            "serve-stats",
+            "reactor",
+            "autoscale",
+        ],
+    ) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
@@ -110,12 +121,22 @@ COMMANDS:
                    [--models b-alexnet,flex-vgg16] [--addr HOST:PORT]
                    [--replicas N] [--workers N] [--queue-capacity N]
                    [--max-batch N] [--block-delay-ms N]
+                   [--reactor] [--max-conns N] [--idle-timeout-ms N]
+                   [--autoscale] [--max-replicas N]
                    [--self-test N] [--metrics-out FILE] [--prom-out FILE]
                    registers each model behind its own replicated executor
                    pool; queue-full and expired-in-queue backpressure comes
                    back as explicit 429-style JSON responses
+                   --reactor serves every connection from one epoll/poll
+                   readiness thread instead of a thread per connection;
+                   clients may pipeline requests and multiplex by id
+                   (responses return in completion order)
+                   --autoscale grows/shrinks each model's replicas from the
+                   windowed SLO metrics (up to --max-replicas, default 4)
                    --self-test drives N loopback requests, verifies the
-                   shed accounting reconciles end to end, then exits
+                   shed accounting reconciles end to end, then exits; under
+                   --reactor it also runs a multiplexed-pipelining phase
+                   and a shutdown-under-load drain phase
                    --prom-out writes the per-model labeled Prometheus text
     report       summarise a --stream-out directory after (or during) a run
                    --dir DIR [--chrome-out FILE]

@@ -69,7 +69,7 @@ pub use metrics::{
     MetricsSnapshot, RollingWindow, ServeMetrics, WindowSample, WindowSnapshot, BATCH_BUCKETS,
     DEFAULT_WINDOW_BUCKET_MS, LATENCY_BUCKETS_US, NUM_WINDOW_SHARDS,
 };
-pub use pool::{ExecutorPool, PoolConfig, TaskError, TaskResult};
+pub use pool::{CompletionFn, ExecutorPool, PoolConfig, TaskError, TaskResult};
 pub use preemptor::Preemptor;
 pub use sched::{PushError, SchedQueue, SchedTask};
 pub use source::{EinetSource, FnSource, PlannerSource, StaticSource};

@@ -518,6 +518,8 @@ pub struct ServeMetrics {
     panicked: AtomicU64,
     queue_depth: AtomicU64,
     queue_high_water: AtomicU64,
+    open_connections: AtomicU64,
+    inflight_requests: AtomicU64,
     started: Instant,
     /// Admission → dequeue.
     pub queue_wait: LatencyHistogram,
@@ -542,6 +544,8 @@ impl Default for ServeMetrics {
             panicked: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            inflight_requests: AtomicU64::new(0),
             started: Instant::now(),
             queue_wait: LatencyHistogram::default(),
             service: LatencyHistogram::default(),
@@ -662,6 +666,28 @@ impl ServeMetrics {
         self.window.record_batch_at(self.started.elapsed(), size);
     }
 
+    /// One client connection was accepted. Exposed for the serving
+    /// front-end, which shares this registry type for its ingest gauges.
+    pub fn conn_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One client connection was closed (hang-up, error, or shutdown).
+    pub fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One wire request entered the server (parsed off a connection and not
+    /// yet answered).
+    pub fn inflight_started(&self) {
+        self.inflight_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One wire request was answered (any response code).
+    pub fn inflight_finished(&self) {
+        self.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// One task died to a worker panic (after `service` on the worker).
     pub(crate) fn on_panicked(&self, service: Duration) {
         self.panicked.fetch_add(1, Ordering::Relaxed);
@@ -688,6 +714,8 @@ impl ServeMetrics {
             panicked: self.panicked.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            inflight_requests: self.inflight_requests.load(Ordering::Relaxed),
             uptime_us: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
             queue_wait: self.queue_wait.snapshot(),
             service: self.service.snapshot(),
@@ -723,6 +751,12 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Deepest the queue has ever been.
     pub queue_high_water: u64,
+    /// Client connections currently open on the serving front-end (0 for
+    /// pool-only registries).
+    pub open_connections: u64,
+    /// Wire requests accepted but not yet answered (0 for pool-only
+    /// registries).
+    pub inflight_requests: u64,
     /// Registry age when the snapshot was taken (µs).
     pub uptime_us: u64,
     /// Admission → dequeue latencies.
@@ -780,6 +814,10 @@ impl MetricsSnapshot {
         w.number_u64(self.queue_depth);
         w.key("queue_high_water");
         w.number_u64(self.queue_high_water);
+        w.key("open_connections");
+        w.number_u64(self.open_connections);
+        w.key("inflight_requests");
+        w.number_u64(self.inflight_requests);
         w.key("uptime_us");
         w.number_u64(self.uptime_us);
         w.key("queue_wait");
@@ -875,6 +913,16 @@ impl MetricsSnapshot {
             panicked: num(&v, "panicked")?,
             queue_depth: num(&v, "queue_depth")?,
             queue_high_water: num(&v, "queue_high_water")?,
+            // Absent in artifacts written before the serving front-end grew
+            // connection gauges; default 0 keeps those parseable.
+            open_connections: v
+                .get("open_connections")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            inflight_requests: v
+                .get("inflight_requests")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
             uptime_us: num(&v, "uptime_us")?,
             queue_wait: histogram(&v, "queue_wait")?,
             service: histogram(&v, "service")?,
@@ -905,6 +953,8 @@ impl MetricsSnapshot {
             panicked: 0,
             queue_depth: 0,
             queue_high_water: 0,
+            open_connections: 0,
+            inflight_requests: 0,
             uptime_us: 0,
             queue_wait: HistogramSnapshot {
                 buckets: [0; NUM_BUCKETS],
@@ -965,6 +1015,8 @@ impl MetricsSnapshot {
         self.panicked += other.panicked;
         self.queue_depth += other.queue_depth;
         self.queue_high_water += other.queue_high_water;
+        self.open_connections += other.open_connections;
+        self.inflight_requests += other.inflight_requests;
         self.uptime_us = self.uptime_us.max(other.uptime_us);
         add_hist(&mut self.queue_wait, &other.queue_wait);
         add_hist(&mut self.service, &other.service);
@@ -1115,6 +1167,18 @@ impl MetricsSnapshot {
             "einet_queue_high_water",
             "Deepest the queue has ever been.",
             self.queue_high_water as f64,
+        );
+        gauge(
+            out,
+            "einet_server_open_connections",
+            "Client connections currently open on the serving front-end.",
+            self.open_connections as f64,
+        );
+        gauge(
+            out,
+            "einet_server_inflight_requests",
+            "Wire requests accepted but not yet answered.",
+            self.inflight_requests as f64,
         );
         gauge(
             out,
@@ -1815,6 +1879,47 @@ mod tests {
         let empty = ServeMetrics::new().snapshot();
         assert_eq!(empty.batch.mean_occupancy(), 0.0);
         assert_eq!(empty.window.mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn connection_gauges_round_trip_merge_and_expose() {
+        let m = ServeMetrics::new();
+        for _ in 0..3 {
+            m.conn_opened();
+        }
+        m.conn_closed();
+        m.inflight_started();
+        m.inflight_started();
+        m.inflight_finished();
+        let snap = m.snapshot();
+        assert_eq!(snap.open_connections, 2);
+        assert_eq!(snap.inflight_requests, 1);
+        // JSON round-trip carries the gauges.
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).expect("round-trip parses");
+        assert_eq!(parsed, snap);
+        // Artifacts written before these gauges existed still parse: strip
+        // the fields and expect zeros.
+        let legacy = snap
+            .to_json()
+            .replace("\"open_connections\"", "\"legacy_oc\"")
+            .replace("\"inflight_requests\"", "\"legacy_ir\"");
+        let old = MetricsSnapshot::from_json(&legacy).expect("legacy artifact parses");
+        assert_eq!(old.open_connections, 0);
+        assert_eq!(old.inflight_requests, 0);
+        // Merge sums the gauges across registries.
+        let merged = MetricsSnapshot::merged([&snap, &snap]);
+        assert_eq!(merged.open_connections, 4);
+        assert_eq!(merged.inflight_requests, 2);
+        // The Prometheus exposition names them as server gauges.
+        let text = snap.to_prom_text();
+        for needle in [
+            "# TYPE einet_server_open_connections gauge",
+            "einet_server_open_connections 2",
+            "# TYPE einet_server_inflight_requests gauge",
+            "einet_server_inflight_requests 1",
+        ] {
+            assert!(text.contains(needle), "prom text missing {needle:?}");
+        }
     }
 
     #[test]

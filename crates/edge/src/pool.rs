@@ -73,6 +73,40 @@ impl std::error::Error for TaskError {}
 /// What a pool task's reply channel yields.
 pub type TaskResult = Result<TaskOutcome, TaskError>;
 
+/// A boxed completion callback for [`ExecutorPool::submit_with`]: invoked
+/// exactly once, on the worker thread that finishes (or loses) the task.
+pub type CompletionFn = Box<dyn FnOnce(TaskResult) + Send>;
+
+/// How a finished task reaches its requester: a blocking channel (the
+/// classic [`ExecutorPool::submit`] path) or a one-shot callback (the
+/// readiness-driven ingest path, where no thread is parked per request).
+pub(crate) enum Reply {
+    Channel(std::sync::mpsc::Sender<TaskResult>),
+    Callback(CompletionFn),
+}
+
+impl Reply {
+    /// Delivers the result, consuming the reply. A vanished channel
+    /// receiver is fine (the requester gave up); callbacks always run.
+    pub(crate) fn deliver(self, result: TaskResult) {
+        match self {
+            Reply::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Reply::Callback(f) => f(result),
+        }
+    }
+}
+
+impl std::fmt::Debug for Reply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reply::Channel(_) => f.write_str("Reply::Channel"),
+            Reply::Callback(_) => f.write_str("Reply::Callback"),
+        }
+    }
+}
+
 /// Sizing and cost-model configuration for an [`ExecutorPool`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
@@ -115,7 +149,7 @@ pub(crate) struct PoolTask {
     request: InferenceRequest,
     deadline_at: Option<Instant>,
     admitted_at: Instant,
-    reply: std::sync::mpsc::Sender<TaskResult>,
+    reply: Reply,
 }
 
 impl SchedTask for PoolTask {
@@ -218,13 +252,49 @@ impl ExecutorPool {
     /// pool is shutting down.
     pub fn submit(&self, request: InferenceRequest) -> Result<Receiver<TaskResult>, SubmitError> {
         let (reply_tx, reply_rx) = channel();
+        self.submit_reply(request, Reply::Channel(reply_tx))
+            .map(|_id| reply_rx)
+            .map_err(|(err, _reply)| err)
+    }
+
+    /// Submits a task without blocking and without a reply channel: when a
+    /// worker finishes (or loses) the task, `on_complete` runs **on that
+    /// worker thread** with the [`TaskResult`]. This is the readiness-driven
+    /// ingest path — thousands of in-flight requests cost no parked threads.
+    ///
+    /// Keep the callback small and non-blocking (hand the result to a queue
+    /// or channel); it runs inline on the worker's dispatch loop. Returns
+    /// the pool-assigned task id.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`ExecutorPool::submit`], with the unused
+    /// callback handed back so the caller can retry another replica or
+    /// answer the requester directly.
+    pub fn submit_with(
+        &self,
+        request: InferenceRequest,
+        on_complete: CompletionFn,
+    ) -> Result<u64, (SubmitError, CompletionFn)> {
+        self.submit_reply(request, Reply::Callback(on_complete))
+            .map_err(|(err, reply)| match reply {
+                Reply::Callback(f) => (err, f),
+                Reply::Channel(_) => unreachable!("submitted a callback reply"),
+            })
+    }
+
+    fn submit_reply(
+        &self,
+        request: InferenceRequest,
+        reply: Reply,
+    ) -> Result<u64, (SubmitError, Reply)> {
         let now = Instant::now();
         let task = PoolTask {
             id: next_task_id(),
             deadline_at: request.deadline.map(|d| now + d),
             admitted_at: now,
             request,
-            reply: reply_tx,
+            reply,
         };
         let task_id = task.id;
         self.metrics.begin_admission();
@@ -234,15 +304,15 @@ impl ExecutorPool {
                 // Open the task's cross-thread flow on the submitting
                 // thread; the worker that picks it up steps and ends it.
                 trace::flow_start(Category::Service, "task_flow", task_id);
-                Ok(reply_rx)
+                Ok(task_id)
             }
-            Err(PushError::Full) => {
+            Err((PushError::Full, task)) => {
                 self.metrics.abort_admission(true);
-                Err(SubmitError::QueueFull)
+                Err((SubmitError::QueueFull, task.reply))
             }
-            Err(PushError::Closed) => {
+            Err((PushError::Closed, task)) => {
                 self.metrics.abort_admission(false);
-                Err(SubmitError::WorkerGone)
+                Err((SubmitError::WorkerGone, task.reply))
             }
         }
     }
@@ -320,7 +390,7 @@ fn worker_loop(
                 trace::instant(Category::Queue, "shed_expired", Args::one("task", task.id));
                 // The task never reaches a worker slice; its flow ends here.
                 trace::flow_end(Category::Service, "task_flow", task.id);
-                let _ = task.reply.send(Ok(TaskOutcome {
+                task.reply.deliver(Ok(TaskOutcome {
                     outputs: Vec::new(),
                     status: TaskStatus::ShedExpiredInQueue,
                     blocks_run: 0,
@@ -428,7 +498,7 @@ fn worker_loop(
                         TaskStatus::Completed | TaskStatus::ShedExpiredInQueue => {}
                     }
                     // The requester may have given up; that is fine.
-                    let _ = task.reply.send(Ok(outcome));
+                    task.reply.deliver(Ok(outcome));
                 }
             }
             Err(payload) => {
@@ -440,7 +510,7 @@ fn worker_loop(
                         "task_panicked",
                         Args::one("task", task.id),
                     );
-                    let _ = task.reply.send(Err(TaskError::Panicked(msg.clone())));
+                    task.reply.deliver(Err(TaskError::Panicked(msg.clone())));
                 }
                 // The unwound network may hold half-written caches; respawn
                 // the worker state from the pristine template.
@@ -545,21 +615,21 @@ mod tests {
             request: InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16])),
             deadline_at: None,
             admitted_at: Instant::now(),
-            reply: tx.clone(),
+            reply: Reply::Channel(tx.clone()),
         };
         let b = PoolTask {
             id: 2,
             request: InferenceRequest::new(Tensor::zeros(&[1, 3, 16, 16])),
             deadline_at: None,
             admitted_at: Instant::now(),
-            reply: tx.clone(),
+            reply: Reply::Channel(tx.clone()),
         };
         let c = PoolTask {
             id: 3,
             request: InferenceRequest::new(Tensor::zeros(&[1, 1, 16, 16])),
             deadline_at: None,
             admitted_at: Instant::now(),
-            reply: tx,
+            reply: Reply::Channel(tx),
         };
         assert_eq!(a.compat_key(), c.compat_key());
         assert_ne!(a.compat_key(), b.compat_key());

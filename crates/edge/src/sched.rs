@@ -123,14 +123,16 @@ impl<T: SchedTask> SchedQueue<T> {
     /// # Errors
     ///
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
-    /// [`SchedQueue::close`].
-    pub fn push(&self, task: T) -> Result<(), PushError> {
+    /// [`SchedQueue::close`] — either way the refused task is handed back,
+    /// so a caller can retry it elsewhere (a registry spilling over to a
+    /// sibling replica) without cloning its payload or reply handle.
+    pub fn push(&self, task: T) -> Result<(), (PushError, T)> {
         let mut inner = self.lock();
         if inner.closed {
-            return Err(PushError::Closed);
+            return Err((PushError::Closed, task));
         }
         if inner.queue.len() >= self.capacity {
-            return Err(PushError::Full);
+            return Err((PushError::Full, task));
         }
         let now = Instant::now();
         if let Some(prev) = inner.last_arrival {
@@ -384,9 +386,13 @@ mod tests {
         let q = SchedQueue::new(2);
         q.push(plain(1)).unwrap();
         q.push(plain(2)).unwrap();
-        assert_eq!(q.push(plain(3)), Err(PushError::Full));
+        let (err, bounced) = q.push(plain(3)).unwrap_err();
+        assert_eq!(err, PushError::Full);
+        assert_eq!(bounced.id, 3, "a refused task is handed back intact");
         q.close();
-        assert_eq!(q.push(plain(4)), Err(PushError::Closed));
+        let (err, bounced) = q.push(plain(4)).unwrap_err();
+        assert_eq!(err, PushError::Closed);
+        assert_eq!(bounced.id, 4);
         // Queued tasks still drain after close.
         assert_eq!(q.pop_batch(1, Duration::ZERO).unwrap()[0].id, 1);
         assert_eq!(q.pop_batch(1, Duration::ZERO).unwrap()[0].id, 2);

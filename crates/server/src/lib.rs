@@ -14,6 +14,14 @@
 //!   per connection (see [`wire`] for the exact format). Queue-full and
 //!   expired-in-queue sheds map to 429-style responses; a worker panic to a
 //!   500; an unknown model to a 404.
+//! * [`ReactorServer`] is the readiness-driven alternative: every
+//!   connection multiplexed on **one** reactor thread behind an epoll shim
+//!   (portable poll(2) fallback, see `sys`), clients may pipeline requests
+//!   and responses return in completion order correlated by `id`.
+//! * [`ReplicaScaler`] closes the loop from the rolling-window SLO metrics
+//!   back to capacity: it grows a model's replica set when windowed SLO
+//!   attainment degrades or queues stay deep, and shrinks it back (with
+//!   hysteresis and cooldown) when the burst passes.
 //! * Per-model [`einet_edge::ServeMetrics`] stay per-pool and are merged on
 //!   demand ([`ModelRegistry::model_snapshot`]); the registry renders one
 //!   Prometheus exposition with a `model` label per series
@@ -45,12 +53,17 @@
 //! assert!(registry.model_snapshot("alexnet").unwrap().reconciles());
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the `sys` module, which owns the raw
+// epoll/poll/pipe FFI (std links libc; no new dependencies).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod reactor;
 mod registry;
 mod server;
+mod sys;
 pub mod wire;
 
-pub use registry::{ModelRegistry, ModelSpec, RouteError, RouteStats};
+pub use reactor::{ReactorConfig, ReactorServer};
+pub use registry::{ModelRegistry, ModelSpec, ReplicaScaler, RouteError, RouteStats, ScalerConfig};
 pub use server::Server;

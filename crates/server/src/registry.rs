@@ -1,11 +1,15 @@
-//! The model registry: named models, replicated pools, weighted routing.
+//! The model registry: named models, replicated pools, weighted routing,
+//! and SLO-driven replica autoscaling.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use einet_edge::{
-    ExecutorPool, InferenceRequest, MetricsSnapshot, PlannerSource, PoolConfig, PreemptionGate,
-    SubmitError, TaskResult,
+    CompletionFn, ExecutorPool, InferenceRequest, MetricsSnapshot, PlannerSource, PoolConfig,
+    PreemptionGate, SubmitError, TaskResult,
 };
 use einet_models::MultiExitNet;
 use einet_trace::{self as trace, Args, Category};
@@ -21,6 +25,7 @@ pub struct ModelSpec {
     /// otherwise the length must equal `replicas` and every weight must be
     /// positive. A weight-3 replica receives 3× the requests of a weight-1
     /// one, interleaved smoothly (never 3 in a row when avoidable).
+    /// Replicas added later by the autoscaler always join with weight 1.
     pub weights: Vec<u32>,
     /// Sizing and cost-model configuration applied to every replica.
     pub pool: PoolConfig,
@@ -71,28 +76,57 @@ pub struct RouteStats {
     pub routed: u64,
     /// Requests shed because every replica was at capacity.
     pub shed_queue_full: u64,
+    /// Replicas added by [`ModelRegistry::scale_up`].
+    pub scale_ups: u64,
+    /// Replicas retired by [`ModelRegistry::scale_down`].
+    pub scale_downs: u64,
 }
 
-struct ModelEntry {
-    name: String,
+/// The replicas of one model plus their routing schedule; swapped under a
+/// write lock only when the autoscaler acts, read on every submit.
+struct ReplicaSet {
     replicas: Vec<ExecutorPool>,
     gates: Vec<PreemptionGate>,
+    weights: Vec<u32>,
     /// Smooth weighted-round-robin schedule over replica indices; the
     /// cursor walks it forever. Precomputed so the hot path is one
     /// `fetch_add` and an index.
     schedule: Vec<u32>,
+}
+
+type SourceFactory = Box<dyn FnMut(usize, usize) -> Box<dyn PlannerSource> + Send>;
+
+struct ModelEntry {
+    name: String,
+    set: RwLock<ReplicaSet>,
     cursor: AtomicU64,
     routed: AtomicU64,
     shed_queue_full: AtomicU64,
+    scale_ups: AtomicU64,
+    scale_downs: AtomicU64,
+    /// Total replicas ever spawned for this model: the next replica index
+    /// handed to the source factory (so planner sources stay distinct
+    /// across scale-up/scale-down cycles).
+    spawned: AtomicU64,
+    /// Final snapshots of retired replicas, folded in so model-level
+    /// reconciliation stays exact across scale-downs.
+    retired: Mutex<MetricsSnapshot>,
+    /// The pristine network; every replica (initial or scaled-up) starts
+    /// from its own clone.
+    template: MultiExitNet,
+    make_source: Mutex<SourceFactory>,
+    pool_cfg: PoolConfig,
 }
 
 /// Named models, each backed by one or more [`ExecutorPool`] replicas, with
-/// weighted round-robin routing and per-model metrics. See the crate docs
-/// for the full picture.
+/// weighted round-robin routing, per-model metrics and runtime scaling. See
+/// the crate docs for the full picture.
 ///
 /// Registration is a build-time concern (`&mut self`); routing is
-/// lock-free (`&self`), so the registry is shared behind an `Arc` once
-/// serving starts.
+/// lock-free apart from a read lock on the replica set (`&self`), so the
+/// registry is shared behind an `Arc` once serving starts. The replica set
+/// only takes its write lock when [`ModelRegistry::scale_up`] /
+/// [`ModelRegistry::scale_down`] swap the schedule.
 pub struct ModelRegistry {
     models: Vec<ModelEntry>,
 }
@@ -111,7 +145,9 @@ impl ModelRegistry {
 
     /// Registers `net` under `name`, spawning `spec.replicas` pools, each
     /// with its own clone of the network and its own [`PreemptionGate`].
-    /// `make_source` mints a planner source per `(replica, worker)`.
+    /// `make_source` mints a planner source per `(replica, worker)`; it is
+    /// kept for the lifetime of the registry so the autoscaler can mint
+    /// sources for replicas added later.
     ///
     /// # Panics
     ///
@@ -122,7 +158,7 @@ impl ModelRegistry {
         &mut self,
         name: &str,
         net: MultiExitNet,
-        mut make_source: impl FnMut(usize, usize) -> Box<dyn PlannerSource>,
+        mut make_source: impl FnMut(usize, usize) -> Box<dyn PlannerSource> + Send + 'static,
         spec: ModelSpec,
     ) {
         assert!(
@@ -157,12 +193,22 @@ impl ModelRegistry {
         }
         self.models.push(ModelEntry {
             name: name.to_string(),
-            replicas,
-            gates,
-            schedule: smooth_wrr_schedule(&weights),
+            set: RwLock::new(ReplicaSet {
+                replicas,
+                gates,
+                schedule: smooth_wrr_schedule(&weights),
+                weights,
+            }),
             cursor: AtomicU64::new(0),
             routed: AtomicU64::new(0),
             shed_queue_full: AtomicU64::new(0),
+            scale_ups: AtomicU64::new(0),
+            scale_downs: AtomicU64::new(0),
+            spawned: AtomicU64::new(spec.replicas as u64),
+            retired: Mutex::new(MetricsSnapshot::empty()),
+            template: net,
+            make_source: Mutex::new(Box::new(make_source)),
+            pool_cfg: spec.pool,
         });
     }
 
@@ -173,13 +219,19 @@ impl ModelRegistry {
 
     /// Number of replicas behind `name` (`None` for an unknown model).
     pub fn replica_count(&self, name: &str) -> Option<usize> {
-        self.entry(name).map(|m| m.replicas.len())
+        Some(self.entry(name)?.set.read().expect("lock").replicas.len())
     }
 
     /// The preemption gate of one replica, for operators that emulate a
     /// high-priority claim on a specific device.
     pub fn gate(&self, name: &str, replica: usize) -> Option<PreemptionGate> {
-        self.entry(name)?.gates.get(replica).cloned()
+        self.entry(name)?
+            .set
+            .read()
+            .expect("lock")
+            .gates
+            .get(replica)
+            .cloned()
     }
 
     fn entry(&self, name: &str) -> Option<&ModelEntry> {
@@ -204,9 +256,10 @@ impl ModelRegistry {
         let Some(entry) = self.entry(name) else {
             return Err(RouteError::UnknownModel);
         };
-        let slot = entry.cursor.fetch_add(1, Ordering::Relaxed) as usize % entry.schedule.len();
-        let first = entry.schedule[slot] as usize;
-        let n = entry.replicas.len();
+        let set = entry.set.read().expect("lock");
+        let slot = entry.cursor.fetch_add(1, Ordering::Relaxed) as usize % set.schedule.len();
+        let first = set.schedule[slot] as usize;
+        let n = set.replicas.len();
         let mut closed = false;
         // The scheduled replica, then the others in ring order: a full
         // queue on one replica spills to its siblings before shedding.
@@ -214,7 +267,7 @@ impl ModelRegistry {
         // spillover is the cold path).
         for offset in 0..n {
             let idx = (first + offset) % n;
-            match entry.replicas[idx].submit(request.clone()) {
+            match set.replicas[idx].submit(request.clone()) {
                 Ok(rx) => {
                     entry.routed.fetch_add(1, Ordering::Relaxed);
                     return Ok(rx);
@@ -231,11 +284,129 @@ impl ModelRegistry {
         Err(RouteError::Shed)
     }
 
+    /// Routes `request` like [`ModelRegistry::submit`], but delivers the
+    /// result through `on_complete` (invoked exactly once, on the worker
+    /// thread that finishes the task) instead of a blocking channel — the
+    /// readiness-driven ingest path. Returns the pool-assigned task id.
+    ///
+    /// # Errors
+    ///
+    /// The same routing errors as [`ModelRegistry::submit`], with the
+    /// unused callback handed back so the caller can answer the requester
+    /// directly.
+    pub fn submit_callback(
+        &self,
+        name: &str,
+        request: InferenceRequest,
+        on_complete: CompletionFn,
+    ) -> Result<u64, (RouteError, CompletionFn)> {
+        let Some(entry) = self.entry(name) else {
+            return Err((RouteError::UnknownModel, on_complete));
+        };
+        let set = entry.set.read().expect("lock");
+        let slot = entry.cursor.fetch_add(1, Ordering::Relaxed) as usize % set.schedule.len();
+        let first = set.schedule[slot] as usize;
+        let n = set.replicas.len();
+        let mut closed = false;
+        let mut cb = on_complete;
+        for offset in 0..n {
+            let idx = (first + offset) % n;
+            match set.replicas[idx].submit_with(request.clone(), cb) {
+                Ok(task_id) => {
+                    entry.routed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(task_id);
+                }
+                Err((SubmitError::QueueFull, c)) => cb = c,
+                Err((SubmitError::WorkerGone, c)) => {
+                    cb = c;
+                    closed = true;
+                }
+            }
+        }
+        if closed {
+            return Err((RouteError::Closed, cb));
+        }
+        entry.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+        trace::instant(Category::Queue, "route_shed", Args::none());
+        Err((RouteError::Shed, cb))
+    }
+
+    /// Adds one replica to `name` (weight 1), cloning the pristine network
+    /// and minting fresh planner sources. Returns the new replica count,
+    /// `None` for an unknown model. The pool is spawned outside the write
+    /// lock, so routing stalls only for the schedule swap.
+    pub fn scale_up(&self, name: &str) -> Option<usize> {
+        let entry = self.entry(name)?;
+        let r = entry.spawned.fetch_add(1, Ordering::Relaxed) as usize;
+        let gate = PreemptionGate::new();
+        let pool = {
+            let mut source = entry.make_source.lock().expect("lock");
+            ExecutorPool::spawn(
+                entry.template.clone(),
+                |w| (source)(r, w),
+                gate.clone(),
+                entry.pool_cfg.clone(),
+            )
+        };
+        let mut set = entry.set.write().expect("lock");
+        set.replicas.push(pool);
+        set.gates.push(gate);
+        set.weights.push(1);
+        set.schedule = smooth_wrr_schedule(&set.weights);
+        let count = set.replicas.len();
+        drop(set);
+        entry.scale_ups.fetch_add(1, Ordering::Relaxed);
+        trace::instant(
+            Category::Queue,
+            "scale_up",
+            Args::one("replicas", count as u64),
+        );
+        Some(count)
+    }
+
+    /// Retires the last replica of `name`: removes it from routing, drains
+    /// it (queued tasks still answer their requesters) and folds its final
+    /// metrics into the model's retired accumulator so
+    /// [`ModelRegistry::model_snapshot`] keeps reconciling. Returns the new
+    /// replica count; `None` for an unknown model or when only one replica
+    /// remains (a model never scales to zero).
+    pub fn scale_down(&self, name: &str) -> Option<usize> {
+        let entry = self.entry(name)?;
+        let (pool, count) = {
+            let mut set = entry.set.write().expect("lock");
+            if set.replicas.len() <= 1 {
+                return None;
+            }
+            let pool = set.replicas.pop().expect("non-empty");
+            set.gates.pop();
+            set.weights.pop();
+            set.schedule = smooth_wrr_schedule(&set.weights);
+            (pool, set.replicas.len())
+        };
+        // Drain outside the lock: routing continues on the survivors while
+        // the retired pool finishes its queue.
+        let final_snap = {
+            let metrics = pool.metrics_handle();
+            pool.shutdown();
+            metrics.snapshot()
+        };
+        entry.retired.lock().expect("lock").merge(&final_snap);
+        entry.scale_downs.fetch_add(1, Ordering::Relaxed);
+        trace::instant(
+            Category::Queue,
+            "scale_down",
+            Args::one("replicas", count as u64),
+        );
+        Some(count)
+    }
+
     /// Registry-level routing counters for `name`.
     pub fn route_stats(&self, name: &str) -> Option<RouteStats> {
         self.entry(name).map(|m| RouteStats {
             routed: m.routed.load(Ordering::Relaxed),
             shed_queue_full: m.shed_queue_full.load(Ordering::Relaxed),
+            scale_ups: m.scale_ups.load(Ordering::Relaxed),
+            scale_downs: m.scale_downs.load(Ordering::Relaxed),
         })
     }
 
@@ -243,34 +414,37 @@ impl ModelRegistry {
     /// for per-replica dashboards and routing-distribution checks.
     pub fn replica_snapshot(&self, name: &str, replica: usize) -> Option<MetricsSnapshot> {
         let entry = self.entry(name)?;
-        Some(entry.replicas.get(replica)?.metrics().snapshot())
+        let set = entry.set.read().expect("lock");
+        Some(set.replicas.get(replica)?.metrics().snapshot())
     }
 
-    /// The merged metrics snapshot of every replica of `name` (see
-    /// [`MetricsSnapshot::merge`] for per-field semantics).
+    /// The merged metrics snapshot of every replica of `name` — live ones
+    /// plus the accumulated totals of replicas retired by the autoscaler
+    /// (see [`MetricsSnapshot::merge`] for per-field semantics).
     pub fn model_snapshot(&self, name: &str) -> Option<MetricsSnapshot> {
         let entry = self.entry(name)?;
-        let snaps: Vec<MetricsSnapshot> = entry
-            .replicas
-            .iter()
-            .map(|p| p.metrics().snapshot())
-            .collect();
-        Some(MetricsSnapshot::merged(snaps.iter()))
+        let set = entry.set.read().expect("lock");
+        let mut out = entry.retired.lock().expect("lock").clone();
+        for p in &set.replicas {
+            out.merge(&p.metrics().snapshot());
+        }
+        Some(out)
     }
 
     /// The merged snapshot across every model and replica — the fleet view.
     pub fn aggregate_snapshot(&self) -> MetricsSnapshot {
-        let snaps: Vec<MetricsSnapshot> = self
-            .models
-            .iter()
-            .flat_map(|m| m.replicas.iter().map(|p| p.metrics().snapshot()))
-            .collect();
-        MetricsSnapshot::merged(snaps.iter())
+        let mut out = MetricsSnapshot::empty();
+        for m in &self.models {
+            if let Some(snap) = self.model_snapshot(&m.name) {
+                out.merge(&snap);
+            }
+        }
+        out
     }
 
     /// One Prometheus exposition for the whole registry: every serving
     /// series labeled `model="<name>"` (headers emitted once per family),
-    /// plus registry-level routing counters.
+    /// plus registry-level routing, replica and scaling counters.
     pub fn to_prom_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(4096 * self.models.len().max(1));
@@ -278,30 +452,41 @@ impl ModelRegistry {
             let snap = self.model_snapshot(&m.name).expect("registered model");
             snap.write_prom_into(&mut out, &[("model", m.name.as_str())], i == 0);
         }
-        let _ = writeln!(
-            out,
-            "# HELP einet_route_requests_total Logical requests accepted by some replica."
+        let mut counter = |name: &str, help: &str, value: &dyn Fn(&ModelEntry) -> u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for m in &self.models {
+                let _ = writeln!(out, "{name}{{model=\"{}\"}} {}", m.name, value(m));
+            }
+        };
+        counter(
+            "einet_route_requests_total",
+            "Logical requests accepted by some replica.",
+            &|m| m.routed.load(Ordering::Relaxed),
         );
-        let _ = writeln!(out, "# TYPE einet_route_requests_total counter");
+        counter(
+            "einet_route_shed_total",
+            "Logical requests shed with every replica at capacity.",
+            &|m| m.shed_queue_full.load(Ordering::Relaxed),
+        );
+        counter(
+            "einet_scale_up_total",
+            "Replicas added by the autoscaler.",
+            &|m| m.scale_ups.load(Ordering::Relaxed),
+        );
+        counter(
+            "einet_scale_down_total",
+            "Replicas retired by the autoscaler.",
+            &|m| m.scale_downs.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(out, "# HELP einet_replicas Live replicas behind the model.");
+        let _ = writeln!(out, "# TYPE einet_replicas gauge");
         for m in &self.models {
             let _ = writeln!(
                 out,
-                "einet_route_requests_total{{model=\"{}\"}} {}",
+                "einet_replicas{{model=\"{}\"}} {}",
                 m.name,
-                m.routed.load(Ordering::Relaxed)
-            );
-        }
-        let _ = writeln!(
-            out,
-            "# HELP einet_route_shed_total Logical requests shed with every replica at capacity."
-        );
-        let _ = writeln!(out, "# TYPE einet_route_shed_total counter");
-        for m in &self.models {
-            let _ = writeln!(
-                out,
-                "einet_route_shed_total{{model=\"{}\"}} {}",
-                m.name,
-                m.shed_queue_full.load(Ordering::Relaxed)
+                m.set.read().expect("lock").replicas.len()
             );
         }
         out
@@ -311,7 +496,8 @@ impl ModelRegistry {
     /// replies still arrive) and joins every worker.
     pub fn shutdown(self) {
         for m in self.models {
-            for pool in m.replicas {
+            let set = m.set.into_inner().expect("lock");
+            for pool in set.replicas {
                 pool.shutdown();
             }
         }
@@ -348,6 +534,177 @@ fn smooth_wrr_schedule(weights: &[u32]) -> Vec<u32> {
         schedule.push(best as u32);
     }
     schedule
+}
+
+/// Autoscaler policy knobs. Defaults favour stability over reaction speed:
+/// two consecutive breach observations before growing, a longer calm streak
+/// before shrinking, and a cooldown after every action so the loop never
+/// flaps on its own transient.
+#[derive(Debug, Clone)]
+pub struct ScalerConfig {
+    /// Never shrink below this many replicas (≥ 1).
+    pub min_replicas: usize,
+    /// Never grow beyond this many replicas.
+    pub max_replicas: usize,
+    /// Scale up when windowed SLO attainment drops below this fraction.
+    pub slo_target: f64,
+    /// Deadline-carrying samples the window must hold before its
+    /// attainment is trusted (avoids scaling on one early miss).
+    pub min_window_samples: u64,
+    /// Scale up when the merged queue depth exceeds this many tasks,
+    /// regardless of SLO (queue delay is the leading indicator).
+    pub queue_depth_high: u64,
+    /// Consecutive overloaded ticks required before growing.
+    pub breaches_to_scale: u32,
+    /// Consecutive calm ticks (empty queue, healthy SLO) before shrinking.
+    pub idle_ticks_to_shrink: u32,
+    /// Minimum time between two scaling actions on the same model.
+    pub cooldown: Duration,
+    /// Evaluation period.
+    pub tick: Duration,
+}
+
+impl Default for ScalerConfig {
+    fn default() -> Self {
+        ScalerConfig {
+            min_replicas: 1,
+            max_replicas: 4,
+            slo_target: 0.9,
+            min_window_samples: 8,
+            queue_depth_high: 16,
+            breaches_to_scale: 2,
+            idle_ticks_to_shrink: 5,
+            cooldown: Duration::from_millis(500),
+            tick: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Hysteresis state for one model.
+struct ModelScalerState {
+    up_breaches: u32,
+    calm_ticks: u32,
+    last_action: Instant,
+}
+
+/// A background control loop that grows and shrinks each model's replica
+/// set from the rolling-window SLO-attainment and queue-depth gauges
+/// [`einet_edge::ServeMetrics`] already exports.
+///
+/// Policy per tick and model: *overloaded* (windowed attainment below
+/// target with enough samples, or queue depth above the high-water knob)
+/// for [`ScalerConfig::breaches_to_scale`] consecutive ticks →
+/// [`ModelRegistry::scale_up`]; *calm* (empty queue, healthy SLO) for
+/// [`ScalerConfig::idle_ticks_to_shrink`] consecutive ticks →
+/// [`ModelRegistry::scale_down`]. A cooldown separates any two actions on
+/// the same model; bounds come from min/max replicas.
+#[derive(Debug)]
+pub struct ReplicaScaler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplicaScaler {
+    /// Spawns the control loop over `registry`.
+    pub fn spawn(registry: Arc<ModelRegistry>, cfg: ScalerConfig) -> ReplicaScaler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("einet-replica-scaler".to_string())
+            .spawn(move || scaler_loop(&registry, &cfg, &stop_flag))
+            .expect("spawn replica scaler");
+        ReplicaScaler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the loop and joins it.
+    pub fn stop(mut self) {
+        self.stop_in_place();
+    }
+
+    fn stop_in_place(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicaScaler {
+    fn drop(&mut self) {
+        self.stop_in_place();
+    }
+}
+
+fn scaler_loop(registry: &ModelRegistry, cfg: &ScalerConfig, stop: &AtomicBool) {
+    let names: Vec<String> = registry
+        .model_names()
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let mut states: Vec<ModelScalerState> = names
+        .iter()
+        .map(|_| ModelScalerState {
+            up_breaches: 0,
+            calm_ticks: 0,
+            // Allow an immediate first action once hysteresis is satisfied.
+            last_action: Instant::now() - cfg.cooldown,
+        })
+        .collect();
+    while !stop.load(Ordering::Relaxed) {
+        // Sleep in small slices so stop() never waits a full tick.
+        let wake = Instant::now() + cfg.tick;
+        while Instant::now() < wake && !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(5).min(cfg.tick));
+        }
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        for (name, state) in names.iter().zip(states.iter_mut()) {
+            let Some(snap) = registry.model_snapshot(name) else {
+                continue;
+            };
+            let Some(replicas) = registry.replica_count(name) else {
+                continue;
+            };
+            let slo_samples = snap.window.slo_met + snap.window.slo_missed;
+            let overloaded = (slo_samples >= cfg.min_window_samples
+                && snap.window.slo_attainment() < cfg.slo_target)
+                || snap.queue_depth > cfg.queue_depth_high;
+            let calm = snap.queue_depth == 0
+                && (slo_samples == 0 || snap.window.slo_attainment() >= cfg.slo_target);
+            if overloaded {
+                state.calm_ticks = 0;
+                state.up_breaches = state.up_breaches.saturating_add(1);
+                if state.up_breaches >= cfg.breaches_to_scale
+                    && state.last_action.elapsed() >= cfg.cooldown
+                    && replicas < cfg.max_replicas
+                {
+                    registry.scale_up(name);
+                    state.up_breaches = 0;
+                    state.last_action = Instant::now();
+                }
+            } else if calm {
+                state.up_breaches = 0;
+                state.calm_ticks = state.calm_ticks.saturating_add(1);
+                if state.calm_ticks >= cfg.idle_ticks_to_shrink
+                    && state.last_action.elapsed() >= cfg.cooldown
+                    && replicas > cfg.min_replicas.max(1)
+                {
+                    registry.scale_down(name);
+                    // Keep the calm streak: sustained idleness shrinks all
+                    // the way back down, one cooldown apart.
+                    state.calm_ticks = 0;
+                    state.last_action = Instant::now();
+                }
+            } else {
+                state.up_breaches = 0;
+                state.calm_ticks = 0;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use einet_edge::ServeMetrics;
 use einet_trace::{self as trace, Args, Category};
 
 use crate::registry::ModelRegistry;
@@ -30,6 +31,7 @@ const READ_POLL: Duration = Duration::from_millis(200);
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
     accept_handle: Option<JoinHandle<()>>,
 }
 
@@ -44,18 +46,34 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServeMetrics::new());
         let accept_stop = Arc::clone(&stop);
+        let accept_metrics = Arc::clone(&metrics);
         let accept_handle = std::thread::spawn(move || {
-            let mut conn_handles = Vec::new();
+            let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
             for stream in listener.incoming() {
                 if accept_stop.load(Ordering::Acquire) {
                     break;
                 }
+                // A long-lived server churns through connections; joining
+                // the finished readers here keeps the handle list bounded
+                // by *open* connections instead of growing forever.
+                let mut i = 0;
+                while i < conn_handles.len() {
+                    if conn_handles[i].is_finished() {
+                        let _ = conn_handles.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
                 let Ok(stream) = stream else { continue };
                 let registry = Arc::clone(&registry);
                 let stop = Arc::clone(&accept_stop);
+                let metrics = Arc::clone(&accept_metrics);
                 conn_handles.push(std::thread::spawn(move || {
-                    serve_connection(stream, &registry, &stop);
+                    metrics.conn_opened();
+                    serve_connection(stream, &registry, &stop, &metrics);
+                    metrics.conn_closed();
                 }));
             }
             for h in conn_handles {
@@ -65,8 +83,16 @@ impl Server {
         Ok(Server {
             addr: local,
             stop,
+            metrics,
             accept_handle: Some(accept_handle),
         })
+    }
+
+    /// The ingest metrics registry: `open_connections` and
+    /// `inflight_requests` gauges live here (per-task counters stay on the
+    /// model pools).
+    pub fn metrics_handle(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The bound address — what clients connect to.
@@ -99,7 +125,12 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, registry: &ModelRegistry, stop: &AtomicBool) {
+fn serve_connection(
+    stream: TcpStream,
+    registry: &ModelRegistry,
+    stop: &AtomicBool,
+    metrics: &ServeMetrics,
+) {
     // A read timeout turns the blocking reader into a poll loop so the
     // thread notices shutdown even on an idle connection.
     let _ = stream.set_read_timeout(Some(READ_POLL));
@@ -118,7 +149,9 @@ fn serve_connection(stream: TcpStream, registry: &ModelRegistry, stop: &AtomicBo
                 if trimmed.is_empty() {
                     continue;
                 }
+                metrics.inflight_started();
                 let response = handle_line(trimmed, registry);
+                metrics.inflight_finished();
                 if writer.write_all(response.as_bytes()).is_err()
                     || writer.write_all(b"\n").is_err()
                 {

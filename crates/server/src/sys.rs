@@ -1,0 +1,481 @@
+//! Minimal readiness-notification FFI for the reactor.
+//!
+//! The workspace takes no external dependencies, so this module declares
+//! the handful of libc symbols the reactor needs (`std` already links
+//! libc, so they resolve at link time) and wraps them in a safe
+//! [`Poller`] with two backends:
+//!
+//! * **epoll** — O(ready) wakeups, the production path on Linux;
+//! * **poll(2)** — the portable fallback, also selectable explicitly with
+//!   `EINET_REACTOR_BACKEND=poll` so both paths stay tested.
+//!
+//! All `unsafe` in the crate lives here, confined to the raw syscall
+//! boundary; everything above it works with owned fds and checked
+//! results.
+
+#![allow(unsafe_code)]
+
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+// --- raw declarations ----------------------------------------------------
+
+/// Matches the kernel's `struct epoll_event`. On x86_64 the kernel ABI
+/// packs the 12-byte struct (u32 events + u64 data with no padding);
+/// elsewhere natural alignment matches the kernel layout.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Matches `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x1;
+const EPOLLOUT: u32 = 0x4;
+const EPOLLERR: u32 = 0x8;
+const EPOLLHUP: u32 = 0x10;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const POLLIN: i16 = 0x1;
+const POLLOUT: i16 = 0x4;
+const POLLERR: i16 = 0x8;
+const POLLHUP: i16 = 0x10;
+
+const O_NONBLOCK: i32 = 0o4000;
+const O_CLOEXEC: i32 = 0o2000000;
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// --- the safe surface ----------------------------------------------------
+
+/// Which readiness directions a registration cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest, the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+}
+
+/// One readiness event handed back by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable now (includes peer hang-up: a read will observe EOF).
+    pub readable: bool,
+    /// Writable now.
+    pub writable: bool,
+    /// Error or hang-up condition; the owner should read to EOF / close.
+    pub hangup: bool,
+}
+
+/// A readiness poller over raw fds: epoll when available, poll(2)
+/// otherwise (or when forced via `EINET_REACTOR_BACKEND=poll`).
+#[derive(Debug)]
+pub(crate) enum Poller {
+    Epoll {
+        epfd: RawFd,
+    },
+    Poll {
+        fds: HashMap<RawFd, (u64, Interest)>,
+    },
+}
+
+impl Poller {
+    /// Opens the preferred backend.
+    pub fn new() -> io::Result<Poller> {
+        let forced_poll = std::env::var("EINET_REACTOR_BACKEND")
+            .map(|v| v.eq_ignore_ascii_case("poll"))
+            .unwrap_or(false);
+        if !forced_poll {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd >= 0 {
+                return Ok(Poller::Epoll { epfd });
+            }
+        }
+        Ok(Poller::Poll {
+            fds: HashMap::new(),
+        })
+    }
+
+    /// A short name for logs: which backend ended up active.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            Poller::Epoll { .. } => "epoll",
+            Poller::Poll { .. } => "poll",
+        }
+    }
+
+    fn epoll_mask(interest: Interest) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self {
+            Poller::Epoll { epfd } => {
+                let mut ev = EpollEvent {
+                    events: Self::epoll_mask(interest),
+                    data: token,
+                };
+                cvt(unsafe { epoll_ctl(*epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(|_| ())
+            }
+            Poller::Poll { fds } => {
+                fds.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the interest (and token) of an already-registered fd.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self {
+            Poller::Epoll { epfd } => {
+                let mut ev = EpollEvent {
+                    events: Self::epoll_mask(interest),
+                    data: token,
+                };
+                cvt(unsafe { epoll_ctl(*epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(|_| ())
+            }
+            Poller::Poll { fds } => {
+                fds.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes an fd from the poller. Safe to call right before closing it.
+    pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+        match self {
+            Poller::Epoll { epfd } => {
+                let mut ev = EpollEvent { events: 0, data: 0 };
+                cvt(unsafe { epoll_ctl(*epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+            }
+            Poller::Poll { fds } => {
+                fds.remove(&fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks for up to `timeout` (forever when `None`) and appends the
+    /// ready events to `out`. Spurious wakeups (no events) are fine.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => i32::try_from(d.as_millis()).unwrap_or(i32::MAX).max(0),
+        };
+        match self {
+            Poller::Epoll { epfd } => {
+                let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+                let n = loop {
+                    let n = unsafe {
+                        epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                for ev in &buf[..n] {
+                    // Copy out of the (possibly packed) struct before use.
+                    let events = ev.events;
+                    let token = ev.data;
+                    out.push(Event {
+                        token,
+                        readable: events & (EPOLLIN | EPOLLRDHUP) != 0,
+                        writable: events & EPOLLOUT != 0,
+                        hangup: events & (EPOLLERR | EPOLLHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+            Poller::Poll { fds } => {
+                let mut pollfds: Vec<PollFd> = Vec::with_capacity(fds.len());
+                let mut tokens: Vec<u64> = Vec::with_capacity(fds.len());
+                for (&fd, &(token, interest)) in fds.iter() {
+                    let mut events = 0i16;
+                    if interest.readable {
+                        events |= POLLIN;
+                    }
+                    if interest.writable {
+                        events |= POLLOUT;
+                    }
+                    pollfds.push(PollFd {
+                        fd,
+                        events,
+                        revents: 0,
+                    });
+                    tokens.push(token);
+                }
+                let n = loop {
+                    let n = unsafe { poll(pollfds.as_mut_ptr(), pollfds.len() as u64, timeout_ms) };
+                    if n >= 0 {
+                        break n;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                if n > 0 {
+                    for (pfd, &token) in pollfds.iter().zip(&tokens) {
+                        if pfd.revents == 0 {
+                            continue;
+                        }
+                        out.push(Event {
+                            token,
+                            readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                            writable: pfd.revents & POLLOUT != 0,
+                            hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        if let Poller::Epoll { epfd } = self {
+            unsafe {
+                close(*epfd);
+            }
+        }
+    }
+}
+
+/// A self-pipe for waking the reactor from other threads: completion
+/// callbacks and `shutdown` write one byte; the reactor drains it.
+#[derive(Debug)]
+pub(crate) struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Opens a non-blocking close-on-exec pipe.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The fd to register for read-readiness in the poller.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Wakes the poller. A full pipe is success — the reactor is already
+    /// guaranteed a wakeup it has not consumed yet.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        unsafe {
+            let _ = write(self.write_fd, &byte, 1);
+        }
+    }
+
+    /// Drains every pending wake byte (called by the reactor on wakeup).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+// `WakePipe` is two raw fds; writes from any thread are atomic at this
+// size and the two ends are used lock-free.
+unsafe impl Send for WakePipe {}
+unsafe impl Sync for WakePipe {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn poller_pair() -> Vec<Poller> {
+        // Exercise both backends regardless of the environment.
+        vec![
+            Poller::Epoll {
+                epfd: cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) }).unwrap(),
+            },
+            Poller::Poll {
+                fds: HashMap::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn both_backends_report_read_readiness() {
+        for mut poller in poller_pair() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (mut server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            poller.add(server.as_raw_fd(), 42, Interest::READ).unwrap();
+            let mut events = Vec::new();
+            // Nothing to read yet: a zero timeout returns empty.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(0)))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "{}: no data, no event",
+                poller.backend_name()
+            );
+            client.write_all(b"ping").unwrap();
+            client.flush().unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{}", poller.backend_name());
+            assert_eq!(events[0].token, 42);
+            assert!(events[0].readable);
+            let mut buf = [0u8; 8];
+            let n = server.read(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"ping");
+            poller.delete(server.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn modify_rearms_write_interest() {
+        for mut poller in poller_pair() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            poller.add(server.as_raw_fd(), 7, Interest::READ).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(0)))
+                .unwrap();
+            assert!(events.is_empty(), "{}", poller.backend_name());
+            // An idle socket is immediately writable once we ask.
+            poller
+                .modify(
+                    server.as_raw_fd(),
+                    7,
+                    Interest {
+                        readable: true,
+                        writable: true,
+                    },
+                )
+                .unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 7 && e.writable),
+                "{}: writable after modify",
+                poller.backend_name()
+            );
+            drop(client);
+        }
+    }
+
+    #[test]
+    fn wake_pipe_wakes_and_drains() {
+        for mut poller in poller_pair() {
+            let pipe = WakePipe::new().unwrap();
+            poller.add(pipe.read_fd(), 1, Interest::READ).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(0)))
+                .unwrap();
+            assert!(events.is_empty(), "{}", poller.backend_name());
+            pipe.wake();
+            pipe.wake();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 1 && e.readable),
+                "{}",
+                poller.backend_name()
+            );
+            pipe.drain();
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(0)))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "{}: drained pipe is quiet",
+                poller.backend_name()
+            );
+        }
+    }
+}

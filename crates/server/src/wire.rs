@@ -15,7 +15,9 @@
 //! * `input.shape` (required) — `[1, c, h, w]`, one sample per request.
 //! * `input.fill` *or* `input.data` (required, exclusive) — a constant
 //!   fill value, or the full row-major element list (`c*h*w` values).
-//! * `id` (optional, default 0) — echoed back so clients can pipeline.
+//! * `id` (optional, default 0) — echoed back so clients can pipeline and
+//!   multiplex; round-trips verbatim within the JSON safe-integer range
+//!   (≤ 2^53 — numbers are f64-backed, as in every JS-compatible parser).
 //! * `deadline_ms` (optional) — admission-to-answer deadline.
 //! * `label` (optional) — true class, enabling server-side accuracy
 //!   accounting.

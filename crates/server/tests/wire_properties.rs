@@ -1,0 +1,246 @@
+//! Property-based tests for the wire layer and the reactor's multiplexing
+//! contract: the parser never panics on arbitrary input, and every request
+//! id sent over a pipelined connection comes back exactly once — whatever
+//! order the completions arrive in.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use einet_core::ExitPlan;
+use einet_edge::{PoolConfig, StaticSource};
+use einet_models::{zoo, BranchSpec};
+use einet_server::{wire, ModelRegistry, ModelSpec, ReactorConfig, ReactorServer};
+use einet_trace::json;
+use proptest::prelude::*;
+
+// --- parser robustness ----------------------------------------------------
+
+/// Arbitrary bytes, lossily decoded: covers binary junk, truncated UTF-8
+/// replacement characters, control bytes, the lot.
+fn arb_junk_line() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..=255u8, 0..192)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// A valid request line with a random prefix chopped off or random bytes
+/// spliced in — the "almost JSON" neighbourhood where panics hide.
+fn arb_mangled_request() -> impl Strategy<Value = String> {
+    (
+        0u64..=u64::MAX,
+        0usize..96,
+        proptest::collection::vec(0u8..=255u8, 0..8),
+    )
+        .prop_map(|(id, cut, splice)| {
+            let base = format!(
+                "{{\"id\": {id}, \"model\": \"m\", \"deadline_ms\": 5, \
+                 \"input\": {{\"shape\": [1, 1, 4, 4], \"fill\": 0.5}}}}"
+            );
+            let cut = cut.min(base.len());
+            let mut mangled = base[..base.len() - cut].to_string();
+            mangled.push_str(&String::from_utf8_lossy(&splice));
+            mangled
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Whatever bytes arrive on the wire, `parse_request` returns `Ok` or
+    /// `Err` — it never panics. (The reactor calls this on the reactor
+    /// thread; a panic there would take down every connection.)
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(line in arb_junk_line()) {
+        let _ = wire::parse_request(&line);
+    }
+
+    /// Same, one street over: near-valid request lines.
+    #[test]
+    fn parser_never_panics_on_mangled_requests(line in arb_mangled_request()) {
+        let _ = wire::parse_request(&line);
+    }
+
+    /// Any id in the JSON-safe integer range (≤ 2^53, the wire contract —
+    /// the hand-rolled JSON module backs numbers with f64) survives
+    /// render → parse verbatim, for every response shape the server can
+    /// emit without a task outcome in hand.
+    #[test]
+    fn ids_survive_error_renders(id in 0u64..=(1u64 << 53)) {
+        for rendered in [
+            wire::render_bad_request(id, "nope"),
+            wire::render_worker_crashed(id),
+        ] {
+            let v = json::parse(&rendered).expect("responses are valid JSON");
+            prop_assert_eq!(v.get("id").and_then(|i| i.as_u64()), Some(id));
+        }
+    }
+}
+
+// --- multiplexed round-trip through the reactor ---------------------------
+
+fn start_reactor() -> (Arc<ModelRegistry>, ReactorServer) {
+    let mut registry = ModelRegistry::new();
+    let net = zoo::b_alexnet([1, 16, 16], 10, &BranchSpec::paper_default(), 1);
+    registry.register(
+        "m",
+        net,
+        |_replica, _worker| Box::new(StaticSource::new(ExitPlan::full(3))),
+        ModelSpec {
+            pool: PoolConfig {
+                workers: 1,
+                queue_capacity: 256,
+                ..PoolConfig::default()
+            },
+            replicas: 1,
+            ..ModelSpec::default()
+        },
+    );
+    let registry = Arc::new(registry);
+    let server = ReactorServer::start(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ReactorConfig::default(),
+    )
+    .expect("reactor binds");
+    (registry, server)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Pipeline a batch of requests with arbitrary (possibly colliding)
+    /// ids down ONE connection without reading a single response, then
+    /// read them all back: every id comes back exactly as many times as it
+    /// was sent, and each response is well-formed. Responses arrive in
+    /// completion order, so this is exactly the out-of-order id
+    /// round-trip the multiplexing contract promises.
+    #[test]
+    fn ids_round_trip_through_multiplexed_connection(
+        ids in proptest::collection::vec(0u64..=(1u64 << 53), 1..48),
+    ) {
+        let (registry, server) = start_reactor();
+        let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut sent: HashMap<u64, i64> = HashMap::new();
+        let mut lines = String::new();
+        for &id in &ids {
+            *sent.entry(id).or_insert(0) += 1;
+            lines.push_str(&format!(
+                "{{\"id\": {id}, \"model\": \"m\", \
+                 \"input\": {{\"shape\": [1, 1, 16, 16], \"fill\": 0.5}}}}\n"
+            ));
+        }
+        conn.write_all(lines.as_bytes()).expect("pipelined write");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut line = String::new();
+        for _ in 0..ids.len() {
+            line.clear();
+            let n = reader.read_line(&mut line).expect("response line");
+            prop_assert!(n > 0, "connection closed before all ids answered");
+            let v = json::parse(line.trim()).expect("response is valid JSON");
+            let id = v.get("id").and_then(|i| i.as_u64()).expect("response id");
+            let code = v.get("code").and_then(|c| c.as_u64()).expect("code");
+            // Any terminal code is fine (200/429/...), but it must carry
+            // an id we actually sent and still owe.
+            let owed = sent.get_mut(&id).map(|c| { *c -= 1; *c }).unwrap_or(-1);
+            prop_assert!(owed >= 0, "id {id} answered more times than sent (code {code})");
+        }
+        prop_assert!(sent.values().all(|&c| c == 0), "some ids never answered");
+        drop(reader);
+        server.shutdown();
+        let registry = Arc::try_unwrap(registry).expect("sole registry owner");
+        registry.shutdown();
+    }
+}
+
+/// Interleaves two pipelined connections and checks isolation: each
+/// connection gets back exactly its own ids, never the neighbour's.
+#[test]
+fn multiplexed_connections_do_not_leak_ids_across() {
+    let (registry, server) = start_reactor();
+    let mk = |base: u64| {
+        let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut lines = String::new();
+        for i in 0..16u64 {
+            lines.push_str(&format!(
+                "{{\"id\": {}, \"model\": \"m\", \
+                 \"input\": {{\"shape\": [1, 1, 16, 16], \"fill\": 0.25}}}}\n",
+                base + i
+            ));
+        }
+        conn.write_all(lines.as_bytes()).expect("write");
+        conn
+    };
+    let a = mk(1_000);
+    let b = mk(2_000);
+    for (conn, base) in [(a, 1_000u64), (b, 2_000u64)] {
+        let mut reader = BufReader::new(conn);
+        let mut seen = Vec::new();
+        let mut line = String::new();
+        for _ in 0..16 {
+            line.clear();
+            assert!(reader.read_line(&mut line).expect("read") > 0);
+            let v = json::parse(line.trim()).expect("json");
+            seen.push(v.get("id").and_then(|i| i.as_u64()).expect("id"));
+        }
+        seen.sort_unstable();
+        let want: Vec<u64> = (base..base + 16).collect();
+        assert_eq!(seen, want, "connection must get exactly its own ids");
+    }
+    server.shutdown();
+    let registry = Arc::try_unwrap(registry).expect("sole owner");
+    registry.shutdown();
+}
+
+/// Shutdown under load: pipeline a burst, immediately shut the server
+/// down, and verify the graceful drain still answers every id exactly
+/// once before the connection closes.
+#[test]
+fn graceful_drain_answers_every_inflight_id() {
+    let (registry, server) = start_reactor();
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    let n = 24u64;
+    let mut lines = String::new();
+    for id in 0..n {
+        lines.push_str(&format!(
+            "{{\"id\": {id}, \"model\": \"m\", \
+             \"input\": {{\"shape\": [1, 1, 16, 16], \"fill\": 0.5}}}}\n"
+        ));
+    }
+    conn.write_all(lines.as_bytes()).expect("write burst");
+    let mut reader = BufReader::new(conn);
+    let mut seen = std::collections::HashSet::new();
+    let mut line = String::new();
+    // One response first: proves the reactor accepted the connection and
+    // swept the (single-write, loopback-atomic) burst into its read buffer
+    // before we pull the rug.
+    assert!(reader.read_line(&mut line).expect("first response") > 0);
+    let v = json::parse(line.trim()).expect("json");
+    seen.insert(v.get("id").and_then(|i| i.as_u64()).expect("id"));
+    let metrics = server.metrics_handle();
+    server.shutdown(); // returns only after the drain
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.open_connections, 0,
+        "drain must close every connection"
+    );
+    assert_eq!(snap.inflight_requests, 0, "drain must finish every request");
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                let v = json::parse(line.trim()).expect("json");
+                let id = v.get("id").and_then(|i| i.as_u64()).expect("id");
+                assert!(seen.insert(id), "id {id} answered twice");
+            }
+        }
+    }
+    assert_eq!(
+        seen.len() as u64,
+        n,
+        "every pipelined id answered before close"
+    );
+    let registry = Arc::try_unwrap(registry).expect("sole owner");
+    registry.shutdown();
+}

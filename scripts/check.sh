@@ -6,8 +6,9 @@
 # serving smoke that saturates the batched pool and fails on a
 # throughput/deadline-miss regression against the batch=1 baseline, then
 # drives the multi-tenant TCP front-end (bench_load + einet serve
-# --self-test) and fails unless shed accounting and the M/D/1 queue-delay
-# cross-check reconcile.
+# --self-test, threaded and reactor back-ends) and fails unless shed
+# accounting, the M/D/1 queue-delay cross-check, and the reactor
+# connection-scaling gate all reconcile.
 #
 #   scripts/check.sh                # fmt --check + clippy -D warnings + tests
 #   scripts/check.sh --bench        # also run the bench runner (release build)
@@ -81,6 +82,17 @@ if [ "$run_serve_smoke" -eq 1 ]; then
     # analytic. The smoke sizes down and widens the tolerance (mean-wait
     # estimates are noisy at ~200 samples); the default-size run holds the
     # paper-grade 25%.
+    #
+    # The run ends with the connection-scaling sweep: the gate fails unless
+    # the reactor holds the top sweep level (5000 idle connections by
+    # default) without growing its thread count, and low-connection p99
+    # stays within tolerance of the thread-per-connection baseline. Each
+    # connection costs two fds (client + server share the process), so the
+    # sweep is sized down automatically when the fd rlimit is tight.
+    if [ "$(ulimit -n)" -lt 12000 ]; then
+        export EINET_LOAD_SWEEP_CONNS="${EINET_LOAD_SWEEP_CONNS:-100,500}"
+        echo "   (fd rlimit $(ulimit -n) < 12000: sweep capped at ${EINET_LOAD_SWEEP_CONNS})"
+    fi
     EINET_LOAD_REQUESTS="${EINET_LOAD_REQUESTS:-200}" \
     EINET_LOAD_BURST="${EINET_LOAD_BURST:-100}" \
     EINET_LOAD_RAMP="${EINET_LOAD_RAMP:-60}" \
@@ -94,6 +106,22 @@ if [ "$run_serve_smoke" -eq 1 ]; then
         --prom-out results/serve/metrics.prom
     ./target/release/trace_check --serve results/serve/trace.json \
         results/serve/serve_metrics.json
+    echo "== reactor serve self-test (multiplexing + drain + autoscale)"
+    # Same loopback self-test through the epoll front-end, plus the
+    # reactor-only phases: pipelined multiplexing on one connection and a
+    # shutdown-under-load drain that must answer every in-flight id. The
+    # three-artifact trace_check additionally reconciles ingest spans
+    # against the routed+shed counters in the Prometheus text and insists
+    # both front-end gauges drained to zero.
+    rm -rf results/serve_reactor
+    ./target/release/einet serve --models b-alexnet,flex-vgg16 --workers 1 \
+        --reactor --autoscale --self-test 40 \
+        --trace-out results/serve_reactor/trace.json \
+        --metrics-out results/serve_reactor/serve_metrics.json \
+        --prom-out results/serve_reactor/metrics.prom
+    ./target/release/trace_check --serve results/serve_reactor/trace.json \
+        results/serve_reactor/serve_metrics.json \
+        results/serve_reactor/metrics.prom
 fi
 
 echo "== all checks passed"
