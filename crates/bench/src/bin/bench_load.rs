@@ -41,9 +41,24 @@
 //!   client and server share the process).
 //! * `EINET_LOAD_SWEEP_REQUESTS` — fixed-load requests per level
 //!   (default 120).
+//!
+//! With `--trace-out DIR` the run starts with a **distributed-tracing
+//! phase**: a dedicated server is driven by clients that mint a
+//! [`einet_trace::TraceContext`] per request and carry it in the wire
+//! `trace` field, while a [`einet_trace::TraceStreamer`] exports the
+//! server-side trace to `DIR/server_trace.jsonl` and the clients write
+//! their own per-request spans (`gen` think time, `request` send→response)
+//! to `DIR/client_trace.jsonl`. The two streams share one trace-id space
+//! and merge into a single Chrome trace; `trace_check --distributed` joins
+//! them and decomposes end-to-end latency per stage. `--trace-only` skips
+//! the load scenarios and the connection sweep after the traced phase.
+//!
+//! * `EINET_LOAD_TRACE_REQUESTS` / `EINET_LOAD_TRACE_CLIENTS` — traced
+//!   phase size (defaults 96 requests over 4 connections).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,6 +67,7 @@ use einet_edge::{PoolConfig, StaticSource};
 use einet_models::{zoo, BranchSpec};
 use einet_server::{ModelRegistry, ModelSpec, ReactorConfig, ReactorServer, Server};
 use einet_trace::json::{self, JsonWriter};
+use einet_trace::{context, next_trace_id, StreamConfig, TraceConfig, TraceStreamer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -371,6 +387,225 @@ fn write_sweep_row(w: &mut JsonWriter, row: &SweepRow) {
     w.end_object();
 }
 
+/// One hand-written client-side span: the client is its own "process" in
+/// the merged trace (pid 2; the server's events carry pid 1).
+struct ClientSpan {
+    name: &'static str,
+    tid: u64,
+    ts_us: u64,
+    dur_us: u64,
+    trace: u64,
+    code: u64,
+}
+
+/// Appends one client span as a stream `event` record (the same JSONL
+/// schema [`einet_trace::stream::read_stream`] parses back).
+fn write_client_event(out: &mut String, s: &ClientSpan) {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("type");
+    w.string("event");
+    w.key("name");
+    w.string(s.name);
+    w.key("cat");
+    w.string("client");
+    w.key("ph");
+    w.string("X");
+    w.key("ts");
+    w.number_u64(s.ts_us);
+    w.key("dur");
+    w.number_u64(s.dur_us);
+    w.key("pid");
+    w.number_u64(2);
+    w.key("tid");
+    w.number_u64(s.tid);
+    w.key("args");
+    w.begin_object();
+    w.key("trace");
+    w.number_u64(s.trace);
+    w.key("code");
+    w.number_u64(s.code);
+    w.end_object();
+    w.end_object();
+    out.push_str(&w.finish());
+    out.push('\n');
+}
+
+/// The distributed-tracing phase: every request carries a client-minted
+/// trace context, the server trace streams to `DIR/server_trace.jsonl`,
+/// and the clients' own spans land in `DIR/client_trace.jsonl`. Both
+/// streams share the process trace epoch, so `trace_check --distributed`
+/// can join them by trace id and decompose end-to-end latency.
+fn run_distributed_trace(dir: &Path) {
+    let requests: usize = env_or("EINET_LOAD_TRACE_REQUESTS", 96);
+    let clients: usize = env_or("EINET_LOAD_TRACE_CLIENTS", 6).max(1);
+
+    einet_trace::init(TraceConfig::on());
+    let streamer = TraceStreamer::start(dir.join("server_trace.jsonl"), StreamConfig::default())
+        .expect("start server trace stream");
+
+    // One batched tenant: a single throttled worker with max_batch 4, so
+    // queue waits and batch-assembly gaps are visible in the breakdown.
+    let mut registry = ModelRegistry::new();
+    registry.register(
+        "alexnet",
+        zoo::b_alexnet([1, SIDE, SIDE], 10, &BranchSpec::paper_default(), 21),
+        |_r, _w| Box::new(StaticSource::new(ExitPlan::full(3))),
+        ModelSpec {
+            pool: PoolConfig {
+                workers: 1,
+                queue_capacity: 64,
+                block_delay: Duration::from_millis(2),
+                max_batch: 4,
+                ..PoolConfig::default()
+            },
+            ..ModelSpec::default()
+        },
+    );
+    let registry = Arc::new(registry);
+    let server = Server::start(Arc::clone(&registry), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let n = requests / clients + usize::from(c < requests % clients);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(40 + c as u64);
+            let stream = TcpStream::connect(addr).expect("connect traced target");
+            // The request span must measure serving latency, not Nagle's
+            // buffer: send each line as one segment, immediately.
+            stream.set_nodelay(true).expect("set nodelay");
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            let mut spans = Vec::with_capacity(2 * n);
+            let mut tally = Tally::default();
+            let tid = c as u64 + 1;
+            for i in 0..n {
+                // Think time between requests: the client-wait stage.
+                let gen_ts = context::now_us();
+                std::thread::sleep(Duration::from_micros(rng.gen_range(500..4000)));
+                let trace = next_trace_id();
+                spans.push(ClientSpan {
+                    name: "gen",
+                    tid,
+                    ts_us: gen_ts,
+                    dur_us: context::now_us().saturating_sub(gen_ts),
+                    trace,
+                    code: 0,
+                });
+                // A tight deadline on every sixth request provokes the
+                // shed paths, which must join like any other response.
+                let deadline = if i % 6 == 5 {
+                    r#""deadline_ms": 2, "#
+                } else {
+                    ""
+                };
+                let request = format!(
+                    r#"{{"id": {i}, "model": "alexnet", "trace": {{"id": {trace}, "parent": 0}}, {deadline}"input": {{"shape": [1, 1, {SIDE}, {SIDE}], "fill": 0.2}}}}{}"#,
+                    '\n'
+                );
+                let req_ts = context::now_us();
+                writer.write_all(request.as_bytes()).expect("send");
+                writer.flush().expect("flush");
+                tally.sent += 1;
+                line.clear();
+                reader.read_line(&mut line).expect("response");
+                let dur_us = context::now_us().saturating_sub(req_ts);
+                let v = json::parse(line.trim()).expect("JSON response");
+                let code = v.get("code").and_then(|c| c.as_u64()).unwrap_or(0);
+                let reason = v.get("reason").and_then(|r| r.as_str()).unwrap_or("");
+                match (code, reason) {
+                    (200, _) => tally.ok += 1,
+                    (504, _) => tally.expired_no_answer += 1,
+                    (429, "queue_full") => tally.shed_queue_full += 1,
+                    (429, "expired_in_queue") => tally.shed_expired += 1,
+                    _ => tally.errors += 1,
+                }
+                let echoed = v.get("trace").and_then(|t| t.as_u64());
+                assert_eq!(echoed, Some(trace), "response must echo the trace id");
+                spans.push(ClientSpan {
+                    name: "request",
+                    tid,
+                    ts_us: req_ts,
+                    dur_us,
+                    trace,
+                    code,
+                });
+            }
+            (spans, tally)
+        }));
+    }
+    let mut spans = Vec::new();
+    let mut tally = Tally::default();
+    for h in handles {
+        let (s, t) = h.join().expect("traced client thread");
+        spans.extend(s);
+        tally.add(&t);
+    }
+    // Every response has been read, so every server-side event exists by
+    // now; the final sweep in stop() flushes them all to the stream.
+    server.shutdown();
+    let stats = streamer.stop().expect("close server trace stream");
+    einet_trace::init(TraceConfig::off());
+
+    spans.sort_by_key(|s| s.ts_us);
+    let mut out = String::new();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("type");
+    w.string("header");
+    w.key("producer");
+    w.string("einet-bench");
+    w.key("version");
+    w.number_u64(1);
+    w.key("period_ms");
+    w.number_u64(0);
+    w.end_object();
+    out.push_str(&w.finish());
+    out.push('\n');
+    for s in &spans {
+        write_client_event(&mut out, s);
+    }
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("type");
+    w.string("footer");
+    w.key("sweeps");
+    w.number_u64(0);
+    w.key("events");
+    w.number_u64(spans.len() as u64);
+    w.key("dropped");
+    w.number_u64(0);
+    w.end_object();
+    out.push_str(&w.finish());
+    out.push('\n');
+    std::fs::write(dir.join("client_trace.jsonl"), out).expect("write client trace stream");
+
+    assert_eq!(
+        tally.answered(),
+        tally.sent,
+        "every traced request answered"
+    );
+    assert_eq!(tally.errors, 0, "no unexpected responses in traced phase");
+    println!(
+        "bench_load: traced phase {} requests over {clients} clients → {} ok, {} shed, \
+         {} expired | server stream {} events ({} dropped), client stream {} spans",
+        tally.sent,
+        tally.ok,
+        tally.shed_queue_full + tally.shed_expired,
+        tally.expired_no_answer,
+        stats.events,
+        stats.dropped,
+        spans.len(),
+    );
+    println!(
+        "wrote {} and {}",
+        dir.join("server_trace.jsonl").display(),
+        dir.join("client_trace.jsonl").display()
+    );
+}
+
 fn write_tally(w: &mut JsonWriter, t: &Tally) {
     w.begin_object();
     w.key("sent");
@@ -389,7 +624,21 @@ fn write_tally(w: &mut JsonWriter, t: &Tally) {
 }
 
 fn main() {
-    let gate = std::env::args().any(|a| a == "--gate");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gate = args.iter().any(|a| a == "--gate");
+    let trace_only = args.iter().any(|a| a == "--trace-only");
+    let trace_out: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &trace_out {
+        std::fs::create_dir_all(dir).expect("create trace-out dir");
+        run_distributed_trace(dir);
+        if trace_only {
+            return;
+        }
+    }
     let requests: usize = env_or("EINET_LOAD_REQUESTS", 300);
     let clients: usize = env_or("EINET_LOAD_CLIENTS", 8).max(1);
     let rho: f64 = env_or("EINET_LOAD_RHO", 0.6);

@@ -6,6 +6,7 @@
 //! trace_check <trace.json> [serve_metrics.json]
 //! trace_check --serve <trace.json> <serve_metrics.json> [metrics.prom]
 //! trace_check --stream <dir>
+//! trace_check --distributed <client.jsonl> <server.jsonl> [breakdown.json]
 //! ```
 //!
 //! Drain mode checks, exiting non-zero with a message on the first failure:
@@ -42,8 +43,26 @@
 //! flow-linked spans reconcile with the same metrics counters as above —
 //! including the batch-occupancy reconciliation when the snapshot carries
 //! batch data.
+//!
+//! Distributed mode is the cross-process reconciler: it joins a client-side
+//! stream (written by `bench_load --trace-out`) against the server-side
+//! stream **by trace id** and fails unless
+//! * every client `request` span matches exactly one balanced server
+//!   `task_flow` (sheds and expiries included) — a 100% join rate — and no
+//!   server flow is left without a client request;
+//! * every joined request decomposes into server-side stages (ingest
+//!   framing, route, queue wait, batch assembly, service, reply write) and
+//!   the stage sums reconcile with the client-observed latency: the
+//!   attributed fraction must land within `EINET_DIST_TOL` (default 10%)
+//!   of 1, so the unattributed wire/network residual stays small;
+//! * the queue-wait, batch-assembly, service and wire histograms are all
+//!   non-empty.
+//!
+//! The per-stage breakdown (counts, quantiles, log-bucket histograms) is
+//! written to the optional third path (default
+//! `results/latency_breakdown.json`) for `einet report` to render.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -178,12 +197,15 @@ fn main() -> ExitCode {
         [flag, dir] if flag == "--stream" => check_stream(Path::new(dir)),
         [flag, t, m] if flag == "--serve" => check_drain(t, Some(m), true, None),
         [flag, t, m, p] if flag == "--serve" => check_drain(t, Some(m), true, Some(p)),
+        [flag, c, s] if flag == "--distributed" => check_distributed(c, s, None),
+        [flag, c, s, o] if flag == "--distributed" => check_distributed(c, s, Some(o)),
         [t] => check_drain(t, None, false, None),
         [t, m] => check_drain(t, Some(m), false, None),
         _ => fail(
             "usage: trace_check <trace.json> [serve_metrics.json] | \
              trace_check --serve <trace.json> <serve_metrics.json> [metrics.prom] | \
-             trace_check --stream <dir>",
+             trace_check --stream <dir> | \
+             trace_check --distributed <client.jsonl> <server.jsonl> [breakdown.json]",
         ),
     }
 }
@@ -388,9 +410,11 @@ fn check_drain(
                     pool.open_connections, pool.inflight_requests
                 ));
             }
-            // Multiplexed completions: every task flow that started ended,
-            // wherever its out-of-order response was written.
-            if flow_starts != pool.submitted {
+            // Every submitted task opened a flow; traced requests that were
+            // shed at the route layer open (and immediately end) a trivial
+            // flow too, so the start count is a floor, not an equality —
+            // the prom cross-check below pins it exactly.
+            if flow_starts < pool.submitted {
                 return fail(&format!(
                     "trace has {flow_starts} task_flow starts but metrics say {} submitted",
                     pool.submitted
@@ -425,9 +449,18 @@ fn check_drain(
                  {routed} routed + {shed} shed"
             ));
         }
+        // Routed requests open their flow in the pool; route-shed requests
+        // open a trivial one at the registry. Together they pin the start
+        // count exactly.
+        if flow_starts != routed + shed {
+            return fail(&format!(
+                "trace has {flow_starts} task_flow starts but route counters say \
+                 {routed} routed + {shed} shed"
+            ));
+        }
         println!(
-            "trace_check: {ingest_spans} ingest spans reconcile with route counters \
-             ({routed} routed + {shed} shed)"
+            "trace_check: {ingest_spans} ingest spans and {flow_starts} task flows reconcile \
+             with route counters ({routed} routed + {shed} shed)"
         );
     }
     println!("trace_check: OK");
@@ -552,6 +585,344 @@ fn check_stream(dir: &Path) -> ExitCode {
         pool.preempted,
         pool.deadline_expired
     );
+    println!("trace_check: OK");
+    ExitCode::SUCCESS
+}
+
+/// One request as the client observed it.
+struct ClientReq {
+    dur_us: u64,
+    code: u64,
+}
+
+/// The server-side stage spans recorded for one trace id.
+#[derive(Default)]
+struct ServerStages {
+    /// `(ts, dur)` of the ingest span (parse + route framing).
+    ingest: Option<(u64, u64)>,
+    /// Summed `route` span time (nested inside ingest).
+    route_us: u64,
+    /// `(ts, dur)` of the queue-wait span (admission → dequeue).
+    queue_wait: Option<(u64, u64)>,
+    /// `(ts, dur)` of the service (`task`) span.
+    task: Option<(u64, u64)>,
+    /// Summed reply-write span time.
+    reply_us: u64,
+    /// Whether any reply span was seen (a zero-duration write is legal).
+    reply_seen: bool,
+}
+
+/// Per-stage samples of the end-to-end decomposition (µs).
+#[derive(Default)]
+struct StageSamples {
+    samples: Vec<u64>,
+}
+
+impl StageSamples {
+    fn push(&mut self, us: u64) {
+        self.samples.push(us);
+    }
+
+    fn quantile(&self, sorted: &[u64], q: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        sorted[((sorted.len() - 1) as f64 * q) as usize]
+    }
+
+    /// Writes this stage as `{count, sum_us, quantiles, buckets}` under the
+    /// already-written key. Buckets are cumulative (`le_us` upper bounds,
+    /// Prometheus-style) over a fixed log-ish grid.
+    fn write_into(&self, w: &mut einet_trace::json::JsonWriter) {
+        const BOUNDS_US: [u64; 10] = [
+            50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+        ];
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        w.begin_object();
+        w.key("count");
+        w.number_u64(sorted.len() as u64);
+        w.key("sum_us");
+        w.number_u64(sorted.iter().sum());
+        w.key("min_us");
+        w.number_u64(sorted.first().copied().unwrap_or(0));
+        w.key("p50_us");
+        w.number_u64(self.quantile(&sorted, 0.50));
+        w.key("p95_us");
+        w.number_u64(self.quantile(&sorted, 0.95));
+        w.key("max_us");
+        w.number_u64(sorted.last().copied().unwrap_or(0));
+        w.key("buckets");
+        w.begin_array();
+        for bound in BOUNDS_US {
+            let count = sorted.partition_point(|&v| v <= bound) as u64;
+            w.begin_object();
+            w.key("le_us");
+            w.number_u64(bound);
+            w.key("count");
+            w.number_u64(count);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+/// The cross-process reconciler: joins the client stream against the
+/// server stream by trace id, verifies the 1:1 flow correspondence, and
+/// decomposes client-observed latency into server-side stages.
+fn check_distributed(client_path: &str, server_path: &str, out: Option<&String>) -> ExitCode {
+    let client = match read_stream(Path::new(client_path)) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let server = match read_stream(Path::new(server_path)) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let arg_u64 = |ev: &JsonValue, key: &str| {
+        ev.get("args")
+            .and_then(|a| a.get(key))
+            .and_then(JsonValue::as_u64)
+    };
+
+    // Client side: one `request` span per trace id, plus the think-time
+    // `gen` spans feeding the client-wait histogram.
+    let mut reqs: BTreeMap<u64, ClientReq> = BTreeMap::new();
+    let mut gens: BTreeMap<u64, u64> = BTreeMap::new();
+    for ev in &client.events {
+        if ev.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            continue;
+        }
+        let name = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        let Some(trace) = arg_u64(ev, "trace").filter(|&t| t != 0) else {
+            continue;
+        };
+        let dur = ev.get("dur").and_then(JsonValue::as_u64).unwrap_or(0);
+        match name {
+            "request" => {
+                let code = arg_u64(ev, "code").unwrap_or(0);
+                if reqs
+                    .insert(trace, ClientReq { dur_us: dur, code })
+                    .is_some()
+                {
+                    return fail(&format!(
+                        "client stream has duplicate request span for trace {trace}"
+                    ));
+                }
+            }
+            "gen" => {
+                gens.insert(trace, dur);
+            }
+            _ => {}
+        }
+    }
+    if reqs.is_empty() {
+        return fail("client stream has no request spans");
+    }
+
+    // Server side: stage spans keyed by the trace id each span carries.
+    let mut stages: BTreeMap<u64, ServerStages> = BTreeMap::new();
+    for ev in &server.events {
+        if ev.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            continue;
+        }
+        let cat = ev.get("cat").and_then(JsonValue::as_str).unwrap_or("");
+        let name = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        let Some(trace) = arg_u64(ev, "trace").filter(|&t| t != 0) else {
+            continue;
+        };
+        let ts = ev.get("ts").and_then(JsonValue::as_u64).unwrap_or(0);
+        let dur = ev.get("dur").and_then(JsonValue::as_u64).unwrap_or(0);
+        let entry = stages.entry(trace).or_default();
+        // Per-request stage spans must be unique per trace id; a duplicate
+        // means two requests shared an id and the join would be ambiguous.
+        let slot = match (cat, name) {
+            ("queue", "ingest") => Some(&mut entry.ingest),
+            ("queue", "queue_wait") => Some(&mut entry.queue_wait),
+            ("service", "task") => Some(&mut entry.task),
+            ("queue", "route") => {
+                entry.route_us += dur;
+                None
+            }
+            ("queue", "reply") => {
+                entry.reply_us += dur;
+                entry.reply_seen = true;
+                None
+            }
+            _ => None,
+        };
+        if let Some(slot) = slot {
+            if slot.replace((ts, dur)).is_some() {
+                return fail(&format!(
+                    "server stream has duplicate {cat}/{name} span for trace {trace}"
+                ));
+            }
+        }
+    }
+
+    // The join: every client request must land on exactly one balanced
+    // server flow — sheds included — and no server flow may be orphaned.
+    let summary = server.summary();
+    let mut unjoined = Vec::new();
+    let mut unbalanced = Vec::new();
+    for &trace in reqs.keys() {
+        match summary.flows.get(&trace) {
+            Some(trail) if trail.balanced() => {}
+            Some(_) => unbalanced.push(trace),
+            None => unjoined.push(trace),
+        }
+    }
+    if !unjoined.is_empty() {
+        return fail(&format!(
+            "{} of {} client requests never joined a server flow (trace ids {:?})",
+            unjoined.len(),
+            reqs.len(),
+            &unjoined[..unjoined.len().min(8)],
+        ));
+    }
+    if !unbalanced.is_empty() {
+        return fail(&format!(
+            "{} client requests joined unbalanced server flows (trace ids {:?})",
+            unbalanced.len(),
+            &unbalanced[..unbalanced.len().min(8)],
+        ));
+    }
+    for &id in summary.flows.keys() {
+        if !reqs.contains_key(&id) {
+            return fail(&format!("server flow {id} has no matching client request"));
+        }
+    }
+    println!(
+        "trace_check: {} client requests all joined balanced server flows (100% join rate)",
+        reqs.len()
+    );
+
+    // Stage decomposition per joined request. Stage order matters only for
+    // the report table; the names are the JSON keys.
+    let mut client_wait = StageSamples::default();
+    let mut wire = StageSamples::default();
+    let mut ingest = StageSamples::default();
+    let mut route = StageSamples::default();
+    let mut queue_wait = StageSamples::default();
+    let mut batch_assembly = StageSamples::default();
+    let mut service = StageSamples::default();
+    let mut reply = StageSamples::default();
+    let mut client_total_us = 0u64;
+    let mut attributed_us = 0u64;
+    let mut sheds = 0u64;
+    for (&trace, req) in &reqs {
+        let Some(s) = stages.get(&trace) else {
+            return fail(&format!("no server-side stage spans for trace {trace}"));
+        };
+        let Some((_, ingest_dur)) = s.ingest else {
+            return fail(&format!("no ingest span for trace {trace}"));
+        };
+        if !s.reply_seen {
+            return fail(&format!("no reply span for trace {trace}"));
+        }
+        let mut attr = ingest_dur + s.reply_us;
+        ingest.push(ingest_dur.saturating_sub(s.route_us));
+        route.push(s.route_us);
+        reply.push(s.reply_us);
+        if let Some((q_ts, q_dur)) = s.queue_wait {
+            queue_wait.push(q_dur);
+            attr += q_dur;
+            if let Some((t_ts, t_dur)) = s.task {
+                let gap = t_ts.saturating_sub(q_ts + q_dur);
+                batch_assembly.push(gap);
+                service.push(t_dur);
+                attr += gap + t_dur;
+            }
+        }
+        if req.code == 429 {
+            sheds += 1;
+        }
+        wire.push(req.dur_us.saturating_sub(attr));
+        if let Some(&g) = gens.get(&trace) {
+            client_wait.push(g);
+        }
+        client_total_us += req.dur_us;
+        attributed_us += attr;
+    }
+
+    // Reconciliation: the server-attributed stages must account for the
+    // client-observed latency within tolerance — the residual is genuine
+    // wire/network + scheduling time, and it must stay small on loopback.
+    let tol: f64 = std::env::var("EINET_DIST_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.10);
+    let frac = attributed_us as f64 / client_total_us.max(1) as f64;
+    if (frac - 1.0).abs() > tol {
+        return fail(&format!(
+            "stage sums do not reconcile: server attributed {attributed_us} us of \
+             {client_total_us} us client-observed ({:.1}%, tolerance ±{:.0}%)",
+            frac * 100.0,
+            tol * 100.0
+        ));
+    }
+    for (name, stage) in [
+        ("queue_wait", &queue_wait),
+        ("batch_assembly", &batch_assembly),
+        ("service", &service),
+        ("wire", &wire),
+    ] {
+        if stage.samples.is_empty() {
+            return fail(&format!("stage histogram {name:?} is empty"));
+        }
+    }
+    println!(
+        "trace_check: stage sums reconcile — {attributed_us} us attributed of \
+         {client_total_us} us observed ({:.1}%, tolerance ±{:.0}%), {sheds} sheds joined",
+        frac * 100.0,
+        tol * 100.0
+    );
+
+    let default_out = "results/latency_breakdown.json".to_string();
+    let out_path = Path::new(out.unwrap_or(&default_out));
+    let mut w = einet_trace::json::JsonWriter::new();
+    w.begin_object();
+    w.key("requests");
+    w.number_u64(reqs.len() as u64);
+    w.key("joined");
+    w.number_u64(reqs.len() as u64);
+    w.key("sheds");
+    w.number_u64(sheds);
+    w.key("client_total_us");
+    w.number_u64(client_total_us);
+    w.key("server_attributed_us");
+    w.number_u64(attributed_us);
+    w.key("attributed_fraction");
+    w.number_f64(frac);
+    w.key("stages");
+    w.begin_object();
+    for (name, stage) in [
+        ("client_wait", &client_wait),
+        ("wire", &wire),
+        ("ingest", &ingest),
+        ("route", &route),
+        ("queue_wait", &queue_wait),
+        ("batch_assembly", &batch_assembly),
+        ("service", &service),
+        ("reply", &reply),
+    ] {
+        w.key(name);
+        stage.write_into(&mut w);
+    }
+    w.end_object();
+    w.end_object();
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                return fail(&format!("cannot create {}: {e}", parent.display()));
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(out_path, w.finish()) {
+        return fail(&format!("cannot write {}: {e}", out_path.display()));
+    }
+    println!("trace_check: wrote {}", out_path.display());
     println!("trace_check: OK");
     ExitCode::SUCCESS
 }

@@ -6,10 +6,18 @@
 //! per-category span statistics, flow balance, overflow accounting, and the
 //! cumulative + windowed latency/SLO numbers. `--chrome-out FILE` also
 //! converts the stream into one Chrome `trace_event` document for Perfetto.
+//!
+//! A `bench_load --trace-out DIR` directory works too: the server stream is
+//! read from `server_trace.jsonl` when `trace.jsonl` is absent, the
+//! client-side stream (`client_trace.jsonl`) is merged into the summary and
+//! the Chrome document (the two processes joined by trace id), and the
+//! stage table from `latency_breakdown.json` — the `trace_check
+//! --distributed` artifact — is rendered when present.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use einet_edge::MetricsSnapshot;
+use einet_trace::json::{self, JsonValue};
 use einet_trace::stream::read_stream;
 
 use crate::args::ParsedArgs;
@@ -20,9 +28,15 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
     let dir = PathBuf::from(args.require("dir")?);
     let chrome_out = args.get("chrome-out").map(PathBuf::from);
 
-    let stream_path = dir.join("trace.jsonl");
-    let streamed = read_stream(&stream_path)?;
-    let summary = streamed.summary();
+    // A demo directory streams to trace.jsonl; a distributed bench run
+    // leaves server_trace.jsonl (+ client_trace.jsonl) instead.
+    let default_path = dir.join("trace.jsonl");
+    let stream_path = if default_path.exists() {
+        default_path
+    } else {
+        dir.join("server_trace.jsonl")
+    };
+    let mut streamed = read_stream(&stream_path)?;
 
     println!("trace stream: {}", stream_path.display());
     println!(
@@ -37,6 +51,21 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
             " | NO FOOTER (still being written or truncated)"
         },
     );
+
+    // Merge the client-side stream: its events carry the same trace ids
+    // (and a distinct pid), so the summary and the Chrome document show
+    // both processes of each request.
+    let client_path = dir.join("client_trace.jsonl");
+    if client_path.exists() {
+        let client = read_stream(&client_path)?;
+        println!(
+            "client stream: {} ({} events merged)",
+            client_path.display(),
+            client.events.len()
+        );
+        streamed.events.extend(client.events);
+    }
+    let summary = streamed.summary();
 
     println!(
         "\n{:<10} {:>8} {:>12} {:>10} {:>9} {:>6}",
@@ -94,6 +123,8 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
         ),
     }
 
+    print_breakdown(&dir.join("latency_breakdown.json"));
+
     if let Some(path) = chrome_out {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -107,6 +138,71 @@ pub fn run(args: &ParsedArgs) -> CmdResult {
         );
     }
     Ok(())
+}
+
+/// The stage order of the breakdown table — the request's life in wall
+/// order: client think time, the wire, then the server-side stages.
+const BREAKDOWN_STAGES: [&str; 8] = [
+    "client_wait",
+    "wire",
+    "ingest",
+    "route",
+    "queue_wait",
+    "batch_assembly",
+    "service",
+    "reply",
+];
+
+/// Renders the per-stage latency table from a `trace_check --distributed`
+/// breakdown artifact, when the directory holds one. Silent when absent —
+/// plain demo directories have no distributed run to decompose.
+fn print_breakdown(path: &Path) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let Ok(v) = json::parse(&text) else {
+        println!(
+            "\nlatency breakdown at {} is not valid JSON",
+            path.display()
+        );
+        return;
+    };
+    let u = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    let fraction = v
+        .get("attributed_fraction")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    println!("\nlatency breakdown ({}):", path.display());
+    println!(
+        "  {} requests, {} joined to server flows, {} shed — {:.1}% of \
+         client-observed latency attributed to stages",
+        u("requests"),
+        u("joined"),
+        u("sheds"),
+        fraction * 100.0,
+    );
+    let Some(stages) = v.get("stages") else {
+        return;
+    };
+    println!(
+        "  {:<15} {:>7} {:>11} {:>9} {:>9} {:>9}",
+        "stage", "count", "total ms", "p50 ms", "p95 ms", "max ms"
+    );
+    for name in BREAKDOWN_STAGES {
+        let Some(stage) = stages.get(name) else {
+            continue;
+        };
+        let su = |key: &str| stage.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        println!(
+            "  {:<15} {:>7} {:>11.3} {:>9.3} {:>9.3} {:>9.3}",
+            name,
+            su("count"),
+            su("sum_us") as f64 / 1e3,
+            su("p50_us") as f64 / 1e3,
+            su("p95_us") as f64 / 1e3,
+            su("max_us") as f64 / 1e3,
+        );
+    }
 }
 
 /// Whole-run SLO attainment from the cumulative counters: in-time
@@ -197,6 +293,63 @@ mod tests {
             v.get("traceEvents").unwrap().as_array().unwrap().len(),
             streamed.events.len()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_merges_client_stream_and_renders_breakdown() {
+        let dir = std::env::temp_dir().join("einet-cli-report-dist-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // A hand-rolled distributed-run directory: a server stream under the
+        // bench_load name, a one-span client stream, and a breakdown file.
+        std::fs::write(
+            dir.join("server_trace.jsonl"),
+            concat!(
+                r#"{"type":"header","producer":"einet-trace","version":1,"period_ms":25}"#,
+                "\n",
+                r#"{"type":"event","name":"task","cat":"service","ph":"X","ts":10,"dur":50,"pid":1,"tid":1,"args":{"trace":7}}"#,
+                "\n",
+                r#"{"type":"footer","sweeps":1,"events":1,"dropped":0}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("client_trace.jsonl"),
+            concat!(
+                r#"{"type":"header","producer":"einet-bench","version":1,"period_ms":0}"#,
+                "\n",
+                r#"{"type":"event","name":"request","cat":"client","ph":"X","ts":5,"dur":80,"pid":2,"tid":1,"args":{"trace":7,"code":200}}"#,
+                "\n",
+                r#"{"type":"footer","sweeps":0,"events":1,"dropped":0}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("latency_breakdown.json"),
+            r#"{"requests": 1, "joined": 1, "sheds": 0, "attributed_fraction": 0.95,
+               "stages": {"service": {"count": 1, "sum_us": 50, "min_us": 50,
+                                      "p50_us": 50, "p95_us": 50, "max_us": 50,
+                                      "buckets": []}}}"#,
+        )
+        .unwrap();
+
+        let chrome = dir.join("merged_chrome.json");
+        run(&parsed(&[
+            "report",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--chrome-out",
+            chrome.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Both processes' events land in the one Chrome document.
+        let v = einet_trace::json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2, "server + client events merged");
         std::fs::remove_dir_all(&dir).ok();
     }
 

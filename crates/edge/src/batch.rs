@@ -93,7 +93,13 @@ pub(crate) fn run_elastic_batch(
                 continue;
             }
             if let Some(cause) = m.guard.check() {
-                trace::instant(Category::Preempt, stop_name(cause), Args::one("task", m.id));
+                // The member's global trace id rides along so a cross-process
+                // reconciler can attribute the stop to its request.
+                trace::instant(
+                    Category::Preempt,
+                    stop_name(cause),
+                    Args::two("task", m.id, "trace", m.request.trace),
+                );
                 st.done = Some(cause.into());
             } else {
                 any_active = true;
@@ -148,7 +154,12 @@ pub(crate) fn run_elastic_batch(
         let _replan = trace::span_args(
             Category::Replan,
             "initial_plan",
-            Args::one("task", members[lead].id),
+            Args::two(
+                "task",
+                members[lead].id,
+                "trace",
+                members[lead].request.trace,
+            ),
         );
         match planner.plan(&ctx) {
             PlannerDecision::Plan(p) => checked(p),

@@ -39,6 +39,11 @@ pub struct InferenceRequest {
     pub(crate) input: Tensor,
     pub(crate) label: Option<usize>,
     pub(crate) deadline: Option<Duration>,
+    /// Cross-process trace id (0 = untraced); see
+    /// [`einet_trace::context`]. When set, the pool binds the request's
+    /// flow events to this id instead of the process-local task id, so
+    /// client- and server-side streams join under one global id.
+    pub(crate) trace: u64,
 }
 
 impl InferenceRequest {
@@ -54,6 +59,7 @@ impl InferenceRequest {
             input,
             label: None,
             deadline: None,
+            trace: 0,
         }
     }
 
@@ -77,6 +83,21 @@ impl InferenceRequest {
     /// The deadline, if any.
     pub fn deadline(&self) -> Option<Duration> {
         self.deadline
+    }
+
+    /// Attaches a cross-process trace id (from a wire-level
+    /// [`einet_trace::TraceContext`]). The pool then keys this request's
+    /// `task_flow` events by the global id so a client-side stream can join
+    /// them; `0` (the default) keeps process-local task-id flows.
+    #[must_use]
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The cross-process trace id (0 = untraced).
+    pub fn trace(&self) -> u64 {
+        self.trace
     }
 }
 

@@ -126,11 +126,23 @@ pub struct LatencyHistogram {
     buckets: [AtomicU64; NUM_BUCKETS],
     count: AtomicU64,
     sum_us: AtomicU64,
+    /// Most recent cross-process trace id observed per bucket (0 = none) —
+    /// exemplar-style linkage so a slow bucket in the Prometheus exposition
+    /// can be chased to one concrete distributed trace.
+    exemplars: [AtomicU64; NUM_BUCKETS],
 }
 
 impl LatencyHistogram {
     /// Records one observation.
     pub fn record(&self, latency: Duration) {
+        self.record_traced(latency, 0);
+    }
+
+    /// Records one observation attributed to cross-process trace id `trace`
+    /// (0 = untraced). A non-zero id becomes the bucket's exemplar: the
+    /// most recent trace to land there, exported as a comment next to the
+    /// bucket's Prometheus series.
+    pub fn record_traced(&self, latency: Duration, trace: u64) {
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         let idx = LATENCY_BUCKETS_US
             .iter()
@@ -139,6 +151,9 @@ impl LatencyHistogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
+        if trace != 0 {
+            self.exemplars[idx].store(trace, Ordering::Relaxed);
+        }
     }
 
     /// A point-in-time copy of the histogram.
@@ -147,10 +162,15 @@ impl LatencyHistogram {
         for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
             *out = b.load(Ordering::Relaxed);
         }
+        let mut exemplars = [0u64; NUM_BUCKETS];
+        for (out, e) in exemplars.iter_mut().zip(self.exemplars.iter()) {
+            *out = e.load(Ordering::Relaxed);
+        }
         HistogramSnapshot {
             buckets,
             count: self.count.load(Ordering::Relaxed),
             sum_us: self.sum_us.load(Ordering::Relaxed),
+            exemplars,
         }
     }
 }
@@ -165,6 +185,8 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observations in µs.
     pub sum_us: u64,
+    /// Most recent cross-process trace id per bucket (0 = none).
+    pub exemplars: [u64; NUM_BUCKETS],
 }
 
 impl HistogramSnapshot {
@@ -228,6 +250,12 @@ impl HistogramSnapshot {
         w.begin_array();
         for &c in &self.buckets {
             w.number_u64(c);
+        }
+        w.end_array();
+        w.key("bucket_exemplars");
+        w.begin_array();
+        for &e in &self.exemplars {
+            w.number_u64(e);
         }
         w.end_array();
         w.end_object();
@@ -406,6 +434,7 @@ impl RollingWindow {
                 buckets: [0; NUM_BUCKETS],
                 count: 0,
                 sum_us: 0,
+                exemplars: [0; NUM_BUCKETS],
             },
         };
         for shard in &self.shards {
@@ -593,18 +622,20 @@ impl ServeMetrics {
         }
     }
 
-    /// One task left the queue for a worker after waiting `wait`.
-    pub(crate) fn on_dequeued(&self, wait: Duration) {
+    /// One task left the queue for a worker after waiting `wait`. `trace`
+    /// is the request's cross-process trace id (0 = untraced) and becomes
+    /// the wait bucket's exemplar.
+    pub(crate) fn on_dequeued(&self, wait: Duration, trace: u64) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        self.queue_wait.record(wait);
+        self.queue_wait.record_traced(wait, trace);
     }
 
     /// One task was dropped at dequeue because its deadline had already
     /// passed while it queued: it leaves the queue and records its wait,
     /// but never reaches a worker's service path.
-    pub(crate) fn on_shed_expired(&self, wait: Duration) {
+    pub(crate) fn on_shed_expired(&self, wait: Duration, trace: u64) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        self.queue_wait.record(wait);
+        self.queue_wait.record_traced(wait, trace);
         self.shed_expired_at_dequeue.fetch_add(1, Ordering::Relaxed);
         // A shed task always carried a deadline (that is why it was shed):
         // an SLO miss with no service latency.
@@ -626,6 +657,7 @@ impl ServeMetrics {
         status: crate::TaskStatus,
         service: Duration,
         had_deadline: bool,
+        trace: u64,
     ) {
         use crate::TaskStatus::*;
         let counter = match status {
@@ -642,7 +674,7 @@ impl ServeMetrics {
             }
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        self.service.record(service);
+        self.service.record_traced(service, trace);
         let slo = match status {
             Completed if had_deadline => Some(true),
             DeadlineExpired => Some(false),
@@ -689,9 +721,9 @@ impl ServeMetrics {
     }
 
     /// One task died to a worker panic (after `service` on the worker).
-    pub(crate) fn on_panicked(&self, service: Duration) {
+    pub(crate) fn on_panicked(&self, service: Duration, trace: u64) {
         self.panicked.fetch_add(1, Ordering::Relaxed);
-        self.service.record(service);
+        self.service.record_traced(service, trace);
         self.window.record_at(
             self.started.elapsed(),
             WindowSample {
@@ -867,10 +899,19 @@ impl MetricsSnapshot {
                     .as_u64()
                     .ok_or_else(|| format!("histogram {key:?} has a non-integer bucket count"))?;
             }
+            // Absent in artifacts written before exemplar linkage; zeros
+            // keep those parseable.
+            let mut exemplars = [0u64; NUM_BUCKETS];
+            if let Some(raw) = h.get("bucket_exemplars").and_then(JsonValue::as_array) {
+                for (out, e) in exemplars.iter_mut().zip(raw) {
+                    *out = e.as_u64().unwrap_or(0);
+                }
+            }
             Ok(HistogramSnapshot {
                 buckets,
                 count: num(h, "count")?,
                 sum_us: num(h, "sum_us")?,
+                exemplars,
             })
         };
         let batch_histogram = |obj: &JsonValue, key: &str| -> Result<BatchSnapshot, String> {
@@ -960,11 +1001,13 @@ impl MetricsSnapshot {
                 buckets: [0; NUM_BUCKETS],
                 count: 0,
                 sum_us: 0,
+                exemplars: [0; NUM_BUCKETS],
             },
             service: HistogramSnapshot {
                 buckets: [0; NUM_BUCKETS],
                 count: 0,
                 sum_us: 0,
+                exemplars: [0; NUM_BUCKETS],
             },
             batch: BatchSnapshot {
                 buckets: [0; NUM_BATCH_BUCKETS],
@@ -982,6 +1025,7 @@ impl MetricsSnapshot {
                     buckets: [0; NUM_BUCKETS],
                     count: 0,
                     sum_us: 0,
+                    exemplars: [0; NUM_BUCKETS],
                 },
             },
         }
@@ -1004,6 +1048,13 @@ impl MetricsSnapshot {
             }
             a.count += b.count;
             a.sum_us += b.sum_us;
+            // Exemplars don't add: keep one representative per bucket,
+            // preferring the other snapshot's (arbitrary but deterministic).
+            for (x, &y) in a.exemplars.iter_mut().zip(b.exemplars.iter()) {
+                if y != 0 {
+                    *x = y;
+                }
+            }
         };
         self.submitted += other.submitted;
         self.rejected += other.rejected;
@@ -1192,16 +1243,32 @@ impl MetricsSnapshot {
                 let _ = writeln!(out, "# TYPE {name} histogram");
             }
             let bucket = format!("{name}_bucket");
+            // Exemplar-style linkage (comment form — the plain text
+            // exposition has no native exemplar syntax): the most recent
+            // trace id that landed in each bucket, so a slow bucket can be
+            // chased to one concrete distributed trace in the streams.
+            let exemplar = |out: &mut String, le: &str, trace: u64| {
+                if trace != 0 {
+                    let _ = writeln!(
+                        out,
+                        "# exemplar {} trace_id={trace}",
+                        series_with(&bucket, &format!("le=\"{le}\""))
+                    );
+                }
+            };
             let mut cumulative = 0u64;
             for (i, bound) in LATENCY_BUCKETS_US.iter().enumerate() {
                 cumulative += h.buckets[i];
+                let le = format!("{}", *bound as f64 / 1e6);
                 let _ = writeln!(
                     out,
                     "{} {cumulative}",
-                    series_with(&bucket, &format!("le=\"{}\"", *bound as f64 / 1e6))
+                    series_with(&bucket, &format!("le=\"{le}\""))
                 );
+                exemplar(out, &le, h.exemplars[i]);
             }
             let _ = writeln!(out, "{} {}", series_with(&bucket, "le=\"+Inf\""), h.count);
+            exemplar(out, "+Inf", h.exemplars[NUM_BUCKETS - 1]);
             let _ = writeln!(
                 out,
                 "{} {}",
@@ -1468,24 +1535,27 @@ mod tests {
         m.begin_admission();
         m.abort_admission(true);
         for _ in 0..4 {
-            m.on_dequeued(Duration::from_micros(10));
+            m.on_dequeued(Duration::from_micros(10), 0);
         }
         m.on_outcome(
             crate::TaskStatus::Completed,
             Duration::from_millis(1),
             false,
+            0,
         );
         m.on_outcome(
             crate::TaskStatus::Preempted,
             Duration::from_millis(1),
             false,
+            0,
         );
         m.on_outcome(
             crate::TaskStatus::DeadlineExpired,
             Duration::from_millis(1),
             true,
+            0,
         );
-        m.on_panicked(Duration::from_millis(1));
+        m.on_panicked(Duration::from_millis(1), 0);
         let s = m.snapshot();
         assert_eq!(s.submitted, 4);
         assert_eq!(s.rejected, 1);
@@ -1541,9 +1611,14 @@ mod tests {
             m.begin_admission();
             m.commit_admission();
         }
-        m.on_dequeued(Duration::from_micros(10));
-        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(1), true);
-        m.on_shed_expired(Duration::from_millis(3));
+        m.on_dequeued(Duration::from_micros(10), 0);
+        m.on_outcome(
+            crate::TaskStatus::Completed,
+            Duration::from_millis(1),
+            true,
+            0,
+        );
+        m.on_shed_expired(Duration::from_millis(3), 0);
         let s = m.snapshot();
         assert_eq!(s.shed_expired_at_dequeue, 1);
         assert_eq!(s.finished(), 2);
@@ -1561,15 +1636,21 @@ mod tests {
         for _ in 0..3 {
             m.begin_admission();
             m.commit_admission();
-            m.on_dequeued(Duration::from_micros(120));
+            m.on_dequeued(Duration::from_micros(120), 0);
         }
-        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        m.on_outcome(
+            crate::TaskStatus::Completed,
+            Duration::from_millis(2),
+            true,
+            0,
+        );
         m.on_outcome(
             crate::TaskStatus::Preempted,
             Duration::from_millis(1),
             false,
+            0,
         );
-        m.on_panicked(Duration::from_millis(4));
+        m.on_panicked(Duration::from_millis(4), 0);
         let snap = m.snapshot();
         let v = einet_trace::json::parse(&snap.to_json()).expect("valid JSON");
         assert_eq!(v.get("submitted").unwrap().as_u64(), Some(3));
@@ -1597,9 +1678,9 @@ mod tests {
         m.begin_admission();
         m.commit_admission();
         assert!(!m.snapshot().reconciles());
-        m.on_dequeued(Duration::ZERO);
+        m.on_dequeued(Duration::ZERO, 0);
         assert!(!m.snapshot().reconciles(), "in flight, not yet finished");
-        m.on_outcome(crate::TaskStatus::Completed, Duration::ZERO, false);
+        m.on_outcome(crate::TaskStatus::Completed, Duration::ZERO, false, 0);
         assert!(m.snapshot().reconciles());
     }
 
@@ -1700,21 +1781,28 @@ mod tests {
         m.begin_admission();
         m.abort_admission(true);
         for _ in 0..4 {
-            m.on_dequeued(Duration::from_micros(300));
+            m.on_dequeued(Duration::from_micros(300), 0);
         }
-        m.on_shed_expired(Duration::from_millis(8));
-        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        m.on_shed_expired(Duration::from_millis(8), 0);
+        m.on_outcome(
+            crate::TaskStatus::Completed,
+            Duration::from_millis(2),
+            true,
+            0,
+        );
         m.on_outcome(
             crate::TaskStatus::Preempted,
             Duration::from_millis(1),
             false,
+            0,
         );
         m.on_outcome(
             crate::TaskStatus::DeadlineExpired,
             Duration::from_millis(7),
             true,
+            0,
         );
-        m.on_panicked(Duration::from_micros(500));
+        m.on_panicked(Duration::from_micros(500), 0);
         let snap = m.snapshot();
         let parsed = MetricsSnapshot::from_json(&snap.to_json()).expect("round-trip parses");
         assert_eq!(parsed, snap);
@@ -1730,8 +1818,13 @@ mod tests {
         let m = ServeMetrics::new();
         m.begin_admission();
         m.commit_admission();
-        m.on_dequeued(Duration::from_micros(120));
-        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        m.on_dequeued(Duration::from_micros(120), 0);
+        m.on_outcome(
+            crate::TaskStatus::Completed,
+            Duration::from_millis(2),
+            true,
+            0,
+        );
         let text = m.snapshot().to_prom_text();
         for needle in [
             "# TYPE einet_tasks_submitted_total counter",
@@ -1763,8 +1856,13 @@ mod tests {
         let m = ServeMetrics::new();
         m.begin_admission();
         m.commit_admission();
-        m.on_dequeued(Duration::from_micros(120));
-        m.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        m.on_dequeued(Duration::from_micros(120), 0);
+        m.on_outcome(
+            crate::TaskStatus::Completed,
+            Duration::from_millis(2),
+            true,
+            0,
+        );
         let text = m.snapshot().to_prom_text_labeled(&[("model", "alexnet")]);
         for needle in [
             "einet_tasks_submitted_total{model=\"alexnet\"} 1",
@@ -1800,23 +1898,29 @@ mod tests {
         let a = ServeMetrics::new();
         a.begin_admission();
         a.commit_admission();
-        a.on_dequeued(Duration::from_micros(100));
-        a.on_outcome(crate::TaskStatus::Completed, Duration::from_millis(2), true);
+        a.on_dequeued(Duration::from_micros(100), 0);
+        a.on_outcome(
+            crate::TaskStatus::Completed,
+            Duration::from_millis(2),
+            true,
+            0,
+        );
         a.on_batch(1);
         let b = ServeMetrics::new();
         for _ in 0..2 {
             b.begin_admission();
             b.commit_admission();
         }
-        b.on_dequeued(Duration::from_micros(900));
+        b.on_dequeued(Duration::from_micros(900), 0);
         b.begin_admission();
         b.abort_admission(true);
         b.on_outcome(
             crate::TaskStatus::DeadlineExpired,
             Duration::from_millis(7),
             true,
+            0,
         );
-        b.on_shed_expired(Duration::from_millis(3));
+        b.on_shed_expired(Duration::from_millis(3), 0);
         b.on_batch(2);
         let (sa, sb) = (a.snapshot(), b.snapshot());
         let merged = MetricsSnapshot::merged([&sa, &sb]);
@@ -1951,11 +2055,12 @@ mod tests {
         assert!(prom.exists(), "reporter wrote the prom artifact");
         metrics.begin_admission();
         metrics.commit_admission();
-        metrics.on_dequeued(Duration::ZERO);
+        metrics.on_dequeued(Duration::ZERO, 0);
         metrics.on_outcome(
             crate::TaskStatus::Completed,
             Duration::from_millis(1),
             false,
+            0,
         );
         reporter.stop(); // final write sees the completed task
         let text = std::fs::read_to_string(&prom).unwrap();

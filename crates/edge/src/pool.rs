@@ -152,6 +152,16 @@ pub(crate) struct PoolTask {
     reply: Reply,
 }
 
+impl PoolTask {
+    /// The id this task's `task_flow` events are keyed by: the
+    /// cross-process trace id when the request carried one, otherwise the
+    /// process-local task id (see [`einet_trace::context::flow_id`]). This
+    /// is what lets a client-side stream join the server's flow points.
+    fn flow_id(&self) -> u64 {
+        einet_trace::context::flow_id(self.request.trace, self.id)
+    }
+}
+
 impl SchedTask for PoolTask {
     fn deadline_at(&self) -> Option<Instant> {
         self.deadline_at
@@ -297,13 +307,15 @@ impl ExecutorPool {
             reply,
         };
         let task_id = task.id;
+        let flow_id = task.flow_id();
         self.metrics.begin_admission();
         match self.queue.push(task) {
             Ok(()) => {
                 self.metrics.commit_admission();
                 // Open the task's cross-thread flow on the submitting
                 // thread; the worker that picks it up steps and ends it.
-                trace::flow_start(Category::Service, "task_flow", task_id);
+                // Traced requests key the flow by their global trace id.
+                trace::flow_start(Category::Service, "task_flow", flow_id);
                 Ok(task_id)
             }
             Err((PushError::Full, task)) => {
@@ -383,13 +395,13 @@ fn worker_loop(
                 Category::Queue,
                 "queue_wait",
                 task.admitted_at,
-                Args::one("task", task.id),
+                Args::two("task", task.id, "trace", task.request.trace),
             );
             if task.deadline_at.is_some_and(|d| Instant::now() >= d) {
-                metrics.on_shed_expired(task.admitted_at.elapsed());
+                metrics.on_shed_expired(task.admitted_at.elapsed(), task.request.trace);
                 trace::instant(Category::Queue, "shed_expired", Args::one("task", task.id));
                 // The task never reaches a worker slice; its flow ends here.
-                trace::flow_end(Category::Service, "task_flow", task.id);
+                trace::flow_end(Category::Service, "task_flow", task.flow_id());
                 task.reply.deliver(Ok(TaskOutcome {
                     outputs: Vec::new(),
                     status: TaskStatus::ShedExpiredInQueue,
@@ -397,7 +409,7 @@ fn worker_loop(
                     correct: None,
                 }));
             } else {
-                metrics.on_dequeued(task.admitted_at.elapsed());
+                metrics.on_dequeued(task.admitted_at.elapsed(), task.request.trace);
                 live.push(task);
             }
         }
@@ -414,12 +426,18 @@ fn worker_loop(
         // carries the true interval, inner ones are within microseconds.)
         let member_spans: Vec<_> = live
             .iter()
-            .map(|t| trace::span_args(Category::Service, "task", Args::one("task", t.id)))
+            .map(|t| {
+                trace::span_args(
+                    Category::Service,
+                    "task",
+                    Args::two("task", t.id, "trace", t.request.trace),
+                )
+            })
             .collect();
         for t in &live {
             // Land the flow on this worker inside the service slice so the
             // causal arrow points submit → service.
-            trace::flow_step(Category::Service, "task_flow", t.id);
+            trace::flow_step(Category::Service, "task_flow", t.flow_id());
         }
         let result = if size == 1 {
             let task = &live[0];
@@ -460,7 +478,7 @@ fn worker_loop(
         // End each flow while the service slices are still open: the "f"
         // point binds to the slice's end (bp = "e").
         for t in &live {
-            trace::flow_end(Category::Service, "task_flow", t.id);
+            trace::flow_end(Category::Service, "task_flow", t.flow_id());
         }
         drop(member_spans);
         // One batch-scoped span per dispatch (size 1 included), carrying the
@@ -477,7 +495,12 @@ fn worker_loop(
             Ok(outcomes) => {
                 queue.observe_service(size, service_time);
                 for (task, outcome) in live.into_iter().zip(outcomes) {
-                    metrics.on_outcome(outcome.status, service_time, task.deadline_at.is_some());
+                    metrics.on_outcome(
+                        outcome.status,
+                        service_time,
+                        task.deadline_at.is_some(),
+                        task.request.trace,
+                    );
                     // Pool-scoped outcome markers, distinct from the
                     // executor-level "preempted"/"deadline_expired" instants
                     // (which solo runs also emit): these count pool tasks
@@ -504,7 +527,7 @@ fn worker_loop(
             Err(payload) => {
                 let msg = panic_message(payload);
                 for task in live {
-                    metrics.on_panicked(service_time);
+                    metrics.on_panicked(service_time, task.request.trace);
                     trace::instant(
                         Category::Preempt,
                         "task_panicked",

@@ -34,7 +34,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use einet_edge::ServeMetrics;
-use einet_trace::{self as trace, Args, Category};
+use einet_trace::{self as trace, Args, Category, TraceContext};
 
 use crate::registry::ModelRegistry;
 use crate::sys::{Event, Interest, Poller, WakePipe};
@@ -207,8 +207,9 @@ impl Drop for ReactorServer {
 }
 
 /// What a completion callback sends back to the reactor thread: the
-/// connection token and the fully rendered response line.
-type Completion = (u64, String);
+/// connection token, the fully rendered response line, and the request's
+/// trace id (for the reply-write span and drop accounting).
+type Completion = (u64, String, u64);
 
 struct Reactor {
     registry: Arc<ModelRegistry>,
@@ -302,6 +303,10 @@ impl Reactor {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
+                    // Small line-framed responses must not sit in Nagle's
+                    // buffer waiting for a delayed ACK; latency is the
+                    // product here, so flush segments as they come.
+                    let _ = stream.set_nodelay(true);
                     let slot = match self.free.pop() {
                         Some(s) => s,
                         None => {
@@ -440,7 +445,7 @@ impl Reactor {
                     if conn.read_buf.len() > self.cfg.max_line_bytes {
                         // No newline within the cap: the stream cannot be
                         // re-framed. Answer 400 and hang up.
-                        let line = wire::render_bad_request(0, "request line too long");
+                        let line = wire::render_bad_request(0, "request line too long", 0);
                         queue_response(conn, &line);
                         let _ = flush_write(conn);
                         return true;
@@ -453,7 +458,10 @@ impl Reactor {
             };
             let Ok(text) = std::str::from_utf8(&line) else {
                 let conn = self.conns[slot as usize].as_mut().expect("live conn");
-                queue_response(conn, &wire::render_bad_request(0, "request is not UTF-8"));
+                queue_response(
+                    conn,
+                    &wire::render_bad_request(0, "request is not UTF-8", 0),
+                );
                 continue;
             };
             let text = text.trim();
@@ -468,22 +476,28 @@ impl Reactor {
     /// immediately, accepted requests complete asynchronously.
     fn serve_line(&mut self, slot: u32, line: &str, tx: &Sender<Completion>) {
         self.metrics.inflight_started();
+        let ingest_started = Instant::now();
         let parsed = match wire::parse_request(line) {
             Ok(p) => p,
             Err(e) => {
-                // Best effort: salvage the id for correlation even when
-                // the request is rejected.
-                let id = einet_trace::json::parse(line)
-                    .ok()
-                    .and_then(|v| v.get("id").and_then(|i| i.as_u64()))
-                    .unwrap_or(0);
-                self.respond_inline(slot, &wire::render_bad_request(id, &e));
+                // Best effort: salvage the ids for correlation even when
+                // the request is rejected; a traced reject still gets a
+                // balanced flow so the reconciler can join its 400.
+                let (id, trace_id) = wire::salvage_ids(line);
+                if trace_id != 0 {
+                    trace::flow_start(Category::Service, "task_flow", trace_id);
+                    trace::flow_end(Category::Service, "task_flow", trace_id);
+                }
+                self.respond_inline(slot, &wire::render_bad_request(id, &e, trace_id), trace_id);
                 return;
             }
         };
-        let _ingest = trace::span_args(Category::Queue, "ingest", Args::one("req", parsed.id));
+        // Adopt the client's context or mint a fresh root: legacy clients
+        // without the wire field still get fully-traced server-side flows.
+        let ctx = parsed.trace.unwrap_or_else(TraceContext::root);
         let token = self.token(slot);
         let wire_id = parsed.id;
+        let trace_id = ctx.id;
         let completions = tx.clone();
         let waker = Arc::clone(&self.waker);
         let on_complete = Box::new(move |result: einet_edge::TaskResult| {
@@ -491,49 +505,85 @@ impl Reactor {
             // bytes to the reactor, wake it. A dead reactor is fine — the
             // send just fails.
             let line = match result {
-                Ok(outcome) => wire::render_outcome(wire_id, &outcome),
-                Err(_) => wire::render_worker_crashed(wire_id),
+                Ok(outcome) => wire::render_outcome(wire_id, &outcome, trace_id),
+                Err(_) => wire::render_worker_crashed(wire_id, trace_id),
             };
-            let _ = completions.send((token, line));
+            let _ = completions.send((token, line, trace_id));
             waker.wake();
         });
-        match self
-            .registry
-            .submit_callback(&parsed.model, parsed.request, on_complete)
-        {
+        let submitted = self.registry.submit_callback(
+            &parsed.model,
+            parsed.request.with_trace(trace_id),
+            on_complete,
+        );
+        // The ingest span covers framing + routing; the asynchronous wait
+        // for the completion is the task's own queue/service time.
+        trace::complete_span(
+            Category::Queue,
+            "ingest",
+            ingest_started,
+            Args::two("req", wire_id, "trace", trace_id),
+        );
+        match submitted {
             Ok(_task_id) => {
                 self.inflight_total += 1;
                 let conn = self.conns[slot as usize].as_mut().expect("live conn");
                 conn.inflight += 1;
             }
             Err((err, _cb)) => {
-                self.respond_inline(slot, &wire::render_route_error(wire_id, err));
+                self.respond_inline(
+                    slot,
+                    &wire::render_route_error(wire_id, err, trace_id),
+                    trace_id,
+                );
             }
         }
     }
 
     /// Queues an immediately-known response (parse/route error) and closes
     /// out its in-flight accounting.
-    fn respond_inline(&mut self, slot: u32, line: &str) {
+    fn respond_inline(&mut self, slot: u32, line: &str, trace_id: u64) {
         let conn = self.conns[slot as usize].as_mut().expect("live conn");
+        let write_started = Instant::now();
         queue_response(conn, line);
         let _ = flush_write(conn);
+        trace::complete_span(
+            Category::Queue,
+            "reply",
+            write_started,
+            Args::one("trace", trace_id),
+        );
         self.metrics.inflight_finished();
     }
 
     /// Applies every completion the workers have delivered: out-of-order
     /// responses queue onto their connection's write buffer.
     fn drain_completions(&mut self, rx: &Receiver<Completion>) {
-        while let Ok((token, line)) = rx.try_recv() {
+        while let Ok((token, line, trace_id)) = rx.try_recv() {
             self.inflight_total -= 1;
             self.metrics.inflight_finished();
             let Some(slot) = self.slot_of(token) else {
-                continue; // the requester hung up before its answer
+                // The requester hung up before its answer. The task's flow
+                // already ended on the worker, so balance holds; record the
+                // undeliverable response for the reconciler.
+                trace::instant(
+                    Category::Queue,
+                    "reply_dropped",
+                    Args::one("trace", trace_id),
+                );
+                continue;
             };
             let conn = self.conns[slot as usize].as_mut().expect("live conn");
             conn.inflight -= 1;
+            let write_started = Instant::now();
             queue_response(conn, &line);
             let close = flush_write(conn).is_err();
+            trace::complete_span(
+                Category::Queue,
+                "reply",
+                write_started,
+                Args::one("trace", trace_id),
+            );
             if close || (conn.peer_closed && conn.inflight == 0 && !has_pending(conn)) {
                 self.close_conn(slot);
             } else {

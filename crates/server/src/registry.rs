@@ -253,7 +253,13 @@ impl ModelRegistry {
         name: &str,
         request: InferenceRequest,
     ) -> Result<Receiver<TaskResult>, RouteError> {
+        let _route = trace::span_args(
+            Category::Queue,
+            "route",
+            Args::one("trace", request.trace()),
+        );
         let Some(entry) = self.entry(name) else {
+            trivial_flow(request.trace());
             return Err(RouteError::UnknownModel);
         };
         let set = entry.set.read().expect("lock");
@@ -276,6 +282,7 @@ impl ModelRegistry {
                 Err(SubmitError::WorkerGone) => closed = true,
             }
         }
+        trivial_flow(request.trace());
         if closed {
             return Err(RouteError::Closed);
         }
@@ -300,7 +307,13 @@ impl ModelRegistry {
         request: InferenceRequest,
         on_complete: CompletionFn,
     ) -> Result<u64, (RouteError, CompletionFn)> {
+        let _route = trace::span_args(
+            Category::Queue,
+            "route",
+            Args::one("trace", request.trace()),
+        );
         let Some(entry) = self.entry(name) else {
+            trivial_flow(request.trace());
             return Err((RouteError::UnknownModel, on_complete));
         };
         let set = entry.set.read().expect("lock");
@@ -323,6 +336,7 @@ impl ModelRegistry {
                 }
             }
         }
+        trivial_flow(request.trace());
         if closed {
             return Err((RouteError::Closed, cb));
         }
@@ -509,6 +523,18 @@ impl std::fmt::Debug for ModelRegistry {
         f.debug_struct("ModelRegistry")
             .field("models", &self.model_names())
             .finish()
+    }
+}
+
+/// A traced request that never reaches a pool still gets a server-side
+/// flow — an immediate start/end pair under its global trace id — so the
+/// distributed reconciler can join shed, unknown-model and closed
+/// responses to a server flow just like served ones. Untraced requests
+/// (trace 0) skip it, preserving the single-process flow set.
+fn trivial_flow(trace: u64) {
+    if trace != 0 {
+        trace::flow_start(Category::Service, "task_flow", trace);
+        trace::flow_end(Category::Service, "task_flow", trace);
     }
 }
 

@@ -5,10 +5,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use einet_edge::ServeMetrics;
-use einet_trace::{self as trace, Args, Category};
+use einet_trace::{self as trace, Args, Category, TraceContext};
 
 use crate::registry::ModelRegistry;
 use crate::wire;
@@ -134,6 +134,10 @@ fn serve_connection(
     // A read timeout turns the blocking reader into a poll loop so the
     // thread notices shutdown even on an idle connection.
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    // The response is written as payload + newline — two small writes. With
+    // Nagle on, the trailing newline can stall ~40 ms behind a delayed ACK,
+    // which would be charged to the wire stage of every traced request.
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -150,14 +154,21 @@ fn serve_connection(
                     continue;
                 }
                 metrics.inflight_started();
-                let response = handle_line(trimmed, registry);
+                let (response, trace_id) = handle_line(trimmed, registry);
                 metrics.inflight_finished();
+                let write_started = Instant::now();
                 if writer.write_all(response.as_bytes()).is_err()
                     || writer.write_all(b"\n").is_err()
                 {
                     break;
                 }
                 let _ = writer.flush();
+                trace::complete_span(
+                    Category::Queue,
+                    "reply",
+                    write_started,
+                    Args::one("trace", trace_id),
+                );
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 continue; // poll tick: re-check the stop flag
@@ -168,28 +179,44 @@ fn serve_connection(
 }
 
 /// Parses, routes and waits for one request; always returns a response
-/// line (never hangs up without answering a parsed request).
-fn handle_line(line: &str, registry: &ModelRegistry) -> String {
+/// line (never hangs up without answering a parsed request) plus the
+/// request's trace id (0 when even salvage found none).
+fn handle_line(line: &str, registry: &ModelRegistry) -> (String, u64) {
+    let ingest_started = Instant::now();
     let parsed = match wire::parse_request(line) {
         Ok(p) => p,
         Err(e) => {
-            // Best effort: salvage the id for correlation even when the
-            // request is rejected.
-            let id = einet_trace::json::parse(line)
-                .ok()
-                .and_then(|v| v.get("id").and_then(|i| i.as_u64()))
-                .unwrap_or(0);
-            return wire::render_bad_request(id, &e);
+            // Best effort: salvage the ids for correlation even when the
+            // request is rejected, and give a traced reject its flow so
+            // the distributed reconciler still joins it.
+            let (id, trace_id) = wire::salvage_ids(line);
+            if trace_id != 0 {
+                trace::flow_start(Category::Service, "task_flow", trace_id);
+                trace::flow_end(Category::Service, "task_flow", trace_id);
+            }
+            return (wire::render_bad_request(id, &e, trace_id), trace_id);
         }
     };
-    let _ingest = trace::span_args(Category::Queue, "ingest", Args::one("req", parsed.id));
-    match registry.submit(&parsed.model, parsed.request) {
+    // Adopt the client's context or mint a fresh root: legacy clients
+    // without the wire field still get fully-traced server-side flows.
+    let ctx = parsed.trace.unwrap_or_else(TraceContext::root);
+    // The ingest span covers framing + routing only; the wait for the
+    // worker's answer is the task's own queue/service time, not ingest.
+    let submitted = registry.submit(&parsed.model, parsed.request.with_trace(ctx.id));
+    trace::complete_span(
+        Category::Queue,
+        "ingest",
+        ingest_started,
+        Args::two("req", parsed.id, "trace", ctx.id),
+    );
+    let response = match submitted {
         Ok(reply) => match reply.recv() {
-            Ok(Ok(outcome)) => wire::render_outcome(parsed.id, &outcome),
+            Ok(Ok(outcome)) => wire::render_outcome(parsed.id, &outcome, ctx.id),
             // A worker panic on this task, or a dropped reply channel —
             // either way the task died inside the server.
-            Ok(Err(_)) | Err(_) => wire::render_worker_crashed(parsed.id),
+            Ok(Err(_)) | Err(_) => wire::render_worker_crashed(parsed.id, ctx.id),
         },
-        Err(err) => wire::render_route_error(parsed.id, err),
-    }
+        Err(err) => wire::render_route_error(parsed.id, err, ctx.id),
+    };
+    (response, ctx.id)
 }

@@ -21,10 +21,19 @@
 //! * `deadline_ms` (optional) — admission-to-answer deadline.
 //! * `label` (optional) — true class, enabling server-side accuracy
 //!   accounting.
+//! * `trace` (optional) — distributed-tracing context, an object
+//!   `{"id": <trace id>, "parent": <span id>}` minted by the client (see
+//!   [`einet_trace::TraceContext`]). The id keys the server-side
+//!   `task_flow` events so the client and server streams join under one
+//!   global id; a malformed context degrades to "absent" rather than a
+//!   400 (tracing must never break serving). When absent the server mints
+//!   its own id, so server-side flows exist either way.
 //!
 //! # Response
 //!
-//! Always `{"id", "code", "status", ...}`. `code` follows HTTP idiom:
+//! Always `{"id", "code", "status", ...}`, plus `"trace": <id>` when the
+//! request was traced (client-sent or server-minted — how a legacy client
+//! learns the id its request got). `code` follows HTTP idiom:
 //!
 //! | code | status                    | meaning                                        |
 //! |------|---------------------------|------------------------------------------------|
@@ -46,6 +55,7 @@ use std::time::Duration;
 use einet_edge::{InferenceRequest, TaskOutcome, TaskStatus};
 use einet_tensor::Tensor;
 use einet_trace::json::{self, JsonValue, JsonWriter};
+use einet_trace::TraceContext;
 
 use crate::registry::RouteError;
 
@@ -56,6 +66,9 @@ pub struct WireRequest {
     pub id: u64,
     /// Target model name.
     pub model: String,
+    /// Client-sent distributed-tracing context (`None` when absent or
+    /// malformed — tracing never rejects a request).
+    pub trace: Option<TraceContext>,
     /// The executor-level request (input, label, deadline).
     pub request: InferenceRequest,
 }
@@ -69,6 +82,7 @@ pub struct WireRequest {
 pub fn parse_request(line: &str) -> Result<WireRequest, String> {
     let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
     let id = value.get("id").and_then(JsonValue::as_u64).unwrap_or(0);
+    let trace = value.get("trace").and_then(TraceContext::from_json);
     let model = value
         .get("model")
         .and_then(JsonValue::as_str)
@@ -130,10 +144,29 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         }
         request = request.with_deadline(Duration::from_micros((ms * 1000.0) as u64));
     }
-    Ok(WireRequest { id, model, request })
+    Ok(WireRequest {
+        id,
+        model,
+        trace,
+        request,
+    })
 }
 
-fn response_head(id: u64, code: u64, status: &str) -> JsonWriter {
+/// Best-effort extraction of `id` and trace id from an unparseable
+/// request line, so even a 400 stays correlated with the client's stream.
+pub fn salvage_ids(line: &str) -> (u64, u64) {
+    let Ok(v) = json::parse(line) else {
+        return (0, 0);
+    };
+    let id = v.get("id").and_then(JsonValue::as_u64).unwrap_or(0);
+    let trace = v
+        .get("trace")
+        .and_then(TraceContext::from_json)
+        .map_or(0, |c| c.id);
+    (id, trace)
+}
+
+fn response_head(id: u64, code: u64, status: &str, trace: u64) -> JsonWriter {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("id");
@@ -142,6 +175,10 @@ fn response_head(id: u64, code: u64, status: &str) -> JsonWriter {
     w.number_u64(code);
     w.key("status");
     w.string(status);
+    if trace != 0 {
+        w.key("trace");
+        w.number_u64(trace);
+    }
     w
 }
 
@@ -151,8 +188,8 @@ fn finish(mut w: JsonWriter) -> String {
 }
 
 /// A 400 for an unparseable or invalid request line.
-pub fn render_bad_request(id: u64, error: &str) -> String {
-    let mut w = response_head(id, 400, "bad_request");
+pub fn render_bad_request(id: u64, error: &str, trace: u64) -> String {
+    let mut w = response_head(id, 400, "bad_request", trace);
     w.key("error");
     w.string(error);
     finish(w)
@@ -160,23 +197,23 @@ pub fn render_bad_request(id: u64, error: &str) -> String {
 
 /// The response for a routing failure: 404 unknown model, 429 shed with
 /// `reason: "queue_full"`, 503 shutting down.
-pub fn render_route_error(id: u64, err: RouteError) -> String {
+pub fn render_route_error(id: u64, err: RouteError, trace: u64) -> String {
     match err {
-        RouteError::UnknownModel => finish(response_head(id, 404, "unknown_model")),
+        RouteError::UnknownModel => finish(response_head(id, 404, "unknown_model", trace)),
         RouteError::Shed => {
-            let mut w = response_head(id, 429, "shed");
+            let mut w = response_head(id, 429, "shed", trace);
             w.key("reason");
             w.string("queue_full");
             finish(w)
         }
-        RouteError::Closed => finish(response_head(id, 503, "closed")),
+        RouteError::Closed => finish(response_head(id, 503, "closed", trace)),
     }
 }
 
 /// A 500 for a worker that crashed on this task (or a reply channel that
 /// vanished, which amounts to the same thing for the client).
-pub fn render_worker_crashed(id: u64) -> String {
-    let mut w = response_head(id, 500, "worker_crashed");
+pub fn render_worker_crashed(id: u64, trace: u64) -> String {
+    let mut w = response_head(id, 500, "worker_crashed", trace);
     w.key("error");
     w.string("worker panicked while executing this task");
     finish(w)
@@ -189,9 +226,9 @@ pub fn render_worker_crashed(id: u64) -> String {
 /// outcome that carries an answer renders as 200 even when it was stopped
 /// early (`status` says how it ended); only an answerless early stop
 /// degrades to 503/504.
-pub fn render_outcome(id: u64, outcome: &TaskOutcome) -> String {
+pub fn render_outcome(id: u64, outcome: &TaskOutcome, trace: u64) -> String {
     if outcome.was_shed() {
-        let mut w = response_head(id, 429, "shed");
+        let mut w = response_head(id, 429, "shed", trace);
         w.key("reason");
         w.string("expired_in_queue");
         return finish(w);
@@ -204,7 +241,7 @@ pub fn render_outcome(id: u64, outcome: &TaskOutcome) -> String {
     };
     match outcome.answer() {
         Some(answer) => {
-            let mut w = response_head(id, 200, status);
+            let mut w = response_head(id, 200, status, trace);
             w.key("prediction");
             w.number_u64(answer.predicted as u64);
             w.key("exit");
@@ -227,7 +264,7 @@ pub fn render_outcome(id: u64, outcome: &TaskOutcome) -> String {
                 TaskStatus::DeadlineExpired => 504,
                 _ => 503,
             };
-            let mut w = response_head(id, code, status);
+            let mut w = response_head(id, code, status, trace);
             w.key("blocks_run");
             w.number_u64(outcome.blocks_run as u64);
             finish(w)
@@ -247,6 +284,47 @@ mod tests {
         assert_eq!(req.id, 0);
         assert_eq!(req.model, "m");
         assert_eq!(req.request.deadline(), None);
+        assert!(req.trace.is_none());
+    }
+
+    #[test]
+    fn parses_trace_context_and_degrades_malformed_ones() {
+        let req = parse_request(
+            r#"{"model": "m", "trace": {"id": 77, "parent": 3},
+                "input": {"shape": [1, 1, 4, 4], "fill": 0.0}}"#,
+        )
+        .unwrap();
+        let ctx = req.trace.expect("trace parsed");
+        assert_eq!((ctx.id, ctx.parent), (77, 3));
+        // A malformed context is dropped, never a 400: tracing is advisory.
+        for bad in [
+            r#""not an object""#,
+            r#"{"id": 0}"#,
+            r#"{"id": -4}"#,
+            r#"{"parent": 9}"#,
+        ] {
+            let line = format!(
+                r#"{{"model": "m", "trace": {bad}, "input": {{"shape": [1,1,4,4], "fill": 0.0}}}}"#
+            );
+            let req = parse_request(&line).expect("request still accepted");
+            assert!(req.trace.is_none(), "{bad} should degrade to absent");
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_ids_from_invalid_requests() {
+        let (id, trace) = salvage_ids(r#"{"id": 5, "trace": {"id": 9}}"#);
+        assert_eq!((id, trace), (5, 9));
+        assert_eq!(salvage_ids("not json"), (0, 0));
+    }
+
+    #[test]
+    fn responses_echo_the_trace_id_only_when_present() {
+        let line = render_bad_request(1, "nope", 42);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("trace").unwrap().as_u64(), Some(42));
+        let untraced = render_bad_request(1, "nope", 0);
+        assert!(json::parse(&untraced).unwrap().get("trace").is_none());
     }
 
     #[test]
@@ -290,14 +368,14 @@ mod tests {
 
     #[test]
     fn responses_carry_code_status_and_reason() {
-        let shed = render_route_error(3, RouteError::Shed);
+        let shed = render_route_error(3, RouteError::Shed, 0);
         let v = json::parse(&shed).unwrap();
         assert_eq!(v.get("id").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("code").unwrap().as_u64(), Some(429));
         assert_eq!(v.get("reason").unwrap().as_str(), Some("queue_full"));
-        let unknown = render_route_error(1, RouteError::UnknownModel);
+        let unknown = render_route_error(1, RouteError::UnknownModel, 0);
         assert!(unknown.contains("404"));
-        let crashed = render_worker_crashed(2);
+        let crashed = render_worker_crashed(2, 0);
         assert!(crashed.contains("500"));
     }
 
@@ -309,7 +387,7 @@ mod tests {
             blocks_run: 0,
             correct: None,
         };
-        let v = json::parse(&render_outcome(5, &outcome)).unwrap();
+        let v = json::parse(&render_outcome(5, &outcome, 0)).unwrap();
         assert_eq!(v.get("code").unwrap().as_u64(), Some(429));
         assert_eq!(v.get("reason").unwrap().as_str(), Some("expired_in_queue"));
     }

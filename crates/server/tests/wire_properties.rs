@@ -68,13 +68,72 @@ proptest! {
     #[test]
     fn ids_survive_error_renders(id in 0u64..=(1u64 << 53)) {
         for rendered in [
-            wire::render_bad_request(id, "nope"),
-            wire::render_worker_crashed(id),
+            wire::render_bad_request(id, "nope", 0),
+            wire::render_worker_crashed(id, 0),
         ] {
             let v = json::parse(&rendered).expect("responses are valid JSON");
             prop_assert_eq!(v.get("id").and_then(|i| i.as_u64()), Some(id));
         }
     }
+
+    /// Whatever JSON value sits in the `trace` field — wrong type, out of
+    /// range, missing members, nested junk — the parser accepts the
+    /// request and degrades the context to "absent" instead of panicking
+    /// or rejecting (tracing is advisory, never load-bearing).
+    #[test]
+    fn mangled_trace_contexts_never_panic_or_reject(trace_field in arb_trace_field()) {
+        let line = format!(
+            "{{\"id\": 1, \"model\": \"m\", \"trace\": {trace_field}, \
+             \"input\": {{\"shape\": [1, 1, 4, 4], \"fill\": 0.5}}}}"
+        );
+        if let Ok(req) = wire::parse_request(&line) {
+            if let Some(ctx) = req.trace {
+                prop_assert!(ctx.id >= 1 && ctx.id < einet_trace::MAX_TRACE_ID);
+            }
+        }
+        // Salvage must be equally unshockable.
+        let _ = wire::salvage_ids(&line);
+    }
+
+    /// A well-formed context round-trips through parse unchanged, and its
+    /// id survives the response echo verbatim.
+    #[test]
+    fn valid_trace_contexts_round_trip(
+        id in 1u64..(1u64 << 53),
+        parent in 0u64..=(1u64 << 53),
+    ) {
+        let line = format!(
+            "{{\"model\": \"m\", \"trace\": {{\"id\": {id}, \"parent\": {parent}}}, \
+             \"input\": {{\"shape\": [1, 1, 4, 4], \"fill\": 0.5}}}}"
+        );
+        let req = wire::parse_request(&line).expect("valid request");
+        let ctx = req.trace.expect("context parsed");
+        prop_assert_eq!(ctx.id, id);
+        prop_assert_eq!(ctx.parent, parent);
+        let echoed = wire::render_worker_crashed(req.id, ctx.id);
+        let v = json::parse(&echoed).expect("valid response");
+        prop_assert_eq!(v.get("trace").and_then(|t| t.as_u64()), Some(id));
+    }
+}
+
+/// JSON fragments to sit in a request's `trace` field: valid contexts,
+/// boundary ids, wrong types, and structural junk.
+fn arb_trace_field() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u64..=u64::MAX, 0u64..=u64::MAX)
+            .prop_map(|(id, parent)| format!("{{\"id\": {id}, \"parent\": {parent}}}")),
+        Just("{}".to_string()),
+        Just("{\"id\": 0}".to_string()),
+        Just("{\"id\": -7}".to_string()),
+        Just("{\"id\": 9007199254740992}".to_string()),
+        Just("{\"id\": 3.5}".to_string()),
+        Just("{\"parent\": 4}".to_string()),
+        Just("null".to_string()),
+        Just("42".to_string()),
+        Just("\"id\"".to_string()),
+        Just("[1, 2]".to_string()),
+        Just("{\"id\": \"nine\", \"parent\": []}".to_string()),
+    ]
 }
 
 // --- multiplexed round-trip through the reactor ---------------------------
@@ -190,6 +249,62 @@ fn multiplexed_connections_do_not_leak_ids_across() {
     server.shutdown();
     let registry = Arc::try_unwrap(registry).expect("sole owner");
     registry.shutdown();
+}
+
+/// Backward compatibility: a legacy client that never sends a `trace`
+/// field still yields full server-side flows — the server mints a context
+/// at ingest, echoes its id in the response, and the pool keys the task's
+/// flow by it (one balanced start/end pair per request).
+#[test]
+fn legacy_clients_without_trace_field_get_full_server_side_flows() {
+    use einet_trace::{EventKind, FlowPhase, TraceConfig};
+    einet_trace::init(TraceConfig::on());
+    let (registry, server) = start_reactor();
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    let n = 8u64;
+    let mut lines = String::new();
+    for id in 0..n {
+        lines.push_str(&format!(
+            "{{\"id\": {id}, \"model\": \"m\", \
+             \"input\": {{\"shape\": [1, 1, 16, 16], \"fill\": 0.5}}}}\n"
+        ));
+    }
+    conn.write_all(lines.as_bytes()).expect("write");
+    let mut reader = BufReader::new(conn);
+    let mut minted = std::collections::HashSet::new();
+    let mut line = String::new();
+    for _ in 0..n {
+        line.clear();
+        assert!(reader.read_line(&mut line).expect("response") > 0);
+        let v = json::parse(line.trim()).expect("json");
+        let trace = v
+            .get("trace")
+            .and_then(|t| t.as_u64())
+            .expect("server-minted trace id echoed to the legacy client");
+        assert!((1..einet_trace::MAX_TRACE_ID).contains(&trace));
+        assert!(minted.insert(trace), "minted ids are unique per request");
+    }
+    drop(reader);
+    server.shutdown();
+    let registry = Arc::try_unwrap(registry).expect("sole owner");
+    registry.shutdown();
+    let snapshot = einet_trace::drain();
+    einet_trace::init(TraceConfig::off());
+    for &id in &minted {
+        let (mut starts, mut ends) = (0u32, 0u32);
+        for e in &snapshot.events {
+            if let EventKind::Flow { phase, id: fid } = e.kind {
+                if fid == id {
+                    match phase {
+                        FlowPhase::Start => starts += 1,
+                        FlowPhase::End => ends += 1,
+                        FlowPhase::Step => {}
+                    }
+                }
+            }
+        }
+        assert_eq!((starts, ends), (1, 1), "flow {id} is balanced");
+    }
 }
 
 /// Shutdown under load: pipeline a burst, immediately shut the server

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::event::{Args, Category, EventKind, FlowPhase, TraceEvent};
+use crate::event::{Args, Category, DropCounts, EventKind, FlowPhase, TraceEvent};
 use crate::ring::Ring;
 use crate::snapshot::TraceSnapshot;
 
@@ -106,8 +106,10 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Microseconds since the trace epoch for `at`.
-fn us_since_epoch(at: Instant) -> u64 {
+/// Microseconds since the trace epoch for `at`. Exposed crate-wide so the
+/// cross-process context module can timestamp externally recorded streams
+/// (e.g. a client-side recorder) on the same timebase as the rings.
+pub(crate) fn us_since_epoch(at: Instant) -> u64 {
     u64::try_from(at.saturating_duration_since(epoch()).as_micros()).unwrap_or(u64::MAX)
 }
 
@@ -302,6 +304,8 @@ pub struct RingSweep {
     pub taken: usize,
     /// Events lost to overwriting since the previous sweep of this ring.
     pub dropped: u64,
+    /// The same losses broken down by overwritten-event category.
+    pub dropped_by_cat: DropCounts,
 }
 
 /// What one [`sweep`] collected: the merged, time-sorted events plus
@@ -313,6 +317,10 @@ pub struct Sweep {
     /// Events lost to ring overwrites since the previous sweep (sum over
     /// rings).
     pub dropped: u64,
+    /// The same losses broken down by overwritten-event category (sum over
+    /// rings) — lets a validator fail only the invariants whose categories
+    /// actually lost events.
+    pub dropped_by_cat: DropCounts,
     /// Per-ring take/drop counts, in registration order.
     pub rings: Vec<RingSweep>,
 }
@@ -328,24 +336,28 @@ pub fn sweep() -> Sweep {
     let rings: Vec<Arc<Mutex<Ring>>> = registry().lock().unwrap_or_else(|p| p.into_inner()).clone();
     let mut events = Vec::new();
     let mut dropped = 0u64;
+    let mut dropped_by_cat = DropCounts::new();
     let mut per_ring = Vec::with_capacity(rings.len());
     for ring in rings {
         let mut guard = ring.lock().unwrap_or_else(|p| p.into_inner());
         let tid = guard.tid();
-        let (mut evs, d) = guard.take();
+        let (mut evs, d, by_cat) = guard.take();
         drop(guard);
         per_ring.push(RingSweep {
             tid,
             taken: evs.len(),
             dropped: d,
+            dropped_by_cat: by_cat,
         });
         events.append(&mut evs);
         dropped += d;
+        dropped_by_cat.merge(&by_cat);
     }
     events.sort_by_key(|e| (e.ts_us, e.tid));
     Sweep {
         events,
         dropped,
+        dropped_by_cat,
         rings: per_ring,
     }
 }

@@ -1,0 +1,209 @@
+//! Cross-process trace context: process-unique trace-id allocation, the
+//! wire-level context record, and binding of remote contexts to local flow
+//! events.
+//!
+//! A single process already correlates a task's spans with flow events
+//! keyed by the pool task id — but that id is only unique *within* the
+//! process that allocated it. Once a request crosses the TCP boundary
+//! (client → server) the two processes must agree on one global id, or the
+//! two trace streams can never be joined. [`TraceContext`] is that
+//! agreement: the **client** allocates a trace id with [`next_trace_id`],
+//! sends it in the request's optional `trace` field, and the server binds
+//! every local flow point for that request to the same id (see
+//! [`flow_id`]). A legacy client that sends no context still gets full
+//! server-side flows — the server falls back to [`next_trace_id`] at
+//! ingest, so its own stream stays reconcilable; the ids simply never
+//! leave the process.
+//!
+//! ## Id allocation
+//!
+//! The wire carries numbers as JSON (f64-backed in this workspace's
+//! hand-rolled parser), so ids must survive an f64 round-trip: every
+//! allocated id is `< 2^53` and `> 0` (`0` is the "no context" sentinel).
+//! An id is `seed << 32 | sequence`: a 21-bit per-process seed (hashed
+//! from the pid and clock at first use) and a 32-bit process-local
+//! counter. Two processes tracing the same request therefore cannot
+//! collide unless their seeds collide *and* their counters align —
+//! acceptable odds for trace correlation (this is observability, not a
+//! security boundary).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::json::{JsonValue, JsonWriter};
+
+/// Exclusive upper bound for allocated trace ids: the largest integer range
+/// that survives a JSON (f64) round-trip.
+pub const MAX_TRACE_ID: u64 = 1 << 53;
+
+/// Bits of per-process seed above the 32-bit sequence (21 + 32 = 53).
+const SEED_BITS: u32 = 21;
+
+/// The per-process seed in the high bits of every allocated id. Never zero,
+/// so no allocated id can be the `0` sentinel even at sequence 0.
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let pid = u64::from(std::process::id());
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // splitmix64 finalizer over pid ⊕ clock: cheap, well-mixed bits.
+        let mut x = pid ^ nanos.rotate_left(17);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x & ((1 << SEED_BITS) - 1)).max(1)
+    })
+}
+
+/// Allocates a process-unique trace id in `1..MAX_TRACE_ID`.
+///
+/// High bits are a per-process seed, low 32 bits a process-local sequence —
+/// ids allocated by different processes are distinct with high probability,
+/// ids allocated by one process are distinct for the first 2^32
+/// allocations (the sequence then wraps within the same seed).
+pub fn next_trace_id() -> u64 {
+    static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+    let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff;
+    (process_seed() << 32) | seq
+}
+
+/// The flow id a request's local flow events should use: the cross-process
+/// trace id when the request carried one (`trace != 0`), otherwise the
+/// process-local fallback id (e.g. the pool task id). Keeping the fallback
+/// preserves single-process flow balance for untraced callers.
+pub fn flow_id(trace: u64, local: u64) -> u64 {
+    if trace != 0 {
+        trace
+    } else {
+        local
+    }
+}
+
+/// Microseconds since this process's trace epoch, for `at`. External
+/// recorders (a client writing its own stream next to the server's rings in
+/// the same process, or a sidecar) use this to timestamp their events on
+/// the same timebase as the swept rings.
+pub fn us_since_epoch(at: Instant) -> u64 {
+    crate::collector::us_since_epoch(at)
+}
+
+/// Microseconds since this process's trace epoch, now.
+pub fn now_us() -> u64 {
+    us_since_epoch(Instant::now())
+}
+
+/// A wire-level trace context: the cross-process trace id plus the parent
+/// span id on the sending side (opaque to the receiver; it is echoed into
+/// the receiver's events so a merged view can nest them under the sender's
+/// span).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The global trace id shared by every process touching this request.
+    /// Always in `1..MAX_TRACE_ID` when allocated by [`next_trace_id`].
+    pub id: u64,
+    /// The sender-side parent span identifier (0 = none).
+    pub parent: u64,
+}
+
+impl TraceContext {
+    /// Starts a fresh trace: newly allocated id, no parent.
+    pub fn root() -> Self {
+        TraceContext {
+            id: next_trace_id(),
+            parent: 0,
+        }
+    }
+
+    /// A context with an explicit id and parent (e.g. parsed upstream).
+    pub fn new(id: u64, parent: u64) -> Self {
+        TraceContext { id, parent }
+    }
+
+    /// Parses a wire `trace` value. Returns `None` for anything that is not
+    /// a well-formed context — a non-object, a missing/zero/out-of-range
+    /// `id` — so a mangled context degrades to "no context" instead of
+    /// failing the request. `parent` is optional and clamped to the same
+    /// JSON-safe range.
+    pub fn from_json(v: &JsonValue) -> Option<TraceContext> {
+        let id = v.get("id").and_then(JsonValue::as_u64)?;
+        if id == 0 || id >= MAX_TRACE_ID {
+            return None;
+        }
+        let parent = v
+            .get("parent")
+            .and_then(JsonValue::as_u64)
+            .filter(|&p| p < MAX_TRACE_ID)
+            .unwrap_or(0);
+        Some(TraceContext { id, parent })
+    }
+
+    /// Writes this context as the JSON object the wire carries
+    /// (`{"id": .., "parent": ..}`); the caller writes the surrounding key.
+    pub fn write_value(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("id");
+        w.number_u64(self.id);
+        w.key("parent");
+        w.number_u64(self.parent);
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn ids_are_unique_nonzero_and_json_safe() {
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..10_000 {
+            let id = next_trace_id();
+            assert!(id > 0 && id < MAX_TRACE_ID);
+            // f64 round-trip must be exact in the JSON-safe range.
+            assert_eq!(id as f64 as u64, id);
+            assert!(seen.insert(id), "duplicate trace id {id}");
+        }
+    }
+
+    #[test]
+    fn flow_id_prefers_trace_over_local() {
+        assert_eq!(flow_id(7, 3), 7);
+        assert_eq!(flow_id(0, 3), 3);
+    }
+
+    #[test]
+    fn context_json_round_trips() {
+        let ctx = TraceContext::new(next_trace_id(), 42);
+        let mut w = JsonWriter::new();
+        ctx.write_value(&mut w);
+        let v = parse(&w.finish()).expect("valid json");
+        assert_eq!(TraceContext::from_json(&v), Some(ctx));
+    }
+
+    #[test]
+    fn mangled_contexts_degrade_to_none() {
+        for raw in [
+            "{}",
+            "{\"id\": 0}",
+            "{\"id\": -3}",
+            "{\"id\": \"abc\"}",
+            "{\"id\": 9007199254740992}", // 2^53: out of the exact range
+            "[1, 2]",
+            "3",
+            "\"id\"",
+            "null",
+            "true",
+        ] {
+            let v = parse(raw).expect("test inputs are valid json");
+            assert_eq!(TraceContext::from_json(&v), None, "input {raw}");
+        }
+        // Bad parent degrades to 0, not to a rejected context.
+        let v = parse("{\"id\": 5, \"parent\": \"x\"}").unwrap();
+        assert_eq!(TraceContext::from_json(&v), Some(TraceContext::new(5, 0)));
+    }
+}

@@ -27,8 +27,11 @@ pub enum Category {
 }
 
 impl Category {
+    /// Number of categories (the length of [`Category::ALL`]).
+    pub const COUNT: usize = 9;
+
     /// Every category, in display order.
-    pub const ALL: [Category; 9] = [
+    pub const ALL: [Category; Category::COUNT] = [
         Category::Queue,
         Category::Service,
         Category::Block,
@@ -53,6 +56,88 @@ impl Category {
             Category::Preempt => "preempt",
             Category::Stream => "stream",
         }
+    }
+
+    /// This category's position in [`Category::ALL`] — the index used by
+    /// fixed-size per-category tables such as [`DropCounts`].
+    pub fn index(self) -> usize {
+        match self {
+            Category::Queue => 0,
+            Category::Service => 1,
+            Category::Block => 2,
+            Category::Exit => 3,
+            Category::Search => 4,
+            Category::Predictor => 5,
+            Category::Replan => 6,
+            Category::Preempt => 7,
+            Category::Stream => 8,
+        }
+    }
+
+    /// Parses the stable string id back (inverse of [`Category::as_str`]).
+    pub fn parse(s: &str) -> Option<Category> {
+        Category::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+/// Fixed-size per-category event counters, indexed by [`Category::ALL`]
+/// order. Used for dropped-event accounting, where "how many" alone cannot
+/// tell a reconciliation check *which* invariants are compromised — losing
+/// `block` spans is cosmetic, losing `queue` flow points breaks balance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounts {
+    counts: [u64; Category::COUNT],
+}
+
+impl DropCounts {
+    /// All-zero counters.
+    pub const fn new() -> Self {
+        DropCounts {
+            counts: [0; Category::COUNT],
+        }
+    }
+
+    /// Bumps the counter for `cat` by one.
+    pub fn add(&mut self, cat: Category) {
+        self.counts[cat.index()] += 1;
+    }
+
+    /// Overwrites the counter for `cat` (used when reading counts back from
+    /// a serialized stream).
+    pub fn set(&mut self, cat: Category, count: u64) {
+        self.counts[cat.index()] = count;
+    }
+
+    /// The count for `cat`.
+    pub fn get(&self, cat: Category) -> u64 {
+        self.counts[cat.index()]
+    }
+
+    /// Sum over every category.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &DropCounts) {
+        for (into, from) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *into += from;
+        }
+    }
+
+    /// `(category, count)` pairs in [`Category::ALL`] order, zeros included.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
+        Category::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+
+    /// `(category, count)` pairs for categories with a non-zero count.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
+        self.iter().filter(|(_, n)| *n > 0)
     }
 }
 
@@ -223,6 +308,33 @@ mod tests {
             assert!(seen.insert(c.as_str()), "duplicate id {c}");
         }
         assert_eq!(seen.len(), Category::ALL.len());
+    }
+
+    #[test]
+    fn category_index_matches_all_order_and_parse_inverts() {
+        for (i, c) in Category::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i, "index of {c}");
+            assert_eq!(Category::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Category::parse("no-such-cat"), None);
+    }
+
+    #[test]
+    fn drop_counts_accumulate_and_merge() {
+        let mut a = DropCounts::new();
+        assert!(a.is_zero());
+        a.add(Category::Queue);
+        a.add(Category::Queue);
+        a.add(Category::Stream);
+        assert_eq!(a.get(Category::Queue), 2);
+        assert_eq!(a.total(), 3);
+        let mut b = DropCounts::new();
+        b.add(Category::Queue);
+        b.merge(&a);
+        assert_eq!(b.get(Category::Queue), 3);
+        assert_eq!(b.total(), 4);
+        let nonzero: Vec<_> = b.nonzero().collect();
+        assert_eq!(nonzero, vec![(Category::Queue, 3), (Category::Stream, 1)]);
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod ring;
 mod snapshot;
 mod summary;
 
+pub mod context;
 pub mod json;
 pub mod stream;
 
@@ -75,7 +76,8 @@ pub use collector::{
     instant, span, span_args, sweep, RingSweep, SpanGuard, Sweep, TraceConfig,
     DEFAULT_RING_CAPACITY,
 };
-pub use event::{Args, Category, EventKind, FlowPhase, TraceEvent};
+pub use context::{next_trace_id, TraceContext, MAX_TRACE_ID};
+pub use event::{Args, Category, DropCounts, EventKind, FlowPhase, TraceEvent};
 pub use snapshot::TraceSnapshot;
 pub use stream::{StreamConfig, StreamStats, TraceStreamer};
 pub use summary::{CategorySummary, TraceSummary};

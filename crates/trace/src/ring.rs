@@ -7,7 +7,7 @@
 //! tracing is bounded-memory by construction and a long run keeps the most
 //! recent window.
 
-use crate::event::TraceEvent;
+use crate::event::{DropCounts, TraceEvent};
 
 /// A fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
 #[derive(Debug)]
@@ -17,6 +17,9 @@ pub(crate) struct Ring {
     /// Index of the oldest element (only meaningful once full).
     head: usize,
     dropped: u64,
+    /// Drops broken down by the category of the overwritten event, so a
+    /// reconciliation check can tell *which* invariants overflow affected.
+    dropped_by_cat: DropCounts,
     /// Trace id of the owning thread (for per-ring sweep accounting).
     tid: u64,
 }
@@ -30,6 +33,7 @@ impl Ring {
             cap: cap.max(1),
             head: 0,
             dropped: 0,
+            dropped_by_cat: DropCounts::new(),
             tid,
         }
     }
@@ -44,6 +48,9 @@ impl Ring {
         if self.buf.len() < self.cap {
             self.buf.push(event);
         } else {
+            // The event at `head` is the oldest — account its category
+            // before it is overwritten.
+            self.dropped_by_cat.add(self.buf[self.head].cat);
             self.buf[self.head] = event;
             self.head = (self.head + 1) % self.cap;
             self.dropped += 1;
@@ -63,8 +70,8 @@ impl Ring {
     }
 
     /// Removes and returns all buffered events in append order, resetting
-    /// the dropped counter.
-    pub(crate) fn take(&mut self) -> (Vec<TraceEvent>, u64) {
+    /// the dropped counters (total and per category).
+    pub(crate) fn take(&mut self) -> (Vec<TraceEvent>, u64, DropCounts) {
         let mut out = Vec::with_capacity(self.buf.len());
         out.extend_from_slice(&self.buf[self.head..]);
         out.extend_from_slice(&self.buf[..self.head]);
@@ -72,7 +79,9 @@ impl Ring {
         self.head = 0;
         let dropped = self.dropped;
         self.dropped = 0;
-        (out, dropped)
+        let by_cat = self.dropped_by_cat;
+        self.dropped_by_cat = DropCounts::new();
+        (out, dropped, by_cat)
     }
 }
 
@@ -98,8 +107,9 @@ mod tests {
         for t in 0..3 {
             r.push(ev(t));
         }
-        let (events, dropped) = r.take();
+        let (events, dropped, by_cat) = r.take();
         assert_eq!(dropped, 0);
+        assert!(by_cat.is_zero());
         assert_eq!(
             events.iter().map(|e| e.ts_us).collect::<Vec<_>>(),
             [0, 1, 2]
@@ -114,14 +124,18 @@ mod tests {
             r.push(ev(t));
         }
         assert_eq!(r.dropped(), 4);
-        let (events, dropped) = r.take();
+        let (events, dropped, by_cat) = r.take();
         assert_eq!(dropped, 4);
+        assert_eq!(by_cat.get(Category::Block), 4);
+        assert_eq!(by_cat.total(), 4);
         assert_eq!(
             events.iter().map(|e| e.ts_us).collect::<Vec<_>>(),
             [4, 5, 6]
         );
-        // Counter resets after take.
+        // Counters reset after take.
         assert_eq!(r.dropped(), 0);
+        let (_, _, by_cat) = r.take();
+        assert!(by_cat.is_zero());
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! (each ring's mutex is held only for its own `take`, so workers are never
 //! paused, let alone serialised against each other) and appends what it
 //! finds to a **JSONL stream file**. The file only ever grows; ring
-//! overflow between sweeps is accounted per ring and surfaced both in the
-//! stream (`sweep` records) and as a `stream`/`ring_dropped` trace counter.
+//! overflow between sweeps is accounted per ring — with a per-category
+//! breakdown of what was overwritten — and surfaced both in the stream
+//! (`sweep` records, the footer) and as a `stream`/`ring_dropped` trace
+//! counter.
 //!
 //! ## Stream format
 //!
@@ -37,9 +39,38 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::collector::{sweep, Sweep};
-use crate::event::Category;
+use crate::event::{Category, DropCounts};
 use crate::json::{parse, JsonValue, JsonWriter};
 use crate::snapshot::write_chrome_event_fields;
+
+/// Writes `counts` as a `{"<cat>": n, ...}` object (non-zero entries only)
+/// under `key`, omitting the field entirely when every counter is zero.
+fn write_drop_counts(w: &mut JsonWriter, key: &str, counts: &DropCounts) {
+    if counts.is_zero() {
+        return;
+    }
+    w.key(key);
+    w.begin_object();
+    for (cat, n) in counts.nonzero() {
+        w.key(cat.as_str());
+        w.number_u64(n);
+    }
+    w.end_object();
+}
+
+/// Parses an optional `{"<cat>": n, ...}` object back into [`DropCounts`]
+/// (absent field or unknown categories read as zero).
+fn read_drop_counts(v: &JsonValue, key: &str) -> DropCounts {
+    let mut counts = DropCounts::new();
+    if let Some(obj) = v.get(key) {
+        for cat in Category::ALL {
+            if let Some(n) = obj.get(cat.as_str()).and_then(JsonValue::as_u64) {
+                counts.set(cat, n);
+            }
+        }
+    }
+    counts
+}
 
 /// Streaming-collector configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +105,10 @@ pub struct StreamStats {
     pub events: u64,
     /// Events lost to ring overwrites between sweeps.
     pub dropped: u64,
+    /// The same losses broken down by overwritten-event category, so a
+    /// validator can fail only checks whose categories actually lost
+    /// events.
+    pub dropped_by_cat: DropCounts,
 }
 
 /// A background thread that continuously exports the trace to a JSONL file.
@@ -188,6 +223,7 @@ fn write_sweep_pass(
     w.number_u64(s.events.len() as u64);
     w.key("dropped");
     w.number_u64(s.dropped);
+    write_drop_counts(&mut w, "dropped_by_cat", &s.dropped_by_cat);
     w.key("rings");
     w.begin_array();
     for r in &s.rings {
@@ -207,6 +243,7 @@ fn write_sweep_pass(
     stats.sweeps += 1;
     stats.events += s.events.len() as u64;
     stats.dropped += s.dropped;
+    stats.dropped_by_cat.merge(&s.dropped_by_cat);
     Ok(())
 }
 
@@ -255,6 +292,7 @@ fn stream_loop(
     w.number_u64(stats.events);
     w.key("dropped");
     w.number_u64(stats.dropped);
+    write_drop_counts(&mut w, "dropped_by_cat", &stats.dropped_by_cat);
     w.end_object();
     writeln!(out, "{}", w.finish())?;
     out.flush()?;
@@ -270,6 +308,8 @@ pub struct SweepRecord {
     pub events: u64,
     /// Events lost to ring overwrites since the previous pass.
     pub dropped: u64,
+    /// The same losses broken down by overwritten-event category.
+    pub dropped_by_cat: DropCounts,
 }
 
 /// A parsed trace stream: the header, every Chrome event object (as parsed
@@ -325,6 +365,7 @@ pub fn read_stream(path: impl AsRef<Path>) -> Result<StreamedTrace, String> {
                     seq: num("seq")?,
                     events: num("events")?,
                     dropped: num("dropped")?,
+                    dropped_by_cat: read_drop_counts(&v, "dropped_by_cat"),
                 });
             }
             "footer" => {
@@ -337,6 +378,7 @@ pub fn read_stream(path: impl AsRef<Path>) -> Result<StreamedTrace, String> {
                     sweeps: num("sweeps")?,
                     events: num("events")?,
                     dropped: num("dropped")?,
+                    dropped_by_cat: read_drop_counts(&v, "dropped_by_cat"),
                 });
             }
             other => {
@@ -472,6 +514,21 @@ impl StreamedTrace {
         self.footer
             .map(|f| f.dropped)
             .unwrap_or_else(|| self.sweeps.iter().map(|s| s.dropped).sum())
+    }
+
+    /// Dropped events broken down by overwritten-event category (footer
+    /// when present, otherwise merged over sweep records). A validator uses
+    /// this to fail only the checks whose categories actually lost events —
+    /// e.g. dropped `block` spans don't invalidate `queue` flow balance.
+    pub fn dropped_by_cat(&self) -> DropCounts {
+        if let Some(f) = self.footer {
+            return f.dropped_by_cat;
+        }
+        let mut counts = DropCounts::new();
+        for s in &self.sweeps {
+            counts.merge(&s.dropped_by_cat);
+        }
+        counts
     }
 
     /// Aggregates the streamed events for reporting and validation.

@@ -103,6 +103,22 @@ fn overflow_between_sweeps_is_accounted_per_ring() {
     assert_eq!(streamed.dropped(), stats.dropped);
     let swept: u64 = streamed.sweeps.iter().map(|s| s.dropped).sum();
     assert_eq!(swept, stats.dropped, "sweep records account every drop");
+    // The breakdown names the overwritten category: the burst was all
+    // `search` counters, so every drop lands there and nowhere else.
+    let by_cat = streamed.dropped_by_cat();
+    assert_eq!(by_cat.get(Category::Search), stats.dropped);
+    assert_eq!(
+        by_cat.total(),
+        stats.dropped,
+        "no drops in other categories"
+    );
+    assert_eq!(stats.dropped_by_cat, by_cat, "footer carries the breakdown");
+    let swept_by_cat: u64 = streamed
+        .sweeps
+        .iter()
+        .map(|s| s.dropped_by_cat.get(Category::Search))
+        .sum();
+    assert_eq!(swept_by_cat, stats.dropped, "sweep records carry it too");
     // Overflow is also surfaced in-band as a trace counter.
     let summary = streamed.summary();
     assert_eq!(

@@ -7,8 +7,9 @@
 # throughput/deadline-miss regression against the batch=1 baseline, then
 # drives the multi-tenant TCP front-end (bench_load + einet serve
 # --self-test, threaded and reactor back-ends) and fails unless shed
-# accounting, the M/D/1 queue-delay cross-check, and the reactor
-# connection-scaling gate all reconcile.
+# accounting, the M/D/1 queue-delay cross-check, the reactor
+# connection-scaling gate, and the distributed two-stream trace
+# reconciliation (trace_check --distributed) all hold.
 #
 #   scripts/check.sh                # fmt --check + clippy -D warnings + tests
 #   scripts/check.sh --bench        # also run the bench runner (release build)
@@ -122,6 +123,23 @@ if [ "$run_serve_smoke" -eq 1 ]; then
     ./target/release/trace_check --serve results/serve_reactor/trace.json \
         results/serve_reactor/serve_metrics.json \
         results/serve_reactor/metrics.prom
+    echo "== distributed trace smoke (results/dist_trace/)"
+    # A closed-loop traced run over loopback TCP: the clients stamp wire
+    # trace contexts and stream their own spans; the server streams flows
+    # under the same ids. The reconciler joins the two streams and fails
+    # unless every client request (sheds included) matches exactly one
+    # balanced server flow and the stage sums explain the client-observed
+    # latency within tolerance. The merged report renders the breakdown
+    # table and one two-process Chrome document.
+    rm -rf results/dist_trace
+    ./target/release/bench_load --trace-out results/dist_trace --trace-only
+    ./target/release/trace_check --distributed \
+        results/dist_trace/client_trace.jsonl \
+        results/dist_trace/server_trace.jsonl \
+        results/dist_trace/latency_breakdown.json
+    cp results/dist_trace/latency_breakdown.json results/latency_breakdown.json
+    ./target/release/einet report --dir results/dist_trace \
+        --chrome-out results/dist_trace/merged_chrome.json
 fi
 
 echo "== all checks passed"
